@@ -1,0 +1,269 @@
+(* Benchmark harness.
+
+   Two stages:
+
+   1. Regenerate every table and figure of the paper at a reduced,
+      shape-preserving scale (BENCH_SCALE environment variable,
+      default 0.05 of the paper's horizons; set BENCH_SCALE=1 for the
+      full evaluation — several minutes).
+
+   2. Run Bechamel micro-benchmarks: one Test.make per table/figure,
+      timing the per-round unit of work that experiment repeats 10⁴–10⁵
+      times, plus substrate kernels.  These are the Sec. V-D latency
+      numbers in steady state. *)
+
+module Vec = Dm_linalg.Vec
+module Mat = Dm_linalg.Mat
+module Eigen = Dm_linalg.Eigen
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+module Ellipsoid = Dm_market.Ellipsoid
+module Mechanism = Dm_market.Mechanism
+module Model = Dm_market.Model
+module Regret = Dm_market.Regret
+module Noisy_query = Dm_apps.Noisy_query
+module Rental = Dm_apps.Rental
+module Impression = Dm_apps.Impression
+module Ftrl = Dm_ml.Ftrl
+module Hashing = Dm_ml.Hashing
+
+let ppf = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Stage 1: table/figure regeneration                                  *)
+(* ------------------------------------------------------------------ *)
+
+let scale =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0. && f <= 1. -> f
+      | _ -> failwith "BENCH_SCALE must be a float in (0, 1]")
+  | None -> 0.05
+
+let stage1 () =
+  Format.fprintf ppf
+    "==================================================================@.";
+  Format.fprintf ppf
+    "Stage 1: paper tables and figures at scale %.2f (BENCH_SCALE)@." scale;
+  Format.fprintf ppf
+    "==================================================================@.@.";
+  Dm_experiments.Analysis.fig1 ppf;
+  Dm_experiments.App1.fig4 ~scale ppf;
+  Dm_experiments.App1.table1 ~scale ppf;
+  Dm_experiments.App1.fig5a ~scale ppf;
+  Dm_experiments.App2.fig5b ~scale ppf;
+  Dm_experiments.App3.fig5c ~scale ppf;
+  Dm_experiments.App1.coldstart ~scale ~seeds:3 ppf;
+  Dm_experiments.App2.coldstart ~scale ~seeds:3 ppf;
+  Dm_experiments.Analysis.lemma8 ppf;
+  Dm_experiments.Analysis.theorem3 ppf;
+  Dm_experiments.Analysis.theorem2 ~scale ppf;
+  Dm_experiments.Analysis.lemma2_check ppf;
+  Dm_experiments.Analysis.lemma45_check ppf;
+  Dm_experiments.Ablation.epsilon_sweep ~rounds:5_000 ppf;
+  Dm_experiments.Ablation.delta_sweep ~rounds:5_000 ppf;
+  Dm_experiments.Ablation.aggregation_sweep ~rounds:5_000 ppf;
+  Dm_experiments.Ablation.feature_pipeline ~rounds:5_000 ppf;
+  Dm_experiments.Ablation.param_dist_sweep ~rounds:5_000 ppf;
+  Dm_experiments.Baselines.compare ~scale ppf;
+  Dm_experiments.Diagnostics.report ~sample:1_000 ppf;
+  Dm_experiments.Overhead.report ppf
+
+(* ------------------------------------------------------------------ *)
+(* Stage 2: Bechamel micro-benchmarks                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A self-cycling pricing-round closure: replays a fixed stream
+   against a persistent mechanism (steady-state mix of exploratory and
+   conservative rounds, like the long experiments). *)
+let pricing_round ~dim ~radius ~epsilon ~variant ~model ~stream ~reserves =
+  let mech =
+    Mechanism.create
+      (Mechanism.config ~variant ~epsilon ())
+      (Ellipsoid.ball ~dim ~radius)
+  in
+  let n = Array.length stream in
+  let theta = model.Model.theta in
+  let t = ref 0 in
+  fun () ->
+    let i = !t mod n in
+    incr t;
+    let x = stream.(i) in
+    ignore
+      (Mechanism.step mech ~x ~reserve:reserves.(i)
+         ~market_index:(Vec.dot x theta))
+
+let make_tests () =
+  let open Bechamel in
+  (* Fig. 4 / Table I / Fig. 5(a): App 1 rounds at n = 20 and n = 100. *)
+  let nq_round dim =
+    let setup = Noisy_query.make ~seed:42 ~dim ~rounds:2_000 () in
+    let w = Noisy_query.workload setup in
+    let stream = Array.init 512 (fun t -> fst (w t)) in
+    let reserves = Array.init 512 (fun t -> snd (w t)) in
+    pricing_round ~dim ~radius:setup.Noisy_query.radius
+      ~epsilon:setup.Noisy_query.epsilon ~variant:Mechanism.with_reserve
+      ~model:setup.Noisy_query.model ~stream ~reserves
+  in
+  (* Fig. 5(b): App 2 round. *)
+  let rental_round () =
+    let setup = Rental.make ~rows:4_000 ~seed:7 () in
+    let w = Rental.workload setup ~ratio:0.6 in
+    let stream = Array.init 512 (fun t -> fst (w t)) in
+    let reserves =
+      Array.init 512 (fun t ->
+          Model.index_of_price setup.Rental.model (snd (w t)))
+    in
+    pricing_round ~dim:setup.Rental.dim ~radius:setup.Rental.radius
+      ~epsilon:setup.Rental.epsilon ~variant:Mechanism.with_reserve
+      ~model:setup.Rental.model ~stream ~reserves
+  in
+  (* Fig. 5(c): App 3 rounds, sparse n = 1024 and its dense support. *)
+  let impression =
+    lazy (Impression.make ~train_rounds:30_000 ~seed:3 ~dim:1024 ~rounds:512 ())
+  in
+  let impression_round case =
+    let setup = Lazy.force impression in
+    let stream =
+      match case with
+      | Impression.Sparse -> setup.Impression.sparse_stream
+      | Impression.Dense -> setup.Impression.dense_stream
+    in
+    let reserves = Array.make (Array.length stream) neg_infinity in
+    pricing_round
+      ~dim:(Impression.dim setup case)
+      ~radius:4. ~epsilon:1. ~variant:Mechanism.pure
+      ~model:(Impression.model setup case)
+      ~stream ~reserves
+  in
+  (* Fig. 1: single-round regret curve. *)
+  let fig1_curve =
+    let prices = Vec.init 101 (fun i -> float_of_int i /. 10.) in
+    fun () ->
+      ignore (Regret.single_round_curve ~reserve:2. ~market_value:6. ~prices)
+  in
+  (* Lemma 8: one adversarial round (dim 2, cuts allowed). *)
+  let lemma8_round =
+    let theta = [| 0.; 0.4 |] in
+    let model = Model.linear ~theta in
+    let mech =
+      Mechanism.create
+        (Mechanism.config ~allow_conservative_cuts:true
+           ~variant:Mechanism.with_reserve ~epsilon:1e-3 ())
+        (Ellipsoid.ball ~dim:2 ~radius:1.)
+    in
+    let e1 = Vec.basis 2 0 in
+    fun () ->
+      let b = Ellipsoid.bounds (Mechanism.ellipsoid mech) ~x:e1 in
+      ignore
+        (Mechanism.step mech ~x:e1 ~reserve:b.Ellipsoid.mid
+           ~market_index:(Vec.dot e1 model.Model.theta))
+  in
+  (* Theorem 3: a 1-D pricing round. *)
+  let theorem3_round =
+    let model = Model.linear ~theta:[| 1.2 |] in
+    pricing_round ~dim:1 ~radius:2. ~epsilon:1e-4 ~variant:Mechanism.pure
+      ~model
+      ~stream:(Array.make 1 [| 1. |])
+      ~reserves:(Array.make 1 0.)
+  in
+  (* Substrate kernels. *)
+  let rng = Rng.create 5 in
+  let a100 = Mat.scaled_identity 100 4. in
+  let x100 = Dist.normal_vec rng ~dim:100 in
+  let ell100 = Ellipsoid.ball ~dim:100 ~radius:2. in
+  let spd20 =
+    let m = Mat.init 20 20 (fun _ _ -> Dist.normal rng ~mean:0. ~std:1.) in
+    let a = Mat.matmul m (Mat.transpose m) in
+    for i = 0 to 19 do
+      Mat.set a i i (Mat.get a i i +. 1.)
+    done;
+    a
+  in
+  let ftrl_model = Ftrl.create ~dim:1024 () in
+  let ftrl_example =
+    [ { Hashing.index = 3; value = 1. }; { Hashing.index = 700; value = 1. } ]
+  in
+  Test.make_grouped ~name:"pricing"
+    [
+      Test.make ~name:"fig4+table1 round n20 reserve"
+        (Staged.stage (nq_round 20));
+      Test.make ~name:"fig4+fig5a round n100 reserve"
+        (Staged.stage (nq_round 100));
+      Test.make ~name:"fig5b round n55 log-linear"
+        (Staged.stage (rental_round ()));
+      Test.make ~name:"fig5c round n1024 sparse"
+        (Staged.stage (impression_round Impression.Sparse));
+      Test.make ~name:"fig5c round dense support"
+        (Staged.stage (impression_round Impression.Dense));
+      Test.make ~name:"fig1 regret curve" (Staged.stage fig1_curve);
+      Test.make ~name:"lemma8 adversarial round" (Staged.stage lemma8_round);
+      Test.make ~name:"theorem3 1d round" (Staged.stage theorem3_round);
+      Test.make ~name:"kernel quad n100"
+        (Staged.stage (fun () -> ignore (Mat.quad a100 x100)));
+      Test.make ~name:"kernel ellipsoid cut n100"
+        (Staged.stage (fun () ->
+             ignore (Ellipsoid.cut_below ell100 ~x:x100 ~price:0.)));
+      Test.make ~name:"kernel jacobi eigen n20"
+        (Staged.stage (fun () -> ignore (Eigen.eigenvalues spd20)));
+      Test.make ~name:"kernel ftrl learn step"
+        (Staged.stage (fun () ->
+             ignore (Ftrl.learn ftrl_model ftrl_example true)));
+      Test.make ~name:"baselines sgd round n20"
+        (Staged.stage
+           (let sgd = Dm_market.Sgd_pricing.create ~dim:20 ~radius:4. () in
+            let p = Dm_market.Sgd_pricing.policy sgd in
+            let rng = Rng.create 77 in
+            let xs =
+              Array.init 64 (fun _ ->
+                  Vec.normalize (Vec.map abs_float (Dist.normal_vec rng ~dim:20)))
+            in
+            let t = ref 0 in
+            fun () ->
+              let x = xs.(!t mod 64) in
+              incr t;
+              match p.Dm_market.Broker.decide ~x ~reserve:0.5 with
+              | Some price ->
+                  p.Dm_market.Broker.learn ~x ~price ~accepted:(price <= 1.)
+              | None -> ()));
+      Test.make ~name:"arbitrage grid check"
+        (Staged.stage
+           (let grid = Array.init 8 (fun i -> 0.1 *. (2. ** float_of_int i)) in
+            let tariff = Dm_market.Arbitrage.inverse_variance ~c:2. in
+            fun () ->
+              ignore (Dm_market.Arbitrage.is_arbitrage_free_on ~grid tariff)));
+    ]
+
+let stage2 () =
+  let open Bechamel in
+  let open Toolkit in
+  Format.fprintf ppf
+    "==================================================================@.";
+  Format.fprintf ppf "Stage 2: Bechamel micro-benchmarks (ns per call)@.";
+  Format.fprintf ppf
+    "==================================================================@.@.";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (make_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.sprintf "%.1f" est
+          | _ -> "n/a"
+        in
+        [ name; ns ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Dm_experiments.Table.print ppf ~title:"per-call latency"
+    ~header:[ "benchmark"; "ns/call" ] rows
+
+let () =
+  stage1 ();
+  stage2 ()

@@ -1,0 +1,1 @@
+examples/accommodation.ml: Dm_apps Dm_market Format List

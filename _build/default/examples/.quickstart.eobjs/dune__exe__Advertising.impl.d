@@ -1,0 +1,1 @@
+examples/advertising.ml: Dm_apps Dm_market Format

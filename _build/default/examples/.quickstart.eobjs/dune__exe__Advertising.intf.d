@@ -1,0 +1,1 @@
+examples/advertising.mli:

@@ -1,0 +1,1 @@
+examples/budgeted_market.ml: Array Dm_linalg Dm_market Dm_privacy Dm_prob Dm_synth Format List

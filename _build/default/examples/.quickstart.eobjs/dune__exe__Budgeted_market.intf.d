@@ -1,0 +1,1 @@
+examples/budgeted_market.mli:

@@ -1,0 +1,1 @@
+examples/data_market.ml: Dm_apps Dm_linalg Dm_market Dm_privacy Dm_prob Dm_synth Format

@@ -1,0 +1,1 @@
+examples/interactive_broker.ml: Array Dm_linalg Dm_market Dm_prob Format Sys

@@ -1,0 +1,1 @@
+examples/loan_application.ml: Array Dm_linalg Dm_market Dm_ml Dm_prob Float Format

@@ -1,0 +1,1 @@
+examples/loan_application.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dm_linalg Dm_market Dm_prob Format

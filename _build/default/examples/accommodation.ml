@@ -1,0 +1,49 @@
+(* Accommodation rental pricing (App 2 of the paper, scaled down).
+
+   A booking platform prices listings under the log-linear hedonic
+   model: encode each listing into 55 features, learn the market-value
+   weights by OLS on historical log prices, then post prices online
+   with the host's minimum price as the reserve.  Run with:
+
+     dune exec examples/accommodation.exe
+*)
+
+module Mechanism = Dm_market.Mechanism
+module Broker = Dm_market.Broker
+module Rental = Dm_apps.Rental
+
+let () =
+  (* The full corpus size of the paper; exploration amortizes over the
+     whole horizon, which is what lets the learner beat the
+     risk-averse host at every reserve level. *)
+  let rows = 74_111 in
+  let setup = Rental.make ~rows ~seed:31 () in
+
+  Format.printf "=== accommodation rental: %d listings, n = %d ===@." rows
+    setup.Rental.dim;
+  Format.printf
+    "OLS fit of log prices: held-out MSE %.3f (paper reports 0.226)@."
+    setup.Rental.test_mse;
+  Format.printf "knowledge ball radius %.2f, feature bound %.2f, ε = %.4f@.@."
+    setup.Rental.radius setup.Rental.feature_bound setup.Rental.epsilon;
+
+  let report name (r : Broker.result) =
+    Format.printf "%-30s regret ratio %5.2f%%  (%d exploratory, %d sales)@."
+      name
+      (100. *. r.Broker.regret_ratio)
+      r.Broker.exploratory r.Broker.accepted_rounds
+  in
+  report "pure version" (Rental.run ~ratio:0.0 setup Mechanism.pure);
+  List.iter
+    (fun ratio ->
+      report
+        (Format.asprintf "with reserve (log ratio %.1f)" ratio)
+        (Rental.run ~ratio setup Mechanism.with_reserve);
+      report
+        (Format.asprintf "risk-averse (log ratio %.1f)" ratio)
+        (Rental.run_baseline ~ratio setup))
+    [ 0.4; 0.6; 0.8 ];
+  Format.printf
+    "@.As the host's reserve approaches the market value (0.4 → 0.8), the@.";
+  Format.printf
+    "risk-averse strategy improves, but the learning broker still wins.@."

@@ -1,0 +1,88 @@
+(* Play the data consumer against the ellipsoid broker.
+
+   Each round the broker quotes a price for a random product whose
+   true worth follows a hidden linear model.  Type y/n to accept or
+   reject; the broker learns from every answer and its quotes tighten
+   toward your willingness to pay.  Run with:
+
+     dune exec examples/interactive_broker.exe            # interactive
+     dune exec examples/interactive_broker.exe -- --auto  # scripted buyer
+
+   In --auto mode a rational buyer (accepts iff price ≤ worth) plays
+   20 rounds, so the demo also works in CI. *)
+
+module Vec = Dm_linalg.Vec
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+module Ellipsoid = Dm_market.Ellipsoid
+module Mechanism = Dm_market.Mechanism
+module Model = Dm_market.Model
+
+let () =
+  let auto = Array.exists (( = ) "--auto") Sys.argv in
+  let rounds =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then if auto then 20 else 10
+      else if Sys.argv.(i) = "--rounds" then int_of_string Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  let dim = 4 in
+  let rng = Rng.create 2020 in
+  let theta =
+    Vec.scale 10. (Vec.normalize (Vec.map abs_float (Dist.normal_vec rng ~dim)))
+  in
+  let model = Model.linear ~theta in
+  let mech =
+    Mechanism.create
+      (Mechanism.config ~variant:Mechanism.with_reserve ~epsilon:0.5 ())
+      (Ellipsoid.ball ~dim ~radius:10.)
+  in
+  Format.printf
+    "You are a data consumer with a hidden taste for 4 product features.@.";
+  Format.printf
+    "A product is worth (to you) the dot product of its features and your@.";
+  Format.printf "taste vector%s.@.@."
+    (if auto then Format.asprintf " %a" Vec.pp theta else " (kept secret)");
+  let revenue = ref 0. and worth_sum = ref 0. in
+  for t = 1 to rounds do
+    let x = Vec.normalize (Vec.map abs_float (Dist.normal_vec rng ~dim)) in
+    let worth = Model.value model x in
+    let reserve = 0.4 *. worth in
+    let decision = Mechanism.decide mech ~x ~reserve in
+    match decision with
+    | Mechanism.Skip ->
+        Format.printf "round %2d: no offer (reserve exceeds any possible value)@." t
+    | Mechanism.Post { price; kind; _ } ->
+        let kind_str =
+          match kind with
+          | Mechanism.Exploratory -> "exploring"
+          | Mechanism.Conservative -> "exploiting"
+        in
+        Format.printf "round %2d: features %a@." t Vec.pp x;
+        Format.printf "          quoted price %.2f (%s)%s@." price kind_str
+          (if auto then Format.asprintf " — worth to you: %.2f" worth else "");
+        let accepted =
+          if auto then price <= worth
+          else begin
+            Format.printf "          buy? [y/n] %!";
+            match input_line stdin with
+            | "y" | "Y" | "yes" -> true
+            | _ -> false
+            | exception End_of_file -> false
+          end
+        in
+        Mechanism.observe mech ~x decision ~accepted;
+        if accepted then revenue := !revenue +. price;
+        worth_sum := !worth_sum +. worth;
+        Format.printf "          %s@."
+          (if accepted then "sold." else "no deal.")
+  done;
+  Format.printf "@.broker revenue %.2f of %.2f total worth (%d exploratory, %d \
+                 conservative rounds)@."
+    !revenue !worth_sum
+    (Mechanism.exploratory_rounds mech)
+    (Mechanism.conservative_rounds mech);
+  Format.printf "final estimate of your taste: %a@." Vec.pp
+    (Mechanism.ellipsoid mech).Ellipsoid.center

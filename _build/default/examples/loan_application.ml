@@ -1,0 +1,93 @@
+(* Loan-rate posting (Section IV-B's third scenario).
+
+   A financial institution posts interest rates to sequential loan
+   applicants.  The acceptable rate is modelled log-log in the
+   borrower's features (credit score, income, loan size, tenure), and
+   the institution's funding cost acts as the reserve.  This example
+   also demonstrates the kernelized model via landmark feature maps.
+   Run with:
+
+     dune exec examples/loan_application.exe
+*)
+
+module Vec = Dm_linalg.Vec
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+module Kernel = Dm_ml.Kernel
+module Ellipsoid = Dm_market.Ellipsoid
+module Mechanism = Dm_market.Mechanism
+module Model = Dm_market.Model
+module Broker = Dm_market.Broker
+
+let run_model name model ~dim_index ~radius ~workload ~rounds =
+  let mechanism =
+    Mechanism.create
+      (Mechanism.config ~variant:Mechanism.with_reserve ~epsilon:0.02 ())
+      (Ellipsoid.ball ~dim:dim_index ~radius)
+  in
+  let r =
+    Broker.run
+      ~policy:(Broker.Ellipsoid_pricing mechanism)
+      ~model
+      ~noise:(fun _ -> 0.)
+      ~workload ~rounds ()
+  in
+  Format.printf "%-22s regret ratio %5.2f%%  (%d exploratory, %d accepted)@."
+    name
+    (100. *. r.Broker.regret_ratio)
+    r.Broker.exploratory r.Broker.accepted_rounds
+
+let () =
+  let rounds = 4000 in
+  Format.printf "=== loan applications: %d borrowers ===@." rounds;
+
+  (* Borrower features: credit score (300–850), annual income (k$),
+     loan amount (k$), employment tenure (years) — all positive, as
+     the log-log model requires. *)
+  let borrower rng =
+    [|
+      Rng.uniform rng 300. 850.;
+      exp (Dist.normal rng ~mean:4.2 ~std:0.5);
+      exp (Dist.normal rng ~mean:3.0 ~std:0.8);
+      1. +. (19. *. Rng.float rng);
+    |]
+  in
+
+  (* Log-log ground truth: log rate = θ·log features.  Better credit
+     and income lower the acceptable rate; bigger loans raise it. *)
+  let theta = [| -0.35; -0.10; 0.08; -0.03 |] in
+  let model = Model.log_log ~theta in
+  let workload_rng = Rng.create 11 in
+  let workload _ =
+    let x = borrower workload_rng in
+    (* Funding cost: 60% of the acceptable rate. *)
+    let v = Model.value model x in
+    (x, 0.6 *. v)
+  in
+  run_model "log-log rate model" model ~dim_index:4 ~radius:1. ~workload
+    ~rounds;
+
+  (* The same market priced with a kernelized model over landmark
+     borrowers (an RBF similarity basis). *)
+  let rng = Rng.create 5 in
+  let landmarks =
+    Array.init 6 (fun _ -> Vec.map log (borrower rng))
+  in
+  let map = Kernel.landmark_map (Kernel.Rbf { gamma = 0.5 }) ~landmarks in
+  let ktheta =
+    Vec.scale 0.3 (Vec.normalize (Vec.map abs_float (Dist.normal_vec rng ~dim:6)))
+  in
+  let kmodel = Model.kernelized ~map ~theta:ktheta in
+  let kworkload_rng = Rng.create 12 in
+  let kworkload _ =
+    let x = Vec.map log (borrower kworkload_rng) in
+    let v = Model.value kmodel x in
+    (x, 0.6 *. Float.max 0.01 v)
+  in
+  run_model "kernelized (landmarks)" kmodel ~dim_index:6 ~radius:0.5
+    ~workload:kworkload ~rounds;
+
+  Format.printf
+    "@.Both non-linear models reuse the identical ellipsoid machinery:@.";
+  Format.printf
+    "only the link g and the feature map φ change (Section IV-A).@."

@@ -1,0 +1,72 @@
+(* Quickstart: price a stream of differentiated products with the
+   ellipsoid posted-price mechanism.
+
+   A seller faces buyers whose willingness to pay is linear in the
+   product's features, v = xᵀθ*, with θ* unknown.  Each round the
+   seller posts a price, observes accept/reject, and refines an
+   ellipsoidal knowledge set over θ*.  Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+module Vec = Dm_linalg.Vec
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+module Ellipsoid = Dm_market.Ellipsoid
+module Mechanism = Dm_market.Mechanism
+module Model = Dm_market.Model
+module Broker = Dm_market.Broker
+
+let () =
+  let dim = 5 in
+  let rounds = 2000 in
+  let rng = Rng.create 2024 in
+
+  (* The hidden market-value model: buyers pay v = xᵀθ*.  Features are
+     non-negative (quality scores), so non-negative weights keep every
+     market value positive. *)
+  let theta =
+    Vec.scale 2. (Vec.normalize (Vec.map abs_float (Dist.normal_vec rng ~dim)))
+  in
+  let model = Model.linear ~theta in
+
+  (* The seller only knows ‖θ*‖ ≤ 2, so her initial knowledge set is
+     the ball of radius 2; she explores while the value window along a
+     query exceeds ε and exploits (posts the window's bottom) after. *)
+  let mechanism =
+    Mechanism.create
+      (Mechanism.config ~variant:Mechanism.with_reserve ~epsilon:0.05 ())
+      (Ellipsoid.ball ~dim ~radius:2.)
+  in
+
+  (* Products arrive with non-negative unit feature vectors; each has
+     a reserve price (e.g. its production cost). *)
+  let product_rng = Rng.create 7 in
+  let workload _round =
+    let x = Vec.normalize (Vec.map abs_float (Dist.normal_vec product_rng ~dim)) in
+    let cost = 0.5 *. Vec.dot x theta in
+    (x, cost)
+  in
+
+  let result =
+    Broker.run
+      ~policy:(Broker.Ellipsoid_pricing mechanism)
+      ~model
+      ~noise:(fun _ -> 0.)
+      ~workload ~rounds ()
+  in
+
+  Format.printf "=== quickstart: contextual pricing in %d rounds ===@." rounds;
+  Format.printf "hidden weights        : %a@." Vec.pp theta;
+  Format.printf "final knowledge center: %a@." Vec.pp
+    (Mechanism.ellipsoid mechanism).Ellipsoid.center;
+  Format.printf "revenue               : %.2f (of %.2f available)@."
+    result.Broker.total_revenue result.Broker.total_value;
+  Format.printf "cumulative regret     : %.2f (ratio %.2f%%)@."
+    result.Broker.total_regret
+    (100. *. result.Broker.regret_ratio);
+  Format.printf "rounds: %d exploratory, %d conservative, %d skipped, %d sales@."
+    result.Broker.exploratory result.Broker.conservative result.Broker.skipped
+    result.Broker.accepted_rounds;
+  let final_error = Vec.dist2 (Mechanism.ellipsoid mechanism).Ellipsoid.center theta in
+  Format.printf "‖center − θ*‖         : %.4f@." final_error

@@ -1,0 +1,1 @@
+lib/apps/impression.ml: Array Dm_linalg Dm_market Dm_ml Dm_prob Dm_synth Float List

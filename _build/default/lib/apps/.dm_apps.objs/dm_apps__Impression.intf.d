@@ -1,0 +1,1 @@
+lib/apps/impression.mli: Dm_linalg Dm_market

@@ -1,0 +1,1 @@
+lib/apps/noisy_query.ml: Array Dm_linalg Dm_market Dm_privacy Dm_prob Dm_synth Float Lazy

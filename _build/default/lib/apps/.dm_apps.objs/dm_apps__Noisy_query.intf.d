@@ -1,0 +1,1 @@
+lib/apps/noisy_query.mli: Dm_linalg Dm_market Dm_synth Lazy

@@ -1,0 +1,1 @@
+lib/apps/rental.mli: Dm_linalg Dm_market

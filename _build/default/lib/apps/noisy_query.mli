@@ -1,0 +1,68 @@
+(** App 1: pricing noisy linear queries over personal data (Sec. V-A).
+
+    End-to-end wiring of the paper's first evaluation: a MovieLens-
+    style owner corpus, differential-privacy leakage quantification,
+    tanh compensation contracts, compensation-aggregation features
+    (‖x_t‖ = 1, so S = 1), reserve price [q_t = Σᵢ x_{t,i}], hidden
+    weights with ‖θ*‖ = √(2n), initial knowledge ball of radius
+    R = 2√n, uncertainty δ = 0.01 with σ = δ/(√(2 log 2)·log T), and
+    threshold ε = log²T/T (n = 1) or n²/T.
+
+    The weight vector is drawn like the query parameters but with
+    non-negative components before scaling: the features are
+    non-negative (aggregated compensations), so a sign-symmetric θ*
+    would put the market value below the reserve almost always,
+    contradicting the paper's stated guarantee that [v_t ≥ q_t] with
+    high probability (see DESIGN.md §3). *)
+
+type t = {
+  dim : int;
+  rounds : int;
+  owners : int;
+  model : Dm_market.Model.t;
+  radius : float;  (** R = 2√n *)
+  epsilon : float;
+  delta : float;  (** the evaluation's fixed buffer, 0.01 *)
+  sigma : float;  (** δ/(√(2 log 2)·log T) *)
+  corpus : Dm_synth.Movielens.corpus;
+  stream : (Dm_linalg.Vec.t * float) array Lazy.t;
+      (** materialized (feature, reserve) rounds, shared across the
+          four variants and the baseline so every policy faces the
+          identical query sequence *)
+  noise_table : float array Lazy.t;  (** the shared δ_t draws *)
+}
+
+val make :
+  ?owners:int ->
+  ?delta:float ->
+  ?param_dist:Dm_synth.Linear_query.param_dist ->
+  seed:int ->
+  dim:int ->
+  rounds:int ->
+  unit ->
+  t
+(** Defaults: 500 owners, δ = 0.01, mixed query-parameter
+    distribution. *)
+
+val workload : t -> (int -> Dm_linalg.Vec.t * float)
+(** The round-indexed stream of (normalized feature vector, reserve
+    price).  Deterministic given the setup seed; query draw, leakage,
+    compensation, aggregation and normalization all happen here. *)
+
+val noise : t -> (int -> float)
+(** The per-round uncertainty δ_t ~ N(0, σ). *)
+
+val mechanism : t -> Dm_market.Mechanism.variant -> Dm_market.Mechanism.t
+(** A fresh mechanism over the ball R = 2√n with the setup's ε. *)
+
+val run :
+  ?record_rounds:bool ->
+  ?checkpoints:int array ->
+  t ->
+  Dm_market.Mechanism.variant ->
+  Dm_market.Broker.result
+(** Simulate the full horizon for one algorithm variant. *)
+
+val run_baseline :
+  ?checkpoints:int array -> t -> Dm_market.Broker.result
+(** The risk-averse baseline (posts the reserve every round). *)

@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Array Broker Dm_linalg Ellipsoid Mechanism Model

@@ -1,0 +1,1 @@
+lib/core/broker.ml: Array Dm_linalg Dm_prob Float List Mechanism Model Option Regret

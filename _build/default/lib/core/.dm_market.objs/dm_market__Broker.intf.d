@@ -1,0 +1,1 @@
+lib/core/broker.mli: Dm_linalg Dm_prob Mechanism Model

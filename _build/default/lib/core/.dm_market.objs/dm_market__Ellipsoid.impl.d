@@ -1,0 +1,1 @@
+lib/core/ellipsoid.ml: Array Buffer Dm_linalg Float Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/ellipsoid.mli: Dm_linalg Format

@@ -1,0 +1,1 @@
+lib/core/mechanism.ml: Array Ellipsoid Float Printf Scanf String

@@ -1,0 +1,1 @@
+lib/core/model.ml: Dm_linalg Dm_ml Fun

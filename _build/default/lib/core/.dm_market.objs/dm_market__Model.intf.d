@@ -1,0 +1,1 @@
+lib/core/model.mli: Dm_linalg Dm_ml

@@ -1,0 +1,1 @@
+lib/core/regret.ml: Dm_linalg

@@ -1,0 +1,1 @@
+lib/core/regret.mli: Dm_linalg

@@ -1,0 +1,1 @@
+lib/core/sgd_pricing.ml: Array Broker Dm_linalg Float

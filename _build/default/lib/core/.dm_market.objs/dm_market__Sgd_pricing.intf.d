@@ -1,0 +1,1 @@
+lib/core/sgd_pricing.mli: Broker Dm_linalg

@@ -1,0 +1,60 @@
+module Vec = Dm_linalg.Vec
+
+type outcome = {
+  result : Broker.result;
+  exploratory_second_half : int;
+  width_e2_at_switch : float;
+}
+
+let run ?(epsilon = 1e-3) ?(radius = 1.) ~allow_conservative_cuts ~dim ~rounds
+    () =
+  if dim < 2 then invalid_arg "Adversary.run: need dim >= 2";
+  if rounds < 2 then invalid_arg "Adversary.run: need at least two rounds";
+  (* Hidden weights: only the attacked coordinates matter; kept well
+     inside the radius-R ball.  θ₁ = 0 keeps the first-half bisection
+     target at the origin so the adversary's reserve (the broker's own
+     middle price) never saturates against the shrinking width in
+     floating point — cuts continue for the whole first half, as the
+     exact-arithmetic Lemma 8 argument assumes. *)
+  let theta = Vec.zeros dim in
+  theta.(1) <- 0.4 *. radius;
+  let model = Model.linear ~theta in
+  let cfg =
+    Mechanism.config ~allow_conservative_cuts
+      ~variant:Mechanism.with_reserve ~epsilon ()
+  in
+  let mech = Mechanism.create cfg (Ellipsoid.ball ~dim ~radius) in
+  let e1 = Vec.basis dim 0 in
+  let e2 = Vec.basis dim 1 in
+  let half = rounds / 2 in
+  let width_at_switch = ref nan in
+  let exploratory_at_switch = ref 0 in
+  (* The adversary is adaptive: the first-half reserve tracks the
+     broker's own current middle price along e₁, pinning every posted
+     price to a central cut position (Lemma 8's construction). *)
+  let workload t =
+    if t < half then begin
+      let b = Ellipsoid.bounds (Mechanism.ellipsoid mech) ~x:e1 in
+      (e1, b.Ellipsoid.mid)
+    end
+    else begin
+      if t = half then begin
+        width_at_switch := Ellipsoid.width (Mechanism.ellipsoid mech) ~x:e2;
+        exploratory_at_switch := Mechanism.exploratory_rounds mech
+      end;
+      (e2, 0.)
+    end
+  in
+  let result =
+    Broker.run
+      ~policy:(Broker.Ellipsoid_pricing mech)
+      ~model
+      ~noise:(fun _ -> 0.)
+      ~workload ~rounds ()
+  in
+  {
+    result;
+    exploratory_second_half =
+      Mechanism.exploratory_rounds mech - !exploratory_at_switch;
+    width_e2_at_switch = !width_at_switch;
+  }

@@ -1,0 +1,34 @@
+(** The Lemma-8 adversary: why conservative prices must not cut.
+
+    The adversary sends queries along the first coordinate for the
+    first half of the horizon with the reserve price pinned to the
+    current middle price, then switches to the second coordinate with
+    no reserve.  If the broker (wrongly) refines the ellipsoid on
+    conservative feedback, the first half keeps halving the width
+    along e₁ while every other axis *expands* by n/√(n²−1) per cut;
+    by mid-horizon the width along e₂ is exponentially large and the
+    second half needs Ω(T) exploratory rounds — Ω(T) worst-case
+    regret.  With the guard in place (Line 24 / 28 of the
+    algorithms), the same sequence costs only O(log) exploratory
+    rounds. *)
+
+type outcome = {
+  result : Broker.result;
+  exploratory_second_half : int;
+      (** exploratory rounds spent after the coordinate switch *)
+  width_e2_at_switch : float;
+      (** the ellipsoid's width along e₂ when the adversary switches *)
+}
+
+val run :
+  ?epsilon:float ->
+  ?radius:float ->
+  allow_conservative_cuts:bool ->
+  dim:int ->
+  rounds:int ->
+  unit ->
+  outcome
+(** Play the adversarial sequence against Algorithm 1 (with reserve,
+    no uncertainty) for [rounds] rounds in dimension [dim ≥ 2].
+    Defaults: [radius = 1] (the Lemma-8 normalization R = S = 1) and
+    [epsilon = 1e-3]. *)

@@ -1,0 +1,170 @@
+module Vec = Dm_linalg.Vec
+module Mat = Dm_linalg.Mat
+module Chol = Dm_linalg.Chol
+module Eigen = Dm_linalg.Eigen
+
+type t = { dim : int; center : Vec.t; shape : Mat.t }
+
+let make ~center ~shape =
+  let n = Vec.dim center in
+  let r, c = Mat.dims shape in
+  if r <> n || c <> n then invalid_arg "Ellipsoid.make: dimension mismatch";
+  if n < 1 then invalid_arg "Ellipsoid.make: empty dimension";
+  if not (Mat.is_symmetric ~tol:(1e-6 *. (1. +. Mat.max_abs shape)) shape) then
+    invalid_arg "Ellipsoid.make: shape not symmetric";
+  let ok_diag = ref true in
+  for i = 0 to n - 1 do
+    if Mat.get shape i i <= 0. then ok_diag := false
+  done;
+  if not !ok_diag then
+    invalid_arg "Ellipsoid.make: shape has a non-positive diagonal";
+  { dim = n; center; shape }
+
+let ball ~dim ~radius =
+  if radius <= 0. then invalid_arg "Ellipsoid.ball: radius must be positive";
+  make ~center:(Vec.zeros dim) ~shape:(Mat.scaled_identity dim (radius *. radius))
+
+let of_box ~lo ~hi =
+  let n = Vec.dim lo in
+  if Vec.dim hi <> n then invalid_arg "Ellipsoid.of_box: dimension mismatch";
+  let r2 = ref 0. in
+  for i = 0 to n - 1 do
+    if lo.(i) > hi.(i) then invalid_arg "Ellipsoid.of_box: empty box";
+    r2 := !r2 +. Float.max (lo.(i) *. lo.(i)) (hi.(i) *. hi.(i))
+  done;
+  if !r2 <= 0. then invalid_arg "Ellipsoid.of_box: degenerate box";
+  ball ~dim:n ~radius:(sqrt !r2)
+
+let dim t = t.dim
+
+type bounds = { lower : float; upper : float; mid : float; half_width : float }
+
+let bounds t ~x =
+  if Vec.dim x <> t.dim then invalid_arg "Ellipsoid.bounds: dimension mismatch";
+  let q = Mat.quad t.shape x in
+  let half_width = if q <= 0. then 0. else sqrt q in
+  let mid = Vec.dot x t.center in
+  { lower = mid -. half_width; upper = mid +. half_width; mid; half_width }
+
+let width t ~x = 2. *. (bounds t ~x).half_width
+
+let contains ?(slack = 1e-9) t point =
+  if Vec.dim point <> t.dim then
+    invalid_arg "Ellipsoid.contains: dimension mismatch";
+  let d = Vec.sub point t.center in
+  match Chol.solve t.shape d with
+  | y -> Vec.dot d y <= 1. +. slack
+  | exception Chol.Not_positive_definite _ -> false
+
+type cut_result = Cut of t | Too_shallow | Empty
+
+(* Deep/central/shallow cut keeping {θ | xᵀθ ≤ price}, following
+   Grötschel–Lovász–Schrijver (the paper's Lines 14–21).  Valid for
+   α ∈ (−1/n, 1); α ≤ −1/n cannot shrink the ellipsoid and α ≥ 1
+   leaves (at most) a single point. *)
+let cut_below t ~x ~price =
+  let { mid; half_width; _ } = bounds t ~x in
+  if half_width <= 0. then Too_shallow
+  else begin
+    let n = float_of_int t.dim in
+    let alpha = (mid -. price) /. half_width in
+    if alpha >= 1. then Empty
+    else if alpha <= -1. /. n then Too_shallow
+    else begin
+      (* b = A·x / √(xᵀAx) *)
+      let b = Vec.scale (1. /. half_width) (Mat.matvec t.shape x) in
+      let center = Vec.copy t.center in
+      Vec.axpy (-.(1. +. (n *. alpha)) /. (n +. 1.)) b center;
+      let shape =
+        if t.dim = 1 then begin
+          (* Interval arithmetic: the kept interval has half-width
+             r·(1−α)/2, so A scales by ((1−α)/2)². *)
+          let f = (1. -. alpha) /. 2. in
+          Mat.scale (f *. f) t.shape
+        end
+        else begin
+          let shape = Mat.copy t.shape in
+          let beta =
+            2. *. (1. +. (n *. alpha)) /. ((n +. 1.) *. (1. +. alpha))
+          in
+          Mat.rank_one_update shape (-.beta) b;
+          let factor = n *. n *. (1. -. (alpha *. alpha)) /. ((n *. n) -. 1.) in
+          Mat.scale_inplace factor shape;
+          (* The update is symmetric in exact arithmetic; re-symmetrize
+             to keep floating-point drift from accumulating over 10⁵
+             cuts. *)
+          Mat.symmetrize_inplace shape;
+          shape
+        end
+      in
+      Cut { t with center; shape }
+    end
+  end
+
+let cut_above t ~x ~price = cut_below t ~x:(Vec.neg x) ~price:(-.price)
+
+let apply t = function Cut t' -> t' | Too_shallow | Empty -> t
+
+let alpha t ~x ~price =
+  let { mid; half_width; _ } = bounds t ~x in
+  if half_width <= 0. then invalid_arg "Ellipsoid.alpha: degenerate direction";
+  (mid -. price) /. half_width
+
+let log_volume_factor t = 0.5 *. Chol.log_det t.shape
+
+let axis_widths t =
+  Vec.map (fun l -> sqrt (Float.max 0. l)) (Eigen.eigenvalues t.shape)
+
+let serialize t =
+  let buf = Buffer.create (64 + (t.dim * (t.dim + 1) * 24)) in
+  Buffer.add_string buf "ellipsoid/1\n";
+  Buffer.add_string buf (string_of_int t.dim);
+  Buffer.add_char buf '\n';
+  let add_float x =
+    (* %h prints an exact hexadecimal literal that float_of_string
+       parses back bit-for-bit. *)
+    Buffer.add_string buf (Printf.sprintf "%h " x)
+  in
+  Array.iter add_float t.center;
+  Buffer.add_char buf '\n';
+  Array.iter add_float (Mat.to_arrays t.shape |> Array.to_list |> Array.concat);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let deserialize text =
+  let fail msg = Error msg in
+  match String.split_on_char '\n' text with
+  | header :: dim_line :: center_line :: shape_line :: _ -> (
+      if String.trim header <> "ellipsoid/1" then
+        fail "unknown header (want ellipsoid/1)"
+      else
+        match int_of_string_opt (String.trim dim_line) with
+        | None -> fail "malformed dimension"
+        | Some dim when dim < 1 -> fail "non-positive dimension"
+        | Some dim -> (
+            let floats line =
+              String.split_on_char ' ' (String.trim line)
+              |> List.filter (fun s -> s <> "")
+              |> List.map float_of_string_opt
+            in
+            let all_some l =
+              if List.for_all Option.is_some l then
+                Some (Array.of_list (List.map Option.get l))
+              else None
+            in
+            match (all_some (floats center_line), all_some (floats shape_line)) with
+            | None, _ | _, None -> fail "malformed float literal"
+            | Some center, Some flat ->
+                if Array.length center <> dim then fail "center length mismatch"
+                else if Array.length flat <> dim * dim then
+                  fail "shape length mismatch"
+                else
+                  let shape = Mat.init dim dim (fun i j -> flat.((i * dim) + j)) in
+                  (match make ~center ~shape with
+                  | e -> Ok e
+                  | exception Invalid_argument msg -> fail msg)))
+  | _ -> fail "truncated snapshot"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>ellipsoid dim=%d@,center=%a@,shape=@,%a@]" t.dim
+    Vec.pp t.center Mat.pp t.shape

@@ -1,0 +1,106 @@
+(** Ellipsoidal knowledge sets with Löwner–John cut updates.
+
+    The data broker's knowledge about the hidden weight vector θ* is
+    an ellipsoid [E = {θ | (θ−c)ᵀA⁻¹(θ−c) ≤ 1}] (Definition 1 of the
+    paper).  Each round's feedback adds the halfspace
+    [{θ | xᵀθ ≤ p}] (rejection) or [{θ | xᵀθ ≥ p}] (acceptance), and
+    the knowledge set is replaced by the minimum-volume (Löwner–John)
+    ellipsoid of the truncated body, using the deep/central/shallow
+    cut formulas of Grötschel–Lovász–Schrijver.
+
+    The cut position is the signed parameter
+    [α = (xᵀc − p) / √(xᵀAx)] measured in the ‖·‖_{A⁻¹} norm:
+    α = 0 is a central cut, α ∈ (0, 1) a deep cut (less than half
+    kept), α ∈ (−1/n, 0) a shallow cut, and for α ≤ −1/n the
+    Löwner–John ellipsoid of the truncation is the ellipsoid itself,
+    so the update is a no-op.
+
+    The general update is singular at n = 1, where the ellipsoid
+    degenerates to an interval; that case is handled by exact interval
+    arithmetic (Theorem 3's setting). *)
+
+type t = private {
+  dim : int;
+  center : Dm_linalg.Vec.t;
+  shape : Dm_linalg.Mat.t;  (** symmetric positive definite [A] *)
+}
+
+val make : center:Dm_linalg.Vec.t -> shape:Dm_linalg.Mat.t -> t
+(** Validates dimensions and symmetry (loose tolerance); positive
+    definiteness is the caller's responsibility (checked cheaply via
+    the diagonal). *)
+
+val ball : dim:int -> radius:float -> t
+(** The initial knowledge set of Algorithms 1–2:
+    [A₁ = R²·I, c₁ = 0].  Requires [radius > 0]. *)
+
+val of_box : lo:Dm_linalg.Vec.t -> hi:Dm_linalg.Vec.t -> t
+(** The paper's enclosing ball of the initial box
+    [K₁ = {θ | ℓᵢ ≤ θᵢ ≤ uᵢ}]: a ball of radius
+    [R = √(Σᵢ max(ℓᵢ², uᵢ²))] centred at the origin. *)
+
+val dim : t -> int
+
+type bounds = {
+  lower : float;  (** [p̲ = min_{θ∈E} xᵀθ = xᵀc − √(xᵀAx)] *)
+  upper : float;  (** [p̄ = max_{θ∈E} xᵀθ = xᵀc + √(xᵀAx)] *)
+  mid : float;  (** [xᵀc], the bisection price *)
+  half_width : float;  (** [√(xᵀAx)] *)
+}
+
+val bounds : t -> x:Dm_linalg.Vec.t -> bounds
+(** Market-value bounds along direction [x] — Lines 5–7 of
+    Algorithm 1.  Cost: one O(n²) quadratic form and one O(n) dot
+    product. *)
+
+val width : t -> x:Dm_linalg.Vec.t -> float
+(** [p̄ − p̲ = 2√(xᵀAx)], the quantity compared with the threshold ε. *)
+
+val contains : ?slack:float -> t -> Dm_linalg.Vec.t -> bool
+(** Whether a point lies in the ellipsoid, with multiplicative [slack]
+    (default 1e-9) on the quadratic form — the invariant that θ* is
+    never lost. *)
+
+type cut_result =
+  | Cut of t  (** Löwner–John ellipsoid of the kept region *)
+  | Too_shallow  (** α ≤ −1/n: no volume reduction is possible *)
+  | Empty  (** α ≥ 1: the kept region has empty interior *)
+
+val cut_below : t -> x:Dm_linalg.Vec.t -> price:float -> cut_result
+(** Keep [{θ | xᵀθ ≤ price}] — the rejection update (the buyer's
+    refusal proves the market value, hence [xᵀθ*], is below the
+    effective price). *)
+
+val cut_above : t -> x:Dm_linalg.Vec.t -> price:float -> cut_result
+(** Keep [{θ | xᵀθ ≥ price}] — the acceptance update.  Implemented by
+    reflecting [x ↦ −x, price ↦ −price] into {!cut_below}. *)
+
+val apply : t -> cut_result -> t
+(** The new knowledge set: the cut ellipsoid if one was produced, the
+    old one otherwise (both degenerate outcomes leave the set
+    unchanged, as Lines 18–19 / 24–25 of Algorithm 2 do). *)
+
+val alpha : t -> x:Dm_linalg.Vec.t -> price:float -> float
+(** The signed cut-position parameter of a below-cut at [price];
+    exposed for analysis and tests. *)
+
+val log_volume_factor : t -> float
+(** [log(V(E)/Vₙ) = ½·log det A] — the volume in log space up to the
+    unit-ball constant, computed by Cholesky in O(n³).  Only used by
+    the analysis experiments (Lemma 2/6 tracking), never on the
+    pricing hot path. *)
+
+val axis_widths : t -> Dm_linalg.Vec.t
+(** The semi-axis widths [√γᵢ(A)] in decreasing order (Jacobi
+    eigendecomposition; analysis only). *)
+
+val serialize : t -> string
+(** Text snapshot (hexadecimal float literals, so the round-trip is
+    exact bit-for-bit).  Stable format, versioned header. *)
+
+val deserialize : string -> (t, string) result
+(** Inverse of {!serialize}; [Error] describes the first problem
+    found (bad header, wrong counts, malformed numbers, asymmetric or
+    non-positive shape). *)
+
+val pp : Format.formatter -> t -> unit

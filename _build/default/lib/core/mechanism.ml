@@ -1,0 +1,166 @@
+type variant = { use_reserve : bool; delta : float }
+
+let check_delta delta =
+  if delta < 0. then invalid_arg "Mechanism: negative uncertainty buffer"
+
+let pure = { use_reserve = false; delta = 0. }
+
+let with_reserve = { use_reserve = true; delta = 0. }
+
+let with_uncertainty ~delta =
+  check_delta delta;
+  { use_reserve = false; delta }
+
+let with_reserve_and_uncertainty ~delta =
+  check_delta delta;
+  { use_reserve = true; delta }
+
+let variant_name = function
+  | { use_reserve = false; delta = 0. } -> "pure version"
+  | { use_reserve = false; _ } -> "with uncertainty"
+  | { use_reserve = true; delta = 0. } -> "with reserve price"
+  | { use_reserve = true; _ } -> "with reserve price and uncertainty"
+
+type config = {
+  variant : variant;
+  epsilon : float;
+  allow_conservative_cuts : bool;
+}
+
+let config ?(allow_conservative_cuts = false) ~variant ~epsilon () =
+  if epsilon <= 0. then invalid_arg "Mechanism.config: epsilon must be positive";
+  check_delta variant.delta;
+  { variant; epsilon; allow_conservative_cuts }
+
+type t = {
+  cfg : config;
+  mutable ell : Ellipsoid.t;
+  mutable exploratory : int;
+  mutable conservative : int;
+  mutable skipped : int;
+}
+
+let create cfg ell =
+  { cfg; ell; exploratory = 0; conservative = 0; skipped = 0 }
+
+let ellipsoid t = t.ell
+
+let config_of t = t.cfg
+
+type kind = Exploratory | Conservative
+
+type decision =
+  | Skip
+  | Post of { price : float; kind : kind; lower : float; upper : float }
+
+let check_finite_vec name x =
+  if not (Array.for_all Float.is_finite x) then
+    invalid_arg (name ^ ": non-finite feature vector")
+
+let decide t ~x ~reserve =
+  check_finite_vec "Mechanism.decide" x;
+  let { variant = { use_reserve; delta }; epsilon; _ } = t.cfg in
+  (* A NaN reserve would silently disable both the skip test and the
+     price floor; −∞ (no reserve) and +∞ (unsellable) are fine. *)
+  if use_reserve && Float.is_nan reserve then
+    invalid_arg "Mechanism.decide: NaN reserve";
+  let q = if use_reserve then reserve else neg_infinity in
+  let { Ellipsoid.lower; upper; mid; half_width } = Ellipsoid.bounds t.ell ~x in
+  if use_reserve && q >= upper +. delta then Skip
+  else if 2. *. half_width > epsilon then
+    Post { price = Float.max q mid; kind = Exploratory; lower; upper }
+  else
+    Post { price = Float.max q (lower -. delta); kind = Conservative; lower; upper }
+
+let observe t ~x decision ~accepted =
+  let { variant = { delta; _ }; allow_conservative_cuts; _ } = t.cfg in
+  match decision with
+  | Skip -> t.skipped <- t.skipped + 1
+  | Post { price; kind; _ } ->
+      let cuts =
+        match kind with
+        | Exploratory ->
+            t.exploratory <- t.exploratory + 1;
+            true
+        | Conservative ->
+            t.conservative <- t.conservative + 1;
+            allow_conservative_cuts
+      in
+      if cuts then
+        let result =
+          if accepted then
+            (* p ≤ v = φ(x)ᵀθ* + δ_t  ⇒  φ(x)ᵀθ* ≥ p − δ *)
+            Ellipsoid.cut_above t.ell ~x ~price:(price -. delta)
+          else
+            (* p > v  ⇒  φ(x)ᵀθ* ≤ p + δ *)
+            Ellipsoid.cut_below t.ell ~x ~price:(price +. delta)
+        in
+        t.ell <- Ellipsoid.apply t.ell result
+
+let step t ~x ~reserve ~market_index =
+  let decision = decide t ~x ~reserve in
+  let accepted =
+    match decision with
+    | Skip -> false
+    | Post { price; _ } -> price <= market_index
+  in
+  observe t ~x decision ~accepted;
+  (decision, accepted)
+
+let exploratory_rounds t = t.exploratory
+
+let conservative_rounds t = t.conservative
+
+let skipped_rounds t = t.skipped
+
+let snapshot t =
+  Printf.sprintf "mechanism/1\n%b %h %b %h %d %d %d\n%s"
+    t.cfg.variant.use_reserve t.cfg.variant.delta
+    t.cfg.allow_conservative_cuts t.cfg.epsilon t.exploratory t.conservative
+    t.skipped (Ellipsoid.serialize t.ell)
+
+let restore text =
+  match String.index_opt text '\n' with
+  | None -> Error "truncated snapshot"
+  | Some i -> (
+      if String.sub text 0 i <> "mechanism/1" then
+        Error "unknown header (want mechanism/1)"
+      else
+        let rest = String.sub text (i + 1) (String.length text - i - 1) in
+        match String.index_opt rest '\n' with
+        | None -> Error "truncated snapshot"
+        | Some j -> (
+            let state_line = String.sub rest 0 j in
+            let ell_text = String.sub rest (j + 1) (String.length rest - j - 1) in
+            match
+              Scanf.sscanf state_line "%B %h %B %h %d %d %d"
+                (fun use_reserve delta allow epsilon e c s ->
+                  (use_reserve, delta, allow, epsilon, e, c, s))
+            with
+            | exception Scanf.Scan_failure msg -> Error ("bad state line: " ^ msg)
+            | exception Failure msg -> Error ("bad state line: " ^ msg)
+            | use_reserve, delta, allow, epsilon, e, c, s -> (
+                match Ellipsoid.deserialize ell_text with
+                | Error msg -> Error msg
+                | Ok ell -> (
+                    match
+                      config ~allow_conservative_cuts:allow
+                        ~variant:{ use_reserve; delta } ~epsilon ()
+                    with
+                    | exception Invalid_argument msg -> Error msg
+                    | cfg ->
+                        Ok
+                          {
+                            cfg;
+                            ell;
+                            exploratory = e;
+                            conservative = c;
+                            skipped = s;
+                          }))))
+
+let te_upper_bound ~radius ~feature_bound ~dim ~epsilon =
+  if radius <= 0. || feature_bound <= 0. || dim < 1 || epsilon <= 0. then
+    invalid_arg "Mechanism.te_upper_bound: invalid parameters";
+  let n = float_of_int dim in
+  20. *. n *. n
+  *. log (20. *. radius *. feature_bound *. feature_bound *. (n +. 1.) /. epsilon)

@@ -1,0 +1,116 @@
+(** The ellipsoid-based posted-price mechanisms (Algorithms 1, 1°, 2, 2°
+    — the paper writes 1* and 2* for the reserve-free variants).
+
+    One implementation covers the paper's four variants, selected by a
+    {!variant} value:
+
+    - [pure]                          — Algorithm 1* ("the pure version")
+    - [with_reserve]                  — Algorithm 1  ("with reserve price")
+    - [with_uncertainty δ]            — Algorithm 2* ("with uncertainty")
+    - [with_reserve_and_uncertainty δ]— Algorithm 2  ("with reserve price
+                                        and uncertainty")
+
+    All prices here live in *index space* (the scalar [φ(x)ᵀθ]); the
+    {!Broker} maps them through the model link.  Per round the
+    mechanism
+
+    + computes the market-value bounds [p̲, p̄] from the ellipsoid
+      (Lines 5–7);
+    + skips the round when the reserve exceeds every possible market
+      value, [q ≥ p̄ + δ] (Lines 8–10) — a certain no-deal;
+    + posts the exploratory price [max(q, (p̲+p̄)/2)] when the width
+      [p̄ − p̲] exceeds the threshold ε, otherwise the conservative
+      price [max(q, p̲ − δ)] (Lines 12–13 / 26–27);
+    + on exploratory feedback, cuts the ellipsoid at the *effective*
+      price [p+δ] (rejection, keep below) or [p−δ] (acceptance, keep
+      above), with the α-range guards of Lines 16 / 22.  Conservative
+      prices never cut (Line 28) — allowing them to do so admits the
+      Lemma-8 adversary with Ω(T) regret, which the
+      [allow_conservative_cuts] switch exists to demonstrate.
+
+    The per-round cost is two mat-vecs and a rank-one update, O(n²)
+    time, and the state is one n×n matrix plus one n-vector, O(n²)
+    space (Section III-C1). *)
+
+type variant = { use_reserve : bool; delta : float }
+
+val pure : variant
+
+val with_reserve : variant
+
+val with_uncertainty : delta:float -> variant
+(** Requires [delta ≥ 0]. *)
+
+val with_reserve_and_uncertainty : delta:float -> variant
+
+val variant_name : variant -> string
+(** The evaluation-section names: "pure version", "with reserve
+    price", … *)
+
+type config = {
+  variant : variant;
+  epsilon : float;  (** exploration threshold ε > 0 *)
+  allow_conservative_cuts : bool;
+      (** Lemma-8 footgun; [false] in every paper variant *)
+}
+
+val config :
+  ?allow_conservative_cuts:bool -> variant:variant -> epsilon:float -> unit -> config
+
+type t
+(** Mutable mechanism state: the current ellipsoid plus round
+    counters. *)
+
+val create : config -> Ellipsoid.t -> t
+
+val ellipsoid : t -> Ellipsoid.t
+
+val config_of : t -> config
+
+type kind = Exploratory | Conservative
+
+type decision =
+  | Skip  (** certain no-deal: reserve ≥ p̄ + δ; nothing is posted *)
+  | Post of {
+      price : float;  (** index-space posted price *)
+      kind : kind;
+      lower : float;  (** p̲ at decision time *)
+      upper : float;  (** p̄ at decision time *)
+    }
+
+val decide : t -> x:Dm_linalg.Vec.t -> reserve:float -> decision
+(** Price the query with (index-space) feature vector [x] and reserve
+    [reserve].  Ignores [reserve] in the no-reserve variants (pass
+    [neg_infinity] or anything else).  Does not mutate state.  Raises
+    [Invalid_argument] on non-finite features or a NaN reserve —
+    either would silently poison the knowledge set. *)
+
+val observe : t -> x:Dm_linalg.Vec.t -> decision -> accepted:bool -> unit
+(** Incorporate the buyer's response to a {!decide} outcome.  [Skip]
+    decisions and conservative posts leave the ellipsoid unchanged
+    (unless [allow_conservative_cuts]). *)
+
+val step : t -> x:Dm_linalg.Vec.t -> reserve:float -> market_index:float -> decision * bool
+(** Convenience: decide, resolve acceptance ([price ≤ market_index]),
+    observe, and return the decision with the acceptance flag. *)
+
+val exploratory_rounds : t -> int
+(** How many exploratory prices were posted so far — the Tₑ of
+    Lemma 6/7, bounded by [20n²·log(20RS²(n+1)/ε)]. *)
+
+val conservative_rounds : t -> int
+
+val skipped_rounds : t -> int
+
+val te_upper_bound : radius:float -> feature_bound:float -> dim:int -> epsilon:float -> float
+(** The Lemma 6/7 bound [20n²·log(20·R·S²·(n+1)/ε)] on exploratory
+    rounds. *)
+
+val snapshot : t -> string
+(** Text snapshot of the full mechanism state — configuration,
+    counters and knowledge set — exact across a round-trip, so a
+    broker process can restart mid-stream without losing what it
+    learned. *)
+
+val restore : string -> (t, string) result
+(** Inverse of {!snapshot}. *)

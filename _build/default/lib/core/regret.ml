@@ -1,0 +1,15 @@
+let posted ?reserve ~market_value ~price () =
+  match reserve with
+  | Some q when q > market_value -> 0.
+  | Some _ | None ->
+      if price <= market_value then market_value -. price else market_value
+
+let skipped ~reserve ~market_value =
+  if reserve > market_value then 0. else market_value
+
+let revenue ~market_value ~price = if price <= market_value then price else 0.
+
+let single_round_curve ~reserve ~market_value ~prices =
+  Dm_linalg.Vec.map
+    (fun p -> posted ~reserve ~market_value ~price:p ())
+    prices

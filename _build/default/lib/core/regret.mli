@@ -1,0 +1,37 @@
+(** Regret accounting (Eq. 1 and Eq. 7 of the paper).
+
+    All quantities are in value space (money).  With a reserve price
+    [q] the per-round regret is
+
+    {v
+      R_t = 0                      if q > v
+            v − p·1{p ≤ v}         otherwise           (Eq. 1)
+    v}
+
+    — when even the adversary could not have sold (the reserve exceeds
+    the market value), nobody loses anything.  Without a reserve the
+    regret is [R'_t = v − p·1{p ≤ v}] (Eq. 7).  Lemma 1 (the reserve
+    can only lower the single-round regret) holds by construction and
+    is property-tested. *)
+
+val posted : ?reserve:float -> market_value:float -> price:float -> unit -> float
+(** Regret of posting [price] against [market_value]; the sale happens
+    iff [price ≤ market_value].  Omitting [reserve] gives Eq. 7. *)
+
+val skipped : reserve:float -> market_value:float -> float
+(** Regret of a certain-no-deal skip (Lines 8–10): zero when the
+    reserve exceeds the market value, otherwise the full foregone
+    value (the adversary would have sold at [market_value]). *)
+
+val revenue : market_value:float -> price:float -> float
+(** The broker's revenue: [price] if the sale happens, else 0. *)
+
+val single_round_curve :
+  reserve:float ->
+  market_value:float ->
+  prices:Dm_linalg.Vec.t ->
+  Dm_linalg.Vec.t
+(** The Fig. 1 regret-vs-posted-price curve: Eq. 1 evaluated at each
+    candidate price (the piecewise, highly asymmetric shape — linearly
+    falling below the market value, jumping to the full value just
+    above it). *)

@@ -1,0 +1,1 @@
+lib/experiments/analysis.ml: Array Dm_linalg Dm_market Dm_ml Dm_prob Float List Printf Table

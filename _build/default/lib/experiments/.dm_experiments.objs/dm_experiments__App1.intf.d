@@ -1,0 +1,1 @@
+lib/experiments/app1.mli: Format

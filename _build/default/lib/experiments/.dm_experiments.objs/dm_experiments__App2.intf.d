@@ -1,0 +1,1 @@
+lib/experiments/app2.mli: Format

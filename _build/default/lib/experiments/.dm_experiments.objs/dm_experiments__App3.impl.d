@@ -1,0 +1,1 @@
+lib/experiments/app3.ml: App1 Array Dm_apps Dm_market Format List Printf Table

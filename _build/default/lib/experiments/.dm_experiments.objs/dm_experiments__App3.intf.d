@@ -1,0 +1,1 @@
+lib/experiments/app3.mli: Format

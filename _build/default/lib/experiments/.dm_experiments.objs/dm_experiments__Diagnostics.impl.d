@@ -1,0 +1,1 @@
+lib/experiments/diagnostics.ml: Array Dm_apps Dm_linalg Dm_ml List Printf Table

@@ -1,0 +1,1 @@
+lib/experiments/diagnostics.mli: Dm_linalg Format

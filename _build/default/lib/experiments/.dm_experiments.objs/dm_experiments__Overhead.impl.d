@@ -1,0 +1,1 @@
+lib/experiments/overhead.ml: Array Dm_apps Dm_linalg Dm_market Gc List Printf Sys Table Unix

@@ -1,0 +1,1 @@
+lib/experiments/table.ml: Array Buffer Float Format List Printf String

@@ -1,0 +1,311 @@
+module Vec = Dm_linalg.Vec
+module Mat = Dm_linalg.Mat
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+module Dp = Dm_privacy.Dp
+module Comp = Dm_privacy.Compensation
+module Movielens = Dm_synth.Movielens
+module Linear_query = Dm_synth.Linear_query
+module Linreg = Dm_ml.Linreg
+module Pca = Dm_ml.Pca
+module Broker = Dm_market.Broker
+module Mechanism = Dm_market.Mechanism
+module Ellipsoid = Dm_market.Ellipsoid
+module Model = Dm_market.Model
+module Feature = Dm_market.Feature
+module Noisy_query = Dm_apps.Noisy_query
+
+let custom_run setup variant ~epsilon =
+  let mech =
+    Mechanism.create
+      (Mechanism.config ~variant ~epsilon ())
+      (Ellipsoid.ball ~dim:setup.Noisy_query.dim ~radius:setup.Noisy_query.radius)
+  in
+  Broker.run
+    ~policy:(Broker.Ellipsoid_pricing mech)
+    ~model:setup.Noisy_query.model
+    ~noise:(Noisy_query.noise setup)
+    ~workload:(Noisy_query.workload setup)
+    ~rounds:setup.Noisy_query.rounds ()
+
+let epsilon_sweep ?(seed = 42) ?(rounds = 10_000) ppf =
+  let dim = 20 in
+  let setup = Noisy_query.make ~seed ~dim ~rounds () in
+  let base = setup.Noisy_query.epsilon in
+  let rows =
+    List.map
+      (fun factor ->
+        let epsilon = base *. factor in
+        let r = custom_run setup Mechanism.with_reserve ~epsilon in
+        [
+          Printf.sprintf "%.4f (%gx n²/T)" epsilon factor;
+          Table.fmt_pct r.Broker.regret_ratio;
+          string_of_int r.Broker.exploratory;
+        ])
+      [ 0.1; 0.5; 1.; 5.; 25.; 125. ]
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation: exploration threshold ε (n = %d, T = %d, version with \
+          reserve)"
+         dim rounds)
+    ~header:[ "epsilon"; "regret ratio"; "exploratory rounds" ]
+    rows
+
+let delta_sweep ?(seed = 42) ?(rounds = 10_000) ppf =
+  let dim = 20 in
+  let setup = Noisy_query.make ~seed ~dim ~rounds () in
+  let rows =
+    List.map
+      (fun delta ->
+        let variant = Mechanism.with_reserve_and_uncertainty ~delta in
+        (* The same floor rule the application layer uses. *)
+        let epsilon =
+          Float.max setup.Noisy_query.epsilon (2.5 *. float_of_int dim *. delta)
+        in
+        let r = custom_run setup variant ~epsilon in
+        [
+          Printf.sprintf "%.3f" delta;
+          Printf.sprintf "%.4f" epsilon;
+          Table.fmt_pct r.Broker.regret_ratio;
+          string_of_int r.Broker.exploratory;
+        ])
+      [ 0.; 0.005; 0.01; 0.05; 0.1 ]
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation: uncertainty buffer δ at fixed noise (n = %d, T = %d, \
+          reserve+uncertainty; ε floored at 2.5nδ)"
+         dim rounds)
+    ~header:[ "delta"; "epsilon"; "regret ratio"; "exploratory rounds" ]
+    rows
+
+let feature_pipeline ?(seed = 42) ?(rounds = 10_000) ppf =
+  let owners = 200 and dim = 20 and warmup = 500 in
+  let root = Rng.create seed in
+  let corpus = Movielens.generate (Rng.split root) ~owners in
+  let contracts = Movielens.contracts corpus in
+  let data_ranges = Movielens.data_ranges corpus in
+  let query_rng = Rng.split root in
+  let w_rng = Rng.split root in
+  (* Ground-truth value on the RAW compensation vector (cost-plus with
+     a heterogeneous markup), so neither pipeline's features represent
+     it exactly — the comparison includes each representation's
+     misspecification. *)
+  let w_star =
+    Vec.init owners (fun _ ->
+        1. +. (0.4 *. abs_float (Dist.normal w_rng ~mean:0. ~std:1.)))
+  in
+  let draw_compensations () =
+    let query = Linear_query.draw query_rng ~dist:Linear_query.Mixed ~owners in
+    Comp.per_owner ~contracts ~leakages:(Dp.leakage query ~data_ranges)
+  in
+  let comps = Array.init (warmup + rounds) (fun _ -> draw_compensations ()) in
+  let values = Array.map (fun c -> Vec.dot w_star c) comps in
+  let reserves = Array.map Vec.sum comps in
+  (* Pipeline A: the paper's sorted-partition aggregation (raw money
+     scale, no normalization — both pipelines share units). *)
+  let encode_agg c = Feature.aggregate ~dim c in
+  (* Pipeline B: PCA over a warm-up prefix; features are a bias plus
+     the top dim−1 principal coordinates. *)
+  let warm_matrix =
+    let m = Mat.zeros warmup owners in
+    for i = 0 to warmup - 1 do
+      for j = 0 to owners - 1 do
+        Mat.set m i j comps.(i).(j)
+      done
+    done;
+    m
+  in
+  let pca = Pca.fit ~components:(dim - 1) warm_matrix in
+  let encode_pca c = Vec.concat [| 1. |] (Pca.transform pca c) in
+  let run name encode =
+    (* Decompose the true value as (OLS fit on the warm-up) + residual
+       so the broker faces v exactly; the residual rides through the
+       per-round noise channel and the fitted residual scale sets the
+       uncertainty buffer. *)
+    let xs = Array.map encode comps in
+    let warm_x =
+      Mat.init warmup dim (fun i j -> xs.(i).(j))
+    in
+    let warm_y = Array.sub values 0 warmup in
+    let fitted = Linreg.fit ~intercept:false warm_x warm_y in
+    let theta = fitted.Linreg.weights in
+    let residual_std = sqrt (Linreg.mse fitted warm_x warm_y) in
+    let delta = 3. *. residual_std in
+    let vbar = Dm_prob.Stats.mean warm_y in
+    let epsilon =
+      Float.max
+        (vbar *. float_of_int (dim * dim) /. float_of_int rounds)
+        (2.5 *. float_of_int dim *. delta)
+    in
+    let radius = 1.5 *. Float.max 1. (Vec.norm2 theta) in
+    let model = Model.linear ~theta in
+    let mech =
+      Mechanism.create
+        (Mechanism.config
+           ~variant:(Mechanism.with_reserve_and_uncertainty ~delta)
+           ~epsilon ())
+        (Ellipsoid.ball ~dim ~radius)
+    in
+    let workload t = (xs.(warmup + t), reserves.(warmup + t)) in
+    let noise t =
+      values.(warmup + t) -. Vec.dot xs.(warmup + t) theta
+    in
+    let r =
+      Broker.run
+        ~policy:(Broker.Ellipsoid_pricing mech)
+        ~model ~noise ~workload ~rounds ()
+    in
+    [
+      name;
+      Printf.sprintf "%.3f" residual_std;
+      Table.fmt_pct r.Broker.regret_ratio;
+      string_of_int r.Broker.exploratory;
+      string_of_int r.Broker.accepted_rounds;
+    ]
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation: Sec. II-B feature pipelines at n = %d (%d owners, T = %d, \
+          reserve+uncertainty with δ = 3·residual)"
+         dim owners rounds)
+    ~header:
+      [ "pipeline"; "residual std"; "regret ratio"; "exploratory"; "sales" ]
+    [ run "sorted aggregation (paper)" encode_agg; run "PCA (bias + 19 pcs)" encode_pca ]
+
+let ctr_trainer ?(seed = 3) ppf =
+  let dim = 64 and train_rounds = 20_000 and rounds = 15_000 in
+  (* FTRL path: the App-3 pipeline as shipped. *)
+  let imp = Dm_apps.Impression.make ~train_rounds ~seed ~dim ~rounds () in
+  let ftrl_run =
+    Dm_apps.Impression.run imp Dm_apps.Impression.Dense Mechanism.pure
+  in
+  (* Batch-GD path: same stream family, dense logistic fit, priced over
+     the full (bias-augmented) coordinate set — no support to shrink
+     to. *)
+  let module Avazu = Dm_synth.Avazu in
+  let module Hashing = Dm_ml.Hashing in
+  let module Logreg = Dm_ml.Logreg in
+  let root = Rng.create seed in
+  let train_rng = Rng.split root in
+  let price_rng = Rng.split root in
+  let train = Avazu.generate train_rng ~rounds:train_rounds in
+  let dense imp_ = Hashing.to_dense ~dim (Avazu.encode ~dim imp_) in
+  let x_train =
+    Mat.init train_rounds dim (fun i j -> (dense train.(i)).(j))
+  in
+  let labels = Array.map (fun i -> i.Avazu.clicked) train in
+  let fitted =
+    Logreg.fit
+      ~params:{ Logreg.learning_rate = 0.5; l2 = 1e-4; iterations = 120 }
+      x_train labels
+  in
+  let batch_loss = Logreg.log_loss fitted x_train labels in
+  let theta_aug = Vec.concat fitted.Logreg.weights [| fitted.Logreg.bias |] in
+  let batch_model = Model.logistic ~theta:theta_aug in
+  let pricing = Avazu.generate price_rng ~rounds in
+  let stream =
+    Array.map (fun i -> Vec.concat (dense i) [| 1. |]) pricing
+  in
+  let mech =
+    Mechanism.create
+      (Mechanism.config ~variant:Mechanism.pure
+         ~epsilon:
+           (float_of_int ((dim + 1) * (dim + 1)) /. float_of_int rounds)
+         ())
+      (Ellipsoid.ball ~dim:(dim + 1)
+         ~radius:(1.2 *. Float.max 1. (Vec.norm2 theta_aug)))
+  in
+  let batch_run =
+    Broker.run
+      ~policy:(Broker.Ellipsoid_pricing mech)
+      ~model:batch_model
+      ~noise:(fun _ -> 0.)
+      ~workload:(fun t -> (stream.(t), 0.))
+      ~rounds ()
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation: CTR trainer for App 3 (n = %d, %d training rows, %d \
+          pricing rounds, dense case)"
+         dim train_rounds rounds)
+    ~header:
+      [ "trainer"; "log-loss"; "non-zeros"; "pricing dim"; "regret ratio";
+        "exploratory" ]
+    [
+      [
+        "FTRL-Proximal (paper)";
+        Printf.sprintf "%.3f" imp.Dm_apps.Impression.train_log_loss;
+        string_of_int imp.Dm_apps.Impression.theta_nonzeros;
+        string_of_int imp.Dm_apps.Impression.dense_dim;
+        Table.fmt_pct ftrl_run.Broker.regret_ratio;
+        string_of_int ftrl_run.Broker.exploratory;
+      ];
+      [
+        "batch GD (L2 only)";
+        Printf.sprintf "%.3f" batch_loss;
+        string_of_int (Logreg.nonzeros fitted);
+        string_of_int (dim + 1);
+        Table.fmt_pct batch_run.Broker.regret_ratio;
+        string_of_int batch_run.Broker.exploratory;
+      ];
+    ]
+
+let param_dist_sweep ?(seed = 42) ?(rounds = 10_000) ppf =
+  let dim = 20 in
+  let rows =
+    List.map
+      (fun (name, dist) ->
+        let setup = Noisy_query.make ~param_dist:dist ~seed ~dim ~rounds () in
+        let r = Noisy_query.run setup Mechanism.with_reserve in
+        [
+          name;
+          Table.fmt_pct r.Broker.regret_ratio;
+          string_of_int r.Broker.exploratory;
+          Table.fmt_pct
+            (float_of_int r.Broker.accepted_rounds /. float_of_int rounds);
+        ])
+      [
+        ("gaussian N(0, I)", Linear_query.Gaussian);
+        ("uniform [-1, 1]", Linear_query.Uniform);
+        ("mixed", Linear_query.Mixed);
+      ]
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation: query-parameter distribution (n = %d, T = %d, version \
+          with reserve) — the paper's adaptivity check"
+         dim rounds)
+    ~header:[ "parameter distribution"; "regret ratio"; "exploratory"; "sale rate" ]
+    rows
+
+let aggregation_sweep ?(seed = 42) ?(rounds = 10_000) ppf =
+  let rows =
+    List.map
+      (fun dim ->
+        let setup = Noisy_query.make ~owners:200 ~seed ~dim ~rounds () in
+        let r = Noisy_query.run setup Mechanism.with_reserve in
+        [
+          string_of_int dim;
+          Table.fmt_pct r.Broker.regret_ratio;
+          string_of_int r.Broker.exploratory;
+          Table.fmt_pct
+            (r.Broker.reserve_stats.Dm_prob.Stats.mean
+            /. r.Broker.market_value_stats.Dm_prob.Stats.mean);
+        ])
+      [ 1; 5; 20; 50 ]
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "Ablation: compensation-aggregation granularity (200 owners, T = %d, \
+          version with reserve)"
+         rounds)
+    ~header:[ "n (partitions)"; "regret ratio"; "exploratory"; "reserve/value" ]
+    rows

@@ -1,0 +1,41 @@
+(** Ablations beyond the paper's tables, probing the design choices
+    DESIGN.md calls out: the exploration threshold ε, the uncertainty
+    buffer δ (including the regime below the ε ≥ 4nδ precondition),
+    and the feature-aggregation granularity n of Sec. II-B. *)
+
+val epsilon_sweep : ?seed:int -> ?rounds:int -> Format.formatter -> unit
+(** Regret ratio of the reserve variant across a grid of thresholds ε
+    (n = 20): too small buys precision it cannot amortize, too large
+    leaves a permanent conservative gap. *)
+
+val delta_sweep : ?seed:int -> ?rounds:int -> Format.formatter -> unit
+(** Regret ratio of the reserve+uncertainty variant as the buffer δ
+    grows at fixed noise, with ε floored per the stall bound; shows
+    the cost of over-buffering. *)
+
+val aggregation_sweep : ?seed:int -> ?rounds:int -> Format.formatter -> unit
+(** Fixes a 200-owner market and varies the number of aggregation
+    partitions n ∈ {1, 5, 20, 50}: finer features model value better
+    but cost more exploration (the paper's granularity trade-off). *)
+
+val feature_pipeline : ?seed:int -> ?rounds:int -> Format.formatter -> unit
+(** Sec. II-B offers two dimensionality reductions for the raw
+    compensation vector: sorted-partition aggregation (what the paper
+    evaluates) and PCA.  This ablation prices the same market with
+    both pipelines at equal n and compares regret ratios.  The PCA
+    basis is fitted on a 500-round warm-up prefix of compensation
+    vectors (the broker can always collect quotes before trading). *)
+
+val ctr_trainer : ?seed:int -> Format.formatter -> unit
+(** Why the paper names FTRL-Proximal for App 3: fit the same click
+    stream with FTRL (L1-sparsifying) and with batch gradient-descent
+    logistic regression (L2 only) at n = 64.  Both reach the same
+    log-loss, but only FTRL's weight vector is sparse — the batch fit
+    leaves the Fig. 5(c) dense case without any dimension reduction,
+    and its exploration cost shows it. *)
+
+val param_dist_sweep : ?seed:int -> ?rounds:int -> Format.formatter -> unit
+(** The paper draws query parameters "from either a multivariate
+    normal ... or a uniform distribution" to validate adaptivity; this
+    sweep runs the reserve variant under Gaussian, Uniform and Mixed
+    parameter streams and shows the regret ratios agree. *)

@@ -1,0 +1,256 @@
+module Vec = Dm_linalg.Vec
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+module Ellipsoid = Dm_market.Ellipsoid
+module Mechanism = Dm_market.Mechanism
+module Model = Dm_market.Model
+module Broker = Dm_market.Broker
+module Regret = Dm_market.Regret
+module Adversary = Dm_market.Adversary
+
+let fig1 ppf =
+  let reserve = 2. and market_value = 6. in
+  let prices = Vec.init 13 (fun i -> float_of_int i *. 0.75) in
+  let curve = Regret.single_round_curve ~reserve ~market_value ~prices in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i p ->
+           [
+             Printf.sprintf "%.2f" p;
+             Printf.sprintf "%.2f" curve.(i);
+             (if p < market_value then "sold, underpriced"
+              else if p = market_value then "sold at value"
+              else "rejected");
+           ])
+         prices)
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "Fig. 1: single-round regret vs posted price (reserve %.1f, market \
+          value %.1f)"
+         reserve market_value)
+    ~header:[ "posted price"; "regret"; "outcome" ]
+    rows
+
+let lemma8 ?(dim = 2) ?(rounds = 2000) ppf =
+  let run allow = Adversary.run ~allow_conservative_cuts:allow ~dim ~rounds () in
+  let guarded = run false and exposed = run true in
+  let row name (o : Adversary.outcome) =
+    [
+      name;
+      Printf.sprintf "%.3g" o.Adversary.width_e2_at_switch;
+      string_of_int o.Adversary.exploratory_second_half;
+      Printf.sprintf "%.2f" o.Adversary.result.Broker.total_regret;
+    ]
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "Lemma 8 / Fig. 6 adversary (dim %d, %d rounds): conservative cuts \
+          let axis widths explode and force Ω(T) regret"
+         dim rounds)
+    ~header:
+      [ "variant"; "width along e2 at switch"; "2nd-half exploratory"; "regret" ]
+    [ row "guarded (paper)" guarded; row "conservative cuts allowed" exposed ]
+
+let theorem3 ?(seed = 17) ppf =
+  let rows =
+    List.map
+      (fun t ->
+        let rng = Rng.create seed in
+        let theta = [| Rng.uniform rng 0.5 1.5 |] in
+        let model = Model.linear ~theta in
+        let lt = log (float_of_int t) in
+        let mech =
+          Mechanism.create
+            (Mechanism.config ~variant:Mechanism.pure
+               ~epsilon:(lt /. log 2. /. float_of_int t)
+               ())
+            (Ellipsoid.ball ~dim:1 ~radius:2.)
+        in
+        let workload _ = ([| 1. |], 0.) in
+        let r =
+          Broker.run
+            ~policy:(Broker.Ellipsoid_pricing mech)
+            ~model
+            ~noise:(fun _ -> 0.)
+            ~workload ~rounds:t ()
+        in
+        [
+          string_of_int t;
+          Printf.sprintf "%.3f" r.Broker.total_regret;
+          Printf.sprintf "%.3f" (r.Broker.total_regret /. lt);
+        ])
+      [ 100; 1_000; 10_000; 100_000 ]
+  in
+  Table.print ppf
+    ~title:
+      "Theorem 3: 1-D pure version — cumulative regret grows like log T \
+       (regret / log T stays bounded)"
+    ~header:[ "T"; "cumulative regret"; "regret / log T" ]
+    rows
+
+let lemma45_check ?(dim = 6) ?(rounds = 3_000) ?(seed = 31) ppf =
+  let rng = Rng.create seed in
+  let radius = 2. in
+  let delta = 0.002 in
+  let epsilon = 4. *. float_of_int dim *. delta (* the lemmas' ε ≥ 4nδ *) in
+  let theta =
+    Vec.scale 1.2 (Vec.normalize (Vec.map abs_float (Dist.normal_vec rng ~dim)))
+  in
+  let mech =
+    Mechanism.create
+      (Mechanism.config
+         ~variant:(Mechanism.with_uncertainty ~delta)
+         ~epsilon ())
+      (Ellipsoid.ball ~dim ~radius)
+  in
+  let min_eig = ref infinity in
+  let max_single_drop = ref 1. in
+  let prev = ref (Dm_linalg.Eigen.smallest_eigenvalue
+                    (Mechanism.ellipsoid mech).Ellipsoid.shape) in
+  for _ = 1 to rounds do
+    let x = Vec.normalize (Dist.normal_vec rng ~dim) in
+    let v = Vec.dot x theta +. Dist.normal rng ~mean:0. ~std:(delta /. 3.) in
+    ignore (Mechanism.step mech ~x ~reserve:neg_infinity ~market_index:v);
+    let e = Dm_linalg.Eigen.smallest_eigenvalue
+              (Mechanism.ellipsoid mech).Ellipsoid.shape in
+    min_eig := Float.min !min_eig e;
+    if e < !prev then max_single_drop := Float.min !max_single_drop (e /. !prev);
+    prev := e
+  done;
+  let n = float_of_int dim in
+  let s = 1. (* ‖x‖ = 1 *) in
+  let tau = 1. /. (400. *. n *. n *. (s ** 4.)) in
+  let floor_bound = tau *. tau *. n *. n /. ((n +. 1.) ** 2.) in
+  (* Lemma 5 at the worst admissible α = −1/(2n). *)
+  let lemma5_floor =
+    n *. n *. ((1. -. (1. /. (2. *. n))) ** 2.) /. ((n +. 1.) ** 2.)
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "Lemmas 4-5 empirical check (Algorithm 2*, n = %d, %d rounds, ε = \
+          4nδ): smallest eigenvalue of the shape matrix"
+         dim rounds)
+    ~header:[ "quantity"; "observed"; "theoretical bound"; "holds" ]
+    [
+      [
+        "min over run";
+        Printf.sprintf "%.3e" !min_eig;
+        Printf.sprintf ">= %.3e (τ²n²/(n+1)²)" floor_bound;
+        (if !min_eig >= floor_bound then "yes" else "NO");
+      ];
+      [
+        "worst single-cut shrink factor";
+        Printf.sprintf "%.4f" !max_single_drop;
+        Printf.sprintf ">= %.4f (n²(1−α)²/(n+1)², α = −1/2n)" lemma5_floor;
+        (if !max_single_drop >= lemma5_floor -. 1e-9 then "yes" else "NO");
+      ];
+    ]
+
+let theorem2 ?(scale = 1.) ?(seed = 43) ppf =
+  let rounds = max 500 (int_of_float (scale *. 20_000.)) in
+  let dim = 8 in
+  let rng = Rng.create seed in
+  let positive_unit rng =
+    Vec.normalize (Vec.map abs_float (Dist.normal_vec rng ~dim))
+  in
+  let theta = Vec.scale 1.1 (positive_unit rng) in
+  let markets =
+    [
+      ("log-linear", Model.log_linear ~theta, `Plain);
+      ("log-log", Model.log_log ~theta, `Log_features);
+      ("logistic", Model.logistic ~theta:(Vec.scale (-1.5) theta), `Plain);
+      ( "kernelized",
+        (let landmarks = Array.init 6 (fun _ -> positive_unit rng) in
+         let map =
+           Dm_ml.Kernel.landmark_map (Dm_ml.Kernel.Rbf { gamma = 1. }) ~landmarks
+         in
+         Model.kernelized ~map
+           ~theta:
+             (Vec.scale 0.5
+                (Vec.normalize
+                   (Vec.map abs_float (Dist.normal_vec rng ~dim:6))))),
+        `Plain );
+    ]
+  in
+  let cps = [| rounds / 100; rounds / 10; rounds |] in
+  let rows =
+    List.map
+      (fun (name, model, feature_kind) ->
+        let index_dim = Model.index_dim model in
+        let mech =
+          Mechanism.create
+            (Mechanism.config ~variant:Mechanism.with_reserve
+               ~epsilon:
+                 (Float.max 0.01
+                    (float_of_int (index_dim * index_dim) /. float_of_int rounds))
+               ())
+            (Ellipsoid.ball ~dim:index_dim ~radius:2.)
+        in
+        let wl_rng = Rng.create (seed + 1) in
+        let workload _ =
+          let x =
+            match feature_kind with
+            | `Plain -> positive_unit wl_rng
+            | `Log_features ->
+                (* log-log needs strictly positive features away from 0. *)
+                Vec.map (fun v -> 0.5 +. v) (positive_unit wl_rng)
+          in
+          (x, 0.6 *. Model.value model x)
+        in
+        let r =
+          Broker.run ~checkpoints:cps
+            ~policy:(Broker.Ellipsoid_pricing mech)
+            ~model
+            ~noise:(fun _ -> 0.)
+            ~workload ~rounds ()
+        in
+        name
+        :: Array.to_list
+             (Array.map Table.fmt_pct r.Broker.series.Broker.regret_ratio))
+      markets
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "Theorem 2 in practice: the adapted mechanism on the four non-linear \
+          models (reserve at 60%% of value, T = %d)"
+         rounds)
+    ~header:
+      ("model"
+      :: Array.to_list (Array.map (Printf.sprintf "ratio at t=%d") cps))
+    rows
+
+let lemma2_check ?(samples = 2_000) ?(seed = 23) ppf =
+  let rng = Rng.create seed in
+  let worst = ref neg_infinity in
+  let tested = ref 0 in
+  while !tested < samples do
+    let n = 2 + Rng.int rng 7 in
+    let e = Ellipsoid.ball ~dim:n ~radius:Float.(max 0.5 (Rng.float rng *. 3.)) in
+    let x = Dist.normal_vec rng ~dim:n in
+    if Vec.norm2 x > 0.1 then begin
+      let { Ellipsoid.mid; half_width; _ } = Ellipsoid.bounds e ~x in
+      (* α uniform in the Lemma 2 range (−1/n, 0]. *)
+      let alpha = -.Rng.float rng /. float_of_int n in
+      let price = mid -. (alpha *. half_width) in
+      match Ellipsoid.cut_below e ~x ~price with
+      | Ellipsoid.Cut e' ->
+          incr tested;
+          let log_ratio =
+            Ellipsoid.log_volume_factor e' -. Ellipsoid.log_volume_factor e
+          in
+          let nf = float_of_int n in
+          let bound = -.(((1. +. (nf *. alpha)) ** 2.) /. (5. *. nf)) in
+          worst := Float.max !worst (log_ratio -. bound)
+      | Ellipsoid.Too_shallow | Ellipsoid.Empty -> ()
+    end
+  done;
+  Table.print ppf
+    ~title:"Lemma 2 empirical check: V(E')/V(E) ≤ exp(−(1+nα)²/5n)"
+    ~header:[ "cuts sampled"; "max log-ratio minus log-bound (≤ 0 ⇒ holds)" ]
+    [ [ string_of_int !tested; Printf.sprintf "%.6f" !worst ] ]

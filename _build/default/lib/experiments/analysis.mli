@@ -1,0 +1,39 @@
+(** Analytical reproductions: Fig. 1, the Lemma 8 / Fig. 6 adversary,
+    Theorem 3's 1-D log-regret, and an empirical check of the Lemma 2
+    volume-ratio bound. *)
+
+val fig1 : Format.formatter -> unit
+(** The single-round regret function against the posted price at a
+    fixed reserve and market value — the piecewise, asymmetric shape
+    of Fig. 1. *)
+
+val lemma8 : ?dim:int -> ?rounds:int -> Format.formatter -> unit
+(** Plays the adversarial sequence with and without the
+    conservative-cut guard (defaults: dim 2, 2,000 rounds — larger
+    horizons at dim 2 overflow the deliberately exploding axis
+    widths).  The guarded run's regret stays logarithmic; the exposed
+    run's grows linearly. *)
+
+val theorem3 : ?seed:int -> Format.formatter -> unit
+(** 1-D pure-version cumulative regret across horizons 10²..10⁵ with
+    ε = log²T/T: the regret per log T stays bounded (O(log T)). *)
+
+val lemma2_check : ?samples:int -> ?seed:int -> Format.formatter -> unit
+(** Draws random cuts over random ellipsoids and reports the maximum
+    observed ratio between the realized volume factor and the Lemma 2
+    bound exp(−(1+nα)²/5n) (must stay ≤ 1). *)
+
+val lemma45_check :
+  ?dim:int -> ?rounds:int -> ?seed:int -> Format.formatter -> unit
+(** Runs Algorithm 2* with ε ≥ 4nδ on a random market while tracking
+    the smallest eigenvalue of the shape matrix: per Lemmas 4–5 it
+    must never fall below τ²·n²/(n+1)² with τ = 1/(400n²S⁴), and each
+    single cut may shrink it by at most the factor n²(1−α)²/(n+1)².
+    Reports the observed floor against the theoretical one. *)
+
+val theorem2 : ?scale:float -> ?seed:int -> Format.formatter -> unit
+(** Theorem 2 in practice: the adapted mechanism on all four
+    non-linear market-value models (log-linear, log-log, logistic,
+    kernelized-with-landmarks) over synthetic markets — regret ratios
+    fall with t for every link, showing the g/φ extension carries the
+    guarantees. *)

@@ -1,0 +1,30 @@
+(** Experiment drivers for App 1 (noisy linear query; Sec. V-A):
+    Fig. 4(a)–(f), Table I, Fig. 5(a), and the cold-start comparison.
+
+    [scale] multiplies every horizon (floored at 100 rounds) so the
+    bench harness can regenerate the figures' shapes quickly;
+    [scale = 1.] is the paper's full setting. *)
+
+val checkpoints : rounds:int -> count:int -> int array
+(** ≈[count] log-spaced report points ending exactly at [rounds];
+    shared by the other experiment modules. *)
+
+val fig4 : ?scale:float -> ?seed:int -> Format.formatter -> unit
+(** Cumulative regret of the four variants at log-spaced checkpoints,
+    one panel per n ∈ {1, 20, 40, 60, 80, 100} (T as in the paper:
+    10² for n = 1, 10⁴ for n ≤ 40, 10⁵ above). *)
+
+val table1 : ?scale:float -> ?seed:int -> Format.formatter -> unit
+(** Per-round mean (std) of market value, reserve price, posted price
+    and regret under the version with reserve price — the paper's
+    Table I. *)
+
+val fig5a : ?scale:float -> ?seed:int -> Format.formatter -> unit
+(** Regret ratios at n = 100 for the four variants and the risk-averse
+    baseline, including the cold-start region t ≤ 100. *)
+
+val coldstart : ?scale:float -> ?seed:int -> ?seeds:int -> Format.formatter -> unit
+(** The Sec. V-A cold-start claim at n = 20, t = 10⁴: percentage
+    regret reduction of the reserve variants over their reserve-free
+    counterparts, averaged over [seeds] independent markets
+    (default 5). *)

@@ -1,0 +1,13 @@
+(** Experiment driver for App 2 (accommodation rental; Sec. V-B):
+    Fig. 5(b), plus the reserve-ratio cold-start slice. *)
+
+val fig5b : ?scale:float -> ?seed:int -> Format.formatter -> unit
+(** Regret ratios over the full corpus for the pure version, the
+    reserve version at log-ratios {0.4, 0.6, 0.8}, and the risk-averse
+    baselines (paper finals: 4.57 / 4.01 / 3.83 / 3.79%; baselines
+    23.40 / 17.00 / 9.33%). *)
+
+val coldstart : ?scale:float -> ?seed:int -> ?seeds:int -> Format.formatter -> unit
+(** Early-horizon (t ≤ 10³) regret ratios by reserve log-ratio,
+    averaged over [seeds] corpora (default 5): the paper's claim that
+    a reserve nearer the market value mitigates cold start more. *)

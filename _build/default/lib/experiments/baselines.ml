@@ -1,0 +1,101 @@
+module Stats = Dm_prob.Stats
+module Broker = Dm_market.Broker
+module Mechanism = Dm_market.Mechanism
+module Sgd_pricing = Dm_market.Sgd_pricing
+module Noisy_query = Dm_apps.Noisy_query
+
+let compare ?(scale = 1.) ?(seed = 42) ppf =
+  let rounds = max 1_000 (int_of_float (scale *. 10_000.)) in
+  List.iter
+    (fun dim ->
+      let setup = Noisy_query.make ~seed ~dim ~rounds () in
+      let cps = App1.checkpoints ~rounds ~count:8 in
+      let sgd =
+        Sgd_pricing.create ~dim ~radius:setup.Noisy_query.radius ()
+      in
+      let run_sgd =
+        Broker.run ~checkpoints:cps
+          ~policy:(Broker.Custom (Sgd_pricing.policy sgd))
+          ~model:setup.Noisy_query.model
+          ~noise:(Noisy_query.noise setup)
+          ~workload:(Noisy_query.workload setup)
+          ~rounds ()
+      in
+      let runs =
+        [
+          ( "ellipsoid (reserve)",
+            Noisy_query.run ~checkpoints:cps setup Mechanism.with_reserve );
+          ("sgd (Amin et al.)", run_sgd);
+          ("risk-averse", Noisy_query.run_baseline ~checkpoints:cps setup);
+        ]
+      in
+      let header = "t" :: List.map fst runs in
+      let rows =
+        Array.to_list
+          (Array.mapi
+             (fun i t ->
+               string_of_int t
+               :: List.map
+                    (fun (_, r) ->
+                      Table.fmt_pct r.Broker.series.Broker.regret_ratio.(i))
+                    runs)
+             cps)
+      in
+      Table.print ppf
+        ~title:
+          (Printf.sprintf
+             "Baselines (n = %d, T = %d): regret ratios, ellipsoid vs SGD \
+              pricing vs risk-averse"
+             dim rounds)
+        ~header rows)
+    [ 5; 20 ]
+
+let seed_robustness ?(scale = 1.) ?(seed = 42) ?(seeds = 7) ppf =
+  let dim = 20 in
+  let rounds = max 1_000 (int_of_float (scale *. 10_000.)) in
+  let names =
+    [ "pure"; "uncertainty"; "reserve"; "reserve+unc"; "risk-averse" ]
+  in
+  let stats = List.map (fun n -> (n, Stats.online_create ())) names in
+  let reserve_beats_pure = ref 0 in
+  let both_beats_unc = ref 0 in
+  let mech_beats_baseline = ref 0 in
+  for k = 0 to seeds - 1 do
+    let setup = Noisy_query.make ~seed:(seed + (1000 * k)) ~dim ~rounds () in
+    let delta = setup.Noisy_query.delta in
+    let ratio variant = (Noisy_query.run setup variant).Broker.regret_ratio in
+    let pure = ratio Mechanism.pure in
+    let unc = ratio (Mechanism.with_uncertainty ~delta) in
+    let res = ratio Mechanism.with_reserve in
+    let both = ratio (Mechanism.with_reserve_and_uncertainty ~delta) in
+    let base = (Noisy_query.run_baseline setup).Broker.regret_ratio in
+    List.iter2
+      (fun (_, o) v -> Stats.online_add o v)
+      stats
+      [ pure; unc; res; both; base ];
+    if res < pure then incr reserve_beats_pure;
+    if both < unc then incr both_beats_unc;
+    if res < base then incr mech_beats_baseline
+  done;
+  let rows =
+    List.map
+      (fun (name, o) ->
+        [
+          name;
+          Printf.sprintf "%.2f%% ± %.2f%%"
+            (100. *. Stats.online_mean o)
+            (100. *. Stats.online_std o);
+        ])
+      stats
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "Seed robustness (n = %d, T = %d, %d markets): final regret ratios"
+         dim rounds seeds)
+    ~header:[ "policy"; "ratio (mean ± std)" ]
+    rows;
+  Format.fprintf ppf
+    "Ordering stability over %d markets: reserve < pure in %d, reserve+unc < \
+     uncertainty in %d, reserve < risk-averse in %d.@.@."
+    seeds !reserve_beats_pure !both_beats_unc !mech_beats_baseline

@@ -1,0 +1,19 @@
+(** Baseline comparison beyond the paper's tables: the ellipsoid
+    mechanism against the SGD contextual pricer of Amin et al.
+    (NIPS'14, the O(T^{2/3})-regret predecessor the related-work
+    section positions against) and the risk-averse reserve-poster, on
+    the App-1 market. *)
+
+val compare : ?scale:float -> ?seed:int -> Format.formatter -> unit
+(** Regret ratios at log-spaced checkpoints for n ∈ {5, 20} over
+    T = 10⁴·scale rounds: the ellipsoid mechanism's ratio collapses
+    while SGD's decays at its slower polynomial rate. *)
+
+val seed_robustness :
+  ?scale:float -> ?seed:int -> ?seeds:int -> Format.formatter -> unit
+(** The headline App-1 orderings over [seeds] (default 7) independent
+    markets at n = 20: final regret ratios of the four variants and
+    the risk-averse baseline as mean ± std, plus how often each
+    paper-claimed ordering held — single-seed figures can flip
+    orderings by luck; this table shows which conclusions are
+    stable. *)

@@ -1,0 +1,70 @@
+module Vec = Dm_linalg.Vec
+module Mat = Dm_linalg.Mat
+module Pca = Dm_ml.Pca
+module Noisy_query = Dm_apps.Noisy_query
+module Rental = Dm_apps.Rental
+module Impression = Dm_apps.Impression
+
+let effective_rank ?(threshold = 0.99) sample =
+  if threshold <= 0. || threshold > 1. then
+    invalid_arg "Diagnostics.effective_rank: threshold in (0, 1]";
+  let pca = Pca.fit sample in
+  let ev = pca.Pca.explained_variance in
+  let total = Vec.sum ev in
+  if total <= 0. then 0
+  else begin
+    let acc = ref 0. and k = ref 0 in
+    (try
+       Array.iter
+         (fun v ->
+           acc := !acc +. v;
+           incr k;
+           if !acc >= threshold *. total then raise Exit)
+         ev
+     with Exit -> ());
+    !k
+  end
+
+let matrix_of_stream stream ~rows =
+  let n = min rows (Array.length stream) in
+  let dim = Vec.dim stream.(0) in
+  Mat.init n dim (fun i j -> stream.(i).(j))
+
+let report ?(seed = 42) ?(sample = 2_000) ppf =
+  let rows = ref [] in
+  let add name dim stream =
+    let m = matrix_of_stream stream ~rows:sample in
+    rows :=
+      [
+        name;
+        string_of_int dim;
+        string_of_int (effective_rank ~threshold:0.95 m);
+        string_of_int (effective_rank ~threshold:0.99 m);
+      ]
+      :: !rows
+  in
+  List.iter
+    (fun dim ->
+      let nq = Noisy_query.make ~seed ~dim ~rounds:sample () in
+      let w = Noisy_query.workload nq in
+      add
+        (Printf.sprintf "app 1: aggregated compensations (n = %d)" dim)
+        dim
+        (Array.init sample (fun t -> fst (w t))))
+    [ 20; 100 ];
+  let rental = Rental.make ~rows:(max sample 4_000) ~seed:7 () in
+  add "app 2: encoded listings (n = 55)" 55
+    (Array.init sample (fun i -> Mat.row rental.Rental.features i));
+  let imp =
+    Impression.make ~train_rounds:30_000 ~seed:3 ~dim:128 ~rounds:sample ()
+  in
+  add "app 3: hashed impressions (n = 128, sparse)" 128
+    imp.Impression.sparse_stream;
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "Feature-stream effective rank over %d rounds (components for 95%% / \
+          99%% of variance) — the driver of exploration cost"
+         sample)
+    ~header:[ "stream"; "n"; "rank @95%"; "rank @99%" ]
+    (List.rev !rows)

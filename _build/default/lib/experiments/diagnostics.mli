@@ -1,0 +1,18 @@
+(** Feature-stream diagnostics.
+
+    The exploration cost of the ellipsoid method scales with the
+    *effective rank* of the arriving feature stream (each independent
+    direction needs ≈ n·log(w₀/ε) exploratory cuts — EXPERIMENTS.md
+    notes 3 and 5).  This report quantifies that rank for the three
+    applications via the PCA spectrum of a feature sample, explaining
+    where each experiment's exploration budget goes. *)
+
+val effective_rank : ?threshold:float -> Dm_linalg.Mat.t -> int
+(** Number of leading principal components needed to reach
+    [threshold] (default 0.99) of a sample matrix's total variance.
+    Requires ≥ 2 rows. *)
+
+val report : ?seed:int -> ?sample:int -> Format.formatter -> unit
+(** Effective ranks of the App 1 (n = 20 and 100), App 2 (n = 55) and
+    App 3 (n = 128, sparse) feature streams over a [sample]-row
+    prefix (default 2,000). *)

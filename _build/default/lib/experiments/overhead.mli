@@ -1,0 +1,14 @@
+(** Section V-D: per-round online latency and memory overhead of the
+    three applications.
+
+    Latency is wall-clock per decide+observe round averaged over a
+    warm run; memory is the GC live heap after materializing each
+    application's pricing state.  The paper reports 0.115 ms / 151 MB
+    (App 1, n = 100), 0.019 ms / 105 MB (App 2), and 3.509 ms sparse /
+    0.024 ms dense (App 3, n = 1024) on a 2016 workstation running
+    Python 2.7; magnitudes, not exact values, are the comparison
+    target. *)
+
+val report : ?rounds:int -> Format.formatter -> unit
+(** Measure all configurations ([rounds] pricing rounds each, default
+    2,000) and print the Sec. V-D table. *)

@@ -1,0 +1,48 @@
+let print ppf ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let total = Array.fold_left ( + ) 0 widths + (2 * (cols - 1)) in
+  let line = String.make (max total (String.length title)) '-' in
+  Format.fprintf ppf "%s@.%s@." title line;
+  let render row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Format.fprintf ppf "  ";
+        Format.fprintf ppf "%*s" widths.(i) cell)
+      row;
+    Format.fprintf ppf "@."
+  in
+  render header;
+  Format.fprintf ppf "%s@." line;
+  List.iter render rows;
+  Format.fprintf ppf "@."
+
+let fmt_pct x = Printf.sprintf "%.2f%%" (100. *. x)
+
+let fmt_g x = Printf.sprintf "%.4g" x
+
+let sparkline series =
+  let blocks = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |] in
+  let finite = Array.of_list (List.filter Float.is_finite (Array.to_list series)) in
+  if Array.length finite = 0 then ""
+  else begin
+    let lo = Array.fold_left Float.min infinity finite in
+    let hi = Array.fold_left Float.max neg_infinity finite in
+    let span = if hi > lo then hi -. lo else 1. in
+    let buf = Buffer.create (Array.length series * 3) in
+    Array.iter
+      (fun x ->
+        if Float.is_finite x then begin
+          let level =
+            int_of_float (Float.round ((x -. lo) /. span *. 7.))
+          in
+          Buffer.add_string buf blocks.(max 0 (min 7 level))
+        end
+        else Buffer.add_char buf ' ')
+      series;
+    Buffer.contents buf
+  end

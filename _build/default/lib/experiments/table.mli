@@ -1,0 +1,18 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+val print :
+  Format.formatter -> title:string -> header:string list -> string list list -> unit
+(** [print ppf ~title ~header rows] renders a right-aligned monospace
+    table with a title rule.  Column widths adapt to content. *)
+
+val fmt_pct : float -> string
+(** Percentage with two decimals, e.g. [7.77%]. *)
+
+val fmt_g : float -> string
+(** Compact float (4 significant digits). *)
+
+val sparkline : float array -> string
+(** A unicode block-character miniature of a series (min–max scaled);
+    the experiment drivers print one under each figure so trends read
+    at a glance in a terminal.  Empty input gives the empty string;
+    non-finite values render as spaces. *)

@@ -1,0 +1,93 @@
+type decomposition = { eigenvalues : Vec.t; eigenvectors : Mat.t }
+
+(* One cyclic Jacobi sweep: annihilate each off-diagonal (p,q) in turn
+   with a Givens rotation, accumulating the rotations into [v]. *)
+let sweep a v n =
+  for p = 0 to n - 2 do
+    for q = p + 1 to n - 1 do
+      let apq = Mat.get a p q in
+      if apq <> 0. then begin
+        let app = Mat.get a p p and aqq = Mat.get a q q in
+        let theta = (aqq -. app) /. (2. *. apq) in
+        (* t = sign(theta)/(|theta| + sqrt(theta²+1)) is the smaller
+           root, which keeps rotations small and the method stable. *)
+        let t =
+          let s = if theta >= 0. then 1. else -1. in
+          s /. ((s *. theta) +. sqrt ((theta *. theta) +. 1.))
+        in
+        let c = 1. /. sqrt ((t *. t) +. 1.) in
+        let s = t *. c in
+        for k = 0 to n - 1 do
+          let akp = Mat.get a k p and akq = Mat.get a k q in
+          Mat.set a k p ((c *. akp) -. (s *. akq));
+          Mat.set a k q ((s *. akp) +. (c *. akq))
+        done;
+        for k = 0 to n - 1 do
+          let apk = Mat.get a p k and aqk = Mat.get a q k in
+          Mat.set a p k ((c *. apk) -. (s *. aqk));
+          Mat.set a q k ((s *. apk) +. (c *. aqk))
+        done;
+        for k = 0 to n - 1 do
+          let vkp = Mat.get v k p and vkq = Mat.get v k q in
+          Mat.set v k p ((c *. vkp) -. (s *. vkq));
+          Mat.set v k q ((s *. vkp) +. (c *. vkq))
+        done
+      end
+    done
+  done
+
+let off_diag_max a n =
+  let m = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      m := Float.max !m (abs_float (Mat.get a i j))
+    done
+  done;
+  !m
+
+let decompose ?(tol = 1e-12) ?(max_sweeps = 100) a0 =
+  let n, c = Mat.dims a0 in
+  if n <> c then invalid_arg "Eigen.decompose: not square";
+  if not (Mat.is_symmetric ~tol:(1e-6 *. (1. +. Mat.max_abs a0)) a0) then
+    invalid_arg "Eigen.decompose: not symmetric";
+  let a = Mat.copy a0 in
+  let v = Mat.identity n in
+  let scale = Float.max 1. (Mat.max_abs a0) in
+  let threshold = tol *. scale in
+  let rec loop s =
+    if s < max_sweeps && off_diag_max a n > threshold then begin
+      sweep a v n;
+      loop (s + 1)
+    end
+  in
+  loop 0;
+  (* Sort eigenpairs by decreasing eigenvalue. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare (Mat.get a j j) (Mat.get a i i)) order;
+  let eigenvalues = Array.map (fun i -> Mat.get a i i) order in
+  let eigenvectors = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
+  { eigenvalues; eigenvectors }
+
+let eigenvalues ?tol a = (decompose ?tol a).eigenvalues
+
+let smallest_eigenvalue a =
+  let ev = eigenvalues a in
+  ev.(Array.length ev - 1)
+
+let largest_eigenvalue a = (eigenvalues a).(0)
+
+let condition_number a =
+  let ev = eigenvalues a in
+  let lmin = ev.(Array.length ev - 1) in
+  if lmin <= 0. then infinity else ev.(0) /. lmin
+
+let log_volume_factor a =
+  let ev = eigenvalues a in
+  let acc = ref 0. in
+  Array.iter
+    (fun l ->
+      if l <= 0. then
+        invalid_arg "Eigen.log_volume_factor: not positive definite";
+      acc := !acc +. log l)
+    ev;
+  0.5 *. !acc

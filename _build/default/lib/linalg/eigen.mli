@@ -1,0 +1,38 @@
+(** Symmetric eigendecomposition by the cyclic Jacobi method.
+
+    Jacobi is O(n³) per sweep but unconditionally stable and dependency
+    free, which fits this repository: eigenvalues are only needed off
+    the pricing hot path — for the ellipsoid volume formula
+    [V = Vₙ·√(Π γᵢ(A))] (Eq. 3 of the paper), the smallest-eigenvalue
+    tracking of Lemmas 4–5, PCA, and tests. *)
+
+type decomposition = {
+  eigenvalues : Vec.t;  (** sorted in decreasing order *)
+  eigenvectors : Mat.t;
+      (** orthogonal; column [i] pairs with [eigenvalues.(i)] *)
+}
+
+val decompose : ?tol:float -> ?max_sweeps:int -> Mat.t -> decomposition
+(** [decompose a] diagonalizes the symmetric matrix [a] so that
+    [a = V·diag(λ)·Vᵀ].  Iterates Jacobi sweeps until the largest
+    off-diagonal magnitude falls below [tol] (default [1e-12] scaled by
+    the largest diagonal magnitude) or [max_sweeps] (default 100)
+    sweeps have run.  Raises [Invalid_argument] if [a] is not square or
+    not symmetric to a loose tolerance. *)
+
+val eigenvalues : ?tol:float -> Mat.t -> Vec.t
+(** Just the sorted eigenvalues. *)
+
+val smallest_eigenvalue : Mat.t -> float
+
+val largest_eigenvalue : Mat.t -> float
+
+val condition_number : Mat.t -> float
+(** [λ_max / λ_min] for positive definite input; [infinity] when the
+    smallest eigenvalue is not strictly positive. *)
+
+val log_volume_factor : Mat.t -> float
+(** [log √(Π γᵢ(A))] = [½·Σ log γᵢ(A)] — the shape-dependent part of
+    the ellipsoid volume in log space (the unit-ball constant [Vₙ]
+    cancels in every ratio the experiments report).  Requires positive
+    definite input. *)

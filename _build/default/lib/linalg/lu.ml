@@ -1,0 +1,89 @@
+exception Singular of int
+
+type t = {
+  lu : Mat.t;  (* L below the diagonal (unit diag implicit), U on and above *)
+  perm : int array;  (* row permutation *)
+  sign : float;  (* determinant sign of the permutation *)
+}
+
+let factorize a =
+  let n, c = Mat.dims a in
+  if n <> c then invalid_arg "Lu.factorize: not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest remaining |entry| of
+       column k to the diagonal. *)
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if abs_float (Mat.get lu i k) > abs_float (Mat.get lu !pivot_row k) then
+        pivot_row := i
+    done;
+    if abs_float (Mat.get lu !pivot_row k) < 1e-300 then raise (Singular k);
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !pivot_row j);
+        Mat.set lu !pivot_row j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get lu i k /. pivot in
+      Mat.set lu i k factor;
+      for j = k + 1 to n - 1 do
+        Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+      done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve { lu; perm; _ } b =
+  let n = Mat.rows lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  (* Forward substitution on P·b with unit-lower L. *)
+  let y = Array.init n (fun i -> b.(perm.(i))) in
+  for i = 0 to n - 1 do
+    for k = 0 to i - 1 do
+      y.(i) <- y.(i) -. (Mat.get lu i k *. y.(k))
+    done
+  done;
+  (* Back substitution with U. *)
+  let x = y in
+  for i = n - 1 downto 0 do
+    for k = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (Mat.get lu i k *. x.(k))
+    done;
+    x.(i) <- x.(i) /. Mat.get lu i i
+  done;
+  x
+
+let solve_matrix a b = solve (factorize a) b
+
+let determinant a =
+  match factorize a with
+  | { lu; sign; _ } ->
+      let n = Mat.rows lu in
+      let acc = ref sign in
+      for i = 0 to n - 1 do
+        acc := !acc *. Mat.get lu i i
+      done;
+      !acc
+  | exception Singular _ -> 0.
+
+let inverse a =
+  let n = Mat.rows a in
+  let f = factorize a in
+  let out = Mat.zeros n n in
+  for j = 0 to n - 1 do
+    let col = solve f (Vec.basis n j) in
+    for i = 0 to n - 1 do
+      Mat.set out i j col.(i)
+    done
+  done;
+  out

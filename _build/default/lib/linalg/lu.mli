@@ -1,0 +1,31 @@
+(** LU decomposition with partial pivoting, for general (not
+    necessarily definite) square systems.
+
+    Cholesky covers the symmetric positive definite matrices the
+    pricing hot path produces; LU covers everything else — explicit
+    inverses for cross-checking the ellipsoidal norm computations in
+    the test-suite, determinants of general matrices, and solving the
+    occasional non-symmetric system in analysis code. *)
+
+exception Singular of int
+(** Raised with the offending column when no non-zero pivot exists. *)
+
+type t
+(** A factorization [P·A = L·U] (pivots stored implicitly). *)
+
+val factorize : Mat.t -> t
+(** Raises [Invalid_argument] on non-square input and {!Singular} on
+    (numerically) singular input. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** Solve [A·x = b] using the factorization. *)
+
+val solve_matrix : Mat.t -> Vec.t -> Vec.t
+(** One-shot [factorize] + [solve]. *)
+
+val determinant : Mat.t -> float
+(** Via the pivoted factorization ([0.] for singular input). *)
+
+val inverse : Mat.t -> Mat.t
+(** Column-by-column solve against the identity.  O(n³); intended for
+    tests and analysis, never the pricing loop. *)

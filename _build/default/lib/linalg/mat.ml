@@ -1,0 +1,247 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create rows cols x =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) x }
+
+let zeros rows cols = create rows cols 0.
+
+let scaled_identity n a =
+  let m = zeros n n in
+  for i = 0 to n - 1 do
+    m.data.((i * n) + i) <- a
+  done;
+  m
+
+let identity n = scaled_identity n 1.
+
+let init rows cols f =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.init: negative dimension";
+  let data = Array.make (rows * cols) 0. in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      data.((i * cols) + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let of_arrays a =
+  let rows = Array.length a in
+  if rows = 0 then invalid_arg "Mat.of_arrays: no rows";
+  let cols = Array.length a.(0) in
+  Array.iter
+    (fun r ->
+      if Array.length r <> cols then invalid_arg "Mat.of_arrays: ragged rows")
+    a;
+  init rows cols (fun i j -> a.(i).(j))
+
+let to_arrays m =
+  Array.init m.rows (fun i -> Array.sub m.data (i * m.cols) m.cols)
+
+let diag_of_vec v =
+  let n = Array.length v in
+  let m = zeros n n in
+  for i = 0 to n - 1 do
+    m.data.((i * n) + i) <- v.(i)
+  done;
+  m
+
+let rows m = m.rows
+
+let cols m = m.cols
+
+let dims m = (m.rows, m.cols)
+
+let get m i j = m.data.((i * m.cols) + j)
+
+let set m i j x = m.data.((i * m.cols) + j) <- x
+
+let copy m = { m with data = Array.copy m.data }
+
+let row m i = Array.sub m.data (i * m.cols) m.cols
+
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let diag m =
+  let n = min m.rows m.cols in
+  Array.init n (fun i -> get m i i)
+
+let trace m =
+  if m.rows <> m.cols then invalid_arg "Mat.trace: not square";
+  let acc = ref 0. in
+  for i = 0 to m.rows - 1 do
+    acc := !acc +. get m i i
+  done;
+  !acc
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let check_same name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.%s: dimension mismatch (%dx%d vs %dx%d)" name a.rows
+         a.cols b.rows b.cols)
+
+let elementwise name f a b =
+  check_same name a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> f a.data.(k) b.data.(k)) }
+
+let add a b = elementwise "add" ( +. ) a b
+
+let sub a b = elementwise "sub" ( -. ) a b
+
+let scale a m = { m with data = Array.map (fun x -> a *. x) m.data }
+
+let scale_inplace a m =
+  let data = m.data in
+  for k = 0 to Array.length data - 1 do
+    Array.unsafe_set data k (a *. Array.unsafe_get data k)
+  done
+
+(* The kernels below use unsafe accesses: dimensions are validated up
+   front and every index is a product/sum of loop bounds derived from
+   them.  They are the pricing hot path (Sec. III-C1's O(n²) budget)
+   and run 10⁵ times per experiment at n up to 1024. *)
+
+let matvec m x =
+  if Array.length x <> m.cols then
+    invalid_arg "Mat.matvec: dimension mismatch";
+  let data = m.data in
+  let y = Array.make m.rows 0. in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let acc = ref 0. in
+    for j = 0 to m.cols - 1 do
+      acc :=
+        !acc +. (Array.unsafe_get data (base + j) *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set y i !acc
+  done;
+  y
+
+let matvec_t m x =
+  if Array.length x <> m.rows then
+    invalid_arg "Mat.matvec_t: dimension mismatch";
+  let y = Array.make m.cols 0. in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    let xi = x.(i) in
+    if xi <> 0. then
+      for j = 0 to m.cols - 1 do
+        y.(j) <- y.(j) +. (m.data.(base + j) *. xi)
+      done
+  done;
+  y
+
+let matmul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.matmul: dimension mismatch";
+  let c = zeros a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    let abase = i * a.cols in
+    let cbase = i * b.cols in
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.(abase + k) in
+      if aik <> 0. then begin
+        let bbase = k * b.cols in
+        for j = 0 to b.cols - 1 do
+          c.data.(cbase + j) <- c.data.(cbase + j) +. (aik *. b.data.(bbase + j))
+        done
+      end
+    done
+  done;
+  c
+
+let outer u v =
+  init (Array.length u) (Array.length v) (fun i j -> u.(i) *. v.(j))
+
+let rank_one_update m beta b =
+  if m.rows <> m.cols || Array.length b <> m.rows then
+    invalid_arg "Mat.rank_one_update: dimension mismatch";
+  let n = m.rows in
+  let data = m.data in
+  for i = 0 to n - 1 do
+    let bi = beta *. Array.unsafe_get b i in
+    if bi <> 0. then begin
+      let base = i * n in
+      for j = 0 to n - 1 do
+        Array.unsafe_set data (base + j)
+          (Array.unsafe_get data (base + j) +. (bi *. Array.unsafe_get b j))
+      done
+    end
+  done
+
+let quad m x =
+  if m.rows <> m.cols || Array.length x <> m.rows then
+    invalid_arg "Mat.quad: dimension mismatch";
+  let n = m.rows in
+  let data = m.data in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let xi = Array.unsafe_get x i in
+    if xi <> 0. then begin
+      let base = i * n in
+      let rowacc = ref 0. in
+      for j = 0 to n - 1 do
+        rowacc :=
+          !rowacc +. (Array.unsafe_get data (base + j) *. Array.unsafe_get x j)
+      done;
+      acc := !acc +. (xi *. !rowacc)
+    end
+  done;
+  !acc
+
+let symmetrize_inplace m =
+  if m.rows <> m.cols then invalid_arg "Mat.symmetrize_inplace: not square";
+  let n = m.rows in
+  let data = m.data in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ij = (i * n) + j and ji = (j * n) + i in
+      let avg =
+        0.5 *. (Array.unsafe_get data ij +. Array.unsafe_get data ji)
+      in
+      Array.unsafe_set data ij avg;
+      Array.unsafe_set data ji avg
+    done
+  done
+
+let is_symmetric ?(tol = 1e-9) m =
+  m.rows = m.cols
+  &&
+  let n = m.rows in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if abs_float (m.data.((i * n) + j) -. m.data.((j * n) + i)) > tol then
+        ok := false
+    done
+  done;
+  !ok
+
+let max_abs m =
+  Array.fold_left (fun acc x -> Float.max acc (abs_float x)) 0. m.data
+
+let frobenius m =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. m.data)
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let ok = ref true in
+  for k = 0 to Array.length a.data - 1 do
+    if abs_float (a.data.(k) -. b.data.(k)) > tol then ok := false
+  done;
+  !ok
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    if i > 0 then Format.fprintf ppf "@,";
+    Format.fprintf ppf "|@[<hov>";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf "@ ";
+      Format.fprintf ppf "%10.4g" (get m i j)
+    done;
+    Format.fprintf ppf "@]|"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,97 @@
+(** Dense real matrices, stored row-major in a flat [float array].
+
+    The flat layout keeps every element unboxed and makes the
+    mat-vec/rank-one kernels that dominate the ellipsoid update cache
+    friendly.  Dimension mismatches raise [Invalid_argument]. *)
+
+type t = private { rows : int; cols : int; data : float array }
+(** [data.(i*cols + j)] holds element (i, j). *)
+
+val create : int -> int -> float -> t
+(** [create r c x] is the [r×c] matrix filled with [x]. *)
+
+val zeros : int -> int -> t
+
+val identity : int -> t
+
+val scaled_identity : int -> float -> t
+(** [scaled_identity n a] is [a·Iₙ] — the initial ellipsoid shape
+    [R²·I] in Algorithms 1 and 2. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init r c f] has element (i,j) equal to [f i j]. *)
+
+val of_arrays : float array array -> t
+(** Rows given as arrays; all rows must share one length.  Raises
+    [Invalid_argument] on ragged input or zero rows. *)
+
+val to_arrays : t -> float array array
+
+val diag_of_vec : Vec.t -> t
+(** Square matrix with the given diagonal and zeros elsewhere. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val dims : t -> int * int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val row : t -> int -> Vec.t
+
+val col : t -> int -> Vec.t
+
+val diag : t -> Vec.t
+(** Main diagonal (length [min rows cols]). *)
+
+val trace : t -> float
+(** Sum of the main diagonal of a square matrix. *)
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val scale_inplace : float -> t -> unit
+
+val matvec : t -> Vec.t -> Vec.t
+(** [matvec a x] is [A·x]. *)
+
+val matvec_t : t -> Vec.t -> Vec.t
+(** [matvec_t a x] is [Aᵀ·x], without materializing the transpose. *)
+
+val matmul : t -> t -> t
+
+val outer : Vec.t -> Vec.t -> t
+(** [outer u v] is the rank-one matrix [u·vᵀ]. *)
+
+val rank_one_update : t -> float -> Vec.t -> unit
+(** [rank_one_update a beta b] performs [A := A + beta·b·bᵀ] in place —
+    the inner kernel of the Löwner–John ellipsoid update. *)
+
+val quad : t -> Vec.t -> float
+(** [quad a x] is the quadratic form [xᵀ·A·x], computed in a single
+    pass without allocating [A·x]. *)
+
+val symmetrize_inplace : t -> unit
+(** [A := (A + Aᵀ)/2]; used to contain floating-point drift in shape
+    matrices that are symmetric by construction. *)
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val max_abs : t -> float
+(** Largest absolute entry; [0.] for an empty matrix. *)
+
+val frobenius : t -> float
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,136 @@
+type t = float array
+
+let create n x =
+  if n < 0 then invalid_arg "Vec.create: negative dimension";
+  Array.make n x
+
+let zeros n = create n 0.
+
+let ones n = create n 1.
+
+let basis n i =
+  if i < 0 || i >= n then invalid_arg "Vec.basis: index out of range";
+  let v = zeros n in
+  v.(i) <- 1.;
+  v
+
+let init = Array.init
+
+let dim = Array.length
+
+let copy = Array.copy
+
+let of_list = Array.of_list
+
+let to_list = Array.to_list
+
+let get (v : t) i = v.(i)
+
+let set (v : t) i x = v.(i) <- x
+
+let map = Array.map
+
+let check_dims name u v =
+  if Array.length u <> Array.length v then
+    invalid_arg (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+                   (Array.length u) (Array.length v))
+
+let map2 f u v =
+  check_dims "map2" u v;
+  Array.init (Array.length u) (fun i -> f u.(i) v.(i))
+
+let iteri = Array.iteri
+
+let fold = Array.fold_left
+
+let dot u v =
+  check_dims "dot" u v;
+  let acc = ref 0. in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. (u.(i) *. v.(i))
+  done;
+  !acc
+
+let add u v = map2 ( +. ) u v
+
+let sub u v = map2 ( -. ) u v
+
+let scale a v = Array.map (fun x -> a *. x) v
+
+let axpy a x y =
+  check_dims "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let neg v = scale (-1.) v
+
+let sum v = Array.fold_left ( +. ) 0. v
+
+let mean v =
+  if Array.length v = 0 then invalid_arg "Vec.mean: empty vector";
+  sum v /. float_of_int (Array.length v)
+
+let norm2 v = sqrt (dot v v)
+
+let norm1 v = Array.fold_left (fun acc x -> acc +. abs_float x) 0. v
+
+let norm_inf v = Array.fold_left (fun acc x -> Float.max acc (abs_float x)) 0. v
+
+let normalize v =
+  let n = norm2 v in
+  if n <= 0. then invalid_arg "Vec.normalize: zero vector";
+  scale (1. /. n) v
+
+let dist2 u v = norm2 (sub u v)
+
+let extremum name better v =
+  if Array.length v = 0 then invalid_arg ("Vec." ^ name ^ ": empty vector");
+  let best = ref v.(0) in
+  for i = 1 to Array.length v - 1 do
+    if better v.(i) !best then best := v.(i)
+  done;
+  !best
+
+let max_elt v = extremum "max_elt" ( > ) v
+
+let min_elt v = extremum "min_elt" ( < ) v
+
+let arg_extremum name better v =
+  if Array.length v = 0 then invalid_arg ("Vec." ^ name ^ ": empty vector");
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if better v.(i) v.(!best) then best := i
+  done;
+  !best
+
+let argmax v = arg_extremum "argmax" ( > ) v
+
+let argmin v = arg_extremum "argmin" ( < ) v
+
+let approx_equal ?(tol = 1e-9) u v =
+  Array.length u = Array.length v
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length u - 1 do
+    if abs_float (u.(i) -. v.(i)) > tol then ok := false
+  done;
+  !ok
+
+let concat = Array.append
+
+let slice v ~pos ~len = Array.sub v pos len
+
+let sorted v =
+  let w = Array.copy v in
+  Array.sort Float.compare w;
+  w
+
+let pp ppf v =
+  Format.fprintf ppf "[@[<hov>";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf ";@ ";
+      Format.fprintf ppf "%.6g" x)
+    v;
+  Format.fprintf ppf "@]]"

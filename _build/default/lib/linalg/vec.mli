@@ -1,0 +1,109 @@
+(** Dense real vectors backed by unboxed [float array]s.
+
+    All functions are total unless documented otherwise; dimension
+    mismatches raise [Invalid_argument].  Vectors are mutable arrays:
+    functions suffixed [_inplace] mutate their first argument, all
+    others allocate fresh results. *)
+
+type t = float array
+
+val create : int -> float -> t
+(** [create n x] is the [n]-vector with every component equal to [x]. *)
+
+val zeros : int -> t
+(** [zeros n] is the [n]-dimensional zero vector. *)
+
+val ones : int -> t
+(** [ones n] is the [n]-dimensional all-ones vector. *)
+
+val basis : int -> int -> t
+(** [basis n i] is the [i]-th standard basis vector of R^n
+    (zero-indexed).  Raises [Invalid_argument] if [i] is out of
+    range. *)
+
+val init : int -> (int -> float) -> t
+(** [init n f] is the vector [(f 0, ..., f (n-1))]. *)
+
+val dim : t -> int
+(** [dim v] is the number of components of [v]. *)
+
+val copy : t -> t
+(** [copy v] is a fresh vector equal to [v]. *)
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val get : t -> int -> float
+
+val set : t -> int -> float -> unit
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** [map2 f u v] is the componentwise image [(f u_i v_i)_i]. *)
+
+val iteri : (int -> float -> unit) -> t -> unit
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+
+val dot : t -> t -> float
+(** [dot u v] is the Euclidean inner product [Σ_i u_i v_i]. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+(** [scale a v] is [a · v]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y := a·x + y] in place. *)
+
+val neg : t -> t
+
+val sum : t -> float
+
+val mean : t -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on the empty vector. *)
+
+val norm2 : t -> float
+(** Euclidean (L2) norm. *)
+
+val norm1 : t -> float
+(** L1 norm. *)
+
+val norm_inf : t -> float
+(** Maximum absolute component; [0.] on the empty vector. *)
+
+val normalize : t -> t
+(** [normalize v] is [v / ‖v‖₂].  Raises [Invalid_argument] on the
+    zero vector (its direction is undefined). *)
+
+val dist2 : t -> t -> float
+(** Euclidean distance [‖u − v‖₂]. *)
+
+val max_elt : t -> float
+(** Largest component.  Raises [Invalid_argument] on the empty
+    vector. *)
+
+val min_elt : t -> float
+
+val argmax : t -> int
+
+val argmin : t -> int
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Componentwise comparison with absolute tolerance [tol]
+    (default [1e-9]).  Vectors of different dimension are never
+    approximately equal. *)
+
+val concat : t -> t -> t
+
+val slice : t -> pos:int -> len:int -> t
+
+val sorted : t -> t
+(** A fresh copy sorted in increasing order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [[v0; v1; ...]] with 6 significant digits. *)

@@ -1,0 +1,1 @@
+lib/ml/categorical.ml: Array Dm_linalg Hashtbl List

@@ -1,0 +1,1 @@
+lib/ml/categorical.mli: Dm_linalg

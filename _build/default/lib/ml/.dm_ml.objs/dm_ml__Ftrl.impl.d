@@ -1,0 +1,1 @@
+lib/ml/ftrl.ml: Array Float Hashing List

@@ -1,0 +1,1 @@
+lib/ml/ftrl.mli: Dm_linalg Hashing

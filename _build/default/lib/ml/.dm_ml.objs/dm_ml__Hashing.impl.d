@@ -1,0 +1,1 @@
+lib/ml/hashing.ml: Array Char Dm_linalg Hashtbl Int64 List String

@@ -1,0 +1,1 @@
+lib/ml/hashing.mli: Dm_linalg

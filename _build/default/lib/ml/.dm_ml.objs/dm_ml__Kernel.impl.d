@@ -1,0 +1,1 @@
+lib/ml/kernel.ml: Array Dm_linalg

@@ -1,0 +1,1 @@
+lib/ml/kernel.mli: Dm_linalg

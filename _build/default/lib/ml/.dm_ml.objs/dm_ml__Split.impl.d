@@ -1,0 +1,1 @@
+lib/ml/split.ml: Array Dm_prob Float

@@ -1,0 +1,1 @@
+lib/ml/split.mli: Dm_prob

@@ -1,0 +1,35 @@
+type t = { categories : string array; index : (string, int) Hashtbl.t }
+
+let fit column =
+  let index = Hashtbl.create 16 in
+  let rev = ref [] in
+  let next = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some v ->
+          if not (Hashtbl.mem index v) then begin
+            Hashtbl.add index v !next;
+            rev := v :: !rev;
+            incr next
+          end)
+    column;
+  { categories = Array.of_list (List.rev !rev); index }
+
+let categories t = Array.copy t.categories
+
+let cardinality t = Array.length t.categories
+
+let code t = function
+  | None -> -1
+  | Some v -> ( match Hashtbl.find_opt t.index v with Some c -> c | None -> -1)
+
+let transform t column = Array.map (code t) column
+
+let code_float t cell = float_of_int (code t cell)
+
+let one_hot t cell =
+  let v = Dm_linalg.Vec.zeros (cardinality t) in
+  let c = code t cell in
+  if c >= 0 then Dm_linalg.Vec.set v c 1.;
+  v

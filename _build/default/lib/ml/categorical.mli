@@ -1,0 +1,32 @@
+(** Integer coding of categorical columns, mirroring the pandas
+    "categoricals" dtype the paper uses to preprocess the Airbnb
+    dataset (Section V-B): distinct values map to dense integer codes
+    in first-seen order and missing values map to code −1, exactly as
+    [pandas.Categorical.codes] reports them.
+
+    An encoder is fitted once (on training data) and then applied to
+    arbitrary columns; unseen values behave like missing ones. *)
+
+type t
+
+val fit : string option array -> t
+(** Learn the category set of a column.  [None] cells are missing. *)
+
+val categories : t -> string array
+(** Distinct categories in first-seen order; codes index this array. *)
+
+val cardinality : t -> int
+
+val code : t -> string option -> int
+(** [code t cell] is the dense code of [cell], −1 for missing or
+    unseen values. *)
+
+val transform : t -> string option array -> int array
+
+val code_float : t -> string option -> float
+(** The code as a float feature, the way the paper feeds categoricals
+    straight into the linear model. *)
+
+val one_hot : t -> string option -> Dm_linalg.Vec.t
+(** Dense one-hot vector of length [cardinality]; all-zero for missing
+    or unseen values. *)

@@ -1,0 +1,50 @@
+type feature = { index : int; value : float }
+
+let fnv1a64 s =
+  let open Int64 in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun ch ->
+      h := logxor !h (of_int (Char.code ch));
+      h := mul !h 0x100000001B3L)
+    s;
+  !h
+
+let bucket ~dim key =
+  if dim < 1 then invalid_arg "Hashing.bucket: dim must be >= 1";
+  let h = fnv1a64 key in
+  let positive = Int64.shift_right_logical h 1 in
+  Int64.to_int (Int64.rem positive (Int64.of_int dim))
+
+let encode ~dim fields =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (field, value) ->
+      let b = bucket ~dim (field ^ "=" ^ value) in
+      let prev = match Hashtbl.find_opt tbl b with Some v -> v | None -> 0. in
+      Hashtbl.replace tbl b (prev +. 1.))
+    fields;
+  Hashtbl.fold (fun index value acc -> { index; value } :: acc) tbl []
+  |> List.sort (fun a b -> compare a.index b.index)
+
+let to_dense ~dim features =
+  let v = Dm_linalg.Vec.zeros dim in
+  List.iter
+    (fun { index; value } ->
+      if index < 0 || index >= dim then
+        invalid_arg "Hashing.to_dense: index out of range";
+      Dm_linalg.Vec.set v index value)
+    features;
+  v
+
+let normalize features =
+  let norm =
+    sqrt (List.fold_left (fun acc f -> acc +. (f.value *. f.value)) 0. features)
+  in
+  if norm <= 0. then features
+  else List.map (fun f -> { f with value = f.value /. norm }) features
+
+let dot_dense features dense =
+  List.fold_left
+    (fun acc { index; value } -> acc +. (value *. dense.(index)))
+    0. features

@@ -1,0 +1,33 @@
+(** One-hot encoding with the hashing trick.
+
+    The paper's App 3 turns Avazu's high-cardinality categorical fields
+    into an n-dimensional feature vector by hashing ["field=value"]
+    strings modulo n (Section V-C) — n is literally "the modulus after
+    hashing".  We use the 64-bit FNV-1a hash: deterministic across
+    runs and platforms, so experiments replay exactly.
+
+    Features are produced in sparse form (sorted unique indices with
+    accumulated values) and can be densified on demand. *)
+
+type feature = { index : int; value : float }
+
+val fnv1a64 : string -> int64
+(** The raw FNV-1a hash, exposed for tests. *)
+
+val bucket : dim:int -> string -> int
+(** [bucket ~dim key] is the hash bucket of [key] in [0, dim-1].
+    Requires [dim ≥ 1]. *)
+
+val encode : dim:int -> (string * string) list -> feature list
+(** [encode ~dim fields] hashes each [(field, value)] pair as
+    ["field=value"] and adds 1.0 into its bucket.  Collisions
+    accumulate.  The result is sorted by index with unique indices. *)
+
+val to_dense : dim:int -> feature list -> Dm_linalg.Vec.t
+
+val normalize : feature list -> feature list
+(** Scale a sparse vector to unit L2 norm; the empty vector is
+    returned unchanged. *)
+
+val dot_dense : feature list -> Dm_linalg.Vec.t -> float
+(** Sparse·dense inner product — the hot path of FTRL prediction. *)

@@ -1,0 +1,37 @@
+(** Mercer kernels and landmark feature maps.
+
+    Section IV-A lists the kernelized market-value model
+    [v_t = Σ_{k<t} K(x_t, x_k)·θ*_k] (Amin et al., NIPS'14).  Its
+    feature dimension grows with the round index, which no
+    fixed-dimension ellipsoid can track; we realize the same extension
+    point with a fixed set of m landmark points,
+    [φ(x) = (K(x, l₁), …, K(x, l_m))], as documented in DESIGN.md. *)
+
+type t =
+  | Linear
+  | Polynomial of { degree : int; offset : float }
+      (** [(xᵀy + offset)^degree], [degree ≥ 1], [offset ≥ 0] *)
+  | Rbf of { gamma : float }  (** [exp(−γ‖x−y‖²)], [γ > 0] *)
+
+val eval : t -> Dm_linalg.Vec.t -> Dm_linalg.Vec.t -> float
+(** Kernel value; raises [Invalid_argument] on dimension mismatch or
+    ill-formed parameters. *)
+
+val gram : t -> Dm_linalg.Vec.t array -> Dm_linalg.Mat.t
+(** The (symmetric) Gram matrix of a point set. *)
+
+val is_psd_sample : t -> Dm_linalg.Vec.t array -> bool
+(** Whether the Gram matrix of the given points is positive
+    semidefinite (up to −1e-8 eigenvalue tolerance) — a spot check of
+    the Mercer property used by the test suite. *)
+
+type landmark_map
+
+val landmark_map : t -> landmarks:Dm_linalg.Vec.t array -> landmark_map
+(** Fix the landmarks of a feature map.  Requires at least one
+    landmark. *)
+
+val landmark_dim : landmark_map -> int
+
+val apply : landmark_map -> Dm_linalg.Vec.t -> Dm_linalg.Vec.t
+(** [apply m x] is [(K(x, l₁), …, K(x, l_m))]. *)

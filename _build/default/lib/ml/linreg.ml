@@ -1,0 +1,69 @@
+module Vec = Dm_linalg.Vec
+module Mat = Dm_linalg.Mat
+module Chol = Dm_linalg.Chol
+
+type model = { weights : Vec.t; intercept : float }
+
+let fit ?(ridge = 1e-8) ?(intercept = true) x y =
+  let rows, cols = Mat.dims x in
+  if rows = 0 then invalid_arg "Linreg.fit: no rows";
+  if rows <> Vec.dim y then invalid_arg "Linreg.fit: row/target mismatch";
+  let d = if intercept then cols + 1 else cols in
+  (* Augmented design: an implicit trailing 1-column for the intercept. *)
+  let feature i j = if j < cols then Mat.get x i j else 1. in
+  let gram = Mat.zeros d d in
+  let xty = Vec.zeros d in
+  for i = 0 to rows - 1 do
+    for j = 0 to d - 1 do
+      let fij = feature i j in
+      if fij <> 0. then begin
+        xty.(j) <- xty.(j) +. (fij *. y.(i));
+        for k = j to d - 1 do
+          Mat.set gram j k (Mat.get gram j k +. (fij *. feature i k))
+        done
+      end
+    done
+  done;
+  (* Mirror the upper triangle computed above. *)
+  for j = 0 to d - 1 do
+    for k = j + 1 to d - 1 do
+      Mat.set gram k j (Mat.get gram j k)
+    done
+  done;
+  (* Ridge on the non-intercept diagonal only. *)
+  for j = 0 to cols - 1 do
+    Mat.set gram j j (Mat.get gram j j +. ridge)
+  done;
+  let theta = Chol.solve_regularized ~ridge:1e-10 gram xty in
+  if intercept then
+    { weights = Vec.slice theta ~pos:0 ~len:cols; intercept = theta.(cols) }
+  else { weights = theta; intercept = 0. }
+
+let predict m x = Vec.dot m.weights x +. m.intercept
+
+let predict_all m x =
+  Vec.init (Mat.rows x) (fun i -> predict m (Mat.row x i))
+
+let mse m x y =
+  let rows = Mat.rows x in
+  if rows = 0 || rows <> Vec.dim y then invalid_arg "Linreg.mse: bad shapes";
+  let acc = ref 0. in
+  for i = 0 to rows - 1 do
+    let e = predict m (Mat.row x i) -. y.(i) in
+    acc := !acc +. (e *. e)
+  done;
+  !acc /. float_of_int rows
+
+let r2 m x y =
+  let rows = Mat.rows x in
+  if rows = 0 || rows <> Vec.dim y then invalid_arg "Linreg.r2: bad shapes";
+  let ybar = Vec.mean y in
+  let ss_res = ref 0. and ss_tot = ref 0. in
+  for i = 0 to rows - 1 do
+    let e = predict m (Mat.row x i) -. y.(i) in
+    ss_res := !ss_res +. (e *. e);
+    let d = y.(i) -. ybar in
+    ss_tot := !ss_tot +. (d *. d)
+  done;
+  if !ss_tot = 0. then if !ss_res = 0. then 1. else 0.
+  else 1. -. (!ss_res /. !ss_tot)

@@ -1,0 +1,32 @@
+(** Ordinary least squares, optionally ridge-regularized.
+
+    App 2 learns the Airbnb market-value weights θ* by regressing the
+    logarithmic lodging price on the 55 encoded features and reports a
+    test-set MSE of 0.226; this module reproduces that fit.  The
+    normal equations [XᵀX·θ = Xᵀy] are solved by Cholesky with an
+    escalating ridge when the design is collinear. *)
+
+type model = { weights : Dm_linalg.Vec.t; intercept : float }
+
+val fit :
+  ?ridge:float ->
+  ?intercept:bool ->
+  Dm_linalg.Mat.t ->
+  Dm_linalg.Vec.t ->
+  model
+(** [fit x y] regresses the rows of [x] on targets [y].  [ridge]
+    (default 1e-8) is added to the normal-equation diagonal (never to
+    the intercept).  With [intercept] (default true) a constant column
+    is handled internally.  Raises [Invalid_argument] when the number
+    of rows of [x] differs from [dim y] or there are no rows. *)
+
+val predict : model -> Dm_linalg.Vec.t -> float
+
+val predict_all : model -> Dm_linalg.Mat.t -> Dm_linalg.Vec.t
+
+val mse : model -> Dm_linalg.Mat.t -> Dm_linalg.Vec.t -> float
+(** Mean squared prediction error on a labelled set. *)
+
+val r2 : model -> Dm_linalg.Mat.t -> Dm_linalg.Vec.t -> float
+(** Coefficient of determination; 1 is a perfect fit, 0 matches the
+    mean predictor. *)

@@ -1,0 +1,37 @@
+(** Batch logistic regression by gradient descent.
+
+    The conventional (non-sparsifying) alternative to {!Ftrl}: full
+    gradient steps with L2 shrinkage over dense feature vectors.
+    Exists to quantify, in the App-3 ablation, what the paper gains by
+    naming FTRL-Proximal — an L2-only batch fit matches the log-loss
+    but returns a dense weight vector, so the "dense case" of
+    Fig. 5(c) loses its dimension reduction entirely. *)
+
+type params = {
+  learning_rate : float;  (** > 0 *)
+  l2 : float;  (** ≥ 0 *)
+  iterations : int;  (** ≥ 1 full-batch steps *)
+}
+
+val default_params : params
+(** learning rate 0.5, L2 = 1e-4, 200 iterations. *)
+
+type model = { weights : Dm_linalg.Vec.t; bias : float }
+
+val fit :
+  ?params:params ->
+  Dm_linalg.Mat.t ->
+  bool array ->
+  model
+(** [fit x labels] minimizes the L2-regularized logistic loss of the
+    rows of [x] against [labels] (the bias is unregularized).  Raises
+    [Invalid_argument] on shape mismatch or empty input. *)
+
+val predict : model -> Dm_linalg.Vec.t -> float
+(** σ(w·x + b) ∈ (0, 1). *)
+
+val log_loss : model -> Dm_linalg.Mat.t -> bool array -> float
+
+val nonzeros : ?tol:float -> model -> int
+(** Weights with |wⱼ| > [tol] (default 1e-9) — for the sparsity
+    comparison against FTRL. *)

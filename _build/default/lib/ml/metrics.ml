@@ -1,0 +1,52 @@
+module Vec = Dm_linalg.Vec
+
+let check name preds targets =
+  let n = Vec.dim preds in
+  if n = 0 then invalid_arg ("Metrics." ^ name ^ ": empty input");
+  if n <> Vec.dim targets then
+    invalid_arg ("Metrics." ^ name ^ ": length mismatch");
+  n
+
+let mse preds targets =
+  let n = check "mse" preds targets in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let e = preds.(i) -. targets.(i) in
+    acc := !acc +. (e *. e)
+  done;
+  !acc /. float_of_int n
+
+let mae preds targets =
+  let n = check "mae" preds targets in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. abs_float (preds.(i) -. targets.(i))
+  done;
+  !acc /. float_of_int n
+
+let rmse preds targets = sqrt (mse preds targets)
+
+let check_labels name probs labels =
+  let n = Vec.dim probs in
+  if n = 0 then invalid_arg ("Metrics." ^ name ^ ": empty input");
+  if n <> Array.length labels then
+    invalid_arg ("Metrics." ^ name ^ ": length mismatch");
+  n
+
+let log_loss ~probs ~labels =
+  let n = check_labels "log_loss" probs labels in
+  let eps = 1e-12 in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let p = Float.min (1. -. eps) (Float.max eps probs.(i)) in
+    acc := !acc -. if labels.(i) then log p else log (1. -. p)
+  done;
+  !acc /. float_of_int n
+
+let accuracy ?(threshold = 0.5) ~probs ~labels () =
+  let n = check_labels "accuracy" probs labels in
+  let hits = ref 0 in
+  for i = 0 to n - 1 do
+    if probs.(i) >= threshold = labels.(i) then incr hits
+  done;
+  float_of_int !hits /. float_of_int n

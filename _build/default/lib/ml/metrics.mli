@@ -1,0 +1,16 @@
+(** Evaluation metrics for the fitted market-value models. *)
+
+val mse : Dm_linalg.Vec.t -> Dm_linalg.Vec.t -> float
+(** Mean squared error between predictions and targets.  Raises
+    [Invalid_argument] on length mismatch or empty input. *)
+
+val mae : Dm_linalg.Vec.t -> Dm_linalg.Vec.t -> float
+
+val rmse : Dm_linalg.Vec.t -> Dm_linalg.Vec.t -> float
+
+val log_loss : probs:Dm_linalg.Vec.t -> labels:bool array -> float
+(** Mean logistic loss, probabilities clamped to [1e-12, 1−1e-12]. *)
+
+val accuracy :
+  ?threshold:float -> probs:Dm_linalg.Vec.t -> labels:bool array -> unit -> float
+(** Fraction of correct classifications at [threshold] (default 0.5). *)

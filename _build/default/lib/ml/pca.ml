@@ -1,0 +1,52 @@
+module Vec = Dm_linalg.Vec
+module Mat = Dm_linalg.Mat
+module Eigen = Dm_linalg.Eigen
+
+type t = {
+  mean : Vec.t;
+  components : Mat.t;
+  explained_variance : Vec.t;
+  total_variance : float;
+}
+
+let fit ?components x =
+  let rows, cols = Mat.dims x in
+  if rows < 2 then invalid_arg "Pca.fit: need at least 2 rows";
+  let k = match components with None -> cols | Some k -> min (max k 1) cols in
+  let mean = Vec.init cols (fun j -> Vec.mean (Mat.col x j)) in
+  (* Sample covariance (n−1 denominator). *)
+  let cov = Mat.zeros cols cols in
+  for i = 0 to rows - 1 do
+    let centered = Vec.sub (Mat.row x i) mean in
+    Mat.rank_one_update cov (1. /. float_of_int (rows - 1)) centered
+  done;
+  let { Eigen.eigenvalues; eigenvectors } = Eigen.decompose cov in
+  let components = Mat.init k cols (fun i j -> Mat.get eigenvectors j i) in
+  {
+    mean;
+    components;
+    explained_variance = Vec.slice eigenvalues ~pos:0 ~len:k;
+    total_variance = Mat.trace cov;
+  }
+
+let transform t sample = Mat.matvec t.components (Vec.sub sample t.mean)
+
+let transform_all t x =
+  let rows = Mat.rows x in
+  let k = Mat.rows t.components in
+  let out = Mat.zeros rows k in
+  for i = 0 to rows - 1 do
+    let p = transform t (Mat.row x i) in
+    for j = 0 to k - 1 do
+      Mat.set out i j p.(j)
+    done
+  done;
+  out
+
+let reconstruct t projection =
+  Vec.add (Mat.matvec_t t.components projection) t.mean
+
+let explained_ratio t =
+  if t.total_variance <= 0. then 1.
+  else
+    Float.min 1. (Float.max 0. (Vec.sum t.explained_variance /. t.total_variance))

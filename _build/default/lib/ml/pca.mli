@@ -1,0 +1,32 @@
+(** Principal Components Analysis.
+
+    Section II-B names PCA as the celebrated dimensionality-reduction
+    option when the raw privacy-compensation vector (one entry per
+    data owner) is prohibitively high-dimensional.  The fit
+    diagonalizes the sample covariance with the Jacobi eigensolver. *)
+
+type t = {
+  mean : Dm_linalg.Vec.t;
+  components : Dm_linalg.Mat.t;
+      (** [k × d]; row [i] is the i-th principal direction *)
+  explained_variance : Dm_linalg.Vec.t;  (** descending eigenvalues, length k *)
+  total_variance : float;  (** trace of the sample covariance *)
+}
+
+val fit : ?components:int -> Dm_linalg.Mat.t -> t
+(** [fit ~components:k x] learns the top-[k] directions of the rows of
+    [x] (default: all).  Requires at least 2 rows; [k] is clamped to
+    the feature dimension. *)
+
+val transform : t -> Dm_linalg.Vec.t -> Dm_linalg.Vec.t
+(** Project a (centered internally) sample onto the components. *)
+
+val transform_all : t -> Dm_linalg.Mat.t -> Dm_linalg.Mat.t
+
+val reconstruct : t -> Dm_linalg.Vec.t -> Dm_linalg.Vec.t
+(** Map a projection back to the original space (lossy if k < d). *)
+
+val explained_ratio : t -> float
+(** Fraction of total variance captured by the kept components, in
+    [0, 1].  Meaningful only when the fit kept fewer than all
+    components of a full-rank covariance. *)

@@ -1,0 +1,16 @@
+(** Deterministic train/test splitting.
+
+    App 2 holds out 20% of the Airbnb records to measure the
+    regression fit (MSE 0.226 in the paper); App 3 tests on the last
+    two days of click logs.  Both patterns are covered: a shuffled
+    fractional split and a suffix (most-recent) split. *)
+
+type 'a split = { train : 'a array; test : 'a array }
+
+val random : Dm_prob.Rng.t -> test_fraction:float -> 'a array -> 'a split
+(** Shuffle (seeded) then cut; [test_fraction] ∈ [0, 1].  Both parts
+    together are a permutation of the input. *)
+
+val suffix : test_fraction:float -> 'a array -> 'a split
+(** Keep order; the final fraction becomes the test set (the "last two
+    days" pattern). *)

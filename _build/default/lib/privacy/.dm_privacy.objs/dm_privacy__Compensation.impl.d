@@ -1,0 +1,1 @@
+lib/privacy/compensation.ml: Array Dm_linalg

@@ -1,0 +1,1 @@
+lib/privacy/compensation.mli: Dm_linalg

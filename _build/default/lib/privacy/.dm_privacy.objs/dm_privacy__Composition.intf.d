@@ -1,0 +1,1 @@
+lib/privacy/composition.mli:

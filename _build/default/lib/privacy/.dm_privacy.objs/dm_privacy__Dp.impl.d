@@ -1,0 +1,1 @@
+lib/privacy/dp.ml: Dm_linalg Dm_prob

@@ -1,0 +1,1 @@
+lib/privacy/dp.mli: Dm_linalg Dm_prob

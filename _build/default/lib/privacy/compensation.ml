@@ -1,0 +1,32 @@
+module Vec = Dm_linalg.Vec
+
+type t =
+  | Linear of { rate : float }
+  | Tanh of { cap : float; steepness : float }
+
+let linear ~rate =
+  if rate < 0. then invalid_arg "Compensation.linear: negative rate";
+  Linear { rate }
+
+let tanh_contract ~cap ~steepness =
+  if cap < 0. then invalid_arg "Compensation.tanh_contract: negative cap";
+  if steepness < 0. then
+    invalid_arg "Compensation.tanh_contract: negative steepness";
+  Tanh { cap; steepness }
+
+let amount c eps =
+  if eps < 0. then invalid_arg "Compensation.amount: negative leakage";
+  match c with
+  | Linear { rate } -> rate *. eps
+  | Tanh { cap; steepness } -> cap *. tanh (steepness *. eps)
+
+let cap = function
+  | Linear { rate } -> if rate = 0. then 0. else infinity
+  | Tanh { cap; _ } -> cap
+
+let per_owner ~contracts ~leakages =
+  if Array.length contracts <> Vec.dim leakages then
+    invalid_arg "Compensation.per_owner: length mismatch";
+  Vec.init (Vec.dim leakages) (fun i -> amount contracts.(i) leakages.(i))
+
+let total ~contracts ~leakages = Vec.sum (per_owner ~contracts ~leakages)

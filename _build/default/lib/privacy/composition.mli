@@ -1,0 +1,59 @@
+(** Differential-privacy composition accounting and budgets.
+
+    A data broker answers *sequences* of queries over the same owners
+    (Fig. 2 of the paper), so each owner's cumulative leakage must be
+    tracked across rounds.  This module provides the standard
+    composition calculus (Dwork–Roth, "The Algorithmic Foundations of
+    Differential Privacy") and a per-owner budget accountant the
+    broker can consult before answering a query.
+
+    Leakage levels are (ε, δ) pairs; pure ε-DP is δ = 0. *)
+
+type level = { eps : float; del : float }
+(** An (ε, δ) differential-privacy level; both components ≥ 0. *)
+
+val pure : float -> level
+(** [pure e] is (e, 0).  Raises [Invalid_argument] on negative ε. *)
+
+val approx : eps:float -> del:float -> level
+
+val basic : level list -> level
+(** Sequential (basic) composition: ε and δ add. *)
+
+val advanced : k:int -> slack:float -> level -> level
+(** Advanced composition (Dwork–Roth Thm 3.20): [k]-fold composition
+    of one level (ε, δ) is
+    [(√(2k·ln(1/slack))·ε + k·ε·(eᵉᵖˢ − 1), k·δ + slack)]-DP for any
+    [slack > 0].  Requires [k ≥ 1]. *)
+
+val best_of : k:int -> slack:float -> level -> level
+(** The tighter of {!basic} (k copies) and {!advanced} — advanced only
+    wins for small ε and large k. *)
+
+val gaussian_scale : sensitivity:float -> level -> float
+(** The Gaussian-mechanism noise σ achieving an (ε, δ) level with
+    δ > 0 for the given L2 [sensitivity]:
+    [σ = Δ·√(2·ln(1.25/δ))/ε].  Requires ε ∈ (0, 1] (the classical
+    bound's validity range) and δ ∈ (0, 1). *)
+
+type accountant
+(** Mutable per-owner budget tracker. *)
+
+val accountant : owners:int -> budget:level -> accountant
+(** Every owner starts with the same (ε, δ) budget. *)
+
+val spend : accountant -> owner:int -> level -> bool
+(** [spend a ~owner l] records a leakage under basic composition and
+    returns whether the owner is still within budget {e after} the
+    spend.  Spending never fails — the market records over-budget
+    owners rather than halting — but the return value and {!exhausted}
+    let the broker refuse further queries. *)
+
+val spent : accountant -> owner:int -> level
+
+val remaining : accountant -> owner:int -> level
+(** Componentwise budget minus spend, floored at 0. *)
+
+val exhausted : accountant -> int list
+(** Owners whose ε- or δ-spend strictly exceeds the budget, in
+    increasing order. *)

@@ -1,0 +1,31 @@
+module Vec = Dm_linalg.Vec
+
+type query = { weights : Vec.t; noise_scale : float }
+
+let make_query ~weights ~noise_scale =
+  if Vec.dim weights = 0 then invalid_arg "Dp.make_query: no owners";
+  if noise_scale <= 0. then
+    invalid_arg "Dp.make_query: noise scale must be positive";
+  { weights; noise_scale }
+
+let variance_to_scale v =
+  if v <= 0. then invalid_arg "Dp.variance_to_scale: variance must be positive";
+  sqrt (v /. 2.)
+
+let owner_count q = Vec.dim q.weights
+
+let leakage q ~data_ranges =
+  if Vec.dim data_ranges <> Vec.dim q.weights then
+    invalid_arg "Dp.leakage: dimension mismatch";
+  Vec.map2
+    (fun w range ->
+      if range < 0. then invalid_arg "Dp.leakage: negative data range";
+      abs_float w *. range /. q.noise_scale)
+    q.weights data_ranges
+
+let true_answer q ~data = Vec.dot q.weights data
+
+let noisy_answer rng q ~data =
+  true_answer q ~data +. Dm_prob.Dist.laplace rng ~scale:q.noise_scale
+
+let total_epsilon q ~data_ranges = Vec.sum (leakage q ~data_ranges)

@@ -1,0 +1,1 @@
+lib/prob/subgaussian.ml: Float

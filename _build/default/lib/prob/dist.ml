@@ -1,0 +1,78 @@
+module Vec = Dm_linalg.Vec
+
+let normal rng ~mean ~std =
+  if std < 0. then invalid_arg "Dist.normal: negative std";
+  (* Box–Muller; u1 is kept away from 0 so the log is finite. *)
+  let u1 = 1. -. Rng.float rng in
+  let u2 = Rng.float rng in
+  mean +. (std *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let normal_vec rng ~dim = Vec.init dim (fun _ -> normal rng ~mean:0. ~std:1.)
+
+let uniform_vec rng ~dim ~lo ~hi = Vec.init dim (fun _ -> Rng.uniform rng lo hi)
+
+let laplace rng ~scale =
+  if scale < 0. then invalid_arg "Dist.laplace: negative scale";
+  let u = Rng.float rng -. 0.5 in
+  let s = if u >= 0. then 1. else -1. in
+  -.scale *. s *. log (1. -. (2. *. abs_float u))
+
+let rademacher rng = if Rng.bool rng then 1. else -1.
+
+let bernoulli rng ~p =
+  if p < 0. || p > 1. then invalid_arg "Dist.bernoulli: p outside [0,1]";
+  Rng.float rng < p
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be positive";
+  -.log (1. -. Rng.float rng) /. rate
+
+let categorical rng ~weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Dist.categorical: weights must sum > 0";
+  Array.iter
+    (fun w -> if w < 0. then invalid_arg "Dist.categorical: negative weight")
+    weights;
+  let u = Rng.float rng *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let zipf rng ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+  if s < 0. then invalid_arg "Dist.zipf: negative exponent";
+  let weights =
+    Array.init n (fun k -> (1. /. float_of_int (k + 1)) ** s)
+  in
+  categorical rng ~weights
+
+type subgaussian =
+  | Gaussian of float
+  | Uniform_pm of float
+  | Scaled_rademacher of float
+  | Degenerate
+
+let subgaussian_sample rng = function
+  | Gaussian sigma -> normal rng ~mean:0. ~std:sigma
+  | Uniform_pm a -> Rng.uniform rng (-.a) a
+  | Scaled_rademacher a -> a *. rademacher rng
+  | Degenerate -> 0.
+
+let subgaussian_sigma = function
+  | Gaussian sigma -> sigma
+  | Uniform_pm a -> a
+  | Scaled_rademacher a -> a
+  | Degenerate -> 0.
+
+let on_sphere rng ~dim ~radius =
+  if radius < 0. then invalid_arg "Dist.on_sphere: negative radius";
+  let rec draw () =
+    let v = normal_vec rng ~dim in
+    if Vec.norm2 v > 1e-12 then v else draw ()
+  in
+  Vec.scale radius (Vec.normalize (draw ()))

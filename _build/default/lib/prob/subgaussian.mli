@@ -1,0 +1,37 @@
+(** The paper's sub-Gaussian uncertainty buffer (Section III-B).
+
+    If the market-value noise δ_t satisfies the tail bound
+    [Pr(|δ_t| > z) ≤ C·exp(−z²/2σ²)] (Eq. 4), then setting
+    [δ = √(2 log C)·σ·log T] gives [Pr(|δ_t| > δ) ≤ T^{−log T}]
+    (Eq. 5), and a union bound over all T ≥ 8 rounds leaves the whole
+    horizon inside the buffer with probability ≥ 1 − 1/T (Eq. 6).
+    Algorithm 2 then treats every posted price as if it had been
+    [p ± δ] when cutting the ellipsoid. *)
+
+val buffer : ?c:float -> sigma:float -> horizon:int -> unit -> float
+(** [buffer ~sigma ~horizon ()] is the paper's δ for noise level
+    [sigma] over [horizon] rounds, with tail constant [c] (default 2,
+    the Gaussian case).  Requires [sigma ≥ 0], [horizon ≥ 1], and
+    [c > 1]. *)
+
+val sigma_for_buffer : ?c:float -> delta:float -> horizon:int -> unit -> float
+(** Inverse of {!buffer}: the σ whose buffer equals [delta] — the
+    evaluation fixes δ = 0.01 and derives σ = δ/(√(2 log 2)·log T). *)
+
+val tail_bound : ?c:float -> sigma:float -> z:float -> unit -> float
+(** The right-hand side of Eq. 4: [min 1 (C·exp(−z²/2σ²))].  With
+    [sigma = 0] this is 0 for every [z > 0]. *)
+
+val union_miss_probability : horizon:int -> float
+(** The Eq. 6 bound [T^{1−log T}] on the probability that any round's
+    noise escapes the buffer (≤ 1/T for T ≥ 8). *)
+
+val low_uncertainty_delta : dim:int -> horizon:int -> float
+(** The regime of Theorem 1: δ = n/T ("low uncertainty"), under which
+    the worst-case regret is O(max(n² log(T/n), n³ log(T/n)/T)). *)
+
+val default_threshold : dim:int -> horizon:int -> float
+(** The exploration threshold ε the analysis pairs with the low-δ
+    regime: [log₂T / T] in one dimension (Theorem 3) and [n²/T]
+    otherwise (Theorem 1), floored at [4·n·δ] so the precondition
+    ε ≥ 4nδ of Lemmas 4–7 holds. *)

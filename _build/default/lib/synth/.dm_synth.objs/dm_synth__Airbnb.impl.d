@@ -1,0 +1,1 @@
+lib/synth/airbnb.ml: Array Dm_linalg Dm_ml Dm_prob Float

@@ -1,0 +1,1 @@
+lib/synth/airbnb.mli: Dm_linalg Dm_prob

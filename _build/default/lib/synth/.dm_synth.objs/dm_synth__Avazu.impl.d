@@ -1,0 +1,1 @@
+lib/synth/avazu.ml: Array Dm_ml Dm_prob List Printf

@@ -1,0 +1,1 @@
+lib/synth/avazu.mli: Dm_ml Dm_prob

@@ -1,0 +1,1 @@
+lib/synth/linear_query.ml: Array Dm_privacy Dm_prob

@@ -1,0 +1,1 @@
+lib/synth/linear_query.mli: Dm_privacy Dm_prob

@@ -1,0 +1,1 @@
+lib/synth/movielens.ml: Array Dm_privacy Dm_prob Float

@@ -1,0 +1,1 @@
+lib/synth/movielens.mli: Dm_linalg Dm_privacy Dm_prob

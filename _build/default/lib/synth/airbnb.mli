@@ -1,0 +1,68 @@
+(** Synthetic Airbnb-style listing corpus (App 2).
+
+    The paper prices accommodation rentals over 74,111 Kaggle booking
+    records from 6 U.S. cities under the log-linear model, encoding
+    categorical columns with pandas categoricals, adding interaction
+    features for a final dimension n = 55, and learning θ* by linear
+    regression on the logarithmic lodging price (test MSE 0.226).
+
+    This generator produces records with the same schema shape —
+    city / property / room / bed / cancellation categoricals, numeric
+    listing attributes, 24 amenity flags — whose log prices follow a
+    ground-truth hedonic model with Gaussian noise, so that the same
+    OLS pipeline yields a comparable fit (see DESIGN.md §3). *)
+
+type record = {
+  city : string;
+  property_type : string;
+  room_type : string;
+  bed_type : string;
+  cancellation_policy : string;
+  accommodates : int;  (** 1–16 guests *)
+  bathrooms : float;  (** 0.5–8.0 in half steps *)
+  bedrooms : int;  (** 0–10 *)
+  beds : int;  (** 1–16 *)
+  review_score : float;  (** 20–100 *)
+  number_of_reviews : int;
+  host_response_rate : float;  (** 0–1 *)
+  cleaning_fee : bool;
+  instant_bookable : bool;
+  lat_offset : float;  (** normalized distance from city center, −1–1 *)
+  lng_offset : float;
+  amenities : bool array;  (** flags for {!amenity_names} *)
+  log_price : float;  (** natural log of the nightly price *)
+}
+
+val cities : string array
+(** The paper's 6 cities. *)
+
+val amenity_names : string array
+(** 24 amenity flags. *)
+
+val feature_dim : int
+(** 55 — bias + 5 categorical codes + 11 numerics + 24 amenities + 14
+    interactions, matching the paper's n. *)
+
+val generate : Dm_prob.Rng.t -> rows:int -> record array
+(** [rows] independent listings with ground-truth hedonic log prices
+    (the paper's corpus has 74,111). *)
+
+type encoder
+
+val fit_encoder : record array -> encoder
+(** Learn the categorical codings from a training corpus. *)
+
+val encode : encoder -> record -> Dm_linalg.Vec.t
+(** The 55-dimensional feature vector.  Component 0 is a constant 1
+    (bias), categoricals are dense codes scaled to [0, 1], numerics
+    are scaled to ≈[0, 1], and the trailing block holds the
+    interaction features. *)
+
+val design_matrix : encoder -> record array -> Dm_linalg.Mat.t
+
+val targets : record array -> Dm_linalg.Vec.t
+(** The log prices. *)
+
+val max_feature_norm : encoder -> record array -> float
+(** max ‖encode r‖₂ over the corpus — the S/U bound the pricing
+    mechanism needs. *)

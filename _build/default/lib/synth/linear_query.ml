@@ -1,0 +1,26 @@
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+module Dp = Dm_privacy.Dp
+
+type param_dist = Gaussian | Uniform | Mixed
+
+let noise_variance_grid = Array.init 9 (fun i -> 10. ** float_of_int (i - 4))
+
+let draw rng ~dist ~owners =
+  if owners < 1 then invalid_arg "Linear_query.draw: need at least one owner";
+  let gaussian () = Dist.normal_vec rng ~dim:owners in
+  let uniform () = Dist.uniform_vec rng ~dim:owners ~lo:(-1.) ~hi:1. in
+  let weights =
+    match dist with
+    | Gaussian -> gaussian ()
+    | Uniform -> uniform ()
+    | Mixed -> if Rng.bool rng then gaussian () else uniform ()
+  in
+  let variance =
+    noise_variance_grid.(Rng.int rng (Array.length noise_variance_grid))
+  in
+  Dp.make_query ~weights ~noise_scale:(Dp.variance_to_scale variance)
+
+let stream rng ~dist ~owners ~rounds =
+  if rounds < 0 then invalid_arg "Linear_query.stream: negative rounds";
+  Array.init rounds (fun _ -> draw rng ~dist ~owners)

@@ -1,0 +1,29 @@
+(** Workload generator for App 1's noisy linear queries.
+
+    Section V-A: "the parameters of each linear query are randomly
+    drawn from either a multivariate normal distribution with zero
+    mean vector and identity covariance matrix or a uniform
+    distribution within the interval [−1, 1], while the variance of
+    Laplace noise added to the true answer is randomly selected from
+    {10^k | k ∈ Z, |k| ≤ 4}". *)
+
+type param_dist =
+  | Gaussian  (** weights ~ N(0, I) *)
+  | Uniform  (** weights ~ U[−1, 1]ⁿ *)
+  | Mixed  (** each round picks Gaussian or Uniform with equal odds —
+               the adaptivity check of the paper's setup *)
+
+val noise_variance_grid : float array
+(** [{10^k | −4 ≤ k ≤ 4}], ascending. *)
+
+val draw : Dm_prob.Rng.t -> dist:param_dist -> owners:int -> Dm_privacy.Dp.query
+(** One random query over [owners] data owners. *)
+
+val stream :
+  Dm_prob.Rng.t ->
+  dist:param_dist ->
+  owners:int ->
+  rounds:int ->
+  Dm_privacy.Dp.query array
+(** [rounds] independent queries (materialized; the largest experiment
+    holds 10⁵ of them comfortably). *)

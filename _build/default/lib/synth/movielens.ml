@@ -1,0 +1,50 @@
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+module Comp = Dm_privacy.Compensation
+
+type owner = {
+  id : int;
+  mean_rating : float;
+  num_ratings : int;
+  contract : Comp.t;
+}
+
+type corpus = { owners : owner array; rating_lo : float; rating_hi : float }
+
+let clamp lo hi x = Float.min hi (Float.max lo x)
+
+let generate ?(rating_lo = 0.5) ?(rating_hi = 5.0) rng ~owners =
+  if owners < 1 then invalid_arg "Movielens.generate: need at least one owner";
+  if rating_lo >= rating_hi then
+    invalid_arg "Movielens.generate: empty rating scale";
+  let mid = 0.5 *. (rating_lo +. rating_hi) in
+  let make id =
+    (* Per-user bias around a generous global mean, like real rating
+       corpora (MovieLens ratings average ≈ 3.5). *)
+    let mean_rating =
+      clamp rating_lo rating_hi
+        (mid +. 0.6 +. Dist.normal rng ~mean:0. ~std:0.7)
+    in
+    (* Heavy-tailed activity: most users rate little, a few rate a lot. *)
+    let num_ratings = 5 + Dist.zipf rng ~n:2000 ~s:1.1 in
+    (* Heterogeneous privacy attitudes: cap is the price of saturating
+       an owner's privacy; steepness is how fast small leakages are
+       charged.  Both follow the tanh contracts of Li et al.  The caps
+       are log-normal — privacy valuations in the wild span orders of
+       magnitude — which gives the sorted compensation profiles the
+       skew that separates market values from reserve prices. *)
+    let cap = abs_float (Dist.normal rng ~mean:1. ~std:0.3) +. 0.1 in
+    let steepness = Rng.uniform rng 0.5 2.0 in
+    let contract = Comp.tanh_contract ~cap ~steepness in
+    { id; mean_rating; num_ratings; contract }
+  in
+  { owners = Array.init owners make; rating_lo; rating_hi }
+
+let owner_count c = Array.length c.owners
+
+let data_vector c = Array.map (fun o -> o.mean_rating) c.owners
+
+let data_ranges c =
+  Array.map (fun _ -> c.rating_hi -. c.rating_lo) c.owners
+
+let contracts c = Array.map (fun o -> o.contract) c.owners

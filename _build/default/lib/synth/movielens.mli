@@ -1,0 +1,45 @@
+(** Synthetic MovieLens-style rating corpus.
+
+    App 1 of the paper prices noisy linear queries over the MovieLens
+    20M ratings; the sealed build environment cannot ship that
+    dataset, so this module generates a corpus with the properties the
+    pricing pipeline actually consumes (see DESIGN.md §3):
+
+    - each data owner has a rating profile on a shared 0.5–5.0 star
+      scale, with per-user mean and variance heterogeneity (some users
+      rate high, some low, some erratically);
+    - each owner's scalar data value for linear queries is her mean
+      rating, whose data range (sensitivity bound) is the width of the
+      rating scale;
+    - each owner signs a tanh compensation contract with a
+      heterogeneous rate, mirroring the tanh-based compensation
+      functions the paper adopts from Li et al. *)
+
+type owner = {
+  id : int;
+  mean_rating : float;  (** within the rating scale *)
+  num_ratings : int;
+  contract : Dm_privacy.Compensation.t;
+}
+
+type corpus = {
+  owners : owner array;
+  rating_lo : float;
+  rating_hi : float;
+}
+
+val generate : ?rating_lo:float -> ?rating_hi:float -> Dm_prob.Rng.t -> owners:int -> corpus
+(** [generate rng ~owners] draws a corpus of [owners] data owners.
+    Default rating scale is the MovieLens 0.5–5.0.  Requires
+    [owners ≥ 1] and [rating_lo < rating_hi]. *)
+
+val owner_count : corpus -> int
+
+val data_vector : corpus -> Dm_linalg.Vec.t
+(** Per-owner data values (mean ratings) — the [d] of a linear query
+    [Σᵢ wᵢ·dᵢ]. *)
+
+val data_ranges : corpus -> Dm_linalg.Vec.t
+(** Per-owner sensitivity bounds [Δᵢ], all equal to the scale width. *)
+
+val contracts : corpus -> Dm_privacy.Compensation.t array

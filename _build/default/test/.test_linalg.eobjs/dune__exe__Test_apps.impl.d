@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Dm_apps Dm_linalg Dm_market Dm_prob Lazy

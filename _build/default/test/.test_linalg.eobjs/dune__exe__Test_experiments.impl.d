@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Buffer Dm_experiments Dm_linalg Format String

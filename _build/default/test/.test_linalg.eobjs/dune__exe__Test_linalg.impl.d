@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Dm_linalg Float Format Gen Print QCheck QCheck_alcotest

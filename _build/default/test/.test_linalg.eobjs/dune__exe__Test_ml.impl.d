@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Dm_linalg Dm_ml Dm_prob Float List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_privacy.ml: Alcotest Array Dm_linalg Dm_privacy Dm_prob List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Dm_linalg Dm_prob Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Dm_linalg Dm_ml Dm_privacy Dm_prob Dm_synth Float Lazy List QCheck QCheck_alcotest

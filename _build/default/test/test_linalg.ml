@@ -1,0 +1,449 @@
+(* Unit and property tests for the dm_linalg substrate. *)
+
+module Vec = Dm_linalg.Vec
+module Mat = Dm_linalg.Mat
+module Chol = Dm_linalg.Chol
+module Eigen = Dm_linalg.Eigen
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let small_float = QCheck.float_range (-10.) 10.
+
+let vec_gen n = QCheck.(array_of_size (Gen.return n) small_float)
+
+let sized_vec_gen =
+  QCheck.(
+    let gen =
+      Gen.(
+        int_range 1 12 >>= fun n ->
+        array_size (return n) (float_range (-10.) 10.))
+    in
+    make ~print:Print.(array float) gen)
+
+(* A random symmetric positive definite matrix M·Mᵀ + ridge·I. *)
+let spd_gen =
+  QCheck.(
+    let gen =
+      Gen.(
+        int_range 1 8 >>= fun n ->
+        map
+          (fun data ->
+            let m = Mat.init n n (fun i j -> data.((i * n) + j)) in
+            let a = Mat.matmul m (Mat.transpose m) in
+            for i = 0 to n - 1 do
+              Mat.set a i i (Mat.get a i i +. 0.5)
+            done;
+            a)
+          (array_size (return (n * n)) (float_range (-2.) 2.)))
+    in
+    make
+      ~print:(fun m -> Format.asprintf "%a" Mat.pp m)
+      gen)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_basics () =
+  check_int "dim" 3 (Vec.dim (Vec.of_list [ 1.; 2.; 3. ]));
+  check_float "dot" 32. (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  check_float "norm2" 5. (Vec.norm2 [| 3.; 4. |]);
+  check_float "norm1" 7. (Vec.norm1 [| 3.; -4. |]);
+  check_float "norm_inf" 4. (Vec.norm_inf [| 3.; -4. |]);
+  check_float "sum" 6. (Vec.sum [| 1.; 2.; 3. |]);
+  check_float "mean" 2. (Vec.mean [| 1.; 2.; 3. |]);
+  check_float "dist2" 5. (Vec.dist2 [| 0.; 0. |] [| 3.; 4. |]);
+  check_float "max" 3. (Vec.max_elt [| 1.; 3.; 2. |]);
+  check_float "min" 1. (Vec.min_elt [| 1.; 3.; 2. |]);
+  check_int "argmax" 1 (Vec.argmax [| 1.; 3.; 2. |]);
+  check_int "argmin" 0 (Vec.argmin [| 1.; 3.; 2. |])
+
+let test_vec_basis () =
+  let e1 = Vec.basis 3 1 in
+  check_float "component" 1. (Vec.get e1 1);
+  check_float "others" 0. (Vec.get e1 0);
+  check_float "unit norm" 1. (Vec.norm2 e1);
+  Alcotest.check_raises "out of range" (Invalid_argument "Vec.basis: index out of range")
+    (fun () -> ignore (Vec.basis 3 3))
+
+let test_vec_ops () =
+  let u = [| 1.; 2. |] and v = [| 3.; 5. |] in
+  check_bool "add" true (Vec.approx_equal (Vec.add u v) [| 4.; 7. |]);
+  check_bool "sub" true (Vec.approx_equal (Vec.sub v u) [| 2.; 3. |]);
+  check_bool "scale" true (Vec.approx_equal (Vec.scale 2. u) [| 2.; 4. |]);
+  check_bool "neg" true (Vec.approx_equal (Vec.neg u) [| -1.; -2. |]);
+  let y = Vec.copy v in
+  Vec.axpy 2. u y;
+  check_bool "axpy" true (Vec.approx_equal y [| 5.; 9. |])
+
+let test_vec_normalize () =
+  let v = Vec.normalize [| 3.; 4. |] in
+  check_float "unit" 1. (Vec.norm2 v);
+  Alcotest.check_raises "zero vector" (Invalid_argument "Vec.normalize: zero vector")
+    (fun () -> ignore (Vec.normalize [| 0.; 0. |]))
+
+let test_vec_mismatch () =
+  Alcotest.check_raises "dot mismatch"
+    (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.dot [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+let test_vec_slice_sort () =
+  let v = [| 5.; 1.; 4.; 2. |] in
+  check_bool "sorted" true (Vec.approx_equal (Vec.sorted v) [| 1.; 2.; 4.; 5. |]);
+  check_bool "slice" true
+    (Vec.approx_equal (Vec.slice v ~pos:1 ~len:2) [| 1.; 4. |]);
+  check_bool "concat" true
+    (Vec.approx_equal (Vec.concat [| 1. |] [| 2. |]) [| 1.; 2. |]);
+  (* sorted must not mutate its input *)
+  check_float "input intact" 5. v.(0)
+
+let vec_props =
+  [
+    prop "dot is symmetric" 200 sized_vec_gen (fun v ->
+        let u = Vec.map (fun x -> x +. 1.) v in
+        abs_float (Vec.dot u v -. Vec.dot v u) < 1e-9);
+    prop "cauchy-schwarz" 200 sized_vec_gen (fun v ->
+        let u = Vec.map (fun x -> (2. *. x) -. 1.) v in
+        abs_float (Vec.dot u v) <= (Vec.norm2 u *. Vec.norm2 v) +. 1e-6);
+    prop "triangle inequality" 200 sized_vec_gen (fun v ->
+        let u = Vec.map (fun x -> x *. 0.5) v in
+        Vec.norm2 (Vec.add u v) <= Vec.norm2 u +. Vec.norm2 v +. 1e-6);
+    prop "norm ordering: inf <= 2 <= 1" 200 sized_vec_gen (fun v ->
+        Vec.norm_inf v <= Vec.norm2 v +. 1e-9
+        && Vec.norm2 v <= Vec.norm1 v +. 1e-9);
+    prop "normalize yields unit norm" 200 sized_vec_gen (fun v ->
+        QCheck.assume (Vec.norm2 v > 1e-6);
+        abs_float (Vec.norm2 (Vec.normalize v) -. 1.) < 1e-9);
+    prop "scale distributes over dot" 200 sized_vec_gen (fun v ->
+        let a = 3.5 in
+        abs_float (Vec.dot (Vec.scale a v) v -. (a *. Vec.dot v v)) < 1e-6);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Mat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mat_identity () =
+  let i3 = Mat.identity 3 in
+  let x = [| 1.; 2.; 3. |] in
+  check_bool "I·x = x" true (Vec.approx_equal (Mat.matvec i3 x) x);
+  check_float "trace" 3. (Mat.trace i3);
+  check_bool "scaled identity" true
+    (Mat.approx_equal (Mat.scaled_identity 2 4.) (Mat.scale 4. (Mat.identity 2)))
+
+let test_mat_matvec () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check_bool "matvec" true
+    (Vec.approx_equal (Mat.matvec a [| 1.; 1. |]) [| 3.; 7. |]);
+  check_bool "matvec_t" true
+    (Vec.approx_equal (Mat.matvec_t a [| 1.; 1. |]) [| 4.; 6. |]);
+  check_bool "matvec_t = (transpose)·v" true
+    (Vec.approx_equal
+       (Mat.matvec (Mat.transpose a) [| 1.; 1. |])
+       (Mat.matvec_t a [| 1.; 1. |]))
+
+let test_mat_matmul () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let ab = Mat.matmul a b in
+  check_bool "swap columns" true
+    (Mat.approx_equal ab (Mat.of_arrays [| [| 2.; 1. |]; [| 4.; 3. |] |]))
+
+let test_mat_quad () =
+  let a = Mat.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = [| 1.; 2. |] in
+  (* xᵀAx = 2 + 2 + 2 + 12 = 18 *)
+  check_float "quad" 18. (Mat.quad a x);
+  check_float "quad = dot x (A x)" (Vec.dot x (Mat.matvec a x)) (Mat.quad a x)
+
+let test_mat_rank_one () =
+  let a = Mat.identity 2 in
+  Mat.rank_one_update a 2. [| 1.; 1. |];
+  check_bool "rank one" true
+    (Mat.approx_equal a (Mat.of_arrays [| [| 3.; 2. |]; [| 2.; 3. |] |]))
+
+let test_mat_outer () =
+  let o = Mat.outer [| 1.; 2. |] [| 3.; 4. |] in
+  check_bool "outer" true
+    (Mat.approx_equal o (Mat.of_arrays [| [| 3.; 4. |]; [| 6.; 8. |] |]))
+
+let test_mat_symmetrize () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 4.; 1. |] |] in
+  check_bool "asymmetric" false (Mat.is_symmetric a);
+  Mat.symmetrize_inplace a;
+  check_bool "symmetrized" true (Mat.is_symmetric a);
+  check_float "averaged" 3. (Mat.get a 0 1)
+
+let test_mat_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_arrays: ragged rows")
+    (fun () -> ignore (Mat.of_arrays [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_mat_row_col_diag () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  check_bool "row" true (Vec.approx_equal (Mat.row a 1) [| 3.; 4. |]);
+  check_bool "col" true (Vec.approx_equal (Mat.col a 1) [| 2.; 4. |]);
+  check_bool "diag" true (Vec.approx_equal (Mat.diag a) [| 1.; 4. |]);
+  check_bool "diag_of_vec" true
+    (Mat.approx_equal
+       (Mat.diag_of_vec [| 1.; 4. |])
+       (Mat.of_arrays [| [| 1.; 0. |]; [| 0.; 4. |] |]))
+
+let mat_props =
+  [
+    prop "quad agrees with matvec+dot" 100 spd_gen (fun a ->
+        let n = Mat.rows a in
+        let x = Array.init n (fun i -> float_of_int (i + 1) /. 3.) in
+        abs_float (Mat.quad a x -. Vec.dot x (Mat.matvec a x)) < 1e-6);
+    prop "spd gen is symmetric positive definite" 100 spd_gen (fun a ->
+        Mat.is_symmetric ~tol:1e-9 a && Chol.is_positive_definite a);
+    prop "transpose involutive" 100 spd_gen (fun a ->
+        Mat.approx_equal (Mat.transpose (Mat.transpose a)) a);
+    prop "trace invariant under transpose" 100 spd_gen (fun a ->
+        abs_float (Mat.trace a -. Mat.trace (Mat.transpose a)) < 1e-9);
+    prop "rank_one_update matches outer add" 100 spd_gen (fun a ->
+        let n = Mat.rows a in
+        let b = Array.init n (fun i -> 0.3 *. float_of_int (i - 1)) in
+        let via_update = Mat.copy a in
+        Mat.rank_one_update via_update (-0.7) b;
+        let via_outer = Mat.add a (Mat.scale (-0.7) (Mat.outer b b)) in
+        Mat.approx_equal ~tol:1e-9 via_update via_outer);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Chol                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_chol_known () =
+  (* A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt 2]]. *)
+  let a = Mat.of_arrays [| [| 4.; 2. |]; [| 2.; 3. |] |] in
+  let l = Chol.factorize a in
+  check_float "l00" 2. (Mat.get l 0 0);
+  check_float "l10" 1. (Mat.get l 1 0);
+  check_float "l11" (sqrt 2.) (Mat.get l 1 1);
+  check_float "l01 zero" 0. (Mat.get l 0 1)
+
+let test_chol_solve () =
+  let a = Mat.of_arrays [| [| 4.; 2. |]; [| 2.; 3. |] |] in
+  let x = [| 1.; -2. |] in
+  let b = Mat.matvec a x in
+  check_bool "roundtrip" true (Vec.approx_equal ~tol:1e-9 (Chol.solve a b) x)
+
+let test_chol_not_pd () =
+  let indefinite = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 1. |] |] in
+  check_bool "indefinite" false (Chol.is_positive_definite indefinite);
+  (* Singular but PSD: the ridge retry path must still produce a finite
+     solution of the regularized system. *)
+  let singular = Mat.of_arrays [| [| 1.; 1. |]; [| 1.; 1. |] |] in
+  check_bool "singular detected" false (Chol.is_positive_definite singular);
+  let x = Chol.solve_regularized singular [| 1.; 1. |] in
+  check_bool "regularized solves singular PSD" true
+    (Array.for_all Float.is_finite x)
+
+let test_chol_log_det () =
+  let a = Mat.scaled_identity 3 2. in
+  check_float "log det of 2I₃" (3. *. log 2.) (Chol.log_det a)
+
+let chol_props =
+  [
+    prop "solve inverts matvec" 100 spd_gen (fun a ->
+        let n = Mat.rows a in
+        let x = Array.init n (fun i -> float_of_int (i + 1)) in
+        let b = Mat.matvec a x in
+        Vec.approx_equal ~tol:1e-5 (Chol.solve a b) x);
+    prop "L·Lᵀ reconstructs A" 100 spd_gen (fun a ->
+        let l = Chol.factorize a in
+        Mat.approx_equal ~tol:1e-7 (Mat.matmul l (Mat.transpose l)) a);
+    prop "log_det matches eigenvalue sum" 60 spd_gen (fun a ->
+        let ev = Eigen.eigenvalues a in
+        let sum = Array.fold_left (fun acc l -> acc +. log l) 0. ev in
+        abs_float (Chol.log_det a -. sum) < 1e-5);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lu                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Lu = Dm_linalg.Lu
+
+let general_gen =
+  QCheck.(
+    let gen =
+      Gen.(
+        int_range 1 8 >>= fun n ->
+        map
+          (fun data ->
+            let m = Mat.init n n (fun i j -> data.((i * n) + j)) in
+            (* Diagonal boost keeps random matrices comfortably
+               non-singular. *)
+            for i = 0 to n - 1 do
+              Mat.set m i i (Mat.get m i i +. 3.)
+            done;
+            m)
+          (array_size (return (n * n)) (float_range (-1.) 1.)))
+    in
+    make ~print:(fun m -> Format.asprintf "%a" Mat.pp m) gen)
+
+let test_lu_known () =
+  (* A 2x2 with known inverse and determinant. *)
+  let a = Mat.of_arrays [| [| 4.; 7. |]; [| 2.; 6. |] |] in
+  check_float "determinant" 10. (Lu.determinant a);
+  let inv = Lu.inverse a in
+  check_bool "inverse" true
+    (Mat.approx_equal ~tol:1e-9 inv
+       (Mat.of_arrays [| [| 0.6; -0.7 |]; [| -0.2; 0.4 |] |]))
+
+let test_lu_pivoting () =
+  (* Zero leading pivot forces a row swap. *)
+  let a = Mat.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  check_float "permutation determinant" (-1.) (Lu.determinant a);
+  check_bool "solve through pivot" true
+    (Vec.approx_equal (Lu.solve_matrix a [| 3.; 5. |]) [| 5.; 3. |])
+
+let test_lu_singular () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  check_float "singular determinant" 0. (Lu.determinant a);
+  check_bool "factorize raises" true
+    (match Lu.factorize a with
+    | _ -> false
+    | exception Lu.Singular _ -> true)
+
+let lu_props =
+  [
+    prop "solve inverts matvec (general)" 100 general_gen (fun a ->
+        let n = Mat.rows a in
+        let x = Array.init n (fun i -> float_of_int (i - 2)) in
+        let b = Mat.matvec a x in
+        Vec.approx_equal ~tol:1e-6 (Lu.solve_matrix a b) x);
+    prop "A·A⁻¹ = I" 100 general_gen (fun a ->
+        let n = Mat.rows a in
+        Mat.approx_equal ~tol:1e-7 (Mat.matmul a (Lu.inverse a)) (Mat.identity n));
+    prop "LU and Cholesky determinants agree on SPD" 60 spd_gen (fun a ->
+        let via_chol = exp (Chol.log_det a) in
+        abs_float (Lu.determinant a -. via_chol) < 1e-6 *. (1. +. via_chol));
+    prop "determinant is multiplicative" 60 general_gen (fun a ->
+        let b = Mat.transpose a in
+        let dab = Lu.determinant (Mat.matmul a b) in
+        let da = Lu.determinant a and db = Lu.determinant b in
+        abs_float (dab -. (da *. db)) < 1e-5 *. (1. +. abs_float dab));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Eigen                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_eigen_diag () =
+  let a = Mat.diag_of_vec [| 3.; 1.; 2. |] in
+  let ev = Eigen.eigenvalues a in
+  check_bool "sorted eigenvalues" true
+    (Vec.approx_equal ev [| 3.; 2.; 1. |])
+
+let test_eigen_known_2x2 () =
+  (* [[2,1],[1,2]] has eigenvalues 3 and 1. *)
+  let a = Mat.of_arrays [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+  let ev = Eigen.eigenvalues a in
+  check_float_loose "largest" 3. ev.(0);
+  check_float_loose "smallest" 1. ev.(1);
+  check_float_loose "smallest fn" 1. (Eigen.smallest_eigenvalue a);
+  check_float_loose "largest fn" 3. (Eigen.largest_eigenvalue a);
+  check_float_loose "condition" 3. (Eigen.condition_number a)
+
+let test_eigen_not_symmetric () =
+  let a = Mat.of_arrays [| [| 1.; 5. |]; [| 0.; 1. |] |] in
+  check_bool "raises" true
+    (match Eigen.decompose a with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_eigen_log_volume () =
+  (* log √(det (2I₃)) = 1.5 log 2 *)
+  check_float_loose "log volume of 2I₃" (1.5 *. log 2.)
+    (Eigen.log_volume_factor (Mat.scaled_identity 3 2.))
+
+let eigen_props =
+  [
+    prop "V·diag(λ)·Vᵀ reconstructs A" 60 spd_gen (fun a ->
+        let { Eigen.eigenvalues = ev; eigenvectors = v } = Eigen.decompose a in
+        let recon = Mat.matmul (Mat.matmul v (Mat.diag_of_vec ev)) (Mat.transpose v) in
+        Mat.approx_equal ~tol:1e-6 recon a);
+    prop "eigenvectors are orthonormal" 60 spd_gen (fun a ->
+        let { Eigen.eigenvectors = v; _ } = Eigen.decompose a in
+        let g = Mat.matmul (Mat.transpose v) v in
+        Mat.approx_equal ~tol:1e-7 g (Mat.identity (Mat.rows a)));
+    prop "eigenvalue sum equals trace" 60 spd_gen (fun a ->
+        let ev = Eigen.eigenvalues a in
+        abs_float (Vec.sum ev -. Mat.trace a) < 1e-6);
+    prop "spd eigenvalues are positive" 60 spd_gen (fun a ->
+        Array.for_all (fun l -> l > 0.) (Eigen.eigenvalues a));
+    prop "rayleigh quotient bounded by extreme eigenvalues" 60 spd_gen
+      (fun a ->
+        let n = Mat.rows a in
+        let x = Array.init n (fun i -> cos (float_of_int i)) in
+        QCheck.assume (Vec.norm2 x > 1e-6);
+        let r = Mat.quad a x /. Vec.dot x x in
+        let ev = Eigen.eigenvalues a in
+        r <= ev.(0) +. 1e-6 && r >= ev.(n - 1) -. 1e-6);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  ignore vec_gen;
+  Alcotest.run "dm_linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "basis" `Quick test_vec_basis;
+          Alcotest.test_case "arithmetic" `Quick test_vec_ops;
+          Alcotest.test_case "normalize" `Quick test_vec_normalize;
+          Alcotest.test_case "dimension mismatch" `Quick test_vec_mismatch;
+          Alcotest.test_case "slice/sort/concat" `Quick test_vec_slice_sort;
+        ]
+        @ vec_props );
+      ( "mat",
+        [
+          Alcotest.test_case "identity" `Quick test_mat_identity;
+          Alcotest.test_case "matvec" `Quick test_mat_matvec;
+          Alcotest.test_case "matmul" `Quick test_mat_matmul;
+          Alcotest.test_case "quadratic form" `Quick test_mat_quad;
+          Alcotest.test_case "rank-one update" `Quick test_mat_rank_one;
+          Alcotest.test_case "outer product" `Quick test_mat_outer;
+          Alcotest.test_case "symmetrize" `Quick test_mat_symmetrize;
+          Alcotest.test_case "ragged input" `Quick test_mat_ragged;
+          Alcotest.test_case "row/col/diag" `Quick test_mat_row_col_diag;
+        ]
+        @ mat_props );
+      ( "chol",
+        [
+          Alcotest.test_case "known factor" `Quick test_chol_known;
+          Alcotest.test_case "solve" `Quick test_chol_solve;
+          Alcotest.test_case "indefinite input" `Quick test_chol_not_pd;
+          Alcotest.test_case "log det" `Quick test_chol_log_det;
+        ]
+        @ chol_props );
+      ( "lu",
+        [
+          Alcotest.test_case "known inverse" `Quick test_lu_known;
+          Alcotest.test_case "pivoting" `Quick test_lu_pivoting;
+          Alcotest.test_case "singular input" `Quick test_lu_singular;
+        ]
+        @ lu_props );
+      ( "eigen",
+        [
+          Alcotest.test_case "diagonal matrix" `Quick test_eigen_diag;
+          Alcotest.test_case "known 2x2" `Quick test_eigen_known_2x2;
+          Alcotest.test_case "asymmetric input" `Quick test_eigen_not_symmetric;
+          Alcotest.test_case "log volume" `Quick test_eigen_log_volume;
+        ]
+        @ eigen_props );
+    ]

@@ -1,0 +1,1309 @@
+(* Unit and property tests for the dm_market core library. *)
+
+module Vec = Dm_linalg.Vec
+module Mat = Dm_linalg.Mat
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+module Ellipsoid = Dm_market.Ellipsoid
+module Model = Dm_market.Model
+module Mechanism = Dm_market.Mechanism
+module Regret = Dm_market.Regret
+module Feature = Dm_market.Feature
+module Broker = Dm_market.Broker
+module Adversary = Dm_market.Adversary
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Ellipsoid: construction and bounds                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ball () =
+  let e = Ellipsoid.ball ~dim:3 ~radius:2. in
+  check_int "dim" 3 (Ellipsoid.dim e);
+  let b = Ellipsoid.bounds e ~x:(Vec.basis 3 0) in
+  check_float "lower" (-2.) b.Ellipsoid.lower;
+  check_float "upper" 2. b.Ellipsoid.upper;
+  check_float "mid" 0. b.Ellipsoid.mid;
+  check_float "width" 4. (Ellipsoid.width e ~x:(Vec.basis 3 0))
+
+let test_of_box () =
+  (* K₁ = [−1,2] × [−3,1] → R = √(4 + 9) = √13. *)
+  let e = Ellipsoid.of_box ~lo:[| -1.; -3. |] ~hi:[| 2.; 1. |] in
+  check_float "radius via width" (2. *. sqrt 13.)
+    (Ellipsoid.width e ~x:(Vec.basis 2 0));
+  check_bool "contains the box corners" true
+    (Ellipsoid.contains e [| 2.; 1. |] && Ellipsoid.contains e [| -1.; -3. |])
+
+let test_bounds_direction () =
+  let e = Ellipsoid.ball ~dim:2 ~radius:1. in
+  (* Along (3,4)/5 scaled by 5: width = 2·‖x‖·R = 10. *)
+  let b = Ellipsoid.bounds e ~x:[| 3.; 4. |] in
+  check_float "half width = ‖x‖R" 5. b.Ellipsoid.half_width
+
+let test_contains () =
+  let e = Ellipsoid.ball ~dim:2 ~radius:1. in
+  check_bool "center" true (Ellipsoid.contains e [| 0.; 0. |]);
+  check_bool "boundary" true (Ellipsoid.contains e [| 1.; 0. |]);
+  check_bool "outside" false (Ellipsoid.contains e [| 1.1; 0. |])
+
+(* ------------------------------------------------------------------ *)
+(* Ellipsoid: cuts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_central_cut_closed_form () =
+  (* Central cut of the unit ball along e₁ keeps {θ₁ ≤ 0}; the GLS
+     Löwner–John ellipsoid has center −e₁/(n+1) and axis widths
+     n/(n+1) along e₁, n/√(n²−1) elsewhere. *)
+  let n = 3 in
+  let e = Ellipsoid.ball ~dim:n ~radius:1. in
+  let x = Vec.basis n 0 in
+  match Ellipsoid.cut_below e ~x ~price:0. with
+  | Ellipsoid.Cut e' ->
+      let nf = float_of_int n in
+      check_float_loose "center shifts to −1/(n+1)"
+        (-1. /. (nf +. 1.))
+        (Vec.get e'.Ellipsoid.center 0);
+      let b = Ellipsoid.bounds e' ~x in
+      check_float_loose "half width along cut = n/(n+1)" (nf /. (nf +. 1.))
+        b.Ellipsoid.half_width;
+      let b2 = Ellipsoid.bounds e' ~x:(Vec.basis n 1) in
+      check_float_loose "half width across cut = n/√(n²−1)"
+        (nf /. sqrt ((nf *. nf) -. 1.))
+        b2.Ellipsoid.half_width
+  | _ -> Alcotest.fail "central cut must produce an ellipsoid"
+
+let test_cut_shallow_noop () =
+  let e = Ellipsoid.ball ~dim:3 ~radius:1. in
+  let x = Vec.basis 3 0 in
+  (* A cut keeping almost everything (price close to the max) has
+     α ≤ −1/n and cannot shrink the Löwner–John ellipsoid. *)
+  check_bool "too shallow" true
+    (match Ellipsoid.cut_below e ~x ~price:0.99 with
+    | Ellipsoid.Too_shallow -> true
+    | _ -> false)
+
+let test_cut_empty () =
+  let e = Ellipsoid.ball ~dim:3 ~radius:1. in
+  let x = Vec.basis 3 0 in
+  check_bool "empty below" true
+    (match Ellipsoid.cut_below e ~x ~price:(-1.5) with
+    | Ellipsoid.Empty -> true
+    | _ -> false);
+  check_bool "apply keeps old on empty" true
+    (Ellipsoid.apply e (Ellipsoid.cut_below e ~x ~price:(-1.5)) == e)
+
+let test_cut_above_is_reflection () =
+  let e = Ellipsoid.ball ~dim:2 ~radius:2. in
+  let x = [| 0.6; -0.8 |] in
+  let price = 0.4 in
+  let above = Ellipsoid.cut_above e ~x ~price in
+  let below_reflected = Ellipsoid.cut_below e ~x:(Vec.neg x) ~price:(-.price) in
+  match (above, below_reflected) with
+  | Ellipsoid.Cut a, Ellipsoid.Cut b ->
+      check_bool "same center" true
+        (Vec.approx_equal a.Ellipsoid.center b.Ellipsoid.center);
+      check_bool "same shape" true
+        (Mat.approx_equal a.Ellipsoid.shape b.Ellipsoid.shape)
+  | _ -> Alcotest.fail "both cuts must succeed"
+
+let test_cut_one_dimensional () =
+  (* n = 1 must behave as exact interval bisection. *)
+  let e = Ellipsoid.ball ~dim:1 ~radius:2. in
+  let x = [| 1. |] in
+  match Ellipsoid.cut_below e ~x ~price:0. with
+  | Ellipsoid.Cut e' ->
+      (* Kept interval [−2, 0]: center −1, half width 1. *)
+      check_float_loose "center" (-1.) (Vec.get e'.Ellipsoid.center 0);
+      let b = Ellipsoid.bounds e' ~x in
+      check_float_loose "half width" 1. b.Ellipsoid.half_width;
+      check_float_loose "lower endpoint preserved" (-2.) b.Ellipsoid.lower
+  | _ -> Alcotest.fail "1-d cut must succeed"
+
+let test_cut_one_dimensional_deep () =
+  let e = Ellipsoid.ball ~dim:1 ~radius:2. in
+  let x = [| 1. |] in
+  (* Keep [−2, −1]: α = 0.5 (deep). *)
+  match Ellipsoid.cut_below e ~x ~price:(-1.) with
+  | Ellipsoid.Cut e' ->
+      check_float_loose "center" (-1.5) (Vec.get e'.Ellipsoid.center 0);
+      check_float_loose "half width" 0.5 (Ellipsoid.bounds e' ~x).Ellipsoid.half_width
+  | _ -> Alcotest.fail "deep 1-d cut must succeed"
+
+let test_lemma2_volume_ratio () =
+  (* Lemma 2: V(E')/V(E) ≤ exp(−(1+nα)²/(5n)) for α ∈ [−1/n, 0]. *)
+  let n = 4 in
+  let e = Ellipsoid.ball ~dim:n ~radius:1. in
+  let x = Vec.normalize [| 1.; 2.; -1.; 0.5 |] in
+  List.iter
+    (fun alpha ->
+      let price = -.alpha (* mid = 0, half width = 1 ⇒ α = −price *) in
+      match Ellipsoid.cut_below e ~x ~price with
+      | Ellipsoid.Cut e' ->
+          let log_ratio =
+            Ellipsoid.log_volume_factor e' -. Ellipsoid.log_volume_factor e
+          in
+          let nf = float_of_int n in
+          let bound = -.(((1. +. (nf *. alpha)) ** 2.) /. (5. *. nf)) in
+          check_bool
+            (Printf.sprintf "volume ratio bound at alpha=%.3f" alpha)
+            true (log_ratio <= bound +. 1e-9)
+      | _ -> Alcotest.fail "cut must succeed")
+    [ -0.24; -0.1; 0.; 0.2; 0.5 ]
+
+let spd_dir_gen =
+  QCheck.(
+    make
+      ~print:Print.(pair (array float) float)
+      Gen.(
+        pair
+          (array_size (return 4) (float_range (-1.) 1.))
+          (float_range (-0.9) 0.9)))
+
+(* A random non-degenerate ellipsoid: SPD shape M·Mᵀ + I/2, random
+   center — exercises the cut formulas away from the ball special
+   case. *)
+let random_ellipsoid seed ~dim =
+  let rng = Rng.create seed in
+  let m = Mat.init dim dim (fun _ _ -> Dist.normal rng ~mean:0. ~std:1.) in
+  let shape = Mat.matmul m (Mat.transpose m) in
+  for i = 0 to dim - 1 do
+    Mat.set shape i i (Mat.get shape i i +. 0.5)
+  done;
+  let center = Dist.normal_vec rng ~dim in
+  Ellipsoid.make ~center ~shape
+
+let general_ellipsoid_props =
+  [
+    prop "general cuts keep the kept halfspace" 100
+      QCheck.(pair (int_range 1 500) (float_range (-0.3) 0.8))
+      (fun (seed, alpha) ->
+        let dim = 5 in
+        let e = random_ellipsoid seed ~dim in
+        let rng = Rng.create (seed + 1) in
+        let x = Dist.normal_vec rng ~dim in
+        QCheck.assume (Vec.norm2 x > 0.1);
+        let b = Ellipsoid.bounds e ~x in
+        let price = b.Ellipsoid.mid -. (alpha *. b.Ellipsoid.half_width) in
+        match Ellipsoid.cut_below e ~x ~price with
+        | Ellipsoid.Cut e' ->
+            let ok = ref true in
+            for _ = 1 to 40 do
+              (* Rejection sampling inside the original ellipsoid. *)
+              let p =
+                Vec.add e.Ellipsoid.center
+                  (Vec.scale (Rng.float rng *. 3.) (Dist.normal_vec rng ~dim))
+              in
+              if Ellipsoid.contains e p && Vec.dot x p <= price then
+                if not (Ellipsoid.contains ~slack:1e-6 e' p) then ok := false
+            done;
+            !ok
+        | Ellipsoid.Too_shallow -> alpha <= 1. /. float_of_int dim +. 1e-9
+        | Ellipsoid.Empty -> alpha >= 1. -. 1e-9);
+    prop "general cut volume never increases" 100
+      QCheck.(pair (int_range 1 500) (float_range (-0.15) 0.8))
+      (fun (seed, alpha) ->
+        let dim = 5 in
+        let e = random_ellipsoid seed ~dim in
+        let rng = Rng.create (seed + 2) in
+        let x = Dist.normal_vec rng ~dim in
+        QCheck.assume (Vec.norm2 x > 0.1);
+        let b = Ellipsoid.bounds e ~x in
+        let price = b.Ellipsoid.mid -. (alpha *. b.Ellipsoid.half_width) in
+        match Ellipsoid.cut_below e ~x ~price with
+        | Ellipsoid.Cut e' ->
+            Ellipsoid.log_volume_factor e'
+            <= Ellipsoid.log_volume_factor e +. 1e-9
+        | Ellipsoid.Too_shallow | Ellipsoid.Empty -> true);
+    prop "bounds bracket every member point" 100 QCheck.(int_range 1 500)
+      (fun seed ->
+        let dim = 4 in
+        let e = random_ellipsoid seed ~dim in
+        let rng = Rng.create (seed + 3) in
+        let x = Dist.normal_vec rng ~dim in
+        QCheck.assume (Vec.norm2 x > 0.1);
+        let b = Ellipsoid.bounds e ~x in
+        let ok = ref true in
+        for _ = 1 to 60 do
+          let p =
+            Vec.add e.Ellipsoid.center
+              (Vec.scale (Rng.float rng *. 3.) (Dist.normal_vec rng ~dim))
+          in
+          if Ellipsoid.contains e p then begin
+            let z = Vec.dot x p in
+            if z < b.Ellipsoid.lower -. 1e-6 || z > b.Ellipsoid.upper +. 1e-6
+            then ok := false
+          end
+        done;
+        !ok);
+  ]
+
+let ellipsoid_props =
+  general_ellipsoid_props
+  @ [
+    prop "membership agrees with the explicit-inverse definition" 100
+      QCheck.(int_range 1 500)
+      (fun seed ->
+        (* Definition 1 via an independent code path: LU-inverted
+           quadratic form vs the Cholesky-solve in contains. *)
+        let dim = 4 in
+        let e = random_ellipsoid seed ~dim in
+        let inv = Dm_linalg.Lu.inverse e.Ellipsoid.shape in
+        let rng = Rng.create (seed + 9) in
+        let ok = ref true in
+        for _ = 1 to 50 do
+          let p =
+            Vec.add e.Ellipsoid.center
+              (Vec.scale (Rng.float rng *. 4.) (Dist.normal_vec rng ~dim))
+          in
+          let d = Vec.sub p e.Ellipsoid.center in
+          let q = Mat.quad inv d in
+          (* Skip near-boundary points where the two code paths may
+             legitimately disagree by rounding. *)
+          if abs_float (q -. 1.) > 1e-6 then
+            if Ellipsoid.contains e p <> (q <= 1.) then ok := false
+        done;
+        !ok);
+    prop "cuts preserve points in the kept halfspace" 300 spd_dir_gen
+      (fun (x, alpha) ->
+        QCheck.assume (Vec.norm2 x > 0.1);
+        let e = Ellipsoid.ball ~dim:4 ~radius:2. in
+        let b = Ellipsoid.bounds e ~x in
+        let price = b.Ellipsoid.mid -. (alpha *. b.Ellipsoid.half_width) in
+        match Ellipsoid.cut_below e ~x ~price with
+        | Ellipsoid.Cut e' ->
+            (* Any point of the original ellipsoid with xᵀθ ≤ price must
+               stay inside the Löwner–John ellipsoid: sample a few. *)
+            let rng = Rng.create 99 in
+            let ok = ref true in
+            for _ = 1 to 50 do
+              let p = Dist.on_sphere rng ~dim:4 ~radius:(Rng.float rng *. 2.) in
+              if Ellipsoid.contains e p && Vec.dot x p <= price then
+                if not (Ellipsoid.contains ~slack:1e-6 e' p) then ok := false
+            done;
+            !ok
+        | Ellipsoid.Too_shallow -> alpha <= 1. /. 4. +. 1e-9
+        | Ellipsoid.Empty -> false);
+    prop "cut volume never increases" 200 spd_dir_gen (fun (x, alpha) ->
+        QCheck.assume (Vec.norm2 x > 0.1);
+        let e = Ellipsoid.ball ~dim:4 ~radius:2. in
+        let b = Ellipsoid.bounds e ~x in
+        let price = b.Ellipsoid.mid -. (alpha *. b.Ellipsoid.half_width) in
+        match Ellipsoid.cut_below e ~x ~price with
+        | Ellipsoid.Cut e' ->
+            Ellipsoid.log_volume_factor e' <= Ellipsoid.log_volume_factor e +. 1e-9
+        | Ellipsoid.Too_shallow | Ellipsoid.Empty -> true);
+    prop "cut shapes stay symmetric positive definite" 200 spd_dir_gen
+      (fun (x, alpha) ->
+        QCheck.assume (Vec.norm2 x > 0.1);
+        let e = Ellipsoid.ball ~dim:4 ~radius:2. in
+        let b = Ellipsoid.bounds e ~x in
+        let price = b.Ellipsoid.mid -. (alpha *. b.Ellipsoid.half_width) in
+        match Ellipsoid.cut_below e ~x ~price with
+        | Ellipsoid.Cut e' ->
+            Mat.is_symmetric ~tol:1e-9 e'.Ellipsoid.shape
+            && Dm_linalg.Chol.is_positive_definite e'.Ellipsoid.shape
+        | Ellipsoid.Too_shallow | Ellipsoid.Empty -> true);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Model                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_links () =
+  let check_roundtrip link z =
+    let y = link.Model.g z in
+    check_bool
+      (Printf.sprintf "%s roundtrip at %.2f" link.Model.name z)
+      true
+      (abs_float (link.Model.g_inv y -. z) < 1e-9)
+  in
+  List.iter (check_roundtrip Model.identity_link) [ -3.; 0.; 2.5 ];
+  List.iter (check_roundtrip Model.exp_link) [ -3.; 0.; 2.5 ];
+  List.iter (check_roundtrip Model.sigmoid_link) [ -3.; 0.; 2.5 ];
+  check_bool "exp g_inv of 0 is −inf" true
+    (Model.exp_link.Model.g_inv 0. = neg_infinity);
+  check_bool "sigmoid g_inv clamps" true
+    (Model.sigmoid_link.Model.g_inv 1.5 = infinity)
+
+let test_model_values () =
+  let theta = [| 1.; -2. |] in
+  let x = [| 3.; 1. |] in
+  check_float "linear" 1. (Model.value (Model.linear ~theta) x);
+  check_float "log-linear" (exp 1.) (Model.value (Model.log_linear ~theta) x);
+  check_float "logistic" (1. /. (1. +. exp (-1.)))
+    (Model.value (Model.logistic ~theta) x);
+  (* log-log: log v = θ₁·log x₁ + θ₂·log x₂ *)
+  check_float "log-log" (exp (log 3. -. (2. *. log 1.)))
+    (Model.value (Model.log_log ~theta) x);
+  check_float "linear with noise" 1.5
+    (Model.value ~noise:0.5 (Model.linear ~theta) x)
+
+let test_log_log_guard () =
+  let m = Model.log_log ~theta:[| 1. |] in
+  check_bool "rejects non-positive features" true
+    (match Model.value m [| 0. |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_kernelized_model () =
+  let landmarks = [| [| 0.; 0. |]; [| 1.; 0. |] |] in
+  let map = Dm_ml.Kernel.landmark_map (Dm_ml.Kernel.Rbf { gamma = 1. }) ~landmarks in
+  let m = Model.kernelized ~map ~theta:[| 1.; 1. |] in
+  check_int "index dim = landmarks" 2 (Model.index_dim m);
+  check_float "value at landmark" (1. +. exp (-1.)) (Model.value m [| 0.; 0. |]);
+  check_bool "wrong theta size rejected" true
+    (match Model.kernelized ~map ~theta:[| 1. |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Regret                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_regret_cases () =
+  (* Reserve above value: no regret regardless of the price. *)
+  check_float "q > v" 0.
+    (Regret.posted ~reserve:5. ~market_value:4. ~price:10. ());
+  (* Sale: regret is the money left on the table. *)
+  check_float "underpriced sale" 1.
+    (Regret.posted ~reserve:1. ~market_value:4. ~price:3. ());
+  (* No sale with a sellable query: full value lost. *)
+  check_float "overpriced" 4.
+    (Regret.posted ~reserve:1. ~market_value:4. ~price:4.5 ());
+  (* Eq. 7 (no reserve). *)
+  check_float "pure version regret" 1.
+    (Regret.posted ~market_value:4. ~price:3. ());
+  check_float "skip with q > v" 0. (Regret.skipped ~reserve:5. ~market_value:4.);
+  check_float "skip with q <= v" 4. (Regret.skipped ~reserve:2. ~market_value:4.);
+  check_float "revenue on sale" 3. (Regret.revenue ~market_value:4. ~price:3.);
+  check_float "revenue on no sale" 0. (Regret.revenue ~market_value:4. ~price:5.)
+
+let test_fig1_shape () =
+  (* Fig. 1: regret falls linearly to 0 as the price rises to the
+     market value, then jumps to the full value. *)
+  let prices = Vec.init 101 (fun i -> float_of_int i /. 10.) in
+  let curve = Regret.single_round_curve ~reserve:2. ~market_value:6. ~prices in
+  check_float "at price 2 (reserve)" 4. curve.(20);
+  check_float "at the market value" 0. curve.(60);
+  check_float "just above jumps to v" 6. curve.(61);
+  check_float "far above still v" 6. curve.(100)
+
+let regret_props =
+  [
+    prop "lemma 1: reserve never increases single-round regret" 500
+      QCheck.(triple (float_range 0. 10.) (float_range 0. 10.) (float_range 0. 10.))
+      (fun (q, v, p') ->
+        (* Posted price with reserve is max(q, p'); Lemma 1 compares the
+           two regret notions on the same underlying price p'. *)
+        let with_reserve =
+          Regret.posted ~reserve:q ~market_value:v ~price:(Float.max q p') ()
+        in
+        let without = Regret.posted ~market_value:v ~price:p' () in
+        with_reserve <= without +. 1e-12);
+    prop "regret is non-negative" 300
+      QCheck.(triple (float_range 0. 10.) (float_range 0. 10.) (float_range 0. 10.))
+      (fun (q, v, p) ->
+        Regret.posted ~reserve:q ~market_value:v ~price:p () >= 0.
+        && Regret.posted ~market_value:v ~price:p () >= 0.);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Feature                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_aggregate () =
+  let comps = [| 5.; 1.; 3.; 2.; 4.; 6. |] in
+  (* Sorted: 1 2 3 4 5 6; 3 partitions of 2: (3, 7, 11). *)
+  let f = Feature.aggregate ~dim:3 comps in
+  check_bool "partition sums" true (Vec.approx_equal f [| 3.; 7.; 11. |]);
+  (* dim 1 is the total compensation. *)
+  check_bool "total" true
+    (Vec.approx_equal (Feature.aggregate ~dim:1 comps) [| 21. |]);
+  (* dim = m keeps the sorted individual compensations. *)
+  check_bool "identity" true
+    (Vec.approx_equal (Feature.aggregate ~dim:6 comps) [| 1.; 2.; 3.; 4.; 5.; 6. |])
+
+let test_aggregate_uneven () =
+  let comps = [| 1.; 2.; 3.; 4.; 5. |] in
+  let f = Feature.aggregate ~dim:2 comps in
+  (* Boundaries at ⌊k·5/2⌋: [0,2) and [2,5) → sums 3 and 12. *)
+  check_bool "uneven split" true (Vec.approx_equal f [| 3.; 12. |]);
+  check_float "mass preserved" (Vec.sum comps) (Vec.sum f)
+
+let test_of_compensations () =
+  let comps = [| 2.; 2.; 2.; 2. |] in
+  let x, reserve = Feature.of_compensations ~dim:2 comps in
+  check_float "unit norm" 1. (Vec.norm2 x);
+  check_float "reserve = Σ features" (Vec.sum x) reserve;
+  (* All-equal compensations: features (4,4) → normalized (1/√2,1/√2). *)
+  check_bool "values" true (Vec.approx_equal x [| 1. /. sqrt 2.; 1. /. sqrt 2. |])
+
+let feature_props =
+  [
+    prop "aggregation preserves total compensation" 200
+      QCheck.(array_of_size (QCheck.Gen.int_range 1 40) (float_range 0. 10.))
+      (fun comps ->
+        let dim = 1 + (Array.length comps / 3) in
+        let f = Feature.aggregate ~dim comps in
+        abs_float (Vec.sum f -. Vec.sum comps) < 1e-9);
+    prop "aggregated features are sorted increasingly ... per partition sums of sorted data" 200
+      QCheck.(array_of_size (QCheck.Gen.int_range 4 40) (float_range 0. 10.))
+      (fun comps ->
+        (* With equal partition sizes the partition sums of sorted data
+           are non-decreasing. *)
+        let m = Array.length comps in
+        let dim = max 1 (m / 4) in
+        if m mod dim = 0 then begin
+          let f = Feature.aggregate ~dim comps in
+          let ok = ref true in
+          for i = 0 to dim - 2 do
+            if f.(i) > f.(i + 1) +. 1e-9 then ok := false
+          done;
+          !ok
+        end
+        else true);
+    prop "normalized features have unit norm" 200
+      QCheck.(array_of_size (QCheck.Gen.int_range 1 40) (float_range 0.01 10.))
+      (fun comps ->
+        let x, _ = Feature.of_compensations ~dim:1 comps in
+        abs_float (Vec.norm2 x -. 1.) < 1e-9);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Mechanism                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mk_mech ?(allow = false) ~variant ~epsilon ~dim ~radius () =
+  Mechanism.create
+    (Mechanism.config ~allow_conservative_cuts:allow ~variant ~epsilon ())
+    (Ellipsoid.ball ~dim ~radius)
+
+let test_variant_names () =
+  Alcotest.(check string) "pure" "pure version" (Mechanism.variant_name Mechanism.pure);
+  Alcotest.(check string) "reserve" "with reserve price"
+    (Mechanism.variant_name Mechanism.with_reserve);
+  Alcotest.(check string) "uncertainty" "with uncertainty"
+    (Mechanism.variant_name (Mechanism.with_uncertainty ~delta:0.1));
+  Alcotest.(check string) "both" "with reserve price and uncertainty"
+    (Mechanism.variant_name (Mechanism.with_reserve_and_uncertainty ~delta:0.1))
+
+let test_mechanism_skip () =
+  let m = mk_mech ~variant:Mechanism.with_reserve ~epsilon:0.01 ~dim:2 ~radius:1. () in
+  let x = Vec.basis 2 0 in
+  (* p̄ = 1; a reserve above it forces a certain no-deal. *)
+  check_bool "skip" true
+    (match Mechanism.decide m ~x ~reserve:1.5 with
+    | Mechanism.Skip -> true
+    | _ -> false);
+  (* The pure variant never skips. *)
+  let p = mk_mech ~variant:Mechanism.pure ~epsilon:0.01 ~dim:2 ~radius:1. () in
+  check_bool "pure never skips" true
+    (match Mechanism.decide p ~x ~reserve:1.5 with
+    | Mechanism.Post _ -> true
+    | _ -> false)
+
+let test_mechanism_reserve_floor () =
+  let m = mk_mech ~variant:Mechanism.with_reserve ~epsilon:0.01 ~dim:2 ~radius:1. () in
+  let x = Vec.basis 2 0 in
+  (* mid = 0 < reserve = 0.5 < p̄ = 1: exploratory price is the reserve. *)
+  match Mechanism.decide m ~x ~reserve:0.5 with
+  | Mechanism.Post { price; kind = Mechanism.Exploratory; _ } ->
+      check_float "price = reserve" 0.5 price
+  | _ -> Alcotest.fail "expected exploratory post"
+
+let test_mechanism_exploratory_mid () =
+  let m = mk_mech ~variant:Mechanism.pure ~epsilon:0.01 ~dim:2 ~radius:1. () in
+  let x = Vec.basis 2 0 in
+  match Mechanism.decide m ~x ~reserve:neg_infinity with
+  | Mechanism.Post { price; kind = Mechanism.Exploratory; lower; upper } ->
+      check_float "mid price" ((lower +. upper) /. 2.) price;
+      check_float "mid of ball is 0" 0. price
+  | _ -> Alcotest.fail "expected exploratory post"
+
+let test_mechanism_conservative_no_cut () =
+  (* Once the width is below ε, conservative prices must leave the
+     ellipsoid untouched. *)
+  let m = mk_mech ~variant:Mechanism.pure ~epsilon:10. ~dim:2 ~radius:1. () in
+  let x = Vec.basis 2 0 in
+  let before = Mechanism.ellipsoid m in
+  let d = Mechanism.decide m ~x ~reserve:neg_infinity in
+  (match d with
+  | Mechanism.Post { kind = Mechanism.Conservative; price; _ } ->
+      check_float "conservative = p̲" (-1.) price
+  | _ -> Alcotest.fail "expected conservative (width 2 < ε 10)");
+  Mechanism.observe m ~x d ~accepted:true;
+  check_bool "unchanged" true (Mechanism.ellipsoid m == before);
+  check_int "counted" 1 (Mechanism.conservative_rounds m)
+
+let test_mechanism_exploratory_cut_shrinks () =
+  let m = mk_mech ~variant:Mechanism.pure ~epsilon:0.01 ~dim:3 ~radius:2. () in
+  let x = Vec.normalize [| 1.; 1.; 0. |] in
+  let w0 = Ellipsoid.width (Mechanism.ellipsoid m) ~x in
+  let d = Mechanism.decide m ~x ~reserve:neg_infinity in
+  Mechanism.observe m ~x d ~accepted:false;
+  let w1 = Ellipsoid.width (Mechanism.ellipsoid m) ~x in
+  check_bool "width shrinks along the cut" true (w1 < w0);
+  check_int "exploratory counted" 1 (Mechanism.exploratory_rounds m)
+
+let test_mechanism_uncertainty_buffer () =
+  (* With buffer δ, a rejected exploratory price cuts at p + δ: the
+     retained region must include every θ with xᵀθ ≤ p + δ. *)
+  let delta = 0.2 in
+  let m =
+    mk_mech ~variant:(Mechanism.with_uncertainty ~delta) ~epsilon:0.01 ~dim:2
+      ~radius:1. ()
+  in
+  let x = Vec.basis 2 0 in
+  let d = Mechanism.decide m ~x ~reserve:neg_infinity in
+  (match d with
+  | Mechanism.Post { price; _ } -> check_float "mid" 0. price
+  | _ -> Alcotest.fail "post expected");
+  Mechanism.observe m ~x d ~accepted:false;
+  let b = Ellipsoid.bounds (Mechanism.ellipsoid m) ~x in
+  (* The new upper bound must not fall below p + δ = 0.2. *)
+  check_bool "buffered cut" true (b.Ellipsoid.upper >= delta -. 1e-9)
+
+let test_mechanism_conservative_with_delta () =
+  let delta = 0.1 in
+  let m =
+    mk_mech ~variant:(Mechanism.with_uncertainty ~delta) ~epsilon:10. ~dim:2
+      ~radius:1. ()
+  in
+  let x = Vec.basis 2 0 in
+  match Mechanism.decide m ~x ~reserve:neg_infinity with
+  | Mechanism.Post { price; kind = Mechanism.Conservative; _ } ->
+      check_float "p̲ − δ" (-1.1) price
+  | _ -> Alcotest.fail "expected conservative"
+
+let test_te_upper_bound () =
+  let b = Mechanism.te_upper_bound ~radius:2. ~feature_bound:1. ~dim:5 ~epsilon:0.1 in
+  check_float_loose "formula" (20. *. 25. *. log (20. *. 2. *. 1. *. 6. /. 0.1)) b
+
+let test_mechanism_rejects_poisoned_input () =
+  let m = mk_mech ~variant:Mechanism.with_reserve ~epsilon:0.1 ~dim:2 ~radius:1. () in
+  check_bool "nan feature" true
+    (match Mechanism.decide m ~x:[| nan; 0. |] ~reserve:0.1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "infinite feature" true
+    (match Mechanism.decide m ~x:[| infinity; 0. |] ~reserve:0.1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "nan reserve" true
+    (match Mechanism.decide m ~x:[| 1.; 0. |] ~reserve:nan with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* Infinite reserves are legitimate sentinels. *)
+  check_bool "+inf reserve skips" true
+    (match Mechanism.decide m ~x:[| 1.; 0. |] ~reserve:infinity with
+    | Mechanism.Skip -> true
+    | _ -> false);
+  check_bool "-inf reserve prices" true
+    (match Mechanism.decide m ~x:[| 1.; 0. |] ~reserve:neg_infinity with
+    | Mechanism.Post _ -> true
+    | _ -> false)
+
+(* Failure injection: a buyer who answers at random (lying about her
+   valuation) must not corrupt the mechanism numerically — the
+   knowledge set can become wrong, but it must stay a finite, positive
+   definite ellipsoid and prices must stay finite. *)
+let test_mechanism_survives_lying_buyer () =
+  let dim = 5 in
+  let m = mk_mech ~variant:Mechanism.with_reserve ~epsilon:0.01 ~dim ~radius:2. () in
+  let rng = Rng.create 71 in
+  for _ = 1 to 2000 do
+    let x = Vec.normalize (Dist.normal_vec rng ~dim) in
+    let d = Mechanism.decide m ~x ~reserve:(Rng.uniform rng (-1.) 1.) in
+    (match d with
+    | Mechanism.Post { price; _ } ->
+        check_bool "finite price" true (Float.is_finite price)
+    | Mechanism.Skip -> ());
+    Mechanism.observe m ~x d ~accepted:(Rng.bool rng)
+  done;
+  let e = Mechanism.ellipsoid m in
+  check_bool "shape stays finite" true
+    (Array.for_all Float.is_finite (Mat.to_arrays e.Ellipsoid.shape |> Array.to_list |> Array.concat));
+  check_bool "shape stays positive definite" true
+    (Dm_linalg.Chol.is_positive_definite e.Ellipsoid.shape);
+  check_bool "center stays finite" true
+    (Array.for_all Float.is_finite e.Ellipsoid.center)
+
+(* Containment: the mechanism must never exclude θ* under noiseless
+   feedback — the central invariant of the whole construction. *)
+let containment_run ~variant ~use_reserve_prices seed =
+  let dim = 4 in
+  let radius = 2. in
+  let rng = Rng.create seed in
+  let theta = Dist.on_sphere rng ~dim ~radius:(radius /. 2.) in
+  let m = mk_mech ~variant ~epsilon:0.05 ~dim ~radius () in
+  let ok = ref true in
+  for _ = 1 to 300 do
+    let x = Vec.normalize (Dist.normal_vec rng ~dim) in
+    let v = Vec.dot x theta in
+    let reserve =
+      if use_reserve_prices then v *. Rng.uniform rng 0.3 0.9 else neg_infinity
+    in
+    let d = Mechanism.decide m ~x ~reserve in
+    let accepted =
+      match d with Mechanism.Skip -> false | Mechanism.Post { price; _ } -> price <= v
+    in
+    Mechanism.observe m ~x d ~accepted;
+    if not (Ellipsoid.contains ~slack:1e-6 (Mechanism.ellipsoid m) theta) then
+      ok := false
+  done;
+  !ok
+
+let mechanism_props =
+  [
+    prop "theta* containment (pure)" 20 QCheck.(int_range 1 1000) (fun seed ->
+        containment_run ~variant:Mechanism.pure ~use_reserve_prices:false seed);
+    prop "theta* containment (with reserve)" 20 QCheck.(int_range 1 1000)
+      (fun seed ->
+        containment_run ~variant:Mechanism.with_reserve
+          ~use_reserve_prices:true seed);
+    prop "theta* containment (uncertainty, noiseless)" 10
+      QCheck.(int_range 1 1000)
+      (fun seed ->
+        containment_run
+          ~variant:(Mechanism.with_uncertainty ~delta:0.05)
+          ~use_reserve_prices:false seed);
+    prop "reserve variants never post below the reserve" 50
+      QCheck.(int_range 1 1000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let m =
+          mk_mech ~variant:Mechanism.with_reserve ~epsilon:0.05 ~dim:3
+            ~radius:1. ()
+        in
+        let ok = ref true in
+        for _ = 1 to 50 do
+          let x = Vec.normalize (Dist.normal_vec rng ~dim:3) in
+          let reserve = Rng.uniform rng (-0.5) 0.5 in
+          (match Mechanism.decide m ~x ~reserve with
+          | Mechanism.Skip -> ()
+          | Mechanism.Post { price; _ } ->
+              if price < reserve -. 1e-12 then ok := false);
+          let d = Mechanism.decide m ~x ~reserve in
+          Mechanism.observe m ~x d ~accepted:(Rng.bool rng)
+        done;
+        !ok);
+    prop "exploratory rounds respect the Lemma 6/7 bound" 5
+      QCheck.(int_range 1 100)
+      (fun seed ->
+        let dim = 3 and radius = 2. and epsilon = 0.05 in
+        let rng = Rng.create seed in
+        let theta = Dist.on_sphere rng ~dim ~radius:1. in
+        let m = mk_mech ~variant:Mechanism.pure ~epsilon ~dim ~radius () in
+        for _ = 1 to 2000 do
+          let x = Vec.normalize (Dist.normal_vec rng ~dim) in
+          ignore (Mechanism.step m ~x ~reserve:neg_infinity ~market_index:(Vec.dot x theta))
+        done;
+        float_of_int (Mechanism.exploratory_rounds m)
+        <= Mechanism.te_upper_bound ~radius ~feature_bound:1. ~dim ~epsilon);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Broker end-to-end                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* App-1-style market: non-negative unit features (aggregated privacy
+   compensations are non-negative), non-negative hidden weights scaled
+   to ‖θ*‖ = √(2n), reserve = Σᵢ xᵢ — the paper's Section V-A setup,
+   under which the market value exceeds the reserve with high
+   probability. *)
+let positive_unit rng ~dim =
+  Vec.normalize (Vec.map abs_float (Dist.normal_vec rng ~dim))
+
+let linear_market ~seed ~dim ~rounds ~variant () =
+  let rng = Rng.create seed in
+  let theta =
+    Vec.scale (sqrt (2. *. float_of_int dim)) (positive_unit rng ~dim)
+  in
+  let model = Model.linear ~theta in
+  let radius = 2. *. sqrt (float_of_int dim) in
+  let epsilon = Dm_prob.Subgaussian.default_threshold ~dim ~horizon:rounds in
+  let mech =
+    Mechanism.create
+      (Mechanism.config ~variant ~epsilon ())
+      (Ellipsoid.ball ~dim ~radius)
+  in
+  let workload_rng = Rng.create (seed + 1) in
+  let workload _ =
+    let x = positive_unit workload_rng ~dim in
+    (x, Vec.sum x)
+  in
+  Broker.run
+    ~policy:(Broker.Ellipsoid_pricing mech)
+    ~model
+    ~noise:(fun _ -> 0.)
+    ~workload ~rounds ()
+
+let test_broker_regret_sublinear () =
+  let r = linear_market ~seed:5 ~dim:5 ~rounds:3000 ~variant:Mechanism.with_reserve () in
+  (* Regret ratio must collapse well below the risk-averse level. *)
+  check_bool "low regret ratio" true (r.Broker.regret_ratio < 0.10);
+  (* And the tail must be flat: the last 10% of rounds contribute a
+     disproportionately small share of the regret. *)
+  let s = r.Broker.series in
+  let n = Array.length s.Broker.checkpoints in
+  let near_end =
+    (* cumulative regret at ~90% of the horizon *)
+    let idx = ref 0 in
+    Array.iteri
+      (fun i c -> if c <= 9 * r.Broker.rounds / 10 then idx := i)
+      s.Broker.checkpoints;
+    s.Broker.cumulative_regret.(!idx)
+  in
+  let total = s.Broker.cumulative_regret.(n - 1) in
+  check_bool "flat tail" true (total -. near_end < 0.25 *. total +. 1e-9)
+
+let test_broker_reserve_beats_pure_early () =
+  (* The cold-start claim: with few rounds the reserve variant's
+     regret ratio is lower than the pure variant's. *)
+  let with_r = linear_market ~seed:8 ~dim:10 ~rounds:150 ~variant:Mechanism.with_reserve () in
+  let pure = linear_market ~seed:8 ~dim:10 ~rounds:150 ~variant:Mechanism.pure () in
+  check_bool "cold start mitigated" true
+    (with_r.Broker.regret_ratio < pure.Broker.regret_ratio)
+
+let test_broker_risk_averse () =
+  let dim = 4 in
+  let rng = Rng.create 17 in
+  let theta =
+    Vec.scale (sqrt (2. *. float_of_int dim)) (positive_unit rng ~dim)
+  in
+  let model = Model.linear ~theta in
+  let workload_rng = Rng.create 18 in
+  let workload _ =
+    let x = positive_unit workload_rng ~dim in
+    (x, Vec.sum x)
+  in
+  let run policy =
+    Broker.run ~policy ~model ~noise:(fun _ -> 0.) ~workload ~rounds:2000 ()
+  in
+  let baseline = run Broker.Risk_averse in
+  let mech =
+    Mechanism.create
+      (Mechanism.config ~variant:Mechanism.with_reserve
+         ~epsilon:(Dm_prob.Subgaussian.default_threshold ~dim ~horizon:2000)
+         ())
+      (Ellipsoid.ball ~dim ~radius:(2. *. sqrt (float_of_int dim)))
+  in
+  let ours = run (Broker.Ellipsoid_pricing mech) in
+  check_bool "baseline sells whenever possible" true
+    (baseline.Broker.accepted_rounds >= ours.Broker.accepted_rounds);
+  check_bool "our ratio beats the baseline" true
+    (ours.Broker.regret_ratio < baseline.Broker.regret_ratio)
+
+let test_broker_round_logs () =
+  let dim = 2 in
+  let theta = [| 1.; 1. |] in
+  let model = Model.linear ~theta in
+  let mech =
+    Mechanism.create
+      (Mechanism.config ~variant:Mechanism.with_reserve ~epsilon:0.05 ())
+      (Ellipsoid.ball ~dim ~radius:2.)
+  in
+  let workload _ = (Vec.normalize [| 1.; 1. |], 0.5) in
+  let r =
+    Broker.run ~record_rounds:true
+      ~policy:(Broker.Ellipsoid_pricing mech)
+      ~model
+      ~noise:(fun _ -> 0.)
+      ~workload ~rounds:10 ()
+  in
+  match r.Broker.logs with
+  | None -> Alcotest.fail "logs requested"
+  | Some logs ->
+      check_int "one log per round" 10 (Array.length logs);
+      Array.iteri
+        (fun i l ->
+          check_int "ordered" i l.Broker.index;
+          check_bool "regret non-negative" true (l.Broker.regret >= 0.))
+        logs
+
+let test_broker_conservation () =
+  (* Noiseless accounting identity: in every round with q ≤ v,
+     regret + revenue = v (Eq. 1 plus the revenue rule); rounds with
+     q > v contribute nothing to either.  So over a run,
+     total_regret + total_revenue = Σ_{rounds with q ≤ v} v. *)
+  let dim = 6 in
+  let rng = Rng.create 41 in
+  let theta =
+    Vec.scale (sqrt 12.) (positive_unit rng ~dim)
+  in
+  let model = Model.linear ~theta in
+  let wl_rng = Rng.create 42 in
+  let rounds = 800 in
+  let stream =
+    Array.init rounds (fun _ ->
+        let x = positive_unit wl_rng ~dim in
+        (* Reserves straddle the market value so both regret branches
+           occur. *)
+        (x, Vec.dot x theta *. Rng.uniform wl_rng 0.7 1.2))
+  in
+  let mech =
+    Mechanism.create
+      (Mechanism.config ~variant:Mechanism.with_reserve ~epsilon:0.05 ())
+      (Ellipsoid.ball ~dim ~radius:(2. *. sqrt 6.))
+  in
+  let r =
+    Broker.run
+      ~policy:(Broker.Ellipsoid_pricing mech)
+      ~model
+      ~noise:(fun _ -> 0.)
+      ~workload:(fun t -> stream.(t))
+      ~rounds ()
+  in
+  let sellable =
+    Array.fold_left
+      (fun acc (x, q) ->
+        let v = Vec.dot x theta in
+        if q <= v then acc +. v else acc)
+      0. stream
+  in
+  check_bool "regret + revenue = sellable value" true
+    (abs_float (r.Broker.total_regret +. r.Broker.total_revenue -. sellable)
+    < 1e-6 *. sellable)
+
+let test_broker_checkpoints () =
+  let c = Broker.default_checkpoints ~rounds:100_000 in
+  check_bool "starts at 1" true (c.(0) = 1);
+  check_bool "ends at rounds" true (c.(Array.length c - 1) = 100_000);
+  let sorted = Array.copy c in
+  Array.sort compare sorted;
+  check_bool "strictly increasing" true (sorted = c);
+  check_bool "reasonable count" true (Array.length c <= 220)
+
+let test_broker_edge_cases () =
+  let model = Model.linear ~theta:[| 1. |] in
+  let mech () =
+    Mechanism.create
+      (Mechanism.config ~variant:Mechanism.with_reserve ~epsilon:0.1 ())
+      (Ellipsoid.ball ~dim:1 ~radius:2.)
+  in
+  (* A single round works and produces one checkpoint. *)
+  let r1 =
+    Broker.run
+      ~policy:(Broker.Ellipsoid_pricing (mech ()))
+      ~model
+      ~noise:(fun _ -> 0.)
+      ~workload:(fun _ -> ([| 1. |], 0.5))
+      ~rounds:1 ()
+  in
+  check_int "one checkpoint" 1 (Array.length r1.Broker.series.Broker.checkpoints);
+  check_int "round counted" 1
+    (r1.Broker.exploratory + r1.Broker.conservative + r1.Broker.skipped);
+  (* A reserve permanently above the market value: the baseline never
+     sells and never regrets (Eq. 1's first branch). *)
+  let r2 =
+    Broker.run ~policy:Broker.Risk_averse ~model
+      ~noise:(fun _ -> 0.)
+      ~workload:(fun _ -> ([| 1. |], 5.))
+      ~rounds:50 ()
+  in
+  check_int "no sales" 0 r2.Broker.accepted_rounds;
+  check_float "no regret" 0. r2.Broker.total_regret;
+  check_float "no revenue" 0. r2.Broker.total_revenue;
+  (* Custom checkpoints are respected verbatim. *)
+  let cps = [| 2; 7; 30 |] in
+  let r3 =
+    Broker.run ~checkpoints:cps
+      ~policy:(Broker.Ellipsoid_pricing (mech ()))
+      ~model
+      ~noise:(fun _ -> 0.)
+      ~workload:(fun _ -> ([| 1. |], 0.5))
+      ~rounds:30 ()
+  in
+  check_bool "verbatim checkpoints" true (r3.Broker.series.Broker.checkpoints = cps);
+  check_bool "cumulative values increase" true
+    (r3.Broker.series.Broker.cumulative_value.(0)
+    < r3.Broker.series.Broker.cumulative_value.(2))
+
+let test_broker_log_linear_consistency () =
+  (* Under the log-linear model the broker's value-space accounting
+     must match exp of the index space. *)
+  let theta = [| 0.5; 0.25 |] in
+  let model = Model.log_linear ~theta in
+  let mech =
+    Mechanism.create
+      (Mechanism.config ~variant:Mechanism.with_reserve ~epsilon:0.05 ())
+      (Ellipsoid.ball ~dim:2 ~radius:1.)
+  in
+  let x = Vec.normalize [| 1.; 2. |] in
+  let v = exp (Vec.dot x theta) in
+  let workload _ = (x, 0.5 *. v) in
+  let r =
+    Broker.run ~record_rounds:true
+      ~policy:(Broker.Ellipsoid_pricing mech)
+      ~model
+      ~noise:(fun _ -> 0.)
+      ~workload ~rounds:30 ()
+  in
+  check_bool "market value is exp(index)" true
+    (abs_float (r.Broker.market_value_stats.Dm_prob.Stats.mean -. v) < 1e-9);
+  (* Eventually the conservative price approaches v from below and
+     every deal closes. *)
+  match r.Broker.logs with
+  | Some logs ->
+      let last = logs.(Array.length logs - 1) in
+      check_bool "late rounds sell" true last.Broker.accepted;
+      check_bool "late regret small" true (last.Broker.regret < 0.2 *. v)
+  | None -> Alcotest.fail "logs requested"
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_ellipsoid_serialization_roundtrip () =
+  (* Run some cuts so the state is non-trivial, then round-trip. *)
+  let e = ref (Ellipsoid.ball ~dim:4 ~radius:2.) in
+  let rng = Rng.create 61 in
+  for _ = 1 to 20 do
+    let x = Vec.normalize (Dist.normal_vec rng ~dim:4) in
+    let b = Ellipsoid.bounds !e ~x in
+    e := Ellipsoid.apply !e (Ellipsoid.cut_below !e ~x ~price:b.Ellipsoid.mid)
+  done;
+  match Ellipsoid.deserialize (Ellipsoid.serialize !e) with
+  | Error msg -> Alcotest.fail msg
+  | Ok e' ->
+      check_bool "center exact" true
+        (Array.for_all2 ( = ) !e.Ellipsoid.center e'.Ellipsoid.center);
+      check_bool "shape exact" true
+        (Mat.approx_equal ~tol:0. !e.Ellipsoid.shape e'.Ellipsoid.shape)
+
+let test_ellipsoid_deserialize_errors () =
+  let expect_error text =
+    match Ellipsoid.deserialize text with Error _ -> true | Ok _ -> false
+  in
+  check_bool "bad header" true (expect_error "nope/1\n2\n0x0p+0 0x0p+0\n");
+  check_bool "truncated" true (expect_error "ellipsoid/1\n2");
+  check_bool "bad dim" true (expect_error "ellipsoid/1\nzz\na\nb\n");
+  check_bool "length mismatch" true
+    (expect_error "ellipsoid/1\n2\n0x1p+0\n0x1p+0 0x0p+0 0x0p+0 0x1p+0\n");
+  check_bool "bad float" true
+    (expect_error "ellipsoid/1\n1\nnot-a-float\n0x1p+0\n")
+
+let test_mechanism_snapshot_roundtrip () =
+  let mech =
+    mk_mech
+      ~variant:(Mechanism.with_reserve_and_uncertainty ~delta:0.03)
+      ~epsilon:0.2 ~dim:3 ~radius:1.5 ()
+  in
+  let rng = Rng.create 62 in
+  for _ = 1 to 30 do
+    let x = Vec.normalize (Dist.normal_vec rng ~dim:3) in
+    ignore
+      (Mechanism.step mech ~x ~reserve:(Rng.uniform rng 0. 0.5)
+         ~market_index:(Rng.uniform rng (-1.) 1.))
+  done;
+  match Mechanism.restore (Mechanism.snapshot mech) with
+  | Error msg -> Alcotest.fail msg
+  | Ok mech' ->
+      check_int "exploratory counter" (Mechanism.exploratory_rounds mech)
+        (Mechanism.exploratory_rounds mech');
+      check_int "conservative counter" (Mechanism.conservative_rounds mech)
+        (Mechanism.conservative_rounds mech');
+      check_int "skip counter" (Mechanism.skipped_rounds mech)
+        (Mechanism.skipped_rounds mech');
+      let cfg = Mechanism.config_of mech and cfg' = Mechanism.config_of mech' in
+      check_bool "config preserved" true (cfg = cfg');
+      (* The restored mechanism prices identically. *)
+      let x = Vec.normalize [| 1.; 2.; -0.5 |] in
+      check_bool "same decision" true
+        (Mechanism.decide mech ~x ~reserve:0.1
+        = Mechanism.decide mech' ~x ~reserve:0.1)
+
+let test_mechanism_restore_errors () =
+  check_bool "garbage rejected" true
+    (match Mechanism.restore "garbage" with Error _ -> true | Ok _ -> false);
+  check_bool "bad state line rejected" true
+    (match Mechanism.restore "mechanism/1\nnot numbers\nellipsoid/1\n" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Arbitrage                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Arbitrage = Dm_market.Arbitrage
+
+let test_arbitrage_canonical () =
+  (* Li et al.: c/v is arbitrage-free, c/v² is not. *)
+  let grid = Array.init 12 (fun i -> 0.01 *. (2. ** float_of_int i)) in
+  check_bool "inverse variance is AF" true
+    (Arbitrage.is_arbitrage_free_on ~grid (Arbitrage.inverse_variance ~c:3.));
+  check_bool "inverse variance squared is not" false
+    (Arbitrage.is_arbitrage_free_on ~grid
+       (Arbitrage.inverse_variance_squared ~c:3.));
+  (* The violation is the textbook one: averaging two noisy copies. *)
+  let t = Arbitrage.inverse_variance_squared ~c:1. in
+  check_bool "explicit violation" true
+    (Arbitrage.violates t ~target:1. ~components:[ 2.; 2. ])
+
+let test_arbitrage_capped () =
+  let grid = Array.init 12 (fun i -> 0.01 *. (2. ** float_of_int i)) in
+  check_bool "capping preserves AF" true
+    (Arbitrage.is_arbitrage_free_on ~grid
+       (Arbitrage.capped ~cap:5. (Arbitrage.inverse_variance ~c:3.)))
+
+let test_arbitrage_validation () =
+  let t = Arbitrage.inverse_variance ~c:1. in
+  check_bool "non-positive variance rejected" true
+    (match Arbitrage.violates t ~target:0. ~components:[ 1. ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "empty components rejected" true
+    (match Arbitrage.violates t ~target:1. ~components:[] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let arbitrage_props =
+  [
+    prop "c/v never violated by random bundles" 200
+      QCheck.(triple (float_range 0.1 10.) (float_range 0.1 10.) (float_range 0.1 10.))
+      (fun (target, v1, v2) ->
+        not
+          (Arbitrage.violates
+             (Arbitrage.inverse_variance ~c:2.)
+             ~target ~components:[ v1; v2 ]));
+    prop "averaging two equal copies exposes superlinear tariffs" 100
+      QCheck.(float_range 0.1 10.)
+      (fun v ->
+        (* p(v) = v^{-2}: buying two answers at 2v costs half of one at v. *)
+        Arbitrage.violates
+          (Arbitrage.inverse_variance_squared ~c:1.)
+          ~target:v
+          ~components:[ 2. *. v; 2. *. v ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* SGD pricing baseline                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Sgd_pricing = Dm_market.Sgd_pricing
+
+let test_sgd_learns_simple_market () =
+  let dim = 4 in
+  let rng = Rng.create 33 in
+  let theta =
+    Vec.scale 2. (Vec.normalize (Vec.map abs_float (Dist.normal_vec rng ~dim)))
+  in
+  let model = Model.linear ~theta in
+  let sgd = Sgd_pricing.create ~dim ~radius:2. () in
+  let wl_rng = Rng.create 34 in
+  let workload _ =
+    let x = Vec.normalize (Vec.map abs_float (Dist.normal_vec wl_rng ~dim)) in
+    (x, 0.5 *. Vec.dot x theta)
+  in
+  let r =
+    Broker.run
+      ~policy:(Broker.Custom (Sgd_pricing.policy sgd))
+      ~model
+      ~noise:(fun _ -> 0.)
+      ~workload ~rounds:4000 ()
+  in
+  (* The estimate moves toward θ* and the ratio beats posting 0. *)
+  check_bool "estimate approaches theta" true
+    (Vec.dist2 (Sgd_pricing.estimate sgd) theta < Vec.norm2 theta);
+  check_bool "regret ratio below risk-averse floor" true
+    (r.Broker.regret_ratio < 0.5);
+  check_int "saw every round" 4000 (Sgd_pricing.rounds_seen sgd)
+
+let test_sgd_respects_reserve () =
+  let sgd = Sgd_pricing.create ~dim:2 ~radius:1. () in
+  let p = Sgd_pricing.policy sgd in
+  (match p.Broker.decide ~x:[| 1.; 0. |] ~reserve:0.7 with
+  | Some price -> check_bool "floored at reserve" true (price >= 0.7)
+  | None -> Alcotest.fail "sgd never skips");
+  let free = Sgd_pricing.create ~use_reserve:false ~dim:2 ~radius:1. () in
+  let pf = Sgd_pricing.policy free in
+  match pf.Broker.decide ~x:[| 1.; 0. |] ~reserve:0.7 with
+  | Some price -> check_bool "ignores reserve" true (price < 0.7)
+  | None -> Alcotest.fail "sgd never skips"
+
+let test_sgd_validation () =
+  check_bool "bad dim" true
+    (match Sgd_pricing.create ~dim:0 ~radius:1. () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "bad radius" true
+    (match Sgd_pricing.create ~dim:2 ~radius:0. () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_sgd_projection () =
+  (* Hammer the learner with accepts along one direction: the estimate
+     must stay inside the radius ball. *)
+  let sgd = Sgd_pricing.create ~learning_rate:10. ~dim:2 ~radius:1. () in
+  let p = Sgd_pricing.policy sgd in
+  for _ = 1 to 500 do
+    (match p.Broker.decide ~x:[| 1.; 0. |] ~reserve:neg_infinity with
+    | Some price ->
+        p.Broker.learn ~x:[| 1.; 0. |] ~price:(price +. 10.) ~accepted:true
+    | None -> ())
+  done;
+  check_bool "projected onto ball" true
+    (Vec.norm2 (Sgd_pricing.estimate sgd) <= 1. +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Adversary (Lemma 8)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_adversary_blowup () =
+  let rounds = 2000 and dim = 2 in
+  let guarded = Adversary.run ~allow_conservative_cuts:false ~dim ~rounds () in
+  let exposed = Adversary.run ~allow_conservative_cuts:true ~dim ~rounds () in
+  (* Conservative cuts let the e₂ width explode... *)
+  check_bool "width explodes when cuts allowed" true
+    (exposed.Adversary.width_e2_at_switch
+    > 10. *. guarded.Adversary.width_e2_at_switch);
+  (* ...which costs Ω(T) exploratory rounds after the switch... *)
+  check_bool "second-half exploration blows up" true
+    (exposed.Adversary.exploratory_second_half
+    > 4 * guarded.Adversary.exploratory_second_half);
+  (* ...and strictly more cumulative regret. *)
+  check_bool "regret blows up" true
+    (exposed.Adversary.result.Broker.total_regret
+    > 2. *. guarded.Adversary.result.Broker.total_regret)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "dm_market"
+    [
+      ( "ellipsoid",
+        [
+          Alcotest.test_case "ball" `Quick test_ball;
+          Alcotest.test_case "of box" `Quick test_of_box;
+          Alcotest.test_case "bounds direction" `Quick test_bounds_direction;
+          Alcotest.test_case "contains" `Quick test_contains;
+          Alcotest.test_case "central cut closed form" `Quick
+            test_central_cut_closed_form;
+          Alcotest.test_case "shallow cut no-op" `Quick test_cut_shallow_noop;
+          Alcotest.test_case "empty cut" `Quick test_cut_empty;
+          Alcotest.test_case "cut above = reflection" `Quick
+            test_cut_above_is_reflection;
+          Alcotest.test_case "1-d bisection" `Quick test_cut_one_dimensional;
+          Alcotest.test_case "1-d deep cut" `Quick test_cut_one_dimensional_deep;
+          Alcotest.test_case "lemma 2 volume ratio" `Quick test_lemma2_volume_ratio;
+        ]
+        @ ellipsoid_props );
+      ( "model",
+        [
+          Alcotest.test_case "links" `Quick test_links;
+          Alcotest.test_case "values" `Quick test_model_values;
+          Alcotest.test_case "log-log guard" `Quick test_log_log_guard;
+          Alcotest.test_case "kernelized" `Quick test_kernelized_model;
+        ]
+        @ [
+            prop "every link is strictly increasing" 200
+              QCheck.(pair (float_range (-4.) 4.) (float_range 0.01 2.))
+              (fun (z, step) ->
+                List.for_all
+                  (fun link ->
+                    link.Model.g (z +. step) > link.Model.g z)
+                  [ Model.identity_link; Model.exp_link; Model.sigmoid_link ]);
+            prop "g_inv . g = id on the working range" 200
+              QCheck.(float_range (-4.) 4.)
+              (fun z ->
+                List.for_all
+                  (fun link ->
+                    abs_float (link.Model.g_inv (link.Model.g z) -. z) < 1e-6)
+                  [ Model.identity_link; Model.exp_link; Model.sigmoid_link ]);
+            prop "market value monotone in the index (all links)" 100
+              QCheck.(pair (float_range (-2.) 2.) (float_range 0.01 1.))
+              (fun (noise, bump) ->
+                let theta = [| 1.; 0.5 |] in
+                let x = [| 0.4; 0.6 |] in
+                List.for_all
+                  (fun mk ->
+                    let m = mk ~theta in
+                    Model.value ~noise:(noise +. bump) m x
+                    > Model.value ~noise m x)
+                  [ Model.linear; Model.log_linear; Model.logistic ]);
+          ] );
+      ( "regret",
+        [
+          Alcotest.test_case "cases" `Quick test_regret_cases;
+          Alcotest.test_case "fig 1 shape" `Quick test_fig1_shape;
+        ]
+        @ regret_props );
+      ( "feature",
+        [
+          Alcotest.test_case "aggregate" `Quick test_aggregate;
+          Alcotest.test_case "uneven partitions" `Quick test_aggregate_uneven;
+          Alcotest.test_case "of compensations" `Quick test_of_compensations;
+        ]
+        @ feature_props );
+      ( "mechanism",
+        [
+          Alcotest.test_case "variant names" `Quick test_variant_names;
+          Alcotest.test_case "skip condition" `Quick test_mechanism_skip;
+          Alcotest.test_case "reserve floor" `Quick test_mechanism_reserve_floor;
+          Alcotest.test_case "exploratory mid" `Quick test_mechanism_exploratory_mid;
+          Alcotest.test_case "conservative never cuts" `Quick
+            test_mechanism_conservative_no_cut;
+          Alcotest.test_case "exploratory cut shrinks" `Quick
+            test_mechanism_exploratory_cut_shrinks;
+          Alcotest.test_case "uncertainty buffer" `Quick
+            test_mechanism_uncertainty_buffer;
+          Alcotest.test_case "conservative with delta" `Quick
+            test_mechanism_conservative_with_delta;
+          Alcotest.test_case "te bound formula" `Quick test_te_upper_bound;
+          Alcotest.test_case "rejects poisoned input" `Quick
+            test_mechanism_rejects_poisoned_input;
+          Alcotest.test_case "survives a lying buyer" `Quick
+            test_mechanism_survives_lying_buyer;
+        ]
+        @ mechanism_props );
+      ( "broker",
+        [
+          Alcotest.test_case "sublinear regret" `Quick test_broker_regret_sublinear;
+          Alcotest.test_case "reserve mitigates cold start" `Quick
+            test_broker_reserve_beats_pure_early;
+          Alcotest.test_case "beats risk-averse baseline" `Quick
+            test_broker_risk_averse;
+          Alcotest.test_case "round logs" `Quick test_broker_round_logs;
+          Alcotest.test_case "conservation identity" `Quick
+            test_broker_conservation;
+          Alcotest.test_case "checkpoints" `Quick test_broker_checkpoints;
+          Alcotest.test_case "edge cases" `Quick test_broker_edge_cases;
+          Alcotest.test_case "log-linear consistency" `Quick
+            test_broker_log_linear_consistency;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "ellipsoid roundtrip" `Quick
+            test_ellipsoid_serialization_roundtrip;
+          Alcotest.test_case "ellipsoid error cases" `Quick
+            test_ellipsoid_deserialize_errors;
+          Alcotest.test_case "mechanism snapshot roundtrip" `Quick
+            test_mechanism_snapshot_roundtrip;
+          Alcotest.test_case "mechanism restore errors" `Quick
+            test_mechanism_restore_errors;
+        ] );
+      ( "arbitrage",
+        [
+          Alcotest.test_case "canonical tariffs" `Quick test_arbitrage_canonical;
+          Alcotest.test_case "capping" `Quick test_arbitrage_capped;
+          Alcotest.test_case "validation" `Quick test_arbitrage_validation;
+        ]
+        @ arbitrage_props );
+      ( "sgd_pricing",
+        [
+          Alcotest.test_case "learns a simple market" `Quick
+            test_sgd_learns_simple_market;
+          Alcotest.test_case "respects the reserve" `Quick test_sgd_respects_reserve;
+          Alcotest.test_case "validation" `Quick test_sgd_validation;
+          Alcotest.test_case "ball projection" `Quick test_sgd_projection;
+        ] );
+      ( "adversary",
+        [ Alcotest.test_case "lemma 8 blow-up" `Slow test_adversary_blowup ] );
+    ]

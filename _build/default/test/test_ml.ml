@@ -1,0 +1,532 @@
+(* Unit and property tests for the dm_ml substrate. *)
+
+module Vec = Dm_linalg.Vec
+module Mat = Dm_linalg.Mat
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+module Categorical = Dm_ml.Categorical
+module Hashing = Dm_ml.Hashing
+module Linreg = Dm_ml.Linreg
+module Ftrl = Dm_ml.Ftrl
+module Pca = Dm_ml.Pca
+module Kernel = Dm_ml.Kernel
+module Split = Dm_ml.Split
+module Metrics = Dm_ml.Metrics
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-5))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Categorical                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_categorical_codes () =
+  let col = [| Some "ny"; Some "la"; None; Some "ny"; Some "sf" |] in
+  let enc = Categorical.fit col in
+  check_int "cardinality" 3 (Categorical.cardinality enc);
+  check_int "first seen" 0 (Categorical.code enc (Some "ny"));
+  check_int "second seen" 1 (Categorical.code enc (Some "la"));
+  check_int "third seen" 2 (Categorical.code enc (Some "sf"));
+  check_int "missing" (-1) (Categorical.code enc None);
+  check_int "unseen" (-1) (Categorical.code enc (Some "boston"));
+  check_bool "transform" true
+    (Categorical.transform enc col = [| 0; 1; -1; 0; 2 |]);
+  check_float "code_float" 1. (Categorical.code_float enc (Some "la"))
+
+let test_categorical_one_hot () =
+  let enc = Categorical.fit [| Some "a"; Some "b" |] in
+  check_bool "one hot a" true
+    (Vec.approx_equal (Categorical.one_hot enc (Some "a")) [| 1.; 0. |]);
+  check_bool "one hot missing" true
+    (Vec.approx_equal (Categorical.one_hot enc None) [| 0.; 0. |])
+
+let test_categorical_categories () =
+  let enc = Categorical.fit [| Some "x"; Some "y"; Some "x" |] in
+  check_bool "order preserved" true
+    (Categorical.categories enc = [| "x"; "y" |])
+
+(* ------------------------------------------------------------------ *)
+(* Hashing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_hashing_determinism () =
+  check_bool "fnv stable" true
+    (Hashing.fnv1a64 "device=abc" = Hashing.fnv1a64 "device=abc");
+  check_bool "fnv distinguishes" true
+    (Hashing.fnv1a64 "a" <> Hashing.fnv1a64 "b");
+  check_int "bucket stable" (Hashing.bucket ~dim:128 "k=v")
+    (Hashing.bucket ~dim:128 "k=v")
+
+let test_hashing_encode () =
+  let fs = Hashing.encode ~dim:64 [ ("site", "s1"); ("app", "a1") ] in
+  check_bool "in range" true
+    (List.for_all (fun f -> f.Hashing.index >= 0 && f.Hashing.index < 64) fs);
+  check_bool "sorted unique" true
+    (let idx = List.map (fun f -> f.Hashing.index) fs in
+     idx = List.sort_uniq compare idx);
+  (* Duplicate fields accumulate. *)
+  let fs2 = Hashing.encode ~dim:64 [ ("site", "s1"); ("site", "s1") ] in
+  check_bool "accumulates" true
+    (List.exists (fun f -> f.Hashing.value = 2.) fs2)
+
+let test_hashing_dense_dot () =
+  let fs = Hashing.encode ~dim:16 [ ("f", "v") ] in
+  let dense = Hashing.to_dense ~dim:16 fs in
+  check_float "dot matches dense" (Vec.dot dense dense)
+    (Hashing.dot_dense fs dense)
+
+let test_hashing_normalize () =
+  let fs = Hashing.encode ~dim:32 [ ("a", "1"); ("b", "2"); ("c", "3") ] in
+  let unit = Hashing.normalize fs in
+  let norm =
+    sqrt (List.fold_left (fun acc f -> acc +. (f.Hashing.value ** 2.)) 0. unit)
+  in
+  check_bool "unit L2" true (abs_float (norm -. 1.) < 1e-9);
+  check_bool "empty unchanged" true (Hashing.normalize [] = [])
+
+let hashing_props =
+  [
+    prop "buckets always in range" 200
+      QCheck.(pair (int_range 1 2048) string)
+      (fun (dim, s) ->
+        let b = Hashing.bucket ~dim s in
+        b >= 0 && b < dim);
+    prop "dense roundtrip preserves values" 100
+      QCheck.(small_list (pair (string_of_size (QCheck.Gen.return 3)) (string_of_size (QCheck.Gen.return 3))))
+      (fun fields ->
+        let fs = Hashing.encode ~dim:256 fields in
+        let dense = Hashing.to_dense ~dim:256 fs in
+        List.for_all
+          (fun f -> dense.(f.Hashing.index) = f.Hashing.value)
+          fs);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Linreg                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_linreg_exact_recovery () =
+  (* Noiseless data from y = 2x₀ − 3x₁ + 5 must be recovered exactly. *)
+  let rng = Rng.create 100 in
+  let rows = 50 in
+  let x = Mat.init rows 2 (fun _ _ -> Rng.uniform rng (-5.) 5.) in
+  let y =
+    Vec.init rows (fun i ->
+        (2. *. Mat.get x i 0) -. (3. *. Mat.get x i 1) +. 5.)
+  in
+  let m = Linreg.fit x y in
+  check_float_loose "w0" 2. (Vec.get m.Linreg.weights 0);
+  check_float_loose "w1" (-3.) (Vec.get m.Linreg.weights 1);
+  check_float_loose "intercept" 5. m.Linreg.intercept;
+  check_bool "mse ~ 0" true (Linreg.mse m x y < 1e-10);
+  check_bool "r2 = 1" true (Linreg.r2 m x y > 1. -. 1e-9)
+
+let test_linreg_noisy () =
+  let rng = Rng.create 101 in
+  let rows = 2000 in
+  let x = Mat.init rows 3 (fun _ _ -> Dist.normal rng ~mean:0. ~std:1.) in
+  let w = [| 1.; -2.; 0.5 |] in
+  let y =
+    Vec.init rows (fun i ->
+        Vec.dot (Mat.row x i) w +. Dist.normal rng ~mean:0. ~std:0.3)
+  in
+  let m = Linreg.fit x y in
+  Array.iteri
+    (fun j wj ->
+      check_bool
+        (Printf.sprintf "w%d close" j)
+        true
+        (abs_float (Vec.get m.Linreg.weights j -. wj) < 0.05))
+    w;
+  (* Residual MSE should approach the noise variance 0.09. *)
+  check_bool "mse near noise floor" true (abs_float (Linreg.mse m x y -. 0.09) < 0.02)
+
+let test_linreg_no_intercept () =
+  let x = Mat.of_arrays [| [| 1. |]; [| 2. |]; [| 3. |] |] in
+  let y = [| 2.; 4.; 6. |] in
+  let m = Linreg.fit ~intercept:false x y in
+  check_float_loose "slope" 2. (Vec.get m.Linreg.weights 0);
+  check_float "no intercept" 0. m.Linreg.intercept
+
+let test_linreg_collinear () =
+  (* Duplicated column: ridge escalation must still return finite weights. *)
+  let x = Mat.of_arrays [| [| 1.; 1. |]; [| 2.; 2. |]; [| 3.; 3. |] |] in
+  let y = [| 2.; 4.; 6. |] in
+  let m = Linreg.fit x y in
+  check_bool "finite" true (Array.for_all Float.is_finite m.Linreg.weights);
+  check_bool "still predicts" true (Linreg.mse m x y < 1e-4)
+
+let test_linreg_shape_errors () =
+  let x = Mat.of_arrays [| [| 1. |] |] in
+  check_bool "target mismatch" true
+    (match Linreg.fit x [| 1.; 2. |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Ftrl                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sparse_example rng ~dim ~theta =
+  (* A random 5-hot example labelled by a ground-truth sparse logistic model. *)
+  let active = Array.init 5 (fun _ -> Rng.int rng dim) in
+  let features =
+    Array.to_list active
+    |> List.sort_uniq compare
+    |> List.map (fun i -> { Hashing.index = i; value = 1. })
+  in
+  let z = List.fold_left (fun acc f -> acc +. theta.(f.Hashing.index)) 0. features in
+  let p = 1. /. (1. +. exp (-.z)) in
+  (features, Rng.float rng < p)
+
+let make_corpus seed ~dim ~rows =
+  let rng = Rng.create seed in
+  let theta =
+    Array.init dim (fun i -> if i < 8 then (if i mod 2 = 0 then 2. else -2.) else 0.)
+  in
+  (Array.init rows (fun _ -> sparse_example rng ~dim ~theta), theta)
+
+let test_ftrl_learns () =
+  let corpus, _ = make_corpus 7 ~dim:64 ~rows:4000 in
+  let model = Ftrl.create ~params:{ Ftrl.alpha = 0.1; beta = 1.; l1 = 0.5; l2 = 1. } ~dim:64 () in
+  let before = Ftrl.log_loss model corpus in
+  Ftrl.train model corpus ~epochs:3;
+  let after = Ftrl.log_loss model corpus in
+  check_bool "loss decreases" true (after < before);
+  (* Must clearly beat the p=0.5 constant predictor (loss log 2). *)
+  check_bool "beats random" true (after < log 2. *. 0.95)
+
+let test_ftrl_sparsity_monotone_in_l1 () =
+  let corpus, _ = make_corpus 8 ~dim:64 ~rows:2000 in
+  let run l1 =
+    let m = Ftrl.create ~params:{ Ftrl.alpha = 0.1; beta = 1.; l1; l2 = 1. } ~dim:64 () in
+    Ftrl.train m corpus ~epochs:2;
+    Ftrl.nonzeros m
+  in
+  let loose = run 0.01 and tight = run 5. in
+  check_bool "higher l1, fewer nonzeros" true (tight <= loose);
+  check_bool "some signal survives" true (loose > 0)
+
+let test_ftrl_weight_closed_form () =
+  (* Untrained model: z = 0 everywhere, so all weights are clipped to 0. *)
+  let m = Ftrl.create ~dim:4 () in
+  check_int "all zero" 0 (Ftrl.nonzeros m);
+  check_float "predict 0.5 at init" 0.5 (Ftrl.predict m [ { Hashing.index = 0; value = 1. } ])
+
+let test_ftrl_prediction_range () =
+  let corpus, _ = make_corpus 9 ~dim:32 ~rows:500 in
+  let m = Ftrl.create ~dim:32 () in
+  Ftrl.train m corpus ~epochs:1;
+  Array.iter
+    (fun (x, _) ->
+      let p = Ftrl.predict m x in
+      check_bool "in (0,1)" true (p > 0. && p < 1.))
+    corpus
+
+let test_ftrl_validation () =
+  check_bool "bad alpha" true
+    (match Ftrl.create ~params:{ Ftrl.alpha = 0.; beta = 1.; l1 = 0.; l2 = 0. } ~dim:4 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "bad dim" true
+    (match Ftrl.create ~dim:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Logreg (batch)                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Logreg = Dm_ml.Logreg
+
+let logreg_corpus seed ~rows =
+  let rng = Rng.create seed in
+  let w = [| 2.; -1.5; 0.8 |] and b = -0.4 in
+  let x = Mat.init rows 3 (fun _ _ -> Dist.normal rng ~mean:0. ~std:1.) in
+  let labels =
+    Array.init rows (fun i ->
+        let z = Vec.dot (Mat.row x i) w +. b in
+        Rng.float rng < 1. /. (1. +. exp (-.z)))
+  in
+  (x, labels, w, b)
+
+let test_logreg_learns () =
+  let x, labels, w, b = logreg_corpus 50 ~rows:4000 in
+  let m = Logreg.fit x labels in
+  (* Recovered weights point the right way and the loss beats the
+     constant predictor. *)
+  Array.iteri
+    (fun j wj ->
+      check_bool
+        (Printf.sprintf "sign of w%d" j)
+        true
+        (wj *. Vec.get m.Logreg.weights j > 0.))
+    w;
+  check_bool "bias sign" true (b *. m.Logreg.bias > 0.);
+  let base_rate =
+    Array.fold_left (fun acc l -> if l then acc +. 1. else acc) 0. labels
+    /. 4000.
+  in
+  let base_entropy =
+    -.((base_rate *. log base_rate)
+      +. ((1. -. base_rate) *. log (1. -. base_rate)))
+  in
+  check_bool "beats constant" true (Logreg.log_loss m x labels < base_entropy)
+
+let test_logreg_predictions_in_range () =
+  let x, labels, _, _ = logreg_corpus 51 ~rows:500 in
+  let m = Logreg.fit ~params:{ Logreg.default_params with Logreg.iterations = 30 } x labels in
+  for i = 0 to 499 do
+    let p = Logreg.predict m (Mat.row x i) in
+    check_bool "in (0,1)" true (p > 0. && p < 1.)
+  done
+
+let test_logreg_l2_shrinks () =
+  let x, labels, _, _ = logreg_corpus 52 ~rows:1000 in
+  let norm l2 =
+    let m = Logreg.fit ~params:{ Logreg.default_params with Logreg.l2 } x labels in
+    Vec.norm2 m.Logreg.weights
+  in
+  check_bool "heavier l2, smaller weights" true (norm 1. < norm 1e-6)
+
+let test_logreg_validation () =
+  check_bool "shape mismatch" true
+    (match Logreg.fit (Mat.identity 2) [| true |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "bad params" true
+    (match
+       Logreg.fit
+         ~params:{ Logreg.learning_rate = 0.; l2 = 0.; iterations = 1 }
+         (Mat.identity 2) [| true; false |]
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Pca                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pca_axis_aligned () =
+  (* Variance concentrated on axis 0: the first component must align. *)
+  let rng = Rng.create 20 in
+  let x =
+    Mat.init 300 3 (fun _ j ->
+        let s = if j = 0 then 5. else 0.1 in
+        Dist.normal rng ~mean:0. ~std:s)
+  in
+  let p = Pca.fit ~components:1 x in
+  let c0 = Mat.row p.Pca.components 0 in
+  check_bool "axis 0 dominates" true (abs_float c0.(0) > 0.99);
+  check_bool "explains most variance" true (Pca.explained_ratio p > 0.95)
+
+let test_pca_reconstruction () =
+  let rng = Rng.create 21 in
+  let x = Mat.init 100 4 (fun _ _ -> Dist.normal rng ~mean:1. ~std:2.) in
+  let p = Pca.fit x in
+  (* Full-rank PCA reconstructs exactly. *)
+  let sample = Mat.row x 17 in
+  let recon = Pca.reconstruct p (Pca.transform p sample) in
+  check_bool "roundtrip" true (Vec.approx_equal ~tol:1e-6 recon sample)
+
+let test_pca_explained_sorted () =
+  let rng = Rng.create 22 in
+  let x = Mat.init 200 5 (fun _ j -> Dist.normal rng ~mean:0. ~std:(float_of_int (j + 1))) in
+  let p = Pca.fit x in
+  let ev = p.Pca.explained_variance in
+  for i = 0 to Vec.dim ev - 2 do
+    check_bool "descending" true (ev.(i) >= ev.(i + 1) -. 1e-9)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Kernel                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_kernel_values () =
+  let x = [| 1.; 0. |] and y = [| 0.; 1. |] in
+  check_float "linear" 0. (Kernel.eval Kernel.Linear x y);
+  check_float "poly" 1. (Kernel.eval (Kernel.Polynomial { degree = 2; offset = 1. }) x y);
+  check_float "rbf at distance sqrt2" (exp (-2.)) (Kernel.eval (Kernel.Rbf { gamma = 1. }) x y);
+  check_float "rbf self" 1. (Kernel.eval (Kernel.Rbf { gamma = 1. }) x x)
+
+let test_kernel_psd () =
+  let rng = Rng.create 23 in
+  let points = Array.init 8 (fun _ -> Dist.normal_vec rng ~dim:3) in
+  check_bool "linear psd" true (Kernel.is_psd_sample Kernel.Linear points);
+  check_bool "rbf psd" true (Kernel.is_psd_sample (Kernel.Rbf { gamma = 0.5 }) points);
+  check_bool "poly psd" true
+    (Kernel.is_psd_sample (Kernel.Polynomial { degree = 2; offset = 1. }) points)
+
+let test_landmark_map () =
+  let landmarks = [| [| 0.; 0. |]; [| 1.; 1. |] |] in
+  let m = Kernel.landmark_map (Kernel.Rbf { gamma = 1. }) ~landmarks in
+  check_int "dim" 2 (Kernel.landmark_dim m);
+  let phi = Kernel.apply m [| 0.; 0. |] in
+  check_float "self landmark" 1. phi.(0);
+  check_float "other landmark" (exp (-2.)) phi.(1)
+
+let kernel_props =
+  [
+    prop "rbf symmetric and bounded" 100
+      QCheck.(pair (array_of_size (QCheck.Gen.return 3) (float_range (-3.) 3.))
+                (array_of_size (QCheck.Gen.return 3) (float_range (-3.) 3.)))
+      (fun (x, y) ->
+        let k = Kernel.Rbf { gamma = 0.7 } in
+        let kxy = Kernel.eval k x y in
+        abs_float (kxy -. Kernel.eval k y x) < 1e-12 && kxy > 0. && kxy <= 1.);
+    prop "gram matrices are symmetric" 50
+      QCheck.(int_range 2 6)
+      (fun n ->
+        let rng = Rng.create n in
+        let pts = Array.init n (fun _ -> Dist.normal_vec rng ~dim:2) in
+        Mat.is_symmetric (Kernel.gram (Kernel.Rbf { gamma = 1. }) pts));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Split / Metrics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_split_random () =
+  let rng = Rng.create 30 in
+  let data = Array.init 100 (fun i -> i) in
+  let { Split.train; test } = Split.random rng ~test_fraction:0.2 data in
+  check_int "test size" 20 (Array.length test);
+  check_int "train size" 80 (Array.length train);
+  let all = Array.append train test in
+  Array.sort compare all;
+  check_bool "partition" true (all = Array.init 100 (fun i -> i))
+
+let test_split_suffix () =
+  let data = [| 1; 2; 3; 4; 5 |] in
+  let { Split.train; test } = Split.suffix ~test_fraction:0.4 data in
+  check_bool "train prefix" true (train = [| 1; 2; 3 |]);
+  check_bool "test suffix" true (test = [| 4; 5 |])
+
+let test_metrics () =
+  check_float "mse" 0.25 (Metrics.mse [| 1.; 2. |] [| 1.5; 2.5 |]);
+  check_float "mae" 0.5 (Metrics.mae [| 1.; 2. |] [| 1.5; 2.5 |]);
+  check_float "rmse" 0.5 (Metrics.rmse [| 1.; 2. |] [| 1.5; 2.5 |]);
+  check_float "accuracy" 0.75
+    (Metrics.accuracy ~probs:[| 0.9; 0.1; 0.8; 0.4 |]
+       ~labels:[| true; false; false; false |] ());
+  let ll =
+    Metrics.log_loss ~probs:[| 0.9; 0.1 |] ~labels:[| true; false |]
+  in
+  check_bool "log loss" true (abs_float (ll -. -.(log 0.9)) < 1e-9)
+
+let split_props =
+  [
+    prop "random split always partitions" 100
+      QCheck.(pair (int_range 1 1000) (float_range 0. 1.))
+      (fun (seed, frac) ->
+        let data = Array.init 37 (fun i -> i) in
+        let { Split.train; test } =
+          Split.random (Rng.create seed) ~test_fraction:frac data
+        in
+        let all = Array.append train test in
+        Array.sort compare all;
+        all = Array.init 37 (fun i -> i));
+    prop "suffix split preserves order" 100
+      QCheck.(float_range 0. 1.)
+      (fun frac ->
+        let data = Array.init 23 (fun i -> i) in
+        let { Split.train; test } = Split.suffix ~test_fraction:frac data in
+        Array.append train test = data);
+  ]
+
+let categorical_props =
+  [
+    prop "codes are dense and in range" 100
+      QCheck.(small_list (string_of_size (QCheck.Gen.int_range 1 3)))
+      (fun values ->
+        let col = Array.of_list (List.map Option.some values) in
+        let enc = Categorical.fit col in
+        let k = Categorical.cardinality enc in
+        Array.for_all
+          (fun c -> c >= 0 && c < k)
+          (Categorical.transform enc col));
+    prop "refitting on transformed output is stable" 50
+      QCheck.(small_list (string_of_size (QCheck.Gen.int_range 1 3)))
+      (fun values ->
+        let col = Array.of_list (List.map Option.some values) in
+        let enc = Categorical.fit col in
+        (* Same column, same codes, twice. *)
+        Categorical.transform enc col = Categorical.transform enc col);
+  ]
+
+let test_metrics_errors () =
+  check_bool "mismatch" true
+    (match Metrics.mse [| 1. |] [| 1.; 2. |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "dm_ml"
+    [
+      ( "categorical",
+        [
+          Alcotest.test_case "codes" `Quick test_categorical_codes;
+          Alcotest.test_case "one hot" `Quick test_categorical_one_hot;
+          Alcotest.test_case "categories order" `Quick test_categorical_categories;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "determinism" `Quick test_hashing_determinism;
+          Alcotest.test_case "encode" `Quick test_hashing_encode;
+          Alcotest.test_case "dense dot" `Quick test_hashing_dense_dot;
+          Alcotest.test_case "normalize" `Quick test_hashing_normalize;
+        ]
+        @ hashing_props );
+      ( "linreg",
+        [
+          Alcotest.test_case "exact recovery" `Quick test_linreg_exact_recovery;
+          Alcotest.test_case "noisy recovery" `Quick test_linreg_noisy;
+          Alcotest.test_case "no intercept" `Quick test_linreg_no_intercept;
+          Alcotest.test_case "collinear design" `Quick test_linreg_collinear;
+          Alcotest.test_case "shape errors" `Quick test_linreg_shape_errors;
+        ] );
+      ( "ftrl",
+        [
+          Alcotest.test_case "learns" `Quick test_ftrl_learns;
+          Alcotest.test_case "l1 sparsity" `Quick test_ftrl_sparsity_monotone_in_l1;
+          Alcotest.test_case "closed form at init" `Quick test_ftrl_weight_closed_form;
+          Alcotest.test_case "prediction range" `Quick test_ftrl_prediction_range;
+          Alcotest.test_case "validation" `Quick test_ftrl_validation;
+        ] );
+      ( "logreg",
+        [
+          Alcotest.test_case "learns" `Quick test_logreg_learns;
+          Alcotest.test_case "prediction range" `Quick
+            test_logreg_predictions_in_range;
+          Alcotest.test_case "l2 shrinks weights" `Quick test_logreg_l2_shrinks;
+          Alcotest.test_case "validation" `Quick test_logreg_validation;
+        ] );
+      ( "pca",
+        [
+          Alcotest.test_case "axis aligned" `Quick test_pca_axis_aligned;
+          Alcotest.test_case "reconstruction" `Quick test_pca_reconstruction;
+          Alcotest.test_case "explained variance sorted" `Quick test_pca_explained_sorted;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "values" `Quick test_kernel_values;
+          Alcotest.test_case "psd" `Quick test_kernel_psd;
+          Alcotest.test_case "landmark map" `Quick test_landmark_map;
+        ]
+        @ kernel_props );
+      ( "split+metrics",
+        [
+          Alcotest.test_case "random split" `Quick test_split_random;
+          Alcotest.test_case "suffix split" `Quick test_split_suffix;
+          Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "metric errors" `Quick test_metrics_errors;
+        ]
+        @ split_props @ categorical_props );
+    ]

@@ -1,0 +1,290 @@
+(* Unit and property tests for the dm_synth dataset simulators. *)
+
+module Vec = Dm_linalg.Vec
+module Mat = Dm_linalg.Mat
+module Rng = Dm_prob.Rng
+module Stats = Dm_prob.Stats
+module Dp = Dm_privacy.Dp
+module Comp = Dm_privacy.Compensation
+module Movielens = Dm_synth.Movielens
+module Linear_query = Dm_synth.Linear_query
+module Airbnb = Dm_synth.Airbnb
+module Avazu = Dm_synth.Avazu
+module Linreg = Dm_ml.Linreg
+module Ftrl = Dm_ml.Ftrl
+module Split = Dm_ml.Split
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Movielens                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_movielens_shapes () =
+  let rng = Rng.create 1 in
+  let c = Movielens.generate rng ~owners:200 in
+  check_int "owner count" 200 (Movielens.owner_count c);
+  check_int "data vector" 200 (Vec.dim (Movielens.data_vector c));
+  check_int "ranges" 200 (Vec.dim (Movielens.data_ranges c));
+  check_int "contracts" 200 (Array.length (Movielens.contracts c))
+
+let test_movielens_ranges () =
+  let rng = Rng.create 2 in
+  let c = Movielens.generate rng ~owners:500 in
+  Array.iter
+    (fun o ->
+      check_bool "rating in scale" true
+        (o.Movielens.mean_rating >= 0.5 && o.Movielens.mean_rating <= 5.0);
+      check_bool "has ratings" true (o.Movielens.num_ratings >= 5))
+    c.Movielens.owners;
+  Array.iter
+    (fun d -> check_bool "range = 4.5" true (abs_float (d -. 4.5) < 1e-9))
+    (Movielens.data_ranges c)
+
+let test_movielens_determinism () =
+  let c1 = Movielens.generate (Rng.create 7) ~owners:50 in
+  let c2 = Movielens.generate (Rng.create 7) ~owners:50 in
+  check_bool "same corpus from same seed" true
+    (Vec.approx_equal (Movielens.data_vector c1) (Movielens.data_vector c2))
+
+let test_movielens_heterogeneous () =
+  let rng = Rng.create 3 in
+  let c = Movielens.generate rng ~owners:1000 in
+  check_bool "mean ratings vary" true
+    (Stats.std (Movielens.data_vector c) > 0.2);
+  (* Contract caps differ between owners. *)
+  let caps = Array.map Comp.cap (Movielens.contracts c) in
+  check_bool "caps vary" true (Stats.std caps > 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Linear_query                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_query_noise_grid () =
+  let g = Linear_query.noise_variance_grid in
+  check_int "nine variances" 9 (Array.length g);
+  check_bool "covers 1e-4..1e4" true (g.(0) = 1e-4 && g.(8) = 1e4);
+  (* Every drawn query's scale must come from the grid. *)
+  let rng = Rng.create 4 in
+  for _ = 1 to 200 do
+    let q = Linear_query.draw rng ~dist:Linear_query.Mixed ~owners:10 in
+    let v = 2. *. q.Dp.noise_scale *. q.Dp.noise_scale in
+    check_bool "variance on grid" true
+      (Array.exists (fun gv -> abs_float (gv -. v) < 1e-9 *. gv) g)
+  done
+
+let test_query_stream () =
+  let rng = Rng.create 5 in
+  let qs = Linear_query.stream rng ~dist:Linear_query.Gaussian ~owners:20 ~rounds:50 in
+  check_int "rounds" 50 (Array.length qs);
+  Array.iter (fun q -> check_int "owners" 20 (Dp.owner_count q)) qs
+
+let test_query_uniform_bounds () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 100 do
+    let q = Linear_query.draw rng ~dist:Linear_query.Uniform ~owners:15 in
+    check_bool "weights in [-1,1)" true
+      (Array.for_all (fun w -> w >= -1. && w < 1.) q.Dp.weights)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Airbnb                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let airbnb_corpus = lazy (Airbnb.generate (Rng.create 10) ~rows:4000)
+
+let test_airbnb_schema () =
+  let records = Lazy.force airbnb_corpus in
+  Array.iter
+    (fun r ->
+      check_bool "city known" true (Array.mem r.Airbnb.city Airbnb.cities);
+      check_bool "accommodates" true
+        (r.Airbnb.accommodates >= 1 && r.Airbnb.accommodates <= 17);
+      check_bool "review score" true
+        (r.Airbnb.review_score >= 20. && r.Airbnb.review_score <= 100.);
+      check_bool "response rate" true
+        (r.Airbnb.host_response_rate >= 0. && r.Airbnb.host_response_rate <= 1.);
+      check_int "amenity flags" (Array.length Airbnb.amenity_names)
+        (Array.length r.Airbnb.amenities);
+      check_bool "log price plausible" true
+        (r.Airbnb.log_price > 1.5 && r.Airbnb.log_price < 9.))
+    records
+
+let test_airbnb_encoding_dim () =
+  let records = Lazy.force airbnb_corpus in
+  let enc = Airbnb.fit_encoder records in
+  check_int "n = 55" 55 Airbnb.feature_dim;
+  Array.iter
+    (fun r ->
+      let x = Airbnb.encode enc r in
+      check_int "dim" 55 (Vec.dim x);
+      check_bool "bias" true (x.(0) = 1.);
+      check_bool "all finite" true (Array.for_all Float.is_finite x))
+    records
+
+let test_airbnb_design_matrix () =
+  let records = Lazy.force airbnb_corpus in
+  let enc = Airbnb.fit_encoder records in
+  let m = Airbnb.design_matrix enc records in
+  check_int "rows" (Array.length records) (Mat.rows m);
+  check_int "cols" 55 (Mat.cols m);
+  check_bool "row matches encode" true
+    (Vec.approx_equal (Mat.row m 42) (Airbnb.encode enc records.(42)))
+
+let test_airbnb_ols_fit_quality () =
+  (* The paper's OLS on the real corpus reaches test MSE 0.226; our
+     hedonic ground truth has residual std 0.42, so a good fit must
+     land near MSE ≈ 0.18 and far below the total variance. *)
+  let records = Lazy.force airbnb_corpus in
+  let enc = Airbnb.fit_encoder records in
+  let { Split.train; test } =
+    Split.random (Rng.create 11) ~test_fraction:0.2 records
+  in
+  let model = Linreg.fit ~intercept:false (Airbnb.design_matrix enc train) (Airbnb.targets train) in
+  let test_mse = Linreg.mse model (Airbnb.design_matrix enc test) (Airbnb.targets test) in
+  let variance =
+    let s = Stats.std (Airbnb.targets test) in
+    s *. s
+  in
+  check_bool "test mse below 0.35" true (test_mse < 0.35);
+  check_bool "explains most variance" true (test_mse < 0.6 *. variance)
+
+let test_airbnb_feature_norm_bound () =
+  let records = Lazy.force airbnb_corpus in
+  let enc = Airbnb.fit_encoder records in
+  let s = Airbnb.max_feature_norm enc records in
+  check_bool "bounded" true (s > 1. && s < sqrt 55.)
+
+(* ------------------------------------------------------------------ *)
+(* Avazu                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let avazu_corpus = lazy (Avazu.generate (Rng.create 20) ~rounds:30_000)
+
+let test_avazu_schema () =
+  let imps = Lazy.force avazu_corpus in
+  Array.iter
+    (fun imp ->
+      check_int "nine fields" 9 (List.length imp.Avazu.fields);
+      List.iter
+        (fun (f, _) ->
+          check_bool "known field" true (Array.mem f Avazu.field_names))
+        imp.Avazu.fields)
+    imps
+
+let test_avazu_base_rate () =
+  let imps = Lazy.force avazu_corpus in
+  let clicks =
+    Array.fold_left (fun acc i -> if i.Avazu.clicked then acc + 1 else acc) 0 imps
+  in
+  let rate = float_of_int clicks /. float_of_int (Array.length imps) in
+  check_bool "ctr near 17%" true (rate > 0.10 && rate < 0.25)
+
+let test_avazu_true_ctr_range () =
+  let imps = Lazy.force avazu_corpus in
+  Array.iter
+    (fun imp ->
+      let p = Avazu.true_ctr imp in
+      check_bool "prob" true (p > 0. && p < 1.))
+    imps
+
+let test_avazu_encoding () =
+  let imps = Lazy.force avazu_corpus in
+  let imp = imps.(0) in
+  let fs = Avazu.encode ~dim:128 imp in
+  check_bool "nonempty" true (fs <> []);
+  check_bool "in range" true
+    (List.for_all (fun f -> f.Dm_ml.Hashing.index < 128 && f.Dm_ml.Hashing.index >= 0) fs);
+  (* Same impression encodes identically (pure function). *)
+  check_bool "deterministic" true (Avazu.encode ~dim:128 imp = fs)
+
+let test_avazu_ftrl_sparsity () =
+  (* FTRL on the synthetic stream recovers a sparse weight vector, the
+     property the paper reports (21 non-zeros at n=128, 23 at n=1024). *)
+  let imps = Lazy.force avazu_corpus in
+  let dim = 128 in
+  let examples =
+    Array.map (fun i -> (Avazu.encode ~dim i, i.Avazu.clicked)) imps
+  in
+  let m =
+    Ftrl.create ~params:{ Ftrl.alpha = 0.1; beta = 1.; l1 = 20.; l2 = 1. } ~dim ()
+  in
+  Ftrl.train m examples ~epochs:2;
+  let nz = Ftrl.nonzeros m in
+  check_bool "sparse but informative" true (nz >= 3 && nz <= 80);
+  (* Base-rate entropy of this stream is ≈0.510 and the Bayes loss
+     ≈0.487; a trained model must land between them. *)
+  let loss = Ftrl.log_loss m examples in
+  check_bool "beats constant predictor" true (loss < 0.505);
+  check_bool "not below Bayes" true (loss > 0.484)
+
+let synth_props =
+  [
+    prop "airbnb determinism" 5 QCheck.(int_range 1 100) (fun seed ->
+        let a = Airbnb.generate (Rng.create seed) ~rows:20 in
+        let b = Airbnb.generate (Rng.create seed) ~rows:20 in
+        Array.for_all2
+          (fun r1 r2 -> r1.Airbnb.log_price = r2.Airbnb.log_price)
+          a b);
+    prop "avazu determinism" 5 QCheck.(int_range 1 100) (fun seed ->
+        let a = Avazu.generate (Rng.create seed) ~rounds:20 in
+        let b = Avazu.generate (Rng.create seed) ~rounds:20 in
+        Array.for_all2 (fun i1 i2 -> i1 = i2) a b);
+    prop "city premium shows up in generated prices" 3
+      QCheck.(int_range 200 400)
+      (fun seed ->
+        let records = Airbnb.generate (Rng.create seed) ~rows:6000 in
+        let mean_log city =
+          let xs =
+            Array.of_list
+              (List.filter_map
+                 (fun r ->
+                   if r.Airbnb.city = city then Some r.Airbnb.log_price
+                   else None)
+                 (Array.to_list records))
+          in
+          Stats.mean xs
+        in
+        mean_log "SF" > mean_log "Chicago");
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "dm_synth"
+    [
+      ( "movielens",
+        [
+          Alcotest.test_case "shapes" `Quick test_movielens_shapes;
+          Alcotest.test_case "value ranges" `Quick test_movielens_ranges;
+          Alcotest.test_case "determinism" `Quick test_movielens_determinism;
+          Alcotest.test_case "heterogeneity" `Quick test_movielens_heterogeneous;
+        ] );
+      ( "linear_query",
+        [
+          Alcotest.test_case "noise grid" `Quick test_query_noise_grid;
+          Alcotest.test_case "stream" `Quick test_query_stream;
+          Alcotest.test_case "uniform bounds" `Quick test_query_uniform_bounds;
+        ] );
+      ( "airbnb",
+        [
+          Alcotest.test_case "schema" `Quick test_airbnb_schema;
+          Alcotest.test_case "encoding dim" `Quick test_airbnb_encoding_dim;
+          Alcotest.test_case "design matrix" `Quick test_airbnb_design_matrix;
+          Alcotest.test_case "ols fit quality" `Slow test_airbnb_ols_fit_quality;
+          Alcotest.test_case "feature norm bound" `Quick test_airbnb_feature_norm_bound;
+        ] );
+      ( "avazu",
+        [
+          Alcotest.test_case "schema" `Quick test_avazu_schema;
+          Alcotest.test_case "base rate" `Quick test_avazu_base_rate;
+          Alcotest.test_case "true ctr range" `Quick test_avazu_true_ctr_range;
+          Alcotest.test_case "encoding" `Quick test_avazu_encoding;
+          Alcotest.test_case "ftrl sparsity" `Slow test_avazu_ftrl_sparsity;
+        ] );
+      ("properties", synth_props);
+    ]
