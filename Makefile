@@ -1,0 +1,23 @@
+# Convenience targets; dune is the real build system.
+
+.PHONY: all build test dev bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Pre-commit loop: full build, all eight test suites, then a 2-domain
+# smoke run of two fast artifacts to catch runner regressions.
+dev: build test
+	dune exec bin/experiments.exe -- fig1 --jobs 2
+	dune exec bin/experiments.exe -- lemma8 --jobs 2
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -10,7 +10,13 @@
    2. Run Bechamel micro-benchmarks: one Test.make per table/figure,
       timing the per-round unit of work that experiment repeats 10⁴–10⁵
       times, plus substrate kernels.  These are the Sec. V-D latency
-      numbers in steady state. *)
+      numbers in steady state.
+
+   Both stages feed a BENCH_<stamp>.json file (stage-1 wall-clock per
+   artifact, stage-2 ns-per-call medians) so successive runs accumulate
+   a perf trajectory; BENCH_JOBS sets the domain fan-out of the
+   stage-1 drivers that support it (the rendered tables are identical
+   whatever the value). *)
 
 module Vec = Dm_linalg.Vec
 module Mat = Dm_linalg.Mat
@@ -41,34 +47,71 @@ let scale =
       | _ -> failwith "BENCH_SCALE must be a float in (0, 1]")
   | None -> 0.05
 
+let jobs =
+  match Sys.getenv_opt "BENCH_JOBS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> j
+      | _ -> failwith "BENCH_JOBS must be a positive integer")
+  | None -> 1
+
+(* Every stage-1 artifact as a named thunk, so the harness can time
+   each one individually for the BENCH_*.json trajectory. *)
+let stage1_artifacts =
+  [
+    ("fig1", fun ppf -> Dm_experiments.Analysis.fig1 ppf);
+    ("fig4", fun ppf -> Dm_experiments.App1.fig4 ~scale ~jobs ppf);
+    ("table1", fun ppf -> Dm_experiments.App1.table1 ~scale ppf);
+    ("fig5a", fun ppf -> Dm_experiments.App1.fig5a ~scale ppf);
+    ("fig5b", fun ppf -> Dm_experiments.App2.fig5b ~scale ppf);
+    ("fig5c", fun ppf -> Dm_experiments.App3.fig5c ~scale ppf);
+    ( "coldstart_app1",
+      fun ppf -> Dm_experiments.App1.coldstart ~scale ~seeds:3 ~jobs ppf );
+    ( "coldstart_app2",
+      fun ppf -> Dm_experiments.App2.coldstart ~scale ~seeds:3 ~jobs ppf );
+    ("lemma8", fun ppf -> Dm_experiments.Analysis.lemma8 ppf);
+    ("theorem3", fun ppf -> Dm_experiments.Analysis.theorem3 ppf);
+    ("theorem2", fun ppf -> Dm_experiments.Analysis.theorem2 ~scale ppf);
+    ("lemma2", fun ppf -> Dm_experiments.Analysis.lemma2_check ppf);
+    ("lemma45", fun ppf -> Dm_experiments.Analysis.lemma45_check ppf);
+    ( "ablation_epsilon",
+      fun ppf -> Dm_experiments.Ablation.epsilon_sweep ~rounds:5_000 ~jobs ppf );
+    ( "ablation_delta",
+      fun ppf -> Dm_experiments.Ablation.delta_sweep ~rounds:5_000 ~jobs ppf );
+    ( "ablation_aggregation",
+      fun ppf ->
+        Dm_experiments.Ablation.aggregation_sweep ~rounds:5_000 ~jobs ppf );
+    ( "ablation_feature_pipeline",
+      fun ppf -> Dm_experiments.Ablation.feature_pipeline ~rounds:5_000 ppf );
+    ( "ablation_param_dist",
+      fun ppf ->
+        Dm_experiments.Ablation.param_dist_sweep ~rounds:5_000 ~jobs ppf );
+    ("baselines", fun ppf -> Dm_experiments.Baselines.compare ~scale ~jobs ppf);
+    ("rank", fun ppf -> Dm_experiments.Diagnostics.report ~sample:1_000 ppf);
+    ("overhead", fun ppf -> Dm_experiments.Overhead.report ppf);
+  ]
+
 let stage1 () =
   Format.fprintf ppf
     "==================================================================@.";
   Format.fprintf ppf
-    "Stage 1: paper tables and figures at scale %.2f (BENCH_SCALE)@." scale;
+    "Stage 1: paper tables and figures at scale %.2f (BENCH_SCALE), %d \
+     domain(s) (BENCH_JOBS)@."
+    scale jobs;
   Format.fprintf ppf
     "==================================================================@.@.";
-  Dm_experiments.Analysis.fig1 ppf;
-  Dm_experiments.App1.fig4 ~scale ppf;
-  Dm_experiments.App1.table1 ~scale ppf;
-  Dm_experiments.App1.fig5a ~scale ppf;
-  Dm_experiments.App2.fig5b ~scale ppf;
-  Dm_experiments.App3.fig5c ~scale ppf;
-  Dm_experiments.App1.coldstart ~scale ~seeds:3 ppf;
-  Dm_experiments.App2.coldstart ~scale ~seeds:3 ppf;
-  Dm_experiments.Analysis.lemma8 ppf;
-  Dm_experiments.Analysis.theorem3 ppf;
-  Dm_experiments.Analysis.theorem2 ~scale ppf;
-  Dm_experiments.Analysis.lemma2_check ppf;
-  Dm_experiments.Analysis.lemma45_check ppf;
-  Dm_experiments.Ablation.epsilon_sweep ~rounds:5_000 ppf;
-  Dm_experiments.Ablation.delta_sweep ~rounds:5_000 ppf;
-  Dm_experiments.Ablation.aggregation_sweep ~rounds:5_000 ppf;
-  Dm_experiments.Ablation.feature_pipeline ~rounds:5_000 ppf;
-  Dm_experiments.Ablation.param_dist_sweep ~rounds:5_000 ppf;
-  Dm_experiments.Baselines.compare ~scale ppf;
-  Dm_experiments.Diagnostics.report ~sample:1_000 ppf;
-  Dm_experiments.Overhead.report ppf
+  let timings =
+    List.map
+      (fun (name, artifact) ->
+        let t0 = Unix.gettimeofday () in
+        artifact ppf;
+        (name, Unix.gettimeofday () -. t0))
+      stage1_artifacts
+  in
+  Dm_experiments.Table.print ppf ~title:"Stage 1 wall clock"
+    ~header:[ "artifact"; "seconds" ]
+    (List.map (fun (n, s) -> [ n; Printf.sprintf "%.3f" s ]) timings);
+  timings
 
 (* ------------------------------------------------------------------ *)
 (* Stage 2: Bechamel micro-benchmarks                                  *)
@@ -249,21 +292,91 @@ let stage2 () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
+  let estimates =
     Hashtbl.fold
       (fun name ols acc ->
         let ns =
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.sprintf "%.1f" est
-          | _ -> "n/a"
+          | Some [ est ] -> Some est
+          | _ -> None
         in
-        [ name; ns ] :: acc)
+        (name, ns) :: acc)
       results []
     |> List.sort compare
   in
   Dm_experiments.Table.print ppf ~title:"per-call latency"
-    ~header:[ "benchmark"; "ns/call" ] rows
+    ~header:[ "benchmark"; "ns/call" ]
+    (List.map
+       (fun (name, ns) ->
+         [
+           name;
+           (match ns with Some est -> Printf.sprintf "%.1f" est | None -> "n/a");
+         ])
+       estimates);
+  estimates
+
+(* ------------------------------------------------------------------ *)
+(* JSON trajectory file                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled emitter — the measurement record is flat enough that a
+   JSON library would be pure dependency weight. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let write_json ~stamp ~stage1_timings ~stage2_estimates =
+  let path = Printf.sprintf "BENCH_%s.json" stamp in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"dm-bench/1\",\n";
+  out "  \"stamp\": \"%s\",\n" (json_escape stamp);
+  out "  \"scale\": %s,\n" (json_float scale);
+  out "  \"jobs\": %d,\n" jobs;
+  out "  \"stage1_wall_clock_s\": [\n";
+  List.iteri
+    (fun i (name, seconds) ->
+      out "    { \"artifact\": \"%s\", \"seconds\": %s }%s\n" (json_escape name)
+        (json_float seconds)
+        (if i < List.length stage1_timings - 1 then "," else ""))
+    stage1_timings;
+  out "  ],\n";
+  out "  \"stage2_ns_per_call\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      out "    { \"benchmark\": \"%s\", \"ns\": %s }%s\n" (json_escape name)
+        (match ns with Some est -> json_float est | None -> "null")
+        (if i < List.length stage2_estimates - 1 then "," else ""))
+    stage2_estimates;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  path
 
 let () =
-  stage1 ();
-  stage2 ()
+  let stamp =
+    let t = Unix.gmtime (Unix.time ()) in
+    Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (t.Unix.tm_year + 1900)
+      (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+      t.Unix.tm_sec
+  in
+  let stage1_timings = stage1 () in
+  let stage2_estimates = stage2 () in
+  let path = write_json ~stamp ~stage1_timings ~stage2_estimates in
+  Format.fprintf ppf "@.wrote %s@." path

@@ -74,7 +74,18 @@ let run ?checkpoints ?(record_rounds = false) ~policy ~model ~noise ~workload
   if rounds < 1 then invalid_arg "Broker.run: need at least one round";
   let checkpoints =
     match checkpoints with
-    | Some c -> c
+    | Some c ->
+        (* The consumption loop below assumes strictly increasing
+           1-based rounds; a malformed array would silently drop
+           checkpoints and leave zeroed series entries. *)
+        Array.iteri
+          (fun i cp ->
+            if cp < 1 || cp > rounds then
+              invalid_arg "Broker.run: checkpoint outside [1, rounds]";
+            if i > 0 && cp <= c.(i - 1) then
+              invalid_arg "Broker.run: checkpoints must be strictly increasing")
+          c;
+        c
     | None -> default_checkpoints ~rounds
   in
   let n_checks = Array.length checkpoints in

@@ -89,4 +89,7 @@ val run :
     index-space uncertainty δ_t.  Regret uses Eq. 1 when the policy
     honours reserve prices (reserve variants and the baseline) and
     Eq. 7 otherwise.  [record_rounds] (default false) materializes
-    per-round logs — leave it off for 10⁵-round sweeps. *)
+    per-round logs — leave it off for 10⁵-round sweeps.
+    [checkpoints], when given, must be strictly increasing 1-based
+    round counts within [1, rounds]; anything else raises
+    [Invalid_argument] rather than silently dropping entries. *)

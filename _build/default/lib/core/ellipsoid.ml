@@ -152,10 +152,17 @@ let deserialize text =
                 Some (Array.of_list (List.map Option.get l))
               else None
             in
+            (* NaN slips through [make]'s symmetry and positive-diagonal
+               checks (every NaN comparison is false), so finiteness must
+               be rejected here. *)
+            let all_finite a = Array.for_all Float.is_finite a in
             match (all_some (floats center_line), all_some (floats shape_line)) with
             | None, _ | _, None -> fail "malformed float literal"
             | Some center, Some flat ->
-                if Array.length center <> dim then fail "center length mismatch"
+                if not (all_finite center && all_finite flat) then
+                  fail "non-finite center or shape entry"
+                else if Array.length center <> dim then
+                  fail "center length mismatch"
                 else if Array.length flat <> dim * dim then
                   fail "shape length mismatch"
                 else

@@ -100,7 +100,9 @@ val serialize : t -> string
 
 val deserialize : string -> (t, string) result
 (** Inverse of {!serialize}; [Error] describes the first problem
-    found (bad header, wrong counts, malformed numbers, asymmetric or
-    non-positive shape). *)
+    found (bad header, wrong counts, malformed or non-finite numbers,
+    asymmetric or non-positive shape).  NaN and infinite entries are
+    rejected explicitly — NaN would otherwise slip through the
+    symmetry and positive-diagonal checks. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,7 +1,10 @@
 type variant = { use_reserve : bool; delta : float }
 
 let check_delta delta =
-  if delta < 0. then invalid_arg "Mechanism: negative uncertainty buffer"
+  (* [not (delta >= 0.)] rather than [delta < 0.]: NaN answers false to
+     both comparisons, so the former also rejects it. *)
+  if not (delta >= 0.) || delta = infinity then
+    invalid_arg "Mechanism: uncertainty buffer must be finite and non-negative"
 
 let pure = { use_reserve = false; delta = 0. }
 
@@ -28,7 +31,8 @@ type config = {
 }
 
 let config ?(allow_conservative_cuts = false) ~variant ~epsilon () =
-  if epsilon <= 0. then invalid_arg "Mechanism.config: epsilon must be positive";
+  if not (epsilon > 0.) || epsilon = infinity then
+    invalid_arg "Mechanism.config: epsilon must be finite and positive";
   check_delta variant.delta;
   { variant; epsilon; allow_conservative_cuts }
 
@@ -139,6 +143,8 @@ let restore text =
             with
             | exception Scanf.Scan_failure msg -> Error ("bad state line: " ^ msg)
             | exception Failure msg -> Error ("bad state line: " ^ msg)
+            | _, _, _, _, e, c, s when e < 0 || c < 0 || s < 0 ->
+                Error "negative round counter"
             | use_reserve, delta, allow, epsilon, e, c, s -> (
                 match Ellipsoid.deserialize ell_text with
                 | Error msg -> Error msg

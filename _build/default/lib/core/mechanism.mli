@@ -39,7 +39,7 @@ val pure : variant
 val with_reserve : variant
 
 val with_uncertainty : delta:float -> variant
-(** Requires [delta ≥ 0]. *)
+(** Requires [delta ≥ 0] and finite (NaN and infinity are rejected). *)
 
 val with_reserve_and_uncertainty : delta:float -> variant
 
@@ -49,7 +49,7 @@ val variant_name : variant -> string
 
 type config = {
   variant : variant;
-  epsilon : float;  (** exploration threshold ε > 0 *)
+  epsilon : float;  (** exploration threshold, finite and > 0 *)
   allow_conservative_cuts : bool;
       (** Lemma-8 footgun; [false] in every paper variant *)
 }
@@ -113,4 +113,7 @@ val snapshot : t -> string
     learned. *)
 
 val restore : string -> (t, string) result
-(** Inverse of {!snapshot}. *)
+(** Inverse of {!snapshot}.  [Error] on any malformed input, including
+    non-finite floats (NaN ε/δ or ellipsoid entries) and negative
+    round counters — a corrupted snapshot never yields a mechanism
+    that misprices silently. *)

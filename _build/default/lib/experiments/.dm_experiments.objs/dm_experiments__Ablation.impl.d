@@ -1,1 +1,1 @@
-lib/experiments/ablation.ml: Array Dm_apps Dm_linalg Dm_market Dm_ml Dm_privacy Dm_prob Dm_synth Float List Printf Table
+lib/experiments/ablation.ml: Array Dm_apps Dm_linalg Dm_market Dm_ml Dm_privacy Dm_prob Dm_synth Float Printf Runner Table

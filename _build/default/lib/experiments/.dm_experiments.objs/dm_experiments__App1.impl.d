@@ -1,1 +1,1 @@
-lib/experiments/app1.ml: Array Dm_apps Dm_market Dm_prob Float Format List Printf Table
+lib/experiments/app1.ml: Array Dm_apps Dm_market Dm_prob Float Format Fun List Printf Runner Table

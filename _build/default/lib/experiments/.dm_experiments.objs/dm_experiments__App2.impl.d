@@ -1,1 +1,1 @@
-lib/experiments/app2.ml: App1 Array Dm_apps Dm_market Format Fun Hashtbl List Printf Table
+lib/experiments/app2.ml: App1 Array Dm_apps Dm_market Format Fun Hashtbl List Printf Runner Table

@@ -1,1 +1,1 @@
-lib/experiments/baselines.ml: App1 Array Dm_apps Dm_market Dm_prob Format List Printf Table
+lib/experiments/baselines.ml: App1 Array Dm_apps Dm_market Dm_prob Format Fun List Printf Runner Table

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Atomic Buffer Domain Format

@@ -15,6 +15,14 @@ module Model = Dm_market.Model
 module Feature = Dm_market.Feature
 module Noisy_query = Dm_apps.Noisy_query
 
+(* Setups shared by several runner cells must have their lazy stream
+   and noise tables forced before dispatch: a [Lazy.t] forced
+   concurrently from two domains is a race. *)
+let force_tables setup =
+  let (_ : int -> Vec.t * float) = Noisy_query.workload setup in
+  let (_ : int -> float) = Noisy_query.noise setup in
+  ()
+
 let custom_run setup variant ~epsilon =
   let mech =
     Mechanism.create
@@ -28,21 +36,23 @@ let custom_run setup variant ~epsilon =
     ~workload:(Noisy_query.workload setup)
     ~rounds:setup.Noisy_query.rounds ()
 
-let epsilon_sweep ?(seed = 42) ?(rounds = 10_000) ppf =
+let epsilon_sweep ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
   let dim = 20 in
   let setup = Noisy_query.make ~seed ~dim ~rounds () in
+  force_tables setup;
   let base = setup.Noisy_query.epsilon in
   let rows =
-    List.map
-      (fun factor ->
-        let epsilon = base *. factor in
-        let r = custom_run setup Mechanism.with_reserve ~epsilon in
-        [
-          Printf.sprintf "%.4f (%gx n²/T)" epsilon factor;
-          Table.fmt_pct r.Broker.regret_ratio;
-          string_of_int r.Broker.exploratory;
-        ])
-      [ 0.1; 0.5; 1.; 5.; 25.; 125. ]
+    Array.to_list
+      (Runner.map ~jobs
+         (fun factor ->
+           let epsilon = base *. factor in
+           let r = custom_run setup Mechanism.with_reserve ~epsilon in
+           [
+             Printf.sprintf "%.4f (%gx n²/T)" epsilon factor;
+             Table.fmt_pct r.Broker.regret_ratio;
+             string_of_int r.Broker.exploratory;
+           ])
+         [| 0.1; 0.5; 1.; 5.; 25.; 125. |])
   in
   Table.print ppf
     ~title:
@@ -53,25 +63,28 @@ let epsilon_sweep ?(seed = 42) ?(rounds = 10_000) ppf =
     ~header:[ "epsilon"; "regret ratio"; "exploratory rounds" ]
     rows
 
-let delta_sweep ?(seed = 42) ?(rounds = 10_000) ppf =
+let delta_sweep ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
   let dim = 20 in
   let setup = Noisy_query.make ~seed ~dim ~rounds () in
+  force_tables setup;
   let rows =
-    List.map
-      (fun delta ->
-        let variant = Mechanism.with_reserve_and_uncertainty ~delta in
-        (* The same floor rule the application layer uses. *)
-        let epsilon =
-          Float.max setup.Noisy_query.epsilon (2.5 *. float_of_int dim *. delta)
-        in
-        let r = custom_run setup variant ~epsilon in
-        [
-          Printf.sprintf "%.3f" delta;
-          Printf.sprintf "%.4f" epsilon;
-          Table.fmt_pct r.Broker.regret_ratio;
-          string_of_int r.Broker.exploratory;
-        ])
-      [ 0.; 0.005; 0.01; 0.05; 0.1 ]
+    Array.to_list
+      (Runner.map ~jobs
+         (fun delta ->
+           let variant = Mechanism.with_reserve_and_uncertainty ~delta in
+           (* The same floor rule the application layer uses. *)
+           let epsilon =
+             Float.max setup.Noisy_query.epsilon
+               (2.5 *. float_of_int dim *. delta)
+           in
+           let r = custom_run setup variant ~epsilon in
+           [
+             Printf.sprintf "%.3f" delta;
+             Printf.sprintf "%.4f" epsilon;
+             Table.fmt_pct r.Broker.regret_ratio;
+             string_of_int r.Broker.exploratory;
+           ])
+         [| 0.; 0.005; 0.01; 0.05; 0.1 |])
   in
   Table.print ppf
     ~title:
@@ -256,25 +269,28 @@ let ctr_trainer ?(seed = 3) ppf =
       ];
     ]
 
-let param_dist_sweep ?(seed = 42) ?(rounds = 10_000) ppf =
+let param_dist_sweep ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
   let dim = 20 in
   let rows =
-    List.map
-      (fun (name, dist) ->
-        let setup = Noisy_query.make ~param_dist:dist ~seed ~dim ~rounds () in
-        let r = Noisy_query.run setup Mechanism.with_reserve in
-        [
-          name;
-          Table.fmt_pct r.Broker.regret_ratio;
-          string_of_int r.Broker.exploratory;
-          Table.fmt_pct
-            (float_of_int r.Broker.accepted_rounds /. float_of_int rounds);
-        ])
-      [
-        ("gaussian N(0, I)", Linear_query.Gaussian);
-        ("uniform [-1, 1]", Linear_query.Uniform);
-        ("mixed", Linear_query.Mixed);
-      ]
+    Array.to_list
+      (Runner.map ~jobs
+         (fun (name, dist) ->
+           let setup =
+             Noisy_query.make ~param_dist:dist ~seed ~dim ~rounds ()
+           in
+           let r = Noisy_query.run setup Mechanism.with_reserve in
+           [
+             name;
+             Table.fmt_pct r.Broker.regret_ratio;
+             string_of_int r.Broker.exploratory;
+             Table.fmt_pct
+               (float_of_int r.Broker.accepted_rounds /. float_of_int rounds);
+           ])
+         [|
+           ("gaussian N(0, I)", Linear_query.Gaussian);
+           ("uniform [-1, 1]", Linear_query.Uniform);
+           ("mixed", Linear_query.Mixed);
+         |])
   in
   Table.print ppf
     ~title:
@@ -285,21 +301,22 @@ let param_dist_sweep ?(seed = 42) ?(rounds = 10_000) ppf =
     ~header:[ "parameter distribution"; "regret ratio"; "exploratory"; "sale rate" ]
     rows
 
-let aggregation_sweep ?(seed = 42) ?(rounds = 10_000) ppf =
+let aggregation_sweep ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
   let rows =
-    List.map
-      (fun dim ->
-        let setup = Noisy_query.make ~owners:200 ~seed ~dim ~rounds () in
-        let r = Noisy_query.run setup Mechanism.with_reserve in
-        [
-          string_of_int dim;
-          Table.fmt_pct r.Broker.regret_ratio;
-          string_of_int r.Broker.exploratory;
-          Table.fmt_pct
-            (r.Broker.reserve_stats.Dm_prob.Stats.mean
-            /. r.Broker.market_value_stats.Dm_prob.Stats.mean);
-        ])
-      [ 1; 5; 20; 50 ]
+    Array.to_list
+      (Runner.map ~jobs
+         (fun dim ->
+           let setup = Noisy_query.make ~owners:200 ~seed ~dim ~rounds () in
+           let r = Noisy_query.run setup Mechanism.with_reserve in
+           [
+             string_of_int dim;
+             Table.fmt_pct r.Broker.regret_ratio;
+             string_of_int r.Broker.exploratory;
+             Table.fmt_pct
+               (r.Broker.reserve_stats.Dm_prob.Stats.mean
+               /. r.Broker.market_value_stats.Dm_prob.Stats.mean);
+           ])
+         [| 1; 5; 20; 50 |])
   in
   Table.print ppf
     ~title:

@@ -1,19 +1,26 @@
 (** Ablations beyond the paper's tables, probing the design choices
     DESIGN.md calls out: the exploration threshold ε, the uncertainty
     buffer δ (including the regime below the ε ≥ 4nδ precondition),
-    and the feature-aggregation granularity n of Sec. II-B. *)
+    and the feature-aggregation granularity n of Sec. II-B.
 
-val epsilon_sweep : ?seed:int -> ?rounds:int -> Format.formatter -> unit
+    The sweeps take [jobs] (default 1) and fan their grid points out
+    over that many domains via {!Runner}; output bytes never depend
+    on it. *)
+
+val epsilon_sweep :
+  ?seed:int -> ?rounds:int -> ?jobs:int -> Format.formatter -> unit
 (** Regret ratio of the reserve variant across a grid of thresholds ε
     (n = 20): too small buys precision it cannot amortize, too large
     leaves a permanent conservative gap. *)
 
-val delta_sweep : ?seed:int -> ?rounds:int -> Format.formatter -> unit
+val delta_sweep :
+  ?seed:int -> ?rounds:int -> ?jobs:int -> Format.formatter -> unit
 (** Regret ratio of the reserve+uncertainty variant as the buffer δ
     grows at fixed noise, with ε floored per the stall bound; shows
     the cost of over-buffering. *)
 
-val aggregation_sweep : ?seed:int -> ?rounds:int -> Format.formatter -> unit
+val aggregation_sweep :
+  ?seed:int -> ?rounds:int -> ?jobs:int -> Format.formatter -> unit
 (** Fixes a 200-owner market and varies the number of aggregation
     partitions n ∈ {1, 5, 20, 50}: finer features model value better
     but cost more exploration (the paper's granularity trade-off). *)
@@ -34,7 +41,8 @@ val ctr_trainer : ?seed:int -> Format.formatter -> unit
     leaves the Fig. 5(c) dense case without any dimension reduction,
     and its exploration cost shows it. *)
 
-val param_dist_sweep : ?seed:int -> ?rounds:int -> Format.formatter -> unit
+val param_dist_sweep :
+  ?seed:int -> ?rounds:int -> ?jobs:int -> Format.formatter -> unit
 (** The paper draws query parameters "from either a multivariate
     normal ... or a uniform distribution" to validate adaptivity; this
     sweep runs the reserve variant under Gaussian, Uniform and Mixed

@@ -27,37 +27,38 @@ let variants setup =
     ("reserve+unc", Mechanism.with_reserve_and_uncertainty ~delta);
   ]
 
-let fig4 ?(scale = 1.) ?(seed = 42) ppf =
-  List.iter
-    (fun (dim, rounds) ->
-      let rounds = scaled_rounds scale rounds in
-      let setup = Noisy_query.make ~seed ~dim ~rounds () in
-      let cps = checkpoints ~rounds ~count:8 in
-      let results =
-        List.map
-          (fun (name, v) -> (name, Noisy_query.run ~checkpoints:cps setup v))
-          (variants setup)
-      in
-      let header = "t" :: List.map fst results in
-      let rows =
-        Array.to_list
-          (Array.mapi
-             (fun i t ->
-               string_of_int t
-               :: List.map
-                    (fun (_, r) ->
-                      Printf.sprintf "%.1f"
-                        r.Broker.series.Broker.cumulative_regret.(i))
-                    results)
-             cps)
-      in
-      Table.print ppf
-        ~title:
-          (Printf.sprintf
-             "Fig. 4 (n = %d, T = %d): cumulative regret, noisy linear query"
-             dim rounds)
-        ~header rows)
-    paper_settings
+let fig4 ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
+  let panel (dim, rounds) ppf =
+    let rounds = scaled_rounds scale rounds in
+    let setup = Noisy_query.make ~seed ~dim ~rounds () in
+    let cps = checkpoints ~rounds ~count:8 in
+    let results =
+      List.map
+        (fun (name, v) -> (name, Noisy_query.run ~checkpoints:cps setup v))
+        (variants setup)
+    in
+    let header = "t" :: List.map fst results in
+    let rows =
+      Array.to_list
+        (Array.mapi
+           (fun i t ->
+             string_of_int t
+             :: List.map
+                  (fun (_, r) ->
+                    Printf.sprintf "%.1f"
+                      r.Broker.series.Broker.cumulative_regret.(i))
+                  results)
+           cps)
+    in
+    Table.print ppf
+      ~title:
+        (Printf.sprintf
+           "Fig. 4 (n = %d, T = %d): cumulative regret, noisy linear query"
+           dim rounds)
+      ~header rows
+  in
+  Runner.render ~jobs ppf
+    (Array.of_list (List.map panel paper_settings))
 
 let table1 ?(scale = 1.) ?(seed = 42) ppf =
   let fmt_ms (s : Dm_prob.Stats.summary) =
@@ -130,20 +131,27 @@ let fig5a ?(scale = 1.) ?(seed = 42) ppf =
     (final "pure") (final "uncertainty") (final "reserve")
     (final "reserve+unc") (final "risk-averse")
 
-let coldstart ?(scale = 1.) ?(seed = 42) ?(seeds = 5) ppf =
+let coldstart ?(scale = 1.) ?(seed = 42) ?(seeds = 5) ?(jobs = 1) ppf =
   let dim = 20 in
   let rounds = scaled_rounds scale 10_000 in
   let reductions =
-    List.init seeds (fun k ->
-        let setup = Noisy_query.make ~seed:(seed + (100 * k)) ~dim ~rounds () in
-        let regret v = (Noisy_query.run setup v).Broker.total_regret in
-        let delta = setup.Noisy_query.delta in
-        let no_reserve = regret Mechanism.pure in
-        let with_reserve = regret Mechanism.with_reserve in
-        let unc = regret (Mechanism.with_uncertainty ~delta) in
-        let both = regret (Mechanism.with_reserve_and_uncertainty ~delta) in
-        ( 100. *. (1. -. (with_reserve /. no_reserve)),
-          100. *. (1. -. (both /. unc)) ))
+    (* One cell per market seed; each cell builds its own setup from a
+       plain integer, so nothing mutable crosses domains. *)
+    Array.to_list
+      (Runner.map ~jobs
+         (fun k ->
+           let setup =
+             Noisy_query.make ~seed:(seed + (100 * k)) ~dim ~rounds ()
+           in
+           let regret v = (Noisy_query.run setup v).Broker.total_regret in
+           let delta = setup.Noisy_query.delta in
+           let no_reserve = regret Mechanism.pure in
+           let with_reserve = regret Mechanism.with_reserve in
+           let unc = regret (Mechanism.with_uncertainty ~delta) in
+           let both = regret (Mechanism.with_reserve_and_uncertainty ~delta) in
+           ( 100. *. (1. -. (with_reserve /. no_reserve)),
+             100. *. (1. -. (both /. unc)) ))
+         (Array.init seeds Fun.id))
   in
   let mean sel =
     List.fold_left (fun acc r -> acc +. sel r) 0. reductions

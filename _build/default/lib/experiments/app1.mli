@@ -3,16 +3,20 @@
 
     [scale] multiplies every horizon (floored at 100 rounds) so the
     bench harness can regenerate the figures' shapes quickly;
-    [scale = 1.] is the paper's full setting. *)
+    [scale = 1.] is the paper's full setting.  [jobs] fans the
+    independent grid cells out over that many domains via {!Runner}
+    (default 1); output bytes do not depend on it. *)
 
 val checkpoints : rounds:int -> count:int -> int array
 (** ≈[count] log-spaced report points ending exactly at [rounds];
     shared by the other experiment modules. *)
 
-val fig4 : ?scale:float -> ?seed:int -> Format.formatter -> unit
+val fig4 :
+  ?scale:float -> ?seed:int -> ?jobs:int -> Format.formatter -> unit
 (** Cumulative regret of the four variants at log-spaced checkpoints,
     one panel per n ∈ {1, 20, 40, 60, 80, 100} (T as in the paper:
-    10² for n = 1, 10⁴ for n ≤ 40, 10⁵ above). *)
+    10² for n = 1, 10⁴ for n ≤ 40, 10⁵ above).  One runner cell per
+    panel. *)
 
 val table1 : ?scale:float -> ?seed:int -> Format.formatter -> unit
 (** Per-round mean (std) of market value, reserve price, posted price
@@ -23,8 +27,10 @@ val fig5a : ?scale:float -> ?seed:int -> Format.formatter -> unit
 (** Regret ratios at n = 100 for the four variants and the risk-averse
     baseline, including the cold-start region t ≤ 100. *)
 
-val coldstart : ?scale:float -> ?seed:int -> ?seeds:int -> Format.formatter -> unit
+val coldstart :
+  ?scale:float -> ?seed:int -> ?seeds:int -> ?jobs:int ->
+  Format.formatter -> unit
 (** The Sec. V-A cold-start claim at n = 20, t = 10⁴: percentage
     regret reduction of the reserve variants over their reserve-free
     counterparts, averaged over [seeds] independent markets
-    (default 5). *)
+    (default 5).  One runner cell per market seed. *)

@@ -53,35 +53,42 @@ let fig5b ?(scale = 1.) ?(seed = 7) ppf =
     "@.Paper finals: pure 4.57%%; reserve 0.4/0.6/0.8 → 4.01/3.83/3.79%%; \
      risk-averse → 23.40/17.00/9.33%%@.@."
 
-let coldstart ?(scale = 1.) ?(seed = 7) ?(seeds = 5) ppf =
+let coldstart ?(scale = 1.) ?(seed = 7) ?(seeds = 5) ?(jobs = 1) ppf =
   let rows = max 2_000 (scaled_rows (scale /. 10.)) in
   (* The reserve's protection is structural in round 1 (the first
      exploratory price IS the reserve) and washes out as bisection
      noise dominates; report the fade. *)
   let horizons = [ 1; 10; 100; 1000 ] in
   let ratios = [ 0.4; 0.6; 0.8 ] in
+  (* One cell per corpus seed, returning the (ratio, horizon) grid of
+     regret ratios; the mean over corpora is merged in the caller's
+     domain. *)
+  let per_seed =
+    Runner.map ~jobs
+      (fun k ->
+        let setup = Rental.make ~rows ~seed:(seed + (50 * k)) () in
+        List.map
+          (fun ratio ->
+            let r =
+              Rental.run
+                ~checkpoints:(Array.of_list horizons)
+                ~ratio setup Mechanism.with_reserve
+            in
+            List.mapi
+              (fun i h -> ((ratio, h), r.Broker.series.Broker.regret_ratio.(i)))
+              horizons)
+          ratios)
+      (Array.init seeds Fun.id)
+  in
   let totals = Hashtbl.create 16 in
-  List.iter
-    (fun k ->
-      let setup = Rental.make ~rows ~seed:(seed + (50 * k)) () in
-      List.iter
-        (fun ratio ->
-          let r =
-            Rental.run
-              ~checkpoints:(Array.of_list horizons)
-              ~ratio setup Mechanism.with_reserve
-          in
-          List.iteri
-            (fun i h ->
-              let key = (ratio, h) in
-              let prev =
-                match Hashtbl.find_opt totals key with Some v -> v | None -> 0.
-              in
-              Hashtbl.replace totals key
-                (prev +. r.Broker.series.Broker.regret_ratio.(i)))
-            horizons)
-        ratios)
-    (List.init seeds Fun.id);
+  Array.iter
+    (List.iter
+       (List.iter (fun (key, v) ->
+            let prev =
+              match Hashtbl.find_opt totals key with Some p -> p | None -> 0.
+            in
+            Hashtbl.replace totals key (prev +. v))))
+    per_seed;
   let rows_out =
     List.map
       (fun ratio ->

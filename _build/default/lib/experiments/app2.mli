@@ -7,7 +7,11 @@ val fig5b : ?scale:float -> ?seed:int -> Format.formatter -> unit
     baselines (paper finals: 4.57 / 4.01 / 3.83 / 3.79%; baselines
     23.40 / 17.00 / 9.33%). *)
 
-val coldstart : ?scale:float -> ?seed:int -> ?seeds:int -> Format.formatter -> unit
+val coldstart :
+  ?scale:float -> ?seed:int -> ?seeds:int -> ?jobs:int ->
+  Format.formatter -> unit
 (** Early-horizon (t ≤ 10³) regret ratios by reserve log-ratio,
     averaged over [seeds] corpora (default 5): the paper's claim that
-    a reserve nearer the market value mitigates cold start more. *)
+    a reserve nearer the market value mitigates cold start more.
+    [jobs] runs one {!Runner} cell per corpus seed; the output does
+    not depend on it. *)

@@ -4,10 +4,9 @@ module Mechanism = Dm_market.Mechanism
 module Sgd_pricing = Dm_market.Sgd_pricing
 module Noisy_query = Dm_apps.Noisy_query
 
-let compare ?(scale = 1.) ?(seed = 42) ppf =
+let compare ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
   let rounds = max 1_000 (int_of_float (scale *. 10_000.)) in
-  List.iter
-    (fun dim ->
+  let panel dim ppf =
       let setup = Noisy_query.make ~seed ~dim ~rounds () in
       let cps = App1.checkpoints ~rounds ~count:8 in
       let sgd =
@@ -47,36 +46,50 @@ let compare ?(scale = 1.) ?(seed = 42) ppf =
              "Baselines (n = %d, T = %d): regret ratios, ellipsoid vs SGD \
               pricing vs risk-averse"
              dim rounds)
-        ~header rows)
-    [ 5; 20 ]
+        ~header rows
+  in
+  Runner.render ~jobs ppf (Array.map panel [| 5; 20 |])
 
-let seed_robustness ?(scale = 1.) ?(seed = 42) ?(seeds = 7) ppf =
+let seed_robustness ?(scale = 1.) ?(seed = 42) ?(seeds = 7) ?(jobs = 1) ppf =
   let dim = 20 in
   let rounds = max 1_000 (int_of_float (scale *. 10_000.)) in
   let names =
     [ "pure"; "uncertainty"; "reserve"; "reserve+unc"; "risk-averse" ]
   in
+  (* One cell per market; the online accumulators merge in submission
+     order so the Welford sums match the sequential run bit-for-bit. *)
+  let per_seed =
+    Runner.map ~jobs
+      (fun k ->
+        let setup =
+          Noisy_query.make ~seed:(seed + (1000 * k)) ~dim ~rounds ()
+        in
+        let delta = setup.Noisy_query.delta in
+        let ratio variant =
+          (Noisy_query.run setup variant).Broker.regret_ratio
+        in
+        let pure = ratio Mechanism.pure in
+        let unc = ratio (Mechanism.with_uncertainty ~delta) in
+        let res = ratio Mechanism.with_reserve in
+        let both = ratio (Mechanism.with_reserve_and_uncertainty ~delta) in
+        let base = (Noisy_query.run_baseline setup).Broker.regret_ratio in
+        [ pure; unc; res; both; base ])
+      (Array.init seeds Fun.id)
+  in
   let stats = List.map (fun n -> (n, Stats.online_create ())) names in
   let reserve_beats_pure = ref 0 in
   let both_beats_unc = ref 0 in
   let mech_beats_baseline = ref 0 in
-  for k = 0 to seeds - 1 do
-    let setup = Noisy_query.make ~seed:(seed + (1000 * k)) ~dim ~rounds () in
-    let delta = setup.Noisy_query.delta in
-    let ratio variant = (Noisy_query.run setup variant).Broker.regret_ratio in
-    let pure = ratio Mechanism.pure in
-    let unc = ratio (Mechanism.with_uncertainty ~delta) in
-    let res = ratio Mechanism.with_reserve in
-    let both = ratio (Mechanism.with_reserve_and_uncertainty ~delta) in
-    let base = (Noisy_query.run_baseline setup).Broker.regret_ratio in
-    List.iter2
-      (fun (_, o) v -> Stats.online_add o v)
-      stats
-      [ pure; unc; res; both; base ];
-    if res < pure then incr reserve_beats_pure;
-    if both < unc then incr both_beats_unc;
-    if res < base then incr mech_beats_baseline
-  done;
+  Array.iter
+    (fun ratios ->
+      List.iter2 (fun (_, o) v -> Stats.online_add o v) stats ratios;
+      match ratios with
+      | [ pure; unc; res; both; base ] ->
+          if res < pure then incr reserve_beats_pure;
+          if both < unc then incr both_beats_unc;
+          if res < base then incr mech_beats_baseline
+      | _ -> assert false)
+    per_seed;
   let rows =
     List.map
       (fun (name, o) ->

@@ -4,13 +4,16 @@
     section positions against) and the risk-averse reserve-poster, on
     the App-1 market. *)
 
-val compare : ?scale:float -> ?seed:int -> Format.formatter -> unit
+val compare :
+  ?scale:float -> ?seed:int -> ?jobs:int -> Format.formatter -> unit
 (** Regret ratios at log-spaced checkpoints for n ∈ {5, 20} over
     T = 10⁴·scale rounds: the ellipsoid mechanism's ratio collapses
-    while SGD's decays at its slower polynomial rate. *)
+    while SGD's decays at its slower polynomial rate.  [jobs] runs one
+    {!Runner} cell per dimension; output bytes never depend on it. *)
 
 val seed_robustness :
-  ?scale:float -> ?seed:int -> ?seeds:int -> Format.formatter -> unit
+  ?scale:float -> ?seed:int -> ?seeds:int -> ?jobs:int ->
+  Format.formatter -> unit
 (** The headline App-1 orderings over [seeds] (default 7) independent
     markets at n = 20: final regret ratios of the four variants and
     the risk-averse baseline as mean ± std, plus how often each

@@ -1,0 +1,51 @@
+let map ?(jobs = 1) f xs =
+  if jobs < 1 then invalid_arg "Runner.map: jobs must be positive";
+  let n = Array.length xs in
+  if jobs = 1 || n <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Work-stealing by atomic counter: each worker claims the next
+       unclaimed index until the grid is exhausted.  [results] is
+       race-free because index [i] is written by exactly one worker
+       and only read after every domain has been joined. *)
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             (match f xs.(i) with
+             | y -> Some (Ok y)
+             | exception e -> Some (Error e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some (Ok y) -> y
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let render ?(jobs = 1) ppf cells =
+  let chunks =
+    map ~jobs
+      (fun cell ->
+        let buf = Buffer.create 4096 in
+        let bppf = Format.formatter_of_buffer buf in
+        cell bppf;
+        Format.pp_print_flush bppf ();
+        Buffer.contents buf)
+      cells
+  in
+  (* Strings pass through the formatter as atomic tokens (no break
+     hints are emitted between them), so the merged output is the
+     exact concatenation of the per-cell buffers. *)
+  Array.iter (Format.pp_print_string ppf) chunks;
+  Format.pp_print_flush ppf ()

@@ -28,9 +28,9 @@ let online_variance o =
 
 let online_std o = sqrt (online_variance o)
 
-let online_min o = o.min
+let online_min o = if o.count = 0 then nan else o.min
 
-let online_max o = o.max
+let online_max o = if o.count = 0 then nan else o.max
 
 let online_sum o = o.sum
 
@@ -77,11 +77,13 @@ let summarize (o : online) =
     count = o.count;
     mean = online_mean o;
     std = online_std o;
-    min = o.min;
-    max = o.max;
+    min = online_min o;
+    max = online_max o;
     sum = o.sum;
   }
 
 let pp_summary ppf s =
-  Format.fprintf ppf "n=%d mean=%.4f std=%.4f min=%.4f max=%.4f sum=%.4f"
-    s.count s.mean s.std s.min s.max s.sum
+  if s.count = 0 then Format.fprintf ppf "n=0 (empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.4f std=%.4f min=%.4f max=%.4f sum=%.4f"
+      s.count s.mean s.std s.min s.max s.sum

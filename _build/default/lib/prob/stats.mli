@@ -24,8 +24,12 @@ val online_variance : online -> float
 val online_std : online -> float
 
 val online_min : online -> float
+(** [nan] before the first observation (not the [infinity] seed of the
+    running minimum). *)
 
 val online_max : online -> float
+(** [nan] before the first observation (not the [neg_infinity] seed of
+    the running maximum). *)
 
 val online_sum : online -> float
 
@@ -53,5 +57,9 @@ type summary = {
 }
 
 val summarize : online -> summary
+(** Snapshot of the accumulator; an empty accumulator yields
+    [nan] mean/min/max rather than ±[infinity] extrema. *)
 
 val pp_summary : Format.formatter -> summary -> unit
+(** Prints ["n=0 (empty)"] for an empty summary instead of a row of
+    NaNs. *)

@@ -1,1 +1,1 @@
-test/test_experiments.ml: Alcotest Array Buffer Dm_experiments Dm_linalg Format String
+test/test_experiments.ml: Alcotest Array Buffer Dm_experiments Dm_linalg Format Fun List String

@@ -1,1 +1,1 @@
-test/test_market.ml: Alcotest Array Dm_linalg Dm_market Dm_ml Dm_prob Float Gen List Print Printf QCheck QCheck_alcotest
+test/test_market.ml: Alcotest Array Dm_linalg Dm_market Dm_ml Dm_prob Float Gen List Print Printf QCheck QCheck_alcotest String

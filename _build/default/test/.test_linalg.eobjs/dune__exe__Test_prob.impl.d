@@ -1,1 +1,1 @@
-test/test_prob.ml: Alcotest Array Dm_linalg Dm_prob Float List Printf QCheck QCheck_alcotest
+test/test_prob.ml: Alcotest Array Dm_linalg Dm_prob Float Format List Printf QCheck QCheck_alcotest

@@ -151,6 +151,52 @@ let test_coldstart_drivers () =
 
 (* ------------------------------------------------------------------ *)
 
+module Runner = Dm_experiments.Runner
+
+let test_runner_map () =
+  let xs = Array.init 37 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int))
+    "parallel map matches serial" (Array.map f xs)
+    (Runner.map ~jobs:4 f xs);
+  Alcotest.(check (array int)) "empty input" [||] (Runner.map ~jobs:4 f [||]);
+  check_bool "jobs above cell count" true
+    (Runner.map ~jobs:16 f [| 3 |] = [| 10 |]);
+  check_bool "invalid jobs rejected" true
+    (match Runner.map ~jobs:0 f xs with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* A failing cell re-raises in the caller after every domain joins. *)
+  check_bool "exception propagates" true
+    (match
+       Runner.map ~jobs:4 (fun x -> if x = 11 then failwith "boom" else x) xs
+     with
+    | _ -> false
+    | exception Failure msg -> msg = "boom")
+
+let test_runner_render_deterministic () =
+  (* The tentpole contract: output bytes never depend on [jobs]. *)
+  let drivers =
+    [
+      ("fig4", fun ~jobs ppf -> App1.fig4 ~scale:0.01 ~seed:1 ~jobs ppf);
+      ( "coldstart app1",
+        fun ~jobs ppf -> App1.coldstart ~scale:0.02 ~seeds:2 ~jobs ppf );
+      ( "epsilon sweep",
+        fun ~jobs ppf -> Ablation.epsilon_sweep ~rounds:500 ~jobs ppf );
+      ( "param dist sweep",
+        fun ~jobs ppf -> Ablation.param_dist_sweep ~rounds:500 ~jobs ppf );
+      ("baselines", fun ~jobs ppf -> Baselines.compare ~scale:0.05 ~jobs ppf);
+    ]
+  in
+  List.iter
+    (fun (name, driver) ->
+      check_string name
+        (render (fun ppf -> driver ~jobs:1 ppf))
+        (render (fun ppf -> driver ~jobs:4 ppf)))
+    drivers
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   Alcotest.run "dm_experiments"
     [
@@ -174,5 +220,11 @@ let () =
           Alcotest.test_case "diagnostics rank" `Quick test_diagnostics;
           Alcotest.test_case "ablations (tiny)" `Slow test_ablation_drivers;
           Alcotest.test_case "coldstart (tiny)" `Slow test_coldstart_drivers;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "map semantics" `Quick test_runner_map;
+          Alcotest.test_case "jobs-independent bytes" `Slow
+            test_runner_render_deterministic;
         ] );
     ]

@@ -926,6 +926,29 @@ let test_broker_edge_cases () =
     (r3.Broker.series.Broker.cumulative_value.(0)
     < r3.Broker.series.Broker.cumulative_value.(2))
 
+let test_broker_checkpoint_validation () =
+  let model = Model.linear ~theta:[| 1. |] in
+  let run cps =
+    Broker.run ~checkpoints:cps ~policy:Broker.Risk_averse ~model
+      ~noise:(fun _ -> 0.)
+      ~workload:(fun _ -> ([| 1. |], 0.5))
+      ~rounds:10 ()
+  in
+  let expect_invalid name cps =
+    check_bool name true
+      (match run cps with
+      | exception Invalid_argument msg ->
+          String.length msg >= 10 && String.sub msg 0 10 = "Broker.run"
+      | _ -> false)
+  in
+  expect_invalid "unsorted" [| 5; 2 |];
+  expect_invalid "duplicate" [| 2; 2; 7 |];
+  expect_invalid "zero" [| 0; 5 |];
+  expect_invalid "beyond horizon" [| 2; 11 |];
+  (* The inclusive bounds themselves are fine. *)
+  check_int "bounds accepted" 2
+    (Array.length (run [| 1; 10 |]).Broker.series.Broker.checkpoints)
+
 let test_broker_log_linear_consistency () =
   (* Under the log-linear model the broker's value-space accounting
      must match exp of the index space. *)
@@ -1027,6 +1050,81 @@ let test_mechanism_restore_errors () =
     (match Mechanism.restore "mechanism/1\nnot numbers\nellipsoid/1\n" with
     | Error _ -> true
     | Ok _ -> false)
+
+let test_non_finite_rejected () =
+  (* NaN sails through the symmetry and positive-diagonal checks
+     (every NaN comparison is false), so deserializers must reject
+     non-finite literals explicitly. *)
+  let expect_error text =
+    match Ellipsoid.deserialize text with Error _ -> true | Ok _ -> false
+  in
+  check_bool "nan center" true
+    (expect_error "ellipsoid/1\n2\nnan 0x0p+0\n0x1p+0 0x0p+0 0x0p+0 0x1p+0\n");
+  check_bool "inf shape entry" true
+    (expect_error "ellipsoid/1\n2\n0x0p+0 0x0p+0\ninf 0x0p+0 0x0p+0 0x1p+0\n");
+  check_bool "negative-infinity center" true
+    (expect_error "ellipsoid/1\n1\n-infinity\n0x1p+0\n");
+  let ell = Ellipsoid.serialize (Ellipsoid.ball ~dim:1 ~radius:1.) in
+  let reject state =
+    match Mechanism.restore (Printf.sprintf "mechanism/1\n%s\n%s" state ell) with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  check_bool "nan delta" true (reject "true nan false 0x1p-3 0 0 0");
+  check_bool "nan epsilon" true (reject "false 0x0p+0 false nan 0 0 0");
+  check_bool "infinite epsilon" true
+    (reject "false 0x0p+0 false infinity 0 0 0");
+  check_bool "negative counter" true (reject "false 0x0p+0 false 0x1p-3 -1 0 0");
+  check_bool "nan delta at construction" true
+    (match Mechanism.with_uncertainty ~delta:nan with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let random_ellipsoid seed dim cuts =
+  let e = ref (Ellipsoid.ball ~dim ~radius:2.) in
+  let rng = Rng.create seed in
+  for _ = 1 to cuts do
+    let x = Vec.normalize (Dist.normal_vec rng ~dim) in
+    let b = Ellipsoid.bounds !e ~x in
+    e := Ellipsoid.apply !e (Ellipsoid.cut_below !e ~x ~price:b.Ellipsoid.mid)
+  done;
+  !e
+
+let serialization_props =
+  [
+    prop "ellipsoid serialize/deserialize is bit-for-bit" 50
+      QCheck.(triple (0 -- 1000) (1 -- 5) (0 -- 25))
+      (fun (seed, dim, cuts) ->
+        let e = random_ellipsoid seed dim cuts in
+        match Ellipsoid.deserialize (Ellipsoid.serialize e) with
+        | Error _ -> false
+        | Ok e' -> Ellipsoid.serialize e' = Ellipsoid.serialize e);
+    prop "mechanism snapshot/restore is bit-for-bit" 50
+      QCheck.(quad (0 -- 1000) (1 -- 4) (0 -- 40) bool)
+      (fun (seed, dim, steps, with_delta) ->
+        let variant =
+          if with_delta then Mechanism.with_reserve_and_uncertainty ~delta:0.03
+          else Mechanism.with_reserve
+        in
+        let mech =
+          Mechanism.create
+            (Mechanism.config ~variant ~epsilon:0.2 ())
+            (Ellipsoid.ball ~dim ~radius:1.5)
+        in
+        let rng = Rng.create seed in
+        for _ = 1 to steps do
+          let x = Vec.normalize (Dist.normal_vec rng ~dim) in
+          ignore
+            (Mechanism.step mech ~x
+               ~reserve:(Rng.uniform rng 0. 0.5)
+               ~market_index:(Rng.uniform rng (-1.) 1.))
+        done;
+        (* Snapshot equality covers config, counters, and every
+           ellipsoid bit at once. *)
+        match Mechanism.restore (Mechanism.snapshot mech) with
+        | Error _ -> false
+        | Ok mech' -> Mechanism.snapshot mech' = Mechanism.snapshot mech);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Arbitrage                                                           *)
@@ -1275,6 +1373,8 @@ let () =
             test_broker_conservation;
           Alcotest.test_case "checkpoints" `Quick test_broker_checkpoints;
           Alcotest.test_case "edge cases" `Quick test_broker_edge_cases;
+          Alcotest.test_case "checkpoint validation" `Quick
+            test_broker_checkpoint_validation;
           Alcotest.test_case "log-linear consistency" `Quick
             test_broker_log_linear_consistency;
         ] );
@@ -1288,7 +1388,10 @@ let () =
             test_mechanism_snapshot_roundtrip;
           Alcotest.test_case "mechanism restore errors" `Quick
             test_mechanism_restore_errors;
-        ] );
+          Alcotest.test_case "non-finite rejected" `Quick
+            test_non_finite_rejected;
+        ]
+        @ serialization_props );
       ( "arbitrage",
         [
           Alcotest.test_case "canonical tariffs" `Quick test_arbitrage_canonical;

@@ -191,7 +191,15 @@ let test_online_matches_batch () =
 let test_online_empty () =
   let o = Stats.online_create () in
   check_bool "mean nan" true (Float.is_nan (Stats.online_mean o));
-  check_float "variance zero" 0. (Stats.online_variance o)
+  check_float "variance zero" 0. (Stats.online_variance o);
+  (* Regression: these used to leak the ±infinity accumulator seeds. *)
+  check_bool "min nan" true (Float.is_nan (Stats.online_min o));
+  check_bool "max nan" true (Float.is_nan (Stats.online_max o));
+  let s = Stats.summarize o in
+  check_bool "summary min nan" true (Float.is_nan s.Stats.min);
+  check_bool "summary max nan" true (Float.is_nan s.Stats.max);
+  check_bool "summary pretty-prints as empty" true
+    (Format.asprintf "%a" Stats.pp_summary s = "n=0 (empty)")
 
 let test_quantiles () =
   let xs = [| 1.; 2.; 3.; 4. |] in
