@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test dev bench clean
+.PHONY: all build test dev bench ci clean
 
 all: build
 
@@ -18,6 +18,12 @@ dev: build test
 
 bench:
 	dune exec bench/main.exe
+
+# What .github/workflows/ci.yml runs: build with warnings as errors,
+# every test suite, then a tiny 2-domain bench smoke that also writes
+# a BENCH_*.json record exercising the perf-trajectory pipeline.
+ci: build test
+	BENCH_SCALE=0.01 BENCH_JOBS=2 dune exec bench/main.exe
 
 clean:
 	dune clean

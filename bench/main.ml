@@ -20,7 +20,9 @@
 
 module Vec = Dm_linalg.Vec
 module Mat = Dm_linalg.Mat
+module Chol = Dm_linalg.Chol
 module Eigen = Dm_linalg.Eigen
+module Pool = Dm_linalg.Pool
 module Rng = Dm_prob.Rng
 module Dist = Dm_prob.Dist
 module Ellipsoid = Dm_market.Ellipsoid
@@ -47,13 +49,30 @@ let scale =
       | _ -> failwith "BENCH_SCALE must be a float in (0, 1]")
   | None -> 0.05
 
-let jobs =
+(* Requested jobs are clamped to the physical core count: domains
+   beyond that only contend for the same cores and inflate every
+   latency figure (output bytes are jobs-independent either way). *)
+let jobs_requested =
   match Sys.getenv_opt "BENCH_JOBS" with
   | Some s -> (
       match int_of_string_opt s with
       | Some j when j >= 1 -> j
       | _ -> failwith "BENCH_JOBS must be a positive integer")
   | None -> 1
+
+let jobs = min jobs_requested (Domain.recommended_domain_count ())
+
+(* One pool for the whole run, installed as the process default: the
+   stage-1 drivers reach it through [Runner], and the large-n kernels
+   inside single cells (fig5c's n = 1024 rounds, stage 2's kernel
+   benchmarks) pick it up implicitly. *)
+let pool =
+  if jobs > 1 then begin
+    let p = Pool.create ~jobs in
+    Pool.set_default (Some p);
+    Some p
+  end
+  else None
 
 (* Every stage-1 artifact as a named thunk, so the harness can time
    each one individually for the BENCH_*.json trajectory. *)
@@ -228,6 +247,16 @@ let make_tests () =
   let ftrl_example =
     [ { Hashing.index = 3; value = 1. }; { Hashing.index = 700; value = 1. } ]
   in
+  (* Tiled/pooled kernels above the n ≥ 512 threshold, and the two
+     volume paths (incremental O(1) vs full Cholesky). *)
+  let rng_k = Rng.create 11 in
+  let a1024 = Mat.scaled_identity 1024 4. in
+  let x1024 = Dist.normal_vec rng_k ~dim:1024 in
+  let b1024 = Dist.normal_vec rng_k ~dim:1024 in
+  let into1024 = Mat.zeros 1024 1024 in
+  let m128 =
+    Mat.init 128 128 (fun _ _ -> Dist.normal rng_k ~mean:0. ~std:1.)
+  in
   Test.make_grouped ~name:"pricing"
     [
       Test.make ~name:"fig4+table1 round n20 reserve"
@@ -250,6 +279,22 @@ let make_tests () =
              ignore (Ellipsoid.cut_below ell100 ~x:x100 ~price:0.)));
       Test.make ~name:"kernel jacobi eigen n20"
         (Staged.stage (fun () -> ignore (Eigen.eigenvalues spd20)));
+      Test.make ~name:"kernel matvec n1024 dense"
+        (Staged.stage (fun () -> ignore (Mat.matvec a1024 x1024)));
+      Test.make ~name:"kernel matmul n128"
+        (Staged.stage (fun () -> ignore (Mat.matmul m128 m128)));
+      Test.make ~name:"kernel fused cut rescale n1024"
+        (Staged.stage (fun () ->
+             ignore
+               (Mat.rank_one_rescale ~into:into1024 a1024 ~beta:(-0.001)
+                  ~b:b1024 ~factor:1.0001)));
+      Test.make ~name:"volume incremental cut+read n100"
+        (Staged.stage (fun () ->
+             match Ellipsoid.cut_below ell100 ~x:x100 ~price:0. with
+             | Ellipsoid.Cut e -> ignore (Ellipsoid.log_volume_factor e)
+             | Ellipsoid.Too_shallow | Ellipsoid.Empty -> ()));
+      Test.make ~name:"volume cholesky log_det n100"
+        (Staged.stage (fun () -> ignore (0.5 *. Chol.log_det a100)));
       Test.make ~name:"kernel ftrl learn step"
         (Staged.stage (fun () ->
              ignore (Ftrl.learn ftrl_model ftrl_example true)));
@@ -349,6 +394,7 @@ let write_json ~stamp ~stage1_timings ~stage2_estimates =
   out "  \"stamp\": \"%s\",\n" (json_escape stamp);
   out "  \"scale\": %s,\n" (json_float scale);
   out "  \"jobs\": %d,\n" jobs;
+  out "  \"jobs_requested\": %d,\n" jobs_requested;
   out "  \"stage1_wall_clock_s\": [\n";
   List.iteri
     (fun i (name, seconds) ->
@@ -379,4 +425,9 @@ let () =
   let stage1_timings = stage1 () in
   let stage2_estimates = stage2 () in
   let path = write_json ~stamp ~stage1_timings ~stage2_estimates in
+  (match pool with
+  | Some p ->
+      Pool.set_default None;
+      Pool.shutdown p
+  | None -> ());
   Format.fprintf ppf "@.wrote %s@." path

@@ -31,15 +31,31 @@ let check_scale scale =
     `Error (false, "scale must be in (0, 1]")
   else `Ok scale
 
+(* Clamped to the physical core count: domains beyond it only contend
+   for the same cores (rendered bytes are jobs-independent either
+   way, so the clamp is pure wall-clock hygiene). *)
 let check_jobs jobs =
-  if jobs < 1 then `Error (false, "jobs must be at least 1") else `Ok jobs
+  if jobs < 1 then `Error (false, "jobs must be at least 1")
+  else `Ok (min jobs (Domain.recommended_domain_count ()))
+
+(* One pool for the whole invocation, installed as the process default
+   so the large-n Mat kernels accelerate inside a single cell, and
+   passed explicitly to the drivers that fan grid cells out. *)
+let with_pool jobs f =
+  if jobs = 1 then f None
+  else
+    Dm_linalg.Pool.with_pool ~jobs (fun pool ->
+        Dm_linalg.Pool.set_default (Some pool);
+        Fun.protect
+          ~finally:(fun () -> Dm_linalg.Pool.set_default None)
+          (fun () -> f (Some pool)))
 
 let simple name doc f =
   let run scale seed jobs =
     match (check_scale scale, check_jobs jobs) with
     | (`Error _ as e), _ | _, (`Error _ as e) -> e
     | `Ok scale, `Ok jobs ->
-        f ~scale ~seed ~jobs;
+        with_pool jobs (fun pool -> f ~pool ~scale ~seed ~jobs);
         `Ok ()
   in
   Cmd.v
@@ -48,123 +64,127 @@ let simple name doc f =
 
 let fig4_cmd =
   simple "fig4" "Fig. 4(a)-(f): cumulative regrets, noisy linear query"
-    (fun ~scale ~seed ~jobs -> Dm_experiments.App1.fig4 ~scale ~seed ~jobs ppf)
+    (fun ~pool ~scale ~seed ~jobs -> Dm_experiments.App1.fig4 ?pool ~scale ~seed ~jobs ppf)
 
 let table1_cmd =
   simple "table1" "Table I: per-round statistics, noisy linear query"
-    (fun ~scale ~seed ~jobs:_ -> Dm_experiments.App1.table1 ~scale ~seed ppf)
+    (fun ~pool:_ ~scale ~seed ~jobs:_ -> Dm_experiments.App1.table1 ~scale ~seed ppf)
 
 let fig5a_cmd =
   simple "fig5a" "Fig. 5(a): regret ratios at n = 100"
-    (fun ~scale ~seed ~jobs:_ -> Dm_experiments.App1.fig5a ~scale ~seed ppf)
+    (fun ~pool:_ ~scale ~seed ~jobs:_ -> Dm_experiments.App1.fig5a ~scale ~seed ppf)
 
 let fig5b_cmd =
   simple "fig5b" "Fig. 5(b): regret ratios, accommodation rental"
-    (fun ~scale ~seed ~jobs:_ -> Dm_experiments.App2.fig5b ~scale ~seed ppf)
+    (fun ~pool:_ ~scale ~seed ~jobs:_ -> Dm_experiments.App2.fig5b ~scale ~seed ppf)
 
 let fig5c_full_arg =
   let doc = "Run n = 1024 at the paper's full 10^5-round horizon." in
   Arg.(value & flag & info [ "full" ] ~doc)
 
 let fig5c_cmd =
-  let run scale seed full =
-    match check_scale scale with
-    | `Error _ as e -> e
-    | `Ok scale ->
-        Dm_experiments.App3.fig5c ~scale ~seed ~full ppf;
+  let run scale seed full jobs =
+    match (check_scale scale, check_jobs jobs) with
+    | (`Error _ as e), _ | _, (`Error _ as e) -> e
+    | `Ok scale, `Ok jobs ->
+        (* fig5c has one serial cell; [jobs] still helps because the
+           default pool accelerates the n = 1024 kernels inside it. *)
+        with_pool jobs (fun _pool ->
+            Dm_experiments.App3.fig5c ~scale ~seed ~full ppf);
         `Ok ()
   in
   Cmd.v
     (Cmd.info "fig5c" ~doc:"Fig. 5(c): regret ratios, impression pricing")
-    Term.(ret (const run $ scale_arg $ seed_arg $ fig5c_full_arg))
+    Term.(ret (const run $ scale_arg $ seed_arg $ fig5c_full_arg $ jobs_arg))
 
 let coldstart_cmd =
   simple "coldstart" "Cold-start regret reductions (Sec. V-A and V-B claims)"
-    (fun ~scale ~seed ~jobs ->
-      Dm_experiments.App1.coldstart ~scale ~seed ~jobs ppf;
-      Dm_experiments.App2.coldstart ~scale ~seed ~jobs ppf)
+    (fun ~pool ~scale ~seed ~jobs ->
+      Dm_experiments.App1.coldstart ?pool ~scale ~seed ~jobs ppf;
+      Dm_experiments.App2.coldstart ?pool ~scale ~seed ~jobs ppf)
 
 let fig1_cmd =
   simple "fig1" "Fig. 1: single-round regret function"
-    (fun ~scale:_ ~seed:_ ~jobs:_ -> Dm_experiments.Analysis.fig1 ppf)
+    (fun ~pool:_ ~scale:_ ~seed:_ ~jobs:_ -> Dm_experiments.Analysis.fig1 ppf)
 
 let lemma8_cmd =
   simple "lemma8" "Lemma 8 / Fig. 6: the conservative-cut adversary"
-    (fun ~scale:_ ~seed:_ ~jobs:_ -> Dm_experiments.Analysis.lemma8 ppf)
+    (fun ~pool:_ ~scale:_ ~seed:_ ~jobs:_ -> Dm_experiments.Analysis.lemma8 ppf)
 
 let theorem3_cmd =
   simple "theorem3" "Theorem 3: O(log T) regret in one dimension"
-    (fun ~scale:_ ~seed ~jobs:_ -> Dm_experiments.Analysis.theorem3 ~seed ppf)
+    (fun ~pool:_ ~scale:_ ~seed ~jobs:_ -> Dm_experiments.Analysis.theorem3 ~seed ppf)
 
 let lemma2_cmd =
   simple "lemma2" "Lemma 2: empirical volume-ratio bound check"
-    (fun ~scale:_ ~seed ~jobs:_ -> Dm_experiments.Analysis.lemma2_check ~seed ppf)
+    (fun ~pool:_ ~scale:_ ~seed ~jobs:_ -> Dm_experiments.Analysis.lemma2_check ~seed ppf)
 
 let lemma45_cmd =
   simple "lemma45" "Lemmas 4-5: smallest-eigenvalue floor check"
-    (fun ~scale:_ ~seed ~jobs:_ -> Dm_experiments.Analysis.lemma45_check ~seed ppf)
+    (fun ~pool:_ ~scale:_ ~seed ~jobs:_ -> Dm_experiments.Analysis.lemma45_check ~seed ppf)
 
 let theorem2_cmd =
   simple "theorem2" "Theorem 2: the four non-linear market-value models"
-    (fun ~scale ~seed ~jobs:_ -> Dm_experiments.Analysis.theorem2 ~scale ~seed ppf)
+    (fun ~pool:_ ~scale ~seed ~jobs:_ -> Dm_experiments.Analysis.theorem2 ~scale ~seed ppf)
 
 let overhead_cmd =
   simple "overhead" "Sec. V-D: online latency and memory overhead"
-    (fun ~scale:_ ~seed:_ ~jobs:_ -> Dm_experiments.Overhead.report ppf)
+    (fun ~pool:_ ~scale:_ ~seed:_ ~jobs:_ -> Dm_experiments.Overhead.report ppf)
 
 let ablation_cmd =
   simple "ablation"
     "Extra ablations: epsilon, delta, aggregation granularity, feature \
      pipeline, parameter distribution"
-    (fun ~scale:_ ~seed ~jobs ->
-      Dm_experiments.Ablation.epsilon_sweep ~seed ~jobs ppf;
-      Dm_experiments.Ablation.delta_sweep ~seed ~jobs ppf;
-      Dm_experiments.Ablation.aggregation_sweep ~seed ~jobs ppf;
+    (fun ~pool ~scale:_ ~seed ~jobs ->
+      Dm_experiments.Ablation.epsilon_sweep ?pool ~seed ~jobs ppf;
+      Dm_experiments.Ablation.delta_sweep ?pool ~seed ~jobs ppf;
+      Dm_experiments.Ablation.aggregation_sweep ?pool ~seed ~jobs ppf;
       Dm_experiments.Ablation.feature_pipeline ~seed ppf;
-      Dm_experiments.Ablation.param_dist_sweep ~seed ~jobs ppf;
+      Dm_experiments.Ablation.param_dist_sweep ?pool ~seed ~jobs ppf;
       Dm_experiments.Ablation.ctr_trainer ppf)
 
 let rank_cmd =
   simple "rank" "Feature-stream effective-rank diagnostics"
-    (fun ~scale:_ ~seed ~jobs:_ -> Dm_experiments.Diagnostics.report ~seed ppf)
+    (fun ~pool:_ ~scale:_ ~seed ~jobs:_ -> Dm_experiments.Diagnostics.report ~seed ppf)
 
 let baselines_cmd =
   simple "baselines" "Ellipsoid vs SGD (Amin et al.) vs risk-averse"
-    (fun ~scale ~seed ~jobs -> Dm_experiments.Baselines.compare ~scale ~seed ~jobs ppf)
+    (fun ~pool ~scale ~seed ~jobs -> Dm_experiments.Baselines.compare ?pool ~scale ~seed ~jobs ppf)
 
 let robustness_cmd =
   simple "robustness" "Headline orderings across independent market seeds"
-    (fun ~scale ~seed ~jobs ->
-      Dm_experiments.Baselines.seed_robustness ~scale ~seed ~jobs ppf)
+    (fun ~pool ~scale ~seed ~jobs ->
+      Dm_experiments.Baselines.seed_robustness ?pool ~scale ~seed ~jobs ppf)
 
 let all_cmd =
   let run scale seed full jobs =
     match (check_scale scale, check_jobs jobs) with
     | (`Error _ as e), _ | _, (`Error _ as e) -> e
     | `Ok scale, `Ok jobs ->
-        Dm_experiments.Analysis.fig1 ppf;
-        Dm_experiments.App1.fig4 ~scale ~seed ~jobs ppf;
-        Dm_experiments.App1.table1 ~scale ~seed ppf;
-        Dm_experiments.App1.fig5a ~scale ~seed ppf;
-        Dm_experiments.App2.fig5b ~scale ~seed:7 ppf;
-        Dm_experiments.App3.fig5c ~scale ~seed:3 ~full ppf;
-        Dm_experiments.App1.coldstart ~scale ~seed ~jobs ppf;
-        Dm_experiments.App2.coldstart ~scale ~seed:7 ~jobs ppf;
-        Dm_experiments.Analysis.lemma8 ppf;
-        Dm_experiments.Analysis.theorem3 ~seed ppf;
-        Dm_experiments.Analysis.theorem2 ~scale ~seed ppf;
-        Dm_experiments.Analysis.lemma2_check ~seed ppf;
-        Dm_experiments.Analysis.lemma45_check ~seed ppf;
-        Dm_experiments.Ablation.epsilon_sweep ~seed ~jobs ppf;
-        Dm_experiments.Ablation.delta_sweep ~seed ~jobs ppf;
-        Dm_experiments.Ablation.aggregation_sweep ~seed ~jobs ppf;
-        Dm_experiments.Ablation.feature_pipeline ~seed ppf;
-        Dm_experiments.Ablation.param_dist_sweep ~seed ~jobs ppf;
-        Dm_experiments.Ablation.ctr_trainer ppf;
-        Dm_experiments.Baselines.compare ~scale ~seed ~jobs ppf;
-        Dm_experiments.Baselines.seed_robustness ~scale ~seed ~jobs ppf;
-        Dm_experiments.Diagnostics.report ~seed ppf;
-        Dm_experiments.Overhead.report ppf;
+        with_pool jobs (fun pool ->
+            Dm_experiments.Analysis.fig1 ppf;
+            Dm_experiments.App1.fig4 ?pool ~scale ~seed ~jobs ppf;
+            Dm_experiments.App1.table1 ~scale ~seed ppf;
+            Dm_experiments.App1.fig5a ~scale ~seed ppf;
+            Dm_experiments.App2.fig5b ~scale ~seed:7 ppf;
+            Dm_experiments.App3.fig5c ~scale ~seed:3 ~full ppf;
+            Dm_experiments.App1.coldstart ?pool ~scale ~seed ~jobs ppf;
+            Dm_experiments.App2.coldstart ?pool ~scale ~seed:7 ~jobs ppf;
+            Dm_experiments.Analysis.lemma8 ppf;
+            Dm_experiments.Analysis.theorem3 ~seed ppf;
+            Dm_experiments.Analysis.theorem2 ~scale ~seed ppf;
+            Dm_experiments.Analysis.lemma2_check ~seed ppf;
+            Dm_experiments.Analysis.lemma45_check ~seed ppf;
+            Dm_experiments.Ablation.epsilon_sweep ?pool ~seed ~jobs ppf;
+            Dm_experiments.Ablation.delta_sweep ?pool ~seed ~jobs ppf;
+            Dm_experiments.Ablation.aggregation_sweep ?pool ~seed ~jobs ppf;
+            Dm_experiments.Ablation.feature_pipeline ~seed ppf;
+            Dm_experiments.Ablation.param_dist_sweep ?pool ~seed ~jobs ppf;
+            Dm_experiments.Ablation.ctr_trainer ppf;
+            Dm_experiments.Baselines.compare ?pool ~scale ~seed ~jobs ppf;
+            Dm_experiments.Baselines.seed_robustness ?pool ~scale ~seed ~jobs ppf;
+            Dm_experiments.Diagnostics.report ~seed ppf;
+            Dm_experiments.Overhead.report ppf);
         `Ok ()
   in
   Cmd.v

@@ -3,7 +3,20 @@ module Mat = Dm_linalg.Mat
 module Chol = Dm_linalg.Chol
 module Eigen = Dm_linalg.Eigen
 
-type t = { dim : int; center : Vec.t; shape : Mat.t }
+type t = {
+  dim : int;
+  center : Vec.t;
+  shape : Mat.t;
+  mutable log_vol : float;
+  mutable cuts_since_sync : int;
+}
+
+(* [log_vol] caches ½·log det A; NaN means "not yet computed" so that
+   [make] (and deserialization) stay O(n²) — the O(n³) Cholesky runs
+   lazily on the first [log_volume_factor] read.  Each cut advances the
+   cache by a closed-form O(1) delta; after [resync_interval] deltas a
+   read triggers a full recomputation to bound float drift. *)
+let resync_interval = 1000
 
 let make ~center ~shape =
   let n = Vec.dim center in
@@ -18,11 +31,17 @@ let make ~center ~shape =
   done;
   if not !ok_diag then
     invalid_arg "Ellipsoid.make: shape has a non-positive diagonal";
-  { dim = n; center; shape }
+  { dim = n; center; shape; log_vol = Float.nan; cuts_since_sync = 0 }
 
 let ball ~dim ~radius =
   if radius <= 0. then invalid_arg "Ellipsoid.ball: radius must be positive";
-  make ~center:(Vec.zeros dim) ~shape:(Mat.scaled_identity dim (radius *. radius))
+  let t =
+    make ~center:(Vec.zeros dim)
+      ~shape:(Mat.scaled_identity dim (radius *. radius))
+  in
+  (* ½·log det(r²·I) = dim·log r, exactly, in O(n). *)
+  t.log_vol <- float_of_int dim *. log radius;
+  t
 
 let of_box ~lo ~hi =
   let n = Vec.dim lo in
@@ -61,8 +80,15 @@ type cut_result = Cut of t | Too_shallow | Empty
 (* Deep/central/shallow cut keeping {θ | xᵀθ ≤ price}, following
    Grötschel–Lovász–Schrijver (the paper's Lines 14–21).  Valid for
    α ∈ (−1/n, 1); α ≤ −1/n cannot shrink the ellipsoid and α ≥ 1
-   leaves (at most) a single point. *)
-let cut_below t ~x ~price =
+   leaves (at most) a single point.
+
+   The shape update A' = factor·(A − β·b·bᵀ) runs as one fused
+   streaming pass ({!Mat.rank_one_rescale}), optionally into a
+   caller-supplied buffer.  Because b = A·x/√(xᵀAx) satisfies
+   bᵀA⁻¹b = 1, the determinant has the closed form
+   det A' = factorⁿ·(1−β)·det A, giving an O(1) delta for the cached
+   ½·log det (n = 1 contributes log((1−α)/2)). *)
+let cut_below ?into t ~x ~price =
   let { mid; half_width; _ } = bounds t ~x in
   if half_width <= 0. then Too_shallow
   else begin
@@ -75,33 +101,35 @@ let cut_below t ~x ~price =
       let b = Vec.scale (1. /. half_width) (Mat.matvec t.shape x) in
       let center = Vec.copy t.center in
       Vec.axpy (-.(1. +. (n *. alpha)) /. (n +. 1.)) b center;
-      let shape =
+      let shape, dlog =
         if t.dim = 1 then begin
           (* Interval arithmetic: the kept interval has half-width
              r·(1−α)/2, so A scales by ((1−α)/2)². *)
           let f = (1. -. alpha) /. 2. in
-          Mat.scale (f *. f) t.shape
+          (Mat.rank_one_rescale ?into t.shape ~beta:0. ~b ~factor:(f *. f), log f)
         end
         else begin
-          let shape = Mat.copy t.shape in
           let beta =
             2. *. (1. +. (n *. alpha)) /. ((n +. 1.) *. (1. +. alpha))
           in
-          Mat.rank_one_update shape (-.beta) b;
           let factor = n *. n *. (1. -. (alpha *. alpha)) /. ((n *. n) -. 1.) in
-          Mat.scale_inplace factor shape;
-          (* The update is symmetric in exact arithmetic; re-symmetrize
-             to keep floating-point drift from accumulating over 10⁵
-             cuts. *)
-          Mat.symmetrize_inplace shape;
-          shape
+          ( Mat.rank_one_rescale ?into t.shape ~beta:(-.beta) ~b ~factor,
+            0.5 *. ((n *. log factor) +. log1p (-.beta)) )
         end
       in
-      Cut { t with center; shape }
+      Cut
+        {
+          t with
+          center;
+          shape;
+          log_vol = t.log_vol +. dlog;
+          cuts_since_sync = t.cuts_since_sync + 1;
+        }
     end
   end
 
-let cut_above t ~x ~price = cut_below t ~x:(Vec.neg x) ~price:(-.price)
+let cut_above ?into t ~x ~price =
+  cut_below ?into t ~x:(Vec.neg x) ~price:(-.price)
 
 let apply t = function Cut t' -> t' | Too_shallow | Empty -> t
 
@@ -110,7 +138,16 @@ let alpha t ~x ~price =
   if half_width <= 0. then invalid_arg "Ellipsoid.alpha: degenerate direction";
   (mid -. price) /. half_width
 
-let log_volume_factor t = 0.5 *. Chol.log_det t.shape
+let log_volume_factor t =
+  if Float.is_nan t.log_vol || t.cuts_since_sync >= resync_interval then begin
+    t.log_vol <- 0.5 *. Chol.log_det t.shape;
+    t.cuts_since_sync <- 0
+  end;
+  t.log_vol
+
+let volume_drift t =
+  if Float.is_nan t.log_vol then 0.
+  else abs_float (t.log_vol -. (0.5 *. Chol.log_det t.shape))
 
 let axis_widths t =
   Vec.map (fun l -> sqrt (Float.max 0. l)) (Eigen.eigenvalues t.shape)

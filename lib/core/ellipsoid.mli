@@ -23,6 +23,13 @@ type t = private {
   dim : int;
   center : Dm_linalg.Vec.t;
   shape : Dm_linalg.Mat.t;  (** symmetric positive definite [A] *)
+  mutable log_vol : float;
+      (** cached [½·log det A]; NaN until first computed.  Maintained
+          incrementally across cuts — read it through
+          {!log_volume_factor}, which also resynchronizes it. *)
+  mutable cuts_since_sync : int;
+      (** closed-form volume deltas accumulated since the cache was
+          last computed from a full Cholesky factorization *)
 }
 
 val make : center:Dm_linalg.Vec.t -> shape:Dm_linalg.Mat.t -> t
@@ -66,12 +73,18 @@ type cut_result =
   | Too_shallow  (** α ≤ −1/n: no volume reduction is possible *)
   | Empty  (** α ≥ 1: the kept region has empty interior *)
 
-val cut_below : t -> x:Dm_linalg.Vec.t -> price:float -> cut_result
+val cut_below : ?into:Dm_linalg.Mat.t -> t -> x:Dm_linalg.Vec.t -> price:float -> cut_result
 (** Keep [{θ | xᵀθ ≤ price}] — the rejection update (the buyer's
     refusal proves the market value, hence [xᵀθ*], is below the
-    effective price). *)
+    effective price).  [into], when given, receives the new shape
+    matrix instead of a fresh allocation (it must have the right
+    dimensions and must not be this ellipsoid's own shape; it is only
+    written when the result is [Cut]).  The update runs as one fused
+    streaming pass and its exact (i, j)-symmetric term association
+    keeps the shape bit-exactly symmetric, so no symmetrization pass
+    is needed. *)
 
-val cut_above : t -> x:Dm_linalg.Vec.t -> price:float -> cut_result
+val cut_above : ?into:Dm_linalg.Mat.t -> t -> x:Dm_linalg.Vec.t -> price:float -> cut_result
 (** Keep [{θ | xᵀθ ≥ price}] — the acceptance update.  Implemented by
     reflecting [x ↦ −x, price ↦ −price] into {!cut_below}. *)
 
@@ -86,9 +99,17 @@ val alpha : t -> x:Dm_linalg.Vec.t -> price:float -> float
 
 val log_volume_factor : t -> float
 (** [log(V(E)/Vₙ) = ½·log det A] — the volume in log space up to the
-    unit-ball constant, computed by Cholesky in O(n³).  Only used by
-    the analysis experiments (Lemma 2/6 tracking), never on the
-    pricing hot path. *)
+    unit-ball constant.  O(1) amortized: each cut advances a cached
+    value by the closed-form delta
+    [½·(n·log factor + log(1−β))] (the cut direction satisfies
+    [bᵀA⁻¹b = 1], so [det A' = factorⁿ·(1−β)·det A]); a full O(n³)
+    Cholesky recomputation runs on the first read and again after
+    every 1000 accumulated deltas to bound float drift. *)
+
+val volume_drift : t -> float
+(** [|cached − ½·log det A|]: the accumulated float drift of the
+    incremental volume cache against a fresh O(n³) Cholesky
+    recomputation ([0.] while the cache is unset).  Analysis only. *)
 
 val axis_widths : t -> Dm_linalg.Vec.t
 (** The semi-axis widths [√γᵢ(A)] in decreasing order (Jacobi

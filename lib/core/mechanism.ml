@@ -42,12 +42,27 @@ type t = {
   mutable exploratory : int;
   mutable conservative : int;
   mutable skipped : int;
+  mutable spare : Dm_linalg.Mat.t option;
+      (* retired shape buffer, reused as the next cut's destination *)
+  mutable exposed : bool;
+      (* the current ellipsoid escaped through [ellipsoid]: its shape
+         may be retained by the caller, so it must not be recycled *)
 }
 
 let create cfg ell =
-  { cfg; ell; exploratory = 0; conservative = 0; skipped = 0 }
+  {
+    cfg;
+    ell;
+    exploratory = 0;
+    conservative = 0;
+    skipped = 0;
+    spare = None;
+    exposed = false;
+  }
 
-let ellipsoid t = t.ell
+let ellipsoid t =
+  t.exposed <- true;
+  t.ell
 
 let config_of t = t.cfg
 
@@ -90,16 +105,27 @@ let observe t ~x decision ~accepted =
             t.conservative <- t.conservative + 1;
             allow_conservative_cuts
       in
-      if cuts then
+      if cuts then begin
+        (* Ping-pong the two shape buffers: the outgoing ellipsoid's
+           matrix becomes the next cut's destination — unless a caller
+           holds a reference to it (see [ellipsoid]), in which case the
+           cut allocates fresh and the exposed buffer is dropped. *)
+        let into = if t.exposed then None else t.spare in
         let result =
           if accepted then
             (* p ≤ v = φ(x)ᵀθ* + δ_t  ⇒  φ(x)ᵀθ* ≥ p − δ *)
-            Ellipsoid.cut_above t.ell ~x ~price:(price -. delta)
+            Ellipsoid.cut_above ?into t.ell ~x ~price:(price -. delta)
           else
             (* p > v  ⇒  φ(x)ᵀθ* ≤ p + δ *)
-            Ellipsoid.cut_below t.ell ~x ~price:(price +. delta)
+            Ellipsoid.cut_below ?into t.ell ~x ~price:(price +. delta)
         in
-        t.ell <- Ellipsoid.apply t.ell result
+        match result with
+        | Ellipsoid.Cut ell' ->
+            t.spare <- (if t.exposed then None else Some t.ell.Ellipsoid.shape);
+            t.exposed <- false;
+            t.ell <- ell'
+        | Ellipsoid.Too_shallow | Ellipsoid.Empty -> ()
+      end
 
 let step t ~x ~reserve ~market_index =
   let decision = decide t ~x ~reserve in
@@ -162,6 +188,8 @@ let restore text =
                             exploratory = e;
                             conservative = c;
                             skipped = s;
+                            spare = None;
+                            exposed = false;
                           }))))
 
 let te_upper_bound ~radius ~feature_bound ~dim ~epsilon =

@@ -64,6 +64,11 @@ type t
 val create : config -> Ellipsoid.t -> t
 
 val ellipsoid : t -> Ellipsoid.t
+(** The current knowledge set.  Reading it marks its shape matrix as
+    escaped, so the next cut allocates a fresh buffer instead of
+    recycling it — callers may therefore retain the returned ellipsoid
+    across future [observe] calls.  (Between reads, [observe]
+    ping-pongs the two most recent shape buffers and never allocates.) *)
 
 val config_of : t -> config
 

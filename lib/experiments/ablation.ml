@@ -36,14 +36,14 @@ let custom_run setup variant ~epsilon =
     ~workload:(Noisy_query.workload setup)
     ~rounds:setup.Noisy_query.rounds ()
 
-let epsilon_sweep ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
+let epsilon_sweep ?pool ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
   let dim = 20 in
   let setup = Noisy_query.make ~seed ~dim ~rounds () in
   force_tables setup;
   let base = setup.Noisy_query.epsilon in
   let rows =
     Array.to_list
-      (Runner.map ~jobs
+      (Runner.map ?pool ~jobs
          (fun factor ->
            let epsilon = base *. factor in
            let r = custom_run setup Mechanism.with_reserve ~epsilon in
@@ -63,13 +63,13 @@ let epsilon_sweep ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
     ~header:[ "epsilon"; "regret ratio"; "exploratory rounds" ]
     rows
 
-let delta_sweep ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
+let delta_sweep ?pool ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
   let dim = 20 in
   let setup = Noisy_query.make ~seed ~dim ~rounds () in
   force_tables setup;
   let rows =
     Array.to_list
-      (Runner.map ~jobs
+      (Runner.map ?pool ~jobs
          (fun delta ->
            let variant = Mechanism.with_reserve_and_uncertainty ~delta in
            (* The same floor rule the application layer uses. *)
@@ -269,11 +269,11 @@ let ctr_trainer ?(seed = 3) ppf =
       ];
     ]
 
-let param_dist_sweep ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
+let param_dist_sweep ?pool ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
   let dim = 20 in
   let rows =
     Array.to_list
-      (Runner.map ~jobs
+      (Runner.map ?pool ~jobs
          (fun (name, dist) ->
            let setup =
              Noisy_query.make ~param_dist:dist ~seed ~dim ~rounds ()
@@ -301,10 +301,10 @@ let param_dist_sweep ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
     ~header:[ "parameter distribution"; "regret ratio"; "exploratory"; "sale rate" ]
     rows
 
-let aggregation_sweep ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
+let aggregation_sweep ?pool ?(seed = 42) ?(rounds = 10_000) ?(jobs = 1) ppf =
   let rows =
     Array.to_list
-      (Runner.map ~jobs
+      (Runner.map ?pool ~jobs
          (fun dim ->
            let setup = Noisy_query.make ~owners:200 ~seed ~dim ~rounds () in
            let r = Noisy_query.run setup Mechanism.with_reserve in

@@ -3,23 +3,26 @@
     buffer δ (including the regime below the ε ≥ 4nδ precondition),
     and the feature-aggregation granularity n of Sec. II-B.
 
-    The sweeps take [jobs] (default 1) and fan their grid points out
-    over that many domains via {!Runner}; output bytes never depend
-    on it. *)
+    The sweeps take [jobs] (default 1, or an explicit [pool]) and fan
+    their grid points out over that many domains via {!Runner}; output
+    bytes never depend on either. *)
 
 val epsilon_sweep :
+  ?pool:Dm_linalg.Pool.t ->
   ?seed:int -> ?rounds:int -> ?jobs:int -> Format.formatter -> unit
 (** Regret ratio of the reserve variant across a grid of thresholds ε
     (n = 20): too small buys precision it cannot amortize, too large
     leaves a permanent conservative gap. *)
 
 val delta_sweep :
+  ?pool:Dm_linalg.Pool.t ->
   ?seed:int -> ?rounds:int -> ?jobs:int -> Format.formatter -> unit
 (** Regret ratio of the reserve+uncertainty variant as the buffer δ
     grows at fixed noise, with ε floored per the stall bound; shows
     the cost of over-buffering. *)
 
 val aggregation_sweep :
+  ?pool:Dm_linalg.Pool.t ->
   ?seed:int -> ?rounds:int -> ?jobs:int -> Format.formatter -> unit
 (** Fixes a 200-owner market and varies the number of aggregation
     partitions n ∈ {1, 5, 20, 50}: finer features model value better
@@ -42,6 +45,7 @@ val ctr_trainer : ?seed:int -> Format.formatter -> unit
     and its exploration cost shows it. *)
 
 val param_dist_sweep :
+  ?pool:Dm_linalg.Pool.t ->
   ?seed:int -> ?rounds:int -> ?jobs:int -> Format.formatter -> unit
 (** The paper draws query parameters "from either a multivariate
     normal ... or a uniform distribution" to validate adaptivity; this

@@ -21,7 +21,8 @@ val theorem3 : ?seed:int -> Format.formatter -> unit
 val lemma2_check : ?samples:int -> ?seed:int -> Format.formatter -> unit
 (** Draws random cuts over random ellipsoids and reports the maximum
     observed ratio between the realized volume factor and the Lemma 2
-    bound exp(−(1+nα)²/5n) (must stay ≤ 1). *)
+    bound exp(−(1+nα)²/5n) (must stay ≤ 1), plus the worst drift of the
+    O(1) incremental volume cache against a fresh Cholesky log-det. *)
 
 val lemma45_check :
   ?dim:int -> ?rounds:int -> ?seed:int -> Format.formatter -> unit

@@ -27,7 +27,7 @@ let variants setup =
     ("reserve+unc", Mechanism.with_reserve_and_uncertainty ~delta);
   ]
 
-let fig4 ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
+let fig4 ?pool ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
   let panel (dim, rounds) ppf =
     let rounds = scaled_rounds scale rounds in
     let setup = Noisy_query.make ~seed ~dim ~rounds () in
@@ -57,7 +57,7 @@ let fig4 ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
            dim rounds)
       ~header rows
   in
-  Runner.render ~jobs ppf
+  Runner.render ?pool ~jobs ppf
     (Array.of_list (List.map panel paper_settings))
 
 let table1 ?(scale = 1.) ?(seed = 42) ppf =
@@ -131,14 +131,14 @@ let fig5a ?(scale = 1.) ?(seed = 42) ppf =
     (final "pure") (final "uncertainty") (final "reserve")
     (final "reserve+unc") (final "risk-averse")
 
-let coldstart ?(scale = 1.) ?(seed = 42) ?(seeds = 5) ?(jobs = 1) ppf =
+let coldstart ?pool ?(scale = 1.) ?(seed = 42) ?(seeds = 5) ?(jobs = 1) ppf =
   let dim = 20 in
   let rounds = scaled_rounds scale 10_000 in
   let reductions =
     (* One cell per market seed; each cell builds its own setup from a
        plain integer, so nothing mutable crosses domains. *)
     Array.to_list
-      (Runner.map ~jobs
+      (Runner.map ?pool ~jobs
          (fun k ->
            let setup =
              Noisy_query.make ~seed:(seed + (100 * k)) ~dim ~rounds ()

@@ -5,13 +5,15 @@
     bench harness can regenerate the figures' shapes quickly;
     [scale = 1.] is the paper's full setting.  [jobs] fans the
     independent grid cells out over that many domains via {!Runner}
-    (default 1); output bytes do not depend on it. *)
+    (default 1), or pass an explicit [pool]; output bytes depend on
+    neither. *)
 
 val checkpoints : rounds:int -> count:int -> int array
 (** ≈[count] log-spaced report points ending exactly at [rounds];
     shared by the other experiment modules. *)
 
 val fig4 :
+  ?pool:Dm_linalg.Pool.t ->
   ?scale:float -> ?seed:int -> ?jobs:int -> Format.formatter -> unit
 (** Cumulative regret of the four variants at log-spaced checkpoints,
     one panel per n ∈ {1, 20, 40, 60, 80, 100} (T as in the paper:
@@ -28,6 +30,7 @@ val fig5a : ?scale:float -> ?seed:int -> Format.formatter -> unit
     baseline, including the cold-start region t ≤ 100. *)
 
 val coldstart :
+  ?pool:Dm_linalg.Pool.t ->
   ?scale:float -> ?seed:int -> ?seeds:int -> ?jobs:int ->
   Format.formatter -> unit
 (** The Sec. V-A cold-start claim at n = 20, t = 10⁴: percentage

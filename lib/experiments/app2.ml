@@ -53,7 +53,7 @@ let fig5b ?(scale = 1.) ?(seed = 7) ppf =
     "@.Paper finals: pure 4.57%%; reserve 0.4/0.6/0.8 → 4.01/3.83/3.79%%; \
      risk-averse → 23.40/17.00/9.33%%@.@."
 
-let coldstart ?(scale = 1.) ?(seed = 7) ?(seeds = 5) ?(jobs = 1) ppf =
+let coldstart ?pool ?(scale = 1.) ?(seed = 7) ?(seeds = 5) ?(jobs = 1) ppf =
   let rows = max 2_000 (scaled_rows (scale /. 10.)) in
   (* The reserve's protection is structural in round 1 (the first
      exploratory price IS the reserve) and washes out as bisection
@@ -64,7 +64,7 @@ let coldstart ?(scale = 1.) ?(seed = 7) ?(seeds = 5) ?(jobs = 1) ppf =
      regret ratios; the mean over corpora is merged in the caller's
      domain. *)
   let per_seed =
-    Runner.map ~jobs
+    Runner.map ?pool ~jobs
       (fun k ->
         let setup = Rental.make ~rows ~seed:(seed + (50 * k)) () in
         List.map

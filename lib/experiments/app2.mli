@@ -8,6 +8,7 @@ val fig5b : ?scale:float -> ?seed:int -> Format.formatter -> unit
     23.40 / 17.00 / 9.33%). *)
 
 val coldstart :
+  ?pool:Dm_linalg.Pool.t ->
   ?scale:float -> ?seed:int -> ?seeds:int -> ?jobs:int ->
   Format.formatter -> unit
 (** Early-horizon (t ≤ 10³) regret ratios by reserve log-ratio,

@@ -4,7 +4,7 @@ module Mechanism = Dm_market.Mechanism
 module Sgd_pricing = Dm_market.Sgd_pricing
 module Noisy_query = Dm_apps.Noisy_query
 
-let compare ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
+let compare ?pool ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
   let rounds = max 1_000 (int_of_float (scale *. 10_000.)) in
   let panel dim ppf =
       let setup = Noisy_query.make ~seed ~dim ~rounds () in
@@ -48,9 +48,9 @@ let compare ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
              dim rounds)
         ~header rows
   in
-  Runner.render ~jobs ppf (Array.map panel [| 5; 20 |])
+  Runner.render ?pool ~jobs ppf (Array.map panel [| 5; 20 |])
 
-let seed_robustness ?(scale = 1.) ?(seed = 42) ?(seeds = 7) ?(jobs = 1) ppf =
+let seed_robustness ?pool ?(scale = 1.) ?(seed = 42) ?(seeds = 7) ?(jobs = 1) ppf =
   let dim = 20 in
   let rounds = max 1_000 (int_of_float (scale *. 10_000.)) in
   let names =
@@ -59,7 +59,7 @@ let seed_robustness ?(scale = 1.) ?(seed = 42) ?(seeds = 7) ?(jobs = 1) ppf =
   (* One cell per market; the online accumulators merge in submission
      order so the Welford sums match the sequential run bit-for-bit. *)
   let per_seed =
-    Runner.map ~jobs
+    Runner.map ?pool ~jobs
       (fun k ->
         let setup =
           Noisy_query.make ~seed:(seed + (1000 * k)) ~dim ~rounds ()

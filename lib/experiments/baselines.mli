@@ -5,6 +5,7 @@
     the App-1 market. *)
 
 val compare :
+  ?pool:Dm_linalg.Pool.t ->
   ?scale:float -> ?seed:int -> ?jobs:int -> Format.formatter -> unit
 (** Regret ratios at log-spaced checkpoints for n ∈ {5, 20} over
     T = 10⁴·scale rounds: the ellipsoid mechanism's ratio collapses
@@ -12,6 +13,7 @@ val compare :
     {!Runner} cell per dimension; output bytes never depend on it. *)
 
 val seed_robustness :
+  ?pool:Dm_linalg.Pool.t ->
   ?scale:float -> ?seed:int -> ?seeds:int -> ?jobs:int ->
   Format.formatter -> unit
 (** The headline App-1 orderings over [seeds] (default 7) independent

@@ -15,4 +15,6 @@ val effective_rank : ?threshold:float -> Dm_linalg.Mat.t -> int
 val report : ?seed:int -> ?sample:int -> Format.formatter -> unit
 (** Effective ranks of the App 1 (n = 20 and 100), App 2 (n = 55) and
     App 3 (n = 128, sparse) feature streams over a [sample]-row
-    prefix (default 2,000). *)
+    prefix (default 2,000), followed by a knowledge-set volume-decay
+    table (App 1, n = 20) read through the incremental log-volume
+    cache, with its drift against a fresh Cholesky recomputation. *)

@@ -1,4 +1,7 @@
 module Vec = Dm_linalg.Vec
+module Chol = Dm_linalg.Chol
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
 module Mechanism = Dm_market.Mechanism
 module Ellipsoid = Dm_market.Ellipsoid
 module Model = Dm_market.Model
@@ -40,6 +43,57 @@ let measure ~dim ~radius ~model ~stream ~reserves ~rounds =
     time_branch ~dim ~radius ~epsilon:1e12 ~model ~stream ~reserves ~rounds
   in
   (exploratory, conservative)
+
+(* Average wall-clock of one central cut followed by a volume read, by
+   volume path: the O(1) incremental cache versus a fresh O(n³)
+   Cholesky log-det each round (what every analysis driver paid before
+   the cache existed).  The Cholesky column runs far fewer rounds — at
+   n = 256 one factorization already costs tens of ms. *)
+let time_volume_read ~dim ~rounds mode =
+  let rng = Rng.create (97 + dim) in
+  let e = ref (Ellipsoid.ball ~dim ~radius:4.) in
+  let sink = ref 0. in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    let x = Dist.normal_vec rng ~dim in
+    let mid = (Ellipsoid.bounds !e ~x).Ellipsoid.mid in
+    (match Ellipsoid.cut_below !e ~x ~price:mid with
+    | Ellipsoid.Cut e' -> e := e'
+    | Ellipsoid.Too_shallow | Ellipsoid.Empty -> ());
+    sink :=
+      !sink
+      +.
+      match mode with
+      | `Incremental -> Ellipsoid.log_volume_factor !e
+      | `Cholesky -> 0.5 *. Chol.log_det (!e).Ellipsoid.shape
+  done;
+  ignore !sink;
+  1000. *. (Unix.gettimeofday () -. t0) /. float_of_int rounds
+
+let volume_report ~rounds ppf =
+  let rows =
+    List.map
+      (fun dim ->
+        (* Enough rounds for a stable mean, scaled down at the dims
+           where one round is already expensive. *)
+        let incr_rounds = min rounds (if dim > 100 then 200 else 500) in
+        let chol_rounds = 5 in
+        let incr = time_volume_read ~dim ~rounds:incr_rounds `Incremental in
+        let chol = time_volume_read ~dim ~rounds:chol_rounds `Cholesky in
+        [
+          string_of_int dim;
+          Printf.sprintf "%.4f ms" incr;
+          Printf.sprintf "%.4f ms" chol;
+          Printf.sprintf "%.0fx" (chol /. Float.max incr 1e-9);
+        ])
+      [ 20; 100; 256 ]
+  in
+  Table.print ppf
+    ~title:
+      "volume tracking: cut + log-volume read per round, incremental O(1) \
+       cache vs per-round Cholesky log-det"
+    ~header:[ "dim"; "incremental"; "cholesky"; "speedup" ]
+    rows
 
 let report ?(rounds = 2_000) ppf =
   let rows = ref [] in
@@ -106,4 +160,5 @@ let report ?(rounds = 2_000) ppf =
        ms dense, 75-106 MB App 3)"
     ~header:
       [ "configuration"; "exploratory round"; "conservative round"; "live heap" ]
-    (List.rev !rows)
+    (List.rev !rows);
+  volume_report ~rounds ppf

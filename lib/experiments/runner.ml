@@ -1,41 +1,37 @@
-let map ?(jobs = 1) f xs =
+module Pool = Dm_linalg.Pool
+
+let run_pooled pool f xs =
+  let n = Array.length xs in
+  let results = Array.make n None in
+  (* chunk:1 makes chunk indices coincide with cell indices, so the
+     pool's lowest-failing-chunk exception policy is exactly the old
+     lowest-failing-cell policy.  [results] is race-free: index [i] is
+     written by exactly one task body and read only after the barrier
+     (which re-raises before the reads if any cell failed). *)
+  Pool.parallel_for pool ~chunk:1 n (fun lo hi ->
+      for i = lo to hi - 1 do
+        results.(i) <- Some (f xs.(i))
+      done);
+  Array.map (function Some y -> y | None -> assert false) results
+
+let map ?pool ?(jobs = 1) f xs =
   if jobs < 1 then invalid_arg "Runner.map: jobs must be positive";
   let n = Array.length xs in
-  if jobs = 1 || n <= 1 then Array.map f xs
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    (* Work-stealing by atomic counter: each worker claims the next
-       unclaimed index until the grid is exhausted.  [results] is
-       race-free because index [i] is written by exactly one worker
-       and only read after every domain has been joined. *)
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (results.(i) <-
-             (match f xs.(i) with
-             | y -> Some (Ok y)
-             | exception e -> Some (Error e)));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join spawned;
-    Array.map
-      (function
-        | Some (Ok y) -> y
-        | Some (Error e) -> raise e
-        | None -> assert false)
-      results
-  end
+  if n <= 1 then Array.map f xs
+  else
+    match pool with
+    | Some p -> if Pool.size p > 1 then run_pooled p f xs else Array.map f xs
+    | None -> (
+        if jobs = 1 then Array.map f xs
+        else
+          match Pool.get_default () with
+          | Some p when Pool.size p > 1 -> run_pooled p f xs
+          | Some _ | None ->
+              Pool.with_pool ~jobs:(min jobs n) (fun p -> run_pooled p f xs))
 
-let render ?(jobs = 1) ppf cells =
+let render ?pool ?(jobs = 1) ppf cells =
   let chunks =
-    map ~jobs
+    map ?pool ~jobs
       (fun cell ->
         let buf = Buffer.create 4096 in
         let bppf = Format.formatter_of_buffer buf in

@@ -5,25 +5,39 @@
     embarrassingly parallel: every cell derives its randomness from its
     own integer seed (or an {!Dm_prob.Rng} stream split off {e before}
     dispatch), touches no state outside its closure, and renders into
-    its own buffer.  The pool therefore guarantees that results merge
-    in submission order, so the output is byte-identical whatever the
-    worker count — [~jobs:1] and [~jobs:8] produce the same bytes.
+    its own buffer.  Results merge in submission order, so the output
+    is byte-identical whatever the worker count — [~jobs:1] and
+    [~jobs:8] produce the same bytes.
+
+    Execution runs on a {!Dm_linalg.Pool}: an explicit [?pool], else
+    the process default installed by {!Dm_linalg.Pool.set_default}
+    (when [jobs > 1]), else a transient pool of [jobs] domains.  A
+    cell dispatched onto the pool that itself calls a pooled [Mat]
+    kernel runs that kernel inline — nesting never deadlocks and never
+    changes results.
 
     Cells must be self-contained: no shared mutable state (including
     unforced [Lazy.t] values — force them before dispatch) may cross
     domains. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [map ~jobs f xs] is [Array.map f xs] computed by a pool of at most
-    [jobs] domains (default 1: plain sequential [Array.map], no domain
-    spawned).  Results are returned in submission order regardless of
-    completion order.  If any application of [f] raises, the exception
-    of the lowest-index failing cell is re-raised after every worker
-    has been joined.  Raises [Invalid_argument] if [jobs < 1]. *)
+val map :
+  ?pool:Dm_linalg.Pool.t -> ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ?pool ~jobs f xs] is [Array.map f xs] computed in parallel.
+    With [?pool], the given pool is used and [jobs] is ignored; with
+    [jobs = 1] (the default) the map is plain sequential [Array.map]
+    and no domain is involved.  Results are returned in submission
+    order regardless of completion order.  If any application of [f]
+    raises, the exception of the lowest-index failing cell is
+    re-raised after the join barrier.  Raises [Invalid_argument] if
+    [jobs < 1]. *)
 
 val render :
-  ?jobs:int -> Format.formatter -> (Format.formatter -> unit) array -> unit
-(** [render ~jobs ppf cells] runs every cell against its own
+  ?pool:Dm_linalg.Pool.t ->
+  ?jobs:int ->
+  Format.formatter ->
+  (Format.formatter -> unit) array ->
+  unit
+(** [render ?pool ~jobs ppf cells] runs every cell against its own
     [Buffer]-backed formatter via {!map}, then flushes the buffers to
     [ppf] in submission order — the parallel replacement for
     [Array.iter (fun cell -> cell ppf) cells]. *)

@@ -101,22 +101,83 @@ let scale_inplace a m =
 (* The kernels below use unsafe accesses: dimensions are validated up
    front and every index is a product/sum of loop bounds derived from
    them.  They are the pricing hot path (Sec. III-C1's O(n²) budget)
-   and run 10⁵ times per experiment at n up to 1024. *)
+   and run 10⁵ times per experiment at n up to 1024.
+
+   Determinism contract: every kernel computes each output element
+   with a fixed reduction order that does not depend on how the work
+   is scheduled, so the tiled/pooled paths below are bit-identical to
+   their serial counterparts at any worker count.  Row tiles fan out
+   over the default {!Pool} once the row count reaches
+   [parallel_threshold]; below it (or with no pool installed, or from
+   inside another pool task) the same loop runs inline. *)
+
+let parallel_threshold = 512
+
+let row_chunk = 64
+
+let over_rows n body =
+  match Pool.get_default () with
+  | Some p when n >= parallel_threshold && Pool.size p > 1 ->
+      Pool.parallel_for p ~chunk:row_chunk n body
+  | _ -> body 0 n
+
+(* Indices of the nonzero entries of [x], or [None] when [x] is dense
+   enough that gathering would not pay.  Skipping an exactly-zero term
+   never changes a row sum's bits for finite data: the skipped term is
+   ±0, the running sum is never −0 (it starts at +0, and +0 + ±0 and
+   x + (−x) both round to +0), and adding ±0 to such a sum is exact. *)
+let sparse_support x =
+  let n = Array.length x in
+  let nnz = ref 0 in
+  for j = 0 to n - 1 do
+    if Array.unsafe_get x j <> 0. then incr nnz
+  done;
+  if !nnz * 8 > n then None
+  else begin
+    let idx = Array.make (max 1 !nnz) 0 in
+    let k = ref 0 in
+    for j = 0 to n - 1 do
+      if Array.unsafe_get x j <> 0. then begin
+        Array.unsafe_set idx !k j;
+        incr k
+      end
+    done;
+    Some (Array.sub idx 0 !nnz)
+  end
 
 let matvec m x =
   if Array.length x <> m.cols then
     invalid_arg "Mat.matvec: dimension mismatch";
   let data = m.data in
+  let cols = m.cols in
   let y = Array.make m.rows 0. in
-  for i = 0 to m.rows - 1 do
-    let base = i * m.cols in
-    let acc = ref 0. in
-    for j = 0 to m.cols - 1 do
-      acc :=
-        !acc +. (Array.unsafe_get data (base + j) *. Array.unsafe_get x j)
-    done;
-    Array.unsafe_set y i !acc
-  done;
+  (match sparse_support x with
+  | Some idx ->
+      let nnz = Array.length idx in
+      over_rows m.rows (fun lo hi ->
+          for i = lo to hi - 1 do
+            let base = i * cols in
+            let acc = ref 0. in
+            for k = 0 to nnz - 1 do
+              let j = Array.unsafe_get idx k in
+              acc :=
+                !acc
+                +. (Array.unsafe_get data (base + j) *. Array.unsafe_get x j)
+            done;
+            Array.unsafe_set y i !acc
+          done)
+  | None ->
+      over_rows m.rows (fun lo hi ->
+          for i = lo to hi - 1 do
+            let base = i * cols in
+            let acc = ref 0. in
+            for j = 0 to cols - 1 do
+              acc :=
+                !acc
+                +. (Array.unsafe_get data (base + j) *. Array.unsafe_get x j)
+            done;
+            Array.unsafe_set y i !acc
+          done));
   y
 
 let matvec_t m x =
@@ -136,19 +197,34 @@ let matvec_t m x =
 let matmul a b =
   if a.cols <> b.rows then invalid_arg "Mat.matmul: dimension mismatch";
   let c = zeros a.rows b.cols in
-  for i = 0 to a.rows - 1 do
-    let abase = i * a.cols in
-    let cbase = i * b.cols in
-    for k = 0 to a.cols - 1 do
-      let aik = a.data.(abase + k) in
-      if aik <> 0. then begin
-        let bbase = k * b.cols in
-        for j = 0 to b.cols - 1 do
-          c.data.(cbase + j) <- c.data.(cbase + j) +. (aik *. b.data.(bbase + j))
-        done
-      end
-    done
-  done;
+  let q = a.cols and p = b.cols in
+  let adata = a.data and bdata = b.data and cdata = c.data in
+  (* i-k-j with the k loop cache-blocked: a tile of [row_chunk] rows of
+     [b] is reused across every row of the chunk.  Each c[i,j] still
+     accumulates its k terms in ascending order (tiles are visited
+     ascending, k ascending within a tile), so the result is
+     bit-identical to the unblocked serial loop at any worker count. *)
+  over_rows a.rows (fun ilo ihi ->
+      let klo = ref 0 in
+      while !klo < q do
+        let khi = min q (!klo + row_chunk) in
+        for i = ilo to ihi - 1 do
+          let abase = i * q in
+          let cbase = i * p in
+          for k = !klo to khi - 1 do
+            let aik = Array.unsafe_get adata (abase + k) in
+            if aik <> 0. then begin
+              let bbase = k * p in
+              for j = 0 to p - 1 do
+                Array.unsafe_set cdata (cbase + j)
+                  (Array.unsafe_get cdata (cbase + j)
+                  +. (aik *. Array.unsafe_get bdata (bbase + j)))
+              done
+            end
+          done
+        done;
+        klo := khi
+      done);
   c
 
 let outer u v =
@@ -159,36 +235,96 @@ let rank_one_update m beta b =
     invalid_arg "Mat.rank_one_update: dimension mismatch";
   let n = m.rows in
   let data = m.data in
-  for i = 0 to n - 1 do
-    let bi = beta *. Array.unsafe_get b i in
-    if bi <> 0. then begin
-      let base = i * n in
-      for j = 0 to n - 1 do
-        Array.unsafe_set data (base + j)
-          (Array.unsafe_get data (base + j) +. (bi *. Array.unsafe_get b j))
-      done
-    end
-  done
+  over_rows n (fun lo hi ->
+      for i = lo to hi - 1 do
+        let bi = beta *. Array.unsafe_get b i in
+        if bi <> 0. then begin
+          let base = i * n in
+          for j = 0 to n - 1 do
+            Array.unsafe_set data (base + j)
+              (Array.unsafe_get data (base + j) +. (bi *. Array.unsafe_get b j))
+          done
+        end
+      done)
+
+let rank_one_rescale ?into m ~beta ~b ~factor =
+  if m.rows <> m.cols || Array.length b <> m.rows then
+    invalid_arg "Mat.rank_one_rescale: dimension mismatch";
+  let n = m.rows in
+  let dst =
+    match into with
+    | None -> zeros n n
+    | Some d ->
+        if d.rows <> n || d.cols <> n then
+          invalid_arg "Mat.rank_one_rescale: into dimension mismatch";
+        if d.data == m.data then
+          invalid_arg "Mat.rank_one_rescale: into aliases the input";
+        d
+  in
+  let src = m.data and out = dst.data in
+  (* The update term is beta·(bᵢ·bⱼ), associated so that float
+     multiplication's exact commutativity makes the output exactly
+     symmetric whenever [m] is — no symmetrization pass needed. *)
+  over_rows n (fun lo hi ->
+      for i = lo to hi - 1 do
+        let base = i * n in
+        let bi = Array.unsafe_get b i in
+        if bi <> 0. then
+          for j = 0 to n - 1 do
+            Array.unsafe_set out (base + j)
+              (factor
+              *. (Array.unsafe_get src (base + j)
+                 +. (beta *. (bi *. Array.unsafe_get b j))))
+          done
+        else
+          for j = 0 to n - 1 do
+            Array.unsafe_set out (base + j)
+              (factor *. Array.unsafe_get src (base + j))
+          done
+      done);
+  dst
 
 let quad m x =
   if m.rows <> m.cols || Array.length x <> m.rows then
     invalid_arg "Mat.quad: dimension mismatch";
   let n = m.rows in
-  let data = m.data in
-  let acc = ref 0. in
-  for i = 0 to n - 1 do
-    let xi = Array.unsafe_get x i in
-    if xi <> 0. then begin
-      let base = i * n in
-      let rowacc = ref 0. in
-      for j = 0 to n - 1 do
-        rowacc :=
-          !rowacc +. (Array.unsafe_get data (base + j) *. Array.unsafe_get x j)
-      done;
-      acc := !acc +. (xi *. !rowacc)
-    end
-  done;
-  !acc
+  let pooled =
+    n >= parallel_threshold
+    &&
+    match Pool.get_default () with Some p -> Pool.size p > 1 | None -> false
+  in
+  if pooled then begin
+    (* y = m·x over the pool, then a serial dot in index order with the
+       same xᵢ = 0 skip as the serial branch below: per-element
+       reduction orders match, so both branches are bit-identical for
+       finite data (the skipped ±0 terms are exact — see
+       [sparse_support]). *)
+    let y = matvec m x in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let xi = Array.unsafe_get x i in
+      if xi <> 0. then acc := !acc +. (xi *. Array.unsafe_get y i)
+    done;
+    !acc
+  end
+  else begin
+    let data = m.data in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let xi = Array.unsafe_get x i in
+      if xi <> 0. then begin
+        let base = i * n in
+        let rowacc = ref 0. in
+        for j = 0 to n - 1 do
+          rowacc :=
+            !rowacc
+            +. (Array.unsafe_get data (base + j) *. Array.unsafe_get x j)
+        done;
+        acc := !acc +. (xi *. !rowacc)
+      end
+    done;
+    !acc
+  end
 
 let symmetrize_inplace m =
   if m.rows <> m.cols then invalid_arg "Mat.symmetrize_inplace: not square";

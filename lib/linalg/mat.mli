@@ -2,7 +2,15 @@
 
     The flat layout keeps every element unboxed and makes the
     mat-vec/rank-one kernels that dominate the ellipsoid update cache
-    friendly.  Dimension mismatches raise [Invalid_argument]. *)
+    friendly.  Dimension mismatches raise [Invalid_argument].
+
+    The O(n²)/O(n³) kernels ([matvec], [matmul], [quad],
+    [rank_one_update], [rank_one_rescale]) are cache-blocked and, once
+    the row count reaches 512, fan row tiles over the default {!Pool}
+    when one is installed (serial fallback below the threshold or
+    without a pool).  Every output element is reduced in a fixed
+    serial order regardless of scheduling, so results are
+    bit-identical at any worker count. *)
 
 type t = private { rows : int; cols : int; data : float array }
 (** [data.(i*cols + j)] holds element (i, j). *)
@@ -76,6 +84,18 @@ val outer : Vec.t -> Vec.t -> t
 val rank_one_update : t -> float -> Vec.t -> unit
 (** [rank_one_update a beta b] performs [A := A + beta·b·bᵀ] in place —
     the inner kernel of the Löwner–John ellipsoid update. *)
+
+val rank_one_rescale :
+  ?into:t -> t -> beta:float -> b:Vec.t -> factor:float -> t
+(** [rank_one_rescale ?into a ~beta ~b ~factor] is the fused ellipsoid
+    shape update [factor·(A + beta·b·bᵀ)] in one streaming pass — one
+    read of [A] and one write instead of the
+    copy/rank-one/scale/symmetrize pipeline.  The update term is
+    associated as [beta·(bᵢ·bⱼ)], which is exactly symmetric in (i, j),
+    so the result is bit-exactly symmetric whenever [A] is and needs no
+    symmetrization.  [into], when given, supplies the destination
+    buffer (same dimensions, and must not alias [a]); otherwise a fresh
+    matrix is allocated.  Returns the destination. *)
 
 val quad : t -> Vec.t -> float
 (** [quad a x] is the quadratic form [xᵀ·A·x], computed in a single

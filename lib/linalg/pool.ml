@@ -1,0 +1,164 @@
+type job = {
+  body : int -> int -> unit;
+  chunk : int;
+  n : int;
+  nchunks : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  work_done : Condition.t;
+  submit : Mutex.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable error : (int * exn) option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* True on any domain currently executing a pool task (workers always,
+   the submitter while it participates).  A nested [parallel_for]
+   checks it and runs inline instead of re-entering the pool. *)
+let in_task = Domain.DLS.new_key (fun () -> false)
+
+let size t = t.size
+
+(* Claim chunks until the counter is exhausted.  Exceptions are
+   recorded (lowest chunk index wins) rather than propagated so the
+   completion barrier always closes. *)
+let run_chunks t job =
+  let rec claim () =
+    let c = Atomic.fetch_and_add job.next 1 in
+    if c < job.nchunks then begin
+      let lo = c * job.chunk in
+      let hi = min job.n (lo + job.chunk) in
+      (try job.body lo hi
+       with e ->
+         Mutex.lock t.mutex;
+         (match t.error with
+         | Some (c0, _) when c0 <= c -> ()
+         | _ -> t.error <- Some (c, e));
+         Mutex.unlock t.mutex);
+      let finished = 1 + Atomic.fetch_and_add job.completed 1 in
+      if finished = job.nchunks then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.work_done;
+        Mutex.unlock t.mutex
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+let worker t () =
+  Domain.DLS.set in_task true;
+  let rec loop seen =
+    Mutex.lock t.mutex;
+    while t.generation = seen && not t.stop do
+      Condition.wait t.has_work t.mutex
+    done;
+    let stop = t.stop in
+    let generation = t.generation and job = t.job in
+    Mutex.unlock t.mutex;
+    if not stop then begin
+      (* [job] can be [None] for a worker that slept through a whole
+         submission: the generation advanced but the work is gone. *)
+      (match job with Some j -> run_chunks t j | None -> ());
+      loop generation
+    end
+  in
+  loop 0
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be positive";
+  let t =
+    {
+      size = jobs;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      work_done = Condition.create ();
+      submit = Mutex.create ();
+      job = None;
+      generation = 0;
+      error = None;
+      stop = false;
+      workers = [||];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let run_inline chunk n body =
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min n (!lo + chunk) in
+    body !lo hi;
+    lo := hi
+  done
+
+let parallel_for t ?(chunk = 64) n body =
+  if chunk < 1 then invalid_arg "Pool.parallel_for: chunk must be positive";
+  if n > 0 then
+    if t.size = 1 || n <= chunk || Domain.DLS.get in_task then
+      run_inline chunk n body
+    else begin
+      Mutex.lock t.submit;
+      let job =
+        {
+          body;
+          chunk;
+          n;
+          nchunks = (n + chunk - 1) / chunk;
+          next = Atomic.make 0;
+          completed = Atomic.make 0;
+        }
+      in
+      Mutex.lock t.mutex;
+      t.error <- None;
+      t.job <- Some job;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.has_work;
+      Mutex.unlock t.mutex;
+      Domain.DLS.set in_task true;
+      run_chunks t job;
+      Domain.DLS.set in_task false;
+      Mutex.lock t.mutex;
+      while Atomic.get job.completed < job.nchunks do
+        Condition.wait t.work_done t.mutex
+      done;
+      t.job <- None;
+      let error = t.error in
+      t.error <- None;
+      Mutex.unlock t.mutex;
+      Mutex.unlock t.submit;
+      match error with Some (_, e) -> raise e | None -> ()
+    end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  match f t with
+  | y ->
+      shutdown t;
+      y
+  | exception e ->
+      shutdown t;
+      raise e
+
+let default : t option Atomic.t = Atomic.make None
+
+let set_default p = Atomic.set default p
+
+let get_default () = Atomic.get default

@@ -1,0 +1,56 @@
+(** A persistent work-stealing pool of OCaml 5 domains for index-range
+    tasks — the single domain-pool implementation of the codebase.
+
+    The pool is spawned once ([create]) and reused across many
+    [parallel_for] submissions: each submission partitions an index
+    range into contiguous chunks that the caller and the worker
+    domains claim through an atomic counter (work stealing), then
+    joins a barrier before returning.  Chunk boundaries affect only
+    scheduling, never results: a task body must write only to
+    locations owned by its index range, so every interleaving computes
+    the same values and callers stay byte-deterministic whatever the
+    worker count.
+
+    Nesting is safe and serial: a [parallel_for] issued from inside a
+    pool task (including from an experiment cell that
+    {!Dm_experiments.Runner} dispatched onto the pool) runs inline on
+    the calling domain rather than re-entering the pool, so kernels
+    that consult {!get_default} can be called from anywhere without
+    deadlock. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs − 1] worker domains (the submitting
+    domain is the [jobs]-th participant).  Raises [Invalid_argument]
+    if [jobs < 1].  A pool of size 1 spawns nothing and runs every
+    submission inline. *)
+
+val size : t -> int
+(** The [jobs] value the pool was created with. *)
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> int -> unit) -> unit
+(** [parallel_for t ~chunk n body] runs [body lo hi] over contiguous
+    sub-ranges of [0, n) of length ≤ [chunk] (default 64), in
+    parallel.  Returns once every chunk has completed.  If any body
+    raises, the exception of the lowest-index failing chunk is
+    re-raised in the caller after the barrier.  Runs inline (serially,
+    in index order) when the pool has size 1, when [n] is a single
+    chunk, or when called from inside another pool task. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  The pool must not be used afterwards;
+    calling [shutdown] twice is harmless. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] creates a transient pool, applies [f], and
+    shuts the pool down (also on exception). *)
+
+val set_default : t option -> unit
+(** Installs (or clears) the process-wide default pool consulted by
+    the large-[n] kernels in {!Mat} and by
+    {!Dm_experiments.Runner}.  Call once at startup, before any
+    parallel work is submitted. *)
+
+val get_default : unit -> t option
+(** The pool installed by {!set_default}, if any. *)

@@ -195,6 +195,65 @@ let test_runner_render_deterministic () =
         (render (fun ppf -> driver ~jobs:4 ppf)))
     drivers
 
+module Pool = Dm_linalg.Pool
+
+let test_runner_explicit_pool () =
+  (* A shared pool gives the same bytes as per-call domain spawning,
+     and an explicit size-1 pool degrades to the serial path. *)
+  let reference = render (fun ppf -> App1.fig4 ~scale:0.01 ~seed:1 ~jobs:1 ppf) in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      check_string "shared pool" reference
+        (render (fun ppf -> App1.fig4 ~scale:0.01 ~seed:1 ~pool ppf)));
+  Pool.with_pool ~jobs:1 (fun pool ->
+      check_string "size-1 pool" reference
+        (render (fun ppf -> App1.fig4 ~scale:0.01 ~seed:1 ~pool ppf)))
+
+let test_incell_kernel_determinism () =
+  (* Above the n >= 512 threshold the mechanism's cut kernels fan out
+     over the default pool; the pricing trajectory must stay
+     byte-identical to the serial run. *)
+  let module Vec = Dm_linalg.Vec in
+  let module Ellipsoid = Dm_market.Ellipsoid in
+  let module Mechanism = Dm_market.Mechanism in
+  let module Rng = Dm_prob.Rng in
+  let module Dist = Dm_prob.Dist in
+  let dim = 520 in
+  let run () =
+    let mech =
+      Mechanism.create
+        (Mechanism.config ~variant:Mechanism.with_reserve ~epsilon:1e-9 ())
+        (Ellipsoid.ball ~dim ~radius:2.)
+    in
+    let rng = Rng.create 12 in
+    let buf = Buffer.create 4096 in
+    for _ = 1 to 30 do
+      let x = Vec.normalize (Dist.normal_vec rng ~dim) in
+      let d = Mechanism.decide mech ~x ~reserve:neg_infinity in
+      (match d with
+      | Mechanism.Post { price; _ } ->
+          Buffer.add_string buf (Printf.sprintf "%h\n" price)
+      | Mechanism.Skip -> Buffer.add_string buf "skip\n");
+      Mechanism.observe mech ~x d ~accepted:(Rng.bool rng)
+    done;
+    let e = Mechanism.ellipsoid mech in
+    Buffer.add_string buf
+      (Printf.sprintf "vol %h\n" (Ellipsoid.log_volume_factor e));
+    for i = 0 to dim - 1 do
+      Buffer.add_string buf (Printf.sprintf "%h\n" (Vec.get e.Ellipsoid.center i))
+    done;
+    Buffer.contents buf
+  in
+  let serial = run () in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          Pool.set_default (Some p);
+          Fun.protect ~finally:(fun () -> Pool.set_default None) (fun () ->
+              check_string
+                (Printf.sprintf "pooled trajectory, jobs=%d" jobs)
+                serial (run ()))))
+    [ 2; 4 ]
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -226,5 +285,9 @@ let () =
           Alcotest.test_case "map semantics" `Quick test_runner_map;
           Alcotest.test_case "jobs-independent bytes" `Slow
             test_runner_render_deterministic;
+          Alcotest.test_case "explicit pool bytes" `Slow
+            test_runner_explicit_pool;
+          Alcotest.test_case "in-cell kernel determinism (n = 520)" `Slow
+            test_incell_kernel_determinism;
         ] );
     ]

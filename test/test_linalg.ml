@@ -395,6 +395,229 @@ let eigen_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Pool + tiled kernels                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Dm_linalg.Pool
+
+(* Bit-for-bit equality: the kernels promise results identical to the
+   serial reference at any worker count, not merely close. *)
+let bits_equal_vec a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let bits_equal_mat a b =
+  Mat.dims a = Mat.dims b && bits_equal_vec a.Mat.data b.Mat.data
+
+let with_default_pool jobs f =
+  Pool.with_pool ~jobs (fun p ->
+      Pool.set_default (Some p);
+      Fun.protect ~finally:(fun () -> Pool.set_default None) f)
+
+(* Naive references: the exact element-wise reduction orders the
+   kernels contract to reproduce (ascending j / ascending k, with the
+   same exact-zero skips). *)
+let naive_matvec m x =
+  Array.init (Mat.rows m) (fun i ->
+      let acc = ref 0. in
+      for j = 0 to Mat.cols m - 1 do
+        acc := !acc +. (Mat.get m i j *. x.(j))
+      done;
+      !acc)
+
+let naive_matmul a b =
+  let c = Mat.zeros (Mat.rows a) (Mat.cols b) in
+  for i = 0 to Mat.rows a - 1 do
+    for k = 0 to Mat.cols a - 1 do
+      let aik = Mat.get a i k in
+      if aik <> 0. then
+        for j = 0 to Mat.cols b - 1 do
+          Mat.set c i j (Mat.get c i j +. (aik *. Mat.get b k j))
+        done
+    done
+  done;
+  c
+
+let naive_quad m x =
+  let acc = ref 0. in
+  for i = 0 to Mat.rows m - 1 do
+    if x.(i) <> 0. then begin
+      let rowacc = ref 0. in
+      for j = 0 to Mat.cols m - 1 do
+        rowacc := !rowacc +. (Mat.get m i j *. x.(j))
+      done;
+      acc := !acc +. (x.(i) *. !rowacc)
+    end
+  done;
+  !acc
+
+let naive_rank_one a beta b =
+  let m = Mat.copy a in
+  for i = 0 to Mat.rows m - 1 do
+    let bi = beta *. b.(i) in
+    if bi <> 0. then
+      for j = 0 to Mat.cols m - 1 do
+        Mat.set m i j (Mat.get m i j +. (bi *. b.(j)))
+      done
+  done;
+  m
+
+let naive_rescale a ~beta ~b ~factor =
+  Mat.init (Mat.rows a) (Mat.cols a) (fun i j ->
+      if b.(i) <> 0. then
+        factor *. (Mat.get a i j +. (beta *. (b.(i) *. b.(j))))
+      else factor *. Mat.get a i j)
+
+(* Deterministic fill with exact zeros sprinkled in, so the sparse
+   fast paths and the zero-skip branches are all exercised. *)
+let fill_mat n seed =
+  Mat.init n n (fun i j ->
+      if (i + (3 * j) + seed) mod 4 = 0 then 0.
+      else sin (float_of_int (((i * 31) + (j * 17) + seed) mod 101)))
+
+let fill_vec ~sparse n seed =
+  Array.init n (fun i ->
+      if sparse && (i + seed) mod 8 <> 0 then 0.
+      else cos (float_of_int (((i * 13) + seed) mod 97)))
+
+let check_kernels_at n =
+  let a = fill_mat n 1 in
+  let b = fill_mat n 2 in
+  let xs = [ fill_vec ~sparse:false n 3; fill_vec ~sparse:true n 4 ] in
+  let v = fill_vec ~sparse:false n 5 in
+  (* Serial references, computed with no pool installed. *)
+  let mv_ref = List.map (naive_matvec a) xs in
+  let mm_ref = naive_matmul a b in
+  let q_ref = List.map (naive_quad a) xs in
+  let r1_ref = naive_rank_one a (-0.37) v in
+  let rs_ref = naive_rescale a ~beta:(-0.37) ~b:v ~factor:1.013 in
+  let check jobs () =
+    let tag s = Printf.sprintf "%s n=%d jobs=%d" s n jobs in
+    List.iter2
+      (fun x r -> check_bool (tag "matvec") true (bits_equal_vec (Mat.matvec a x) r))
+      xs mv_ref;
+    check_bool (tag "matmul") true (bits_equal_mat (Mat.matmul a b) mm_ref);
+    List.iter2
+      (fun x r ->
+        check_bool (tag "quad") true
+          (Int64.equal (Int64.bits_of_float (Mat.quad a x)) (Int64.bits_of_float r)))
+      xs q_ref;
+    let upd = Mat.copy a in
+    Mat.rank_one_update upd (-0.37) v;
+    check_bool (tag "rank_one_update") true (bits_equal_mat upd r1_ref);
+    let into = Mat.zeros n n in
+    check_bool (tag "rank_one_rescale") true
+      (bits_equal_mat
+         (Mat.rank_one_rescale ~into a ~beta:(-0.37) ~b:v ~factor:1.013)
+         rs_ref);
+    check_bool (tag "rank_one_rescale alloc") true
+      (bits_equal_mat
+         (Mat.rank_one_rescale a ~beta:(-0.37) ~b:v ~factor:1.013)
+         rs_ref)
+  in
+  check 1 ();
+  List.iter (fun jobs -> with_default_pool jobs (check jobs)) [ 1; 2; 4 ]
+
+let test_kernels_small () = List.iter check_kernels_at [ 1; 2; 7; 40 ]
+
+(* Straddle the n >= 512 pooling threshold: 511 stays serial (and is
+   not a multiple of the 64-row chunk), 512 fans out over the pool. *)
+let test_kernels_threshold () = List.iter check_kernels_at [ 511; 512 ]
+
+let test_rescale_symmetry () =
+  (* The fused kernel's beta·(bᵢ·bⱼ) association keeps exact symmetry:
+     no symmetrize pass needed after a cut. *)
+  let a = Mat.matmul (fill_mat 33 6) (Mat.transpose (fill_mat 33 6)) in
+  let b = fill_vec ~sparse:false 33 7 in
+  let c = Mat.rank_one_rescale a ~beta:(-0.81) ~b ~factor:1.07 in
+  let ok = ref true in
+  for i = 0 to 32 do
+    for j = 0 to 32 do
+      if
+        not
+          (Int64.equal
+             (Int64.bits_of_float (Mat.get c i j))
+             (Int64.bits_of_float (Mat.get c j i)))
+      then ok := false
+    done
+  done;
+  check_bool "bit-exact symmetry" true !ok
+
+let test_rescale_validation () =
+  let a = Mat.identity 3 in
+  Alcotest.check_raises "into dimension mismatch"
+    (Invalid_argument "Mat.rank_one_rescale: into dimension mismatch")
+    (fun () ->
+      ignore
+        (Mat.rank_one_rescale ~into:(Mat.zeros 2 2) a ~beta:1. ~b:[| 1.; 0.; 0. |]
+           ~factor:1.));
+  Alcotest.check_raises "into aliases input"
+    (Invalid_argument "Mat.rank_one_rescale: into aliases the input")
+    (fun () ->
+      ignore (Mat.rank_one_rescale ~into:a a ~beta:1. ~b:[| 1.; 0.; 0. |] ~factor:1.))
+
+let test_pool_basics () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      check_int "size" 4 (Pool.size p);
+      (* parallel_for covers [0, n) exactly once whatever the chunking. *)
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      Pool.parallel_for p ~chunk:7 n (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      check_bool "each index once" true (Array.for_all (fun c -> c = 1) hits);
+      (* Lowest-chunk exception wins and the pool stays usable. *)
+      check_bool "lowest failing chunk" true
+        (match
+           Pool.parallel_for p ~chunk:1 16 (fun lo _ ->
+               if lo >= 3 then failwith (string_of_int lo))
+         with
+        | () -> false
+        | exception Failure s -> s = "3");
+      let again = Array.make 64 0 in
+      Pool.parallel_for p ~chunk:4 64 (fun lo hi ->
+          for i = lo to hi - 1 do
+            again.(i) <- 1
+          done);
+      check_bool "usable after error" true (Array.for_all (fun c -> c = 1) again);
+      (* Nested parallel_for runs inline rather than deadlocking. *)
+      let nested_ok = ref true in
+      Pool.parallel_for p ~chunk:1 4 (fun _ _ ->
+          let local = Array.make 8 0 in
+          Pool.parallel_for p ~chunk:2 8 (fun lo hi ->
+              for i = lo to hi - 1 do
+                local.(i) <- 1
+              done);
+          if not (Array.for_all (fun c -> c = 1) local) then nested_ok := false);
+      check_bool "nested runs inline" true !nested_ok);
+  Alcotest.check_raises "jobs must be positive"
+    (Invalid_argument "Pool.create: jobs must be positive") (fun () ->
+      ignore (Pool.create ~jobs:0))
+
+let pool_props =
+  [
+    prop "kernels bit-match naive reference under a pool" 30
+      QCheck.(pair (int_range 1 24) (int_range 0 1000))
+      (fun (n, seed) ->
+        let a = fill_mat n seed in
+        let x = fill_vec ~sparse:(seed mod 2 = 0) n (seed + 1) in
+        let mv = naive_matvec a x in
+        let q = naive_quad a x in
+        let rs = naive_rescale a ~beta:(-0.37) ~b:x ~factor:1.013 in
+        with_default_pool 2 (fun () ->
+            bits_equal_vec (Mat.matvec a x) mv
+            && Int64.equal
+                 (Int64.bits_of_float (Mat.quad a x))
+                 (Int64.bits_of_float q)
+            && bits_equal_mat
+                 (Mat.rank_one_rescale a ~beta:(-0.37) ~b:x ~factor:1.013)
+                 rs));
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   ignore vec_gen;
@@ -446,4 +669,17 @@ let () =
           Alcotest.test_case "log volume" `Quick test_eigen_log_volume;
         ]
         @ eigen_props );
+      ( "pool",
+        [
+          Alcotest.test_case "pool basics" `Quick test_pool_basics;
+          Alcotest.test_case "kernels vs naive (small dims)" `Quick
+            test_kernels_small;
+          Alcotest.test_case "kernels vs naive (511/512 threshold)" `Slow
+            test_kernels_threshold;
+          Alcotest.test_case "fused rescale bit-exact symmetry" `Quick
+            test_rescale_symmetry;
+          Alcotest.test_case "fused rescale validation" `Quick
+            test_rescale_validation;
+        ]
+        @ pool_props );
     ]

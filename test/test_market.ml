@@ -179,6 +179,87 @@ let random_ellipsoid seed ~dim =
   let center = Dist.normal_vec rng ~dim in
   Ellipsoid.make ~center ~shape
 
+(* Drive a chain of random accepted cuts through [e], returning the
+   final ellipsoid and the worst observed gap between the incremental
+   log-volume cache and a fresh ½·log det recomputation. *)
+let cut_chain ~seed ~cuts e0 =
+  let rng = Rng.create seed in
+  let dim = Ellipsoid.dim e0 in
+  let e = ref e0 and worst = ref 0. in
+  for t = 1 to cuts do
+    let x = Dist.normal_vec rng ~dim in
+    if Vec.norm2 x > 0.1 then begin
+      let b = Ellipsoid.bounds !e ~x in
+      let alpha = -0.2 +. (Rng.float rng *. 0.9) in
+      let price = b.Ellipsoid.mid -. (alpha *. b.Ellipsoid.half_width) in
+      let result =
+        if t mod 3 = 0 then Ellipsoid.cut_above !e ~x ~price
+        else Ellipsoid.cut_below !e ~x ~price
+      in
+      match result with
+      | Ellipsoid.Cut e' ->
+          e := e';
+          ignore (Ellipsoid.log_volume_factor e');
+          worst := Float.max !worst (Ellipsoid.volume_drift e')
+      | Ellipsoid.Too_shallow | Ellipsoid.Empty -> ()
+    end
+  done;
+  (!e, !worst)
+
+let test_volume_resync_boundary () =
+  (* A fresh ball has an exact closed-form log-volume factor. *)
+  let e0 = Ellipsoid.ball ~dim:8 ~radius:4. in
+  check_float "ball closed form" (8. *. log 4.) (Ellipsoid.log_volume_factor e0);
+  check_float "ball drift" 0. (Ellipsoid.volume_drift e0);
+  (* 1,200 accepted-or-rejected cuts cross the 1,000-cut resync
+     boundary; the cache must agree with Cholesky on both sides. *)
+  let e, worst = cut_chain ~seed:5 ~cuts:1_200 e0 in
+  check_bool "drift across resync ≤ 1e-9" true (worst <= 1e-9);
+  check_bool "final drift ≤ 1e-9" true (Ellipsoid.volume_drift e <= 1e-9)
+
+let test_cut_into_buffer () =
+  let e = random_ellipsoid 17 ~dim:5 in
+  let rng = Rng.create 18 in
+  let x = Dist.normal_vec rng ~dim:5 in
+  let price = (Ellipsoid.bounds e ~x).Ellipsoid.mid in
+  let into = Mat.zeros 5 5 in
+  match (Ellipsoid.cut_below e ~x ~price, Ellipsoid.cut_below ~into e ~x ~price) with
+  | Ellipsoid.Cut fresh, Ellipsoid.Cut reused ->
+      check_bool "into receives the result" true
+        (reused.Ellipsoid.shape == into);
+      let same = ref true in
+      for i = 0 to 4 do
+        for j = 0 to 4 do
+          if
+            not
+              (Int64.equal
+                 (Int64.bits_of_float (Mat.get fresh.Ellipsoid.shape i j))
+                 (Int64.bits_of_float (Mat.get reused.Ellipsoid.shape i j)))
+          then same := false
+        done
+      done;
+      check_bool "buffered cut bit-identical" true !same;
+      check_float "same log volume"
+        (Ellipsoid.log_volume_factor fresh)
+        (Ellipsoid.log_volume_factor reused)
+  | _ -> Alcotest.fail "both cuts must succeed"
+
+let volume_cache_props =
+  [
+    (* 50 sequences × 20 cuts = 10³ random cuts checked against the
+       O(n³) reference. *)
+    prop "incremental log-volume matches Cholesky within 1e-9" 50
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let dim = 1 + (seed mod 6) in
+        let e0 =
+          if seed mod 2 = 0 then Ellipsoid.ball ~dim ~radius:2.
+          else random_ellipsoid seed ~dim
+        in
+        let _, worst = cut_chain ~seed:(seed + 1) ~cuts:20 e0 in
+        worst <= 1e-9);
+  ]
+
 let general_ellipsoid_props =
   [
     prop "general cuts keep the kept halfspace" 100
@@ -581,6 +662,34 @@ let test_mechanism_conservative_with_delta () =
   | Mechanism.Post { price; kind = Mechanism.Conservative; _ } ->
       check_float "p̲ − δ" (-1.1) price
   | _ -> Alcotest.fail "expected conservative"
+
+let test_mechanism_ellipsoid_escape () =
+  (* The mechanism ping-pongs two shape buffers to avoid allocating a
+     fresh n×n matrix per cut; an ellipsoid handed out by [ellipsoid]
+     must never be overwritten by later steps. *)
+  let m = mk_mech ~variant:Mechanism.pure ~epsilon:1e-9 ~dim:4 ~radius:2. () in
+  let rng = Rng.create 31 in
+  let step () =
+    let x = Vec.normalize (Dist.normal_vec rng ~dim:4) in
+    let d = Mechanism.decide m ~x ~reserve:neg_infinity in
+    Mechanism.observe m ~x d ~accepted:(Rng.bool rng)
+  in
+  for _ = 1 to 5 do
+    step ()
+  done;
+  let seen = Mechanism.ellipsoid m in
+  let snapshot = Mat.copy seen.Ellipsoid.shape in
+  let vol = Ellipsoid.log_volume_factor seen in
+  for _ = 1 to 20 do
+    step ()
+  done;
+  check_bool "escaped shape untouched" true
+    (Mat.approx_equal ~tol:0. snapshot seen.Ellipsoid.shape);
+  check_float "escaped volume untouched" vol (Ellipsoid.log_volume_factor seen);
+  check_bool "mechanism moved on" true
+    (not
+       (Mat.approx_equal ~tol:0. snapshot
+          (Mechanism.ellipsoid m).Ellipsoid.shape))
 
 let test_te_upper_bound () =
   let b = Mechanism.te_upper_bound ~radius:2. ~feature_bound:1. ~dim:5 ~epsilon:0.1 in
@@ -1291,8 +1400,11 @@ let () =
           Alcotest.test_case "1-d bisection" `Quick test_cut_one_dimensional;
           Alcotest.test_case "1-d deep cut" `Quick test_cut_one_dimensional_deep;
           Alcotest.test_case "lemma 2 volume ratio" `Quick test_lemma2_volume_ratio;
+          Alcotest.test_case "volume cache resync boundary" `Slow
+            test_volume_resync_boundary;
+          Alcotest.test_case "cut into caller buffer" `Quick test_cut_into_buffer;
         ]
-        @ ellipsoid_props );
+        @ volume_cache_props @ ellipsoid_props );
       ( "model",
         [
           Alcotest.test_case "links" `Quick test_links;
@@ -1354,6 +1466,8 @@ let () =
             test_mechanism_uncertainty_buffer;
           Alcotest.test_case "conservative with delta" `Quick
             test_mechanism_conservative_with_delta;
+          Alcotest.test_case "ellipsoid accessor escape safety" `Quick
+            test_mechanism_ellipsoid_escape;
           Alcotest.test_case "te bound formula" `Quick test_te_upper_bound;
           Alcotest.test_case "rejects poisoned input" `Quick
             test_mechanism_rejects_poisoned_input;
