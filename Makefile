@@ -10,7 +10,7 @@ build:
 test:
 	dune runtest
 
-# Pre-commit loop: full build, all eight test suites, then a 2-domain
+# Pre-commit loop: full build, all nine test suites, then a 2-domain
 # smoke run of two fast artifacts to catch runner regressions.
 dev: build test
 	dune exec bin/experiments.exe -- fig1 --jobs 2
@@ -20,9 +20,14 @@ bench:
 	dune exec bench/main.exe
 
 # What .github/workflows/ci.yml runs: build with warnings as errors,
-# every test suite, then a tiny 2-domain bench smoke that also writes
-# a BENCH_*.json record exercising the perf-trajectory pipeline.
-ci: build test
+# every test suite twice — serial and with a 4-domain default pool
+# (Test_env reads BENCH_JOBS), so the byte-determinism properties are
+# exercised on both code paths — then a tiny 2-domain bench smoke that
+# also writes a BENCH_*.json record exercising the perf-trajectory
+# pipeline.
+ci: build
+	BENCH_JOBS=1 dune runtest --force
+	BENCH_JOBS=4 dune runtest --force
 	BENCH_SCALE=0.01 BENCH_JOBS=2 dune exec bench/main.exe
 
 clean:

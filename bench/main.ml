@@ -106,6 +106,7 @@ let stage1_artifacts =
       fun ppf ->
         Dm_experiments.Ablation.param_dist_sweep ~rounds:5_000 ~jobs ppf );
     ("baselines", fun ppf -> Dm_experiments.Baselines.compare ~scale ~jobs ppf);
+    ("longrun", fun ppf -> Dm_experiments.Longrun.report ~scale ~jobs ppf);
     ("rank", fun ppf -> Dm_experiments.Diagnostics.report ~sample:1_000 ppf);
     ("overhead", fun ppf -> Dm_experiments.Overhead.report ppf);
   ]

@@ -1,0 +1,49 @@
+(** BENCH_<stamp>.json perf-record parsing and comparison (schema
+    dm-bench/1, written by [bench/main.exe]) — the library behind
+    [bench/compare.exe], split out so the regression-threshold logic is
+    unit-testable on fixture records. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse_json : string -> (json, string) result
+(** Minimal reader for the flat records our own emitter writes;
+    [Error] carries a message with the failing byte offset. *)
+
+type record = {
+  stamp : string;
+  stage1 : (string * float) list;  (** artifact, wall-clock seconds *)
+  stage2 : (string * float option) list;
+      (** benchmark, ns/call; [None] when the estimator yielded none *)
+}
+
+val of_string : ?path:string -> string -> (record, string) result
+(** Parse a record from JSON source; [path] only decorates error
+    messages.  Rejects anything whose [schema] is not ["dm-bench/1"]. *)
+
+val load : string -> (record, string) result
+(** [of_string] over a file's contents; I/O errors become [Error]. *)
+
+val compare_section :
+  Format.formatter ->
+  title:string ->
+  unit:string ->
+  threshold:float ->
+  (string * float option) list ->
+  (string * float option) list ->
+  int
+(** [compare_section ppf ~title ~unit ~threshold old new] prints the
+    per-benchmark delta table and returns how many entries got slower
+    by more than the [threshold] fraction.  Entries present in only one
+    record are listed as new/removed but never flagged. *)
+
+val compare_records :
+  Format.formatter -> threshold:float -> record -> record -> int
+(** Both sections of two records plus the header line; returns the
+    total regression count (the exit status of [compare.exe] is
+    non-zero iff it is positive). *)

@@ -147,6 +147,13 @@ let rank_cmd =
   simple "rank" "Feature-stream effective-rank diagnostics"
     (fun ~pool:_ ~scale:_ ~seed ~jobs:_ -> Dm_experiments.Diagnostics.report ~seed ppf)
 
+let longrun_cmd =
+  simple "longrun"
+    "Long-horizon sharded broker: 10^6-round stream, exact merge verified \
+     against the sequential reference"
+    (fun ~pool ~scale ~seed ~jobs ->
+      Dm_experiments.Longrun.report ?pool ~scale ~seed ~jobs ppf)
+
 let baselines_cmd =
   simple "baselines" "Ellipsoid vs SGD (Amin et al.) vs risk-averse"
     (fun ~pool ~scale ~seed ~jobs -> Dm_experiments.Baselines.compare ?pool ~scale ~seed ~jobs ppf)
@@ -183,6 +190,7 @@ let all_cmd =
             Dm_experiments.Ablation.ctr_trainer ppf;
             Dm_experiments.Baselines.compare ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Baselines.seed_robustness ?pool ~scale ~seed ~jobs ppf;
+            Dm_experiments.Longrun.report ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Diagnostics.report ~seed ppf;
             Dm_experiments.Overhead.report ppf);
         `Ok ()
@@ -205,5 +213,5 @@ let () =
             fig1_cmd; fig4_cmd; table1_cmd; fig5a_cmd; fig5b_cmd; fig5c_cmd;
             coldstart_cmd; lemma8_cmd; theorem3_cmd; theorem2_cmd; lemma2_cmd;
             lemma45_cmd; overhead_cmd; ablation_cmd; baselines_cmd;
-            robustness_cmd; rank_cmd; all_cmd;
+            robustness_cmd; longrun_cmd; rank_cmd; all_cmd;
           ]))

@@ -1,0 +1,189 @@
+module Broker = Dm_market.Broker
+module Mechanism = Dm_market.Mechanism
+module Ellipsoid = Dm_market.Ellipsoid
+module Model = Dm_market.Model
+module Vec = Dm_linalg.Vec
+module Pool = Dm_linalg.Pool
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+module Subgaussian = Dm_prob.Subgaussian
+
+let dim = 16
+let delta = 0.01
+let full_rounds = 1_000_000
+let warm_stride = 4
+
+let scaled_rounds scale rounds =
+  max 100 (int_of_float (Float.round (scale *. float_of_int rounds)))
+
+type setup = {
+  rounds : int;
+  model : Model.t;
+  radius : float;
+  epsilon : float;
+  workload : int -> Vec.t * float;
+  noise : int -> float;
+}
+
+(* The App-1 market shape (tilted non-negative θ* with ‖θ‖ = √(2n),
+   unit-norm non-negative features, reserve q = Σᵢ x_i) but with the
+   stream backed by per-round [Rng.split] children instead of a single
+   sequential cursor: [workload]/[noise] replay round [t] from a copy
+   of child [t], so they are pure in [t] and safe to call from any
+   domain — the contract [Broker.run_sharded] needs to materialize
+   shard prefixes in parallel. *)
+let make_setup ~seed ~rounds =
+  let root = Rng.create seed in
+  let theta_rng = Rng.split root in
+  let workload_root = Rng.split root in
+  let noise_root = Rng.split root in
+  let theta =
+    let markup = Vec.map abs_float (Dist.normal_vec theta_rng ~dim) in
+    let tilted = Vec.init dim (fun i -> 1. +. (3. *. markup.(i))) in
+    Vec.scale (sqrt (2. *. float_of_int dim)) (Vec.normalize tilted)
+  in
+  let model = Model.linear ~theta in
+  let radius = 2. *. sqrt (float_of_int dim) in
+  let epsilon = float_of_int (dim * dim) /. float_of_int rounds in
+  let sigma = Subgaussian.sigma_for_buffer ~delta ~horizon:rounds () in
+  let workload_streams = Array.init rounds (fun _ -> Rng.split workload_root) in
+  let noise_streams = Array.init rounds (fun _ -> Rng.split noise_root) in
+  let workload t =
+    let rng = Rng.copy workload_streams.(t) in
+    let x = Vec.normalize (Vec.map abs_float (Dist.normal_vec rng ~dim)) in
+    (x, Array.fold_left ( +. ) 0. x)
+  in
+  let noise t =
+    Dist.normal (Rng.copy noise_streams.(t)) ~mean:0. ~std:sigma
+  in
+  { rounds; model; radius; epsilon; workload; noise }
+
+(* Same ε floor as [Noisy_query.mechanism]: below 2.5nδ the buffered
+   cuts stall (EXPERIMENTS.md), so the uncertainty variants would
+   explore forever at a stuck width. *)
+let mechanism setup variant =
+  let epsilon =
+    Float.max setup.epsilon
+      (2.5 *. float_of_int dim *. variant.Mechanism.delta)
+  in
+  Mechanism.create
+    (Mechanism.config ~variant ~epsilon ())
+    (Ellipsoid.ball ~dim ~radius:setup.radius)
+
+let variants =
+  [
+    ("pure", Mechanism.pure);
+    ("uncertainty", Mechanism.with_uncertainty ~delta);
+    ("reserve", Mechanism.with_reserve);
+    ("reserve+unc", Mechanism.with_reserve_and_uncertainty ~delta);
+  ]
+
+let bits = Int64.bits_of_float
+
+let floats_identical a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i x -> if bits x <> bits b.(i) then ok := false) a;
+      !ok)
+
+let series_identical (a : Broker.series) (b : Broker.series) =
+  a.Broker.checkpoints = b.Broker.checkpoints
+  && floats_identical a.Broker.cumulative_regret b.Broker.cumulative_regret
+  && floats_identical a.Broker.cumulative_value b.Broker.cumulative_value
+  && floats_identical a.Broker.regret_ratio b.Broker.regret_ratio
+
+let max_ratio_drift (a : Broker.series) (b : Broker.series) =
+  let worst = ref 0. in
+  Array.iteri
+    (fun i r ->
+      let d = Float.abs (r -. b.Broker.regret_ratio.(i)) in
+      if d > !worst then worst := d)
+    a.Broker.regret_ratio;
+  !worst
+
+let report ?pool ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
+  let rounds = scaled_rounds scale full_rounds in
+  let setup = make_setup ~seed ~rounds in
+  let go pool =
+    let run_seq variant =
+      Broker.run
+        ~policy:(Broker.Ellipsoid_pricing (mechanism setup variant))
+        ~model:setup.model ~noise:setup.noise ~workload:setup.workload
+        ~rounds ()
+    in
+    let run_shard mode variant =
+      Broker.run_sharded ?pool ~mode
+        ~policy:(Broker.Ellipsoid_pricing (mechanism setup variant))
+        ~model:setup.model ~noise:setup.noise ~workload:setup.workload
+        ~rounds ()
+    in
+    let cells =
+      List.map
+        (fun (name, variant) ->
+          let reference = run_seq variant in
+          let exact = run_shard Broker.Exact variant in
+          let warm =
+            run_shard (Broker.Warm_start { stride = warm_stride }) variant
+          in
+          (name, reference, exact, warm))
+        variants
+    in
+    let rows =
+      List.map
+        (fun (name, reference, exact, warm) ->
+          [
+            name;
+            Table.fmt_g reference.Broker.total_regret;
+            Table.fmt_pct reference.Broker.regret_ratio;
+            (if
+               series_identical reference.Broker.series exact.Broker.series
+               && bits reference.Broker.total_regret
+                  = bits exact.Broker.total_regret
+               && bits reference.Broker.total_value
+                  = bits exact.Broker.total_value
+             then "bit-identical"
+             else "MISMATCH");
+            Printf.sprintf "%.2e"
+              (max_ratio_drift reference.Broker.series warm.Broker.series);
+            string_of_int reference.Broker.exploratory;
+            string_of_int reference.Broker.skipped;
+          ])
+        cells
+    in
+    Table.print ppf
+      ~title:
+        (Printf.sprintf
+           "Long horizon (n = %d, T = %d): sharded broker vs sequential \
+            reference; exact merge verified per variant, warm-start \
+            (stride %d) drift is max |Δ regret ratio|"
+           dim rounds warm_stride)
+      ~header:
+        [
+          "variant"; "regret"; "ratio"; "exact merge"; "warm drift"; "expl";
+          "skip";
+        ]
+      rows;
+    List.iter
+      (fun (name, reference, _, _) ->
+        Format.fprintf ppf "%-12s %s@." name
+          (Table.sparkline reference.Broker.series.Broker.regret_ratio))
+      cells;
+    let verified =
+      List.length
+        (List.filter
+           (fun (_, reference, exact, _) ->
+             series_identical reference.Broker.series exact.Broker.series)
+           cells)
+    in
+    Format.fprintf ppf
+      "Merge verification: %d/%d variants bit-identical to the sequential \
+       reference in exact mode.@.@."
+      verified (List.length variants)
+  in
+  match pool with
+  | Some _ -> go pool
+  | None -> (
+      match Pool.get_default () with
+      | Some _ -> go None (* run_sharded picks the default pool up *)
+      | None when jobs > 1 -> Pool.with_pool ~jobs (fun p -> go (Some p))
+      | None -> go None)

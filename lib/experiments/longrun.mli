@@ -1,0 +1,22 @@
+(** Long-horizon sharded-broker artifact: one 10⁶-round stream per
+    mechanism variant, run three ways — the sequential
+    {!Dm_market.Broker.run} reference, {!Dm_market.Broker.run_sharded}
+    in exact mode (merge verified bit-for-bit against the reference,
+    printed per variant), and warm-start mode (reported as the maximum
+    regret-ratio drift).  The market is the App-1 shape at n = 16 with
+    the stream generated from per-round {!Dm_prob.Rng.split} children,
+    so shard prefixes materialize in parallel at any jobs value while
+    the printed bytes never change. *)
+
+val report :
+  ?pool:Dm_linalg.Pool.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?jobs:int ->
+  Format.formatter ->
+  unit
+(** [scale] multiplies the 10⁶-round horizon (floored at 100);
+    [jobs]/[pool] control shard dispatch exactly as in the other
+    drivers (an explicit [pool] wins, else the installed default pool,
+    else a transient pool of [jobs] domains).  Output bytes depend on
+    neither. *)

@@ -233,6 +233,8 @@ let test_impression_dense_converges_faster () =
 
 (* ------------------------------------------------------------------ *)
 
+let () = Test_env.install_pool_from_env ()
+
 let () =
   Alcotest.run "dm_apps"
     [

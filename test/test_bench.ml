@@ -1,0 +1,157 @@
+(* Unit tests for the perf-record parsing and regression-delta logic
+   behind bench/compare.exe (library [Dm_bench_record]).  Fixture
+   records are built inline so the threshold flag is exercised both
+   ways without touching the filesystem. *)
+
+module Record = Dm_bench_record.Record
+
+let check_bool msg expected actual = Alcotest.(check bool) msg expected actual
+let check_int msg expected actual = Alcotest.(check int) msg expected actual
+
+(* A minimal dm-bench/1 record with one stage-1 artifact, one live
+   stage-2 kernel and one skipped (null) kernel. *)
+let fixture ~stamp ~fig4 ~matvec =
+  Printf.sprintf
+    {|{
+  "schema": "dm-bench/1",
+  "stamp": "%s",
+  "scale": 0.05,
+  "stage1_wall_clock_s": [
+    { "artifact": "fig4", "seconds": %g },
+    { "artifact": "longrun", "seconds": 2.0 }
+  ],
+  "stage2_ns_per_call": [
+    { "benchmark": "kernel matvec n1024", "ns": %g },
+    { "benchmark": "volume log_det n100", "ns": null }
+  ]
+}|}
+    stamp fig4 matvec
+
+let parse_exn src =
+  match Record.of_string src with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "expected a record, got: %s" msg
+
+let render f =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let v = f ppf in
+  Format.pp_print_flush ppf ();
+  (v, Buffer.contents buf)
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_parse () =
+  let r = parse_exn (fixture ~stamp:"20260806-120000" ~fig4:1.5 ~matvec:800.) in
+  Alcotest.(check string) "stamp" "20260806-120000" r.Record.stamp;
+  check_int "stage1 entries" 2 (List.length r.Record.stage1);
+  check_bool "stage1 value" true
+    (List.assoc "fig4" r.Record.stage1 = 1.5);
+  check_int "stage2 entries" 2 (List.length r.Record.stage2);
+  check_bool "null ns parses to None" true
+    (List.assoc "volume log_det n100" r.Record.stage2 = None)
+
+let test_parse_errors () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  check_bool "truncated input" true (is_error (Record.of_string "{"));
+  check_bool "non-object input" true (is_error (Record.of_string "42 43"));
+  check_bool "wrong schema" true
+    (is_error (Record.of_string {|{ "schema": "dm-bench/9" }|}));
+  check_bool "missing schema" true (is_error (Record.of_string {|{ "a": 1 }|}));
+  check_bool "missing file" true
+    (is_error (Record.load "/nonexistent/BENCH.json"))
+
+let compare_fixtures ~threshold ~old_ns ~new_ns =
+  let old_rec = parse_exn (fixture ~stamp:"old" ~fig4:1.0 ~matvec:old_ns) in
+  let new_rec = parse_exn (fixture ~stamp:"new" ~fig4:1.0 ~matvec:new_ns) in
+  render (fun ppf -> Record.compare_records ppf ~threshold old_rec new_rec)
+
+let test_regression_flagged () =
+  (* +50% on one kernel past a +25% threshold: exactly one regression,
+     and the table says so. *)
+  let total, out = compare_fixtures ~threshold:0.25 ~old_ns:800. ~new_ns:1200. in
+  check_int "one regression" 1 total;
+  check_bool "verdict printed" true (contains out "REGRESSION");
+  check_bool "header names both stamps" true
+    (contains out "old (old) vs new (new)")
+
+let test_regression_not_flagged () =
+  (* The same +50% under a +60% threshold passes clean. *)
+  let total, out = compare_fixtures ~threshold:0.6 ~old_ns:800. ~new_ns:1200. in
+  check_int "no regressions" 0 total;
+  check_bool "no verdict" true (not (contains out "REGRESSION"));
+  (* Exactly at the threshold is not a regression (strict >). *)
+  let total, _ = compare_fixtures ~threshold:0.5 ~old_ns:800. ~new_ns:1200. in
+  check_int "boundary not flagged" 0 total
+
+let test_improvement () =
+  let total, out = compare_fixtures ~threshold:0.25 ~old_ns:800. ~new_ns:400. in
+  check_int "no regressions" 0 total;
+  check_bool "marked improved" true (contains out "improved")
+
+let test_new_and_removed_entries () =
+  (* Disjoint benchmark sets: everything is "new" or "removed", and
+     neither ever counts as a regression. *)
+  let old_rec =
+    parse_exn
+      {|{ "schema": "dm-bench/1", "stamp": "old",
+          "stage1_wall_clock_s": [ { "artifact": "fig4", "seconds": 1.0 } ],
+          "stage2_ns_per_call": [] }|}
+  in
+  let new_rec =
+    parse_exn
+      {|{ "schema": "dm-bench/1", "stamp": "new",
+          "stage1_wall_clock_s": [ { "artifact": "fig5", "seconds": 99.0 } ],
+          "stage2_ns_per_call": [] }|}
+  in
+  let total, out =
+    render (fun ppf -> Record.compare_records ppf ~threshold:0.25 old_rec new_rec)
+  in
+  check_int "no regressions" 0 total;
+  check_bool "new listed" true (contains out "new");
+  check_bool "removed listed" true (contains out "removed")
+
+let test_null_kernel_never_flagged () =
+  (* A kernel that was skipped (null) on either side cannot regress. *)
+  let old_rec =
+    parse_exn
+      {|{ "schema": "dm-bench/1", "stamp": "old",
+          "stage1_wall_clock_s": [],
+          "stage2_ns_per_call": [ { "benchmark": "k", "ns": null } ] }|}
+  in
+  let new_rec =
+    parse_exn
+      {|{ "schema": "dm-bench/1", "stamp": "new",
+          "stage1_wall_clock_s": [],
+          "stage2_ns_per_call": [ { "benchmark": "k", "ns": 1e9 } ] }|}
+  in
+  let total, _ =
+    render (fun ppf -> Record.compare_records ppf ~threshold:0.25 old_rec new_rec)
+  in
+  check_int "no regressions" 0 total
+
+let () = Test_env.install_pool_from_env ()
+
+let () =
+  Alcotest.run "dm_bench"
+    [
+      ( "record",
+        [
+          Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "regression flagged" `Quick test_regression_flagged;
+          Alcotest.test_case "regression not flagged" `Quick
+            test_regression_not_flagged;
+          Alcotest.test_case "improvement" `Quick test_improvement;
+          Alcotest.test_case "new and removed entries" `Quick
+            test_new_and_removed_entries;
+          Alcotest.test_case "null kernel never flagged" `Quick
+            test_null_kernel_never_flagged;
+        ] );
+    ]

@@ -1,0 +1,17 @@
+(* Shared per-process test setup.
+
+   The CI workflow runs the whole suite twice, at BENCH_JOBS=1 and
+   BENCH_JOBS=4, so every byte-determinism property is exercised both
+   with and without a default domain pool installed.  Each test
+   executable calls [install_pool_from_env] before [Alcotest.run]. *)
+
+let install_pool_from_env () =
+  match Sys.getenv_opt "BENCH_JOBS" with
+  | None -> ()
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some jobs when jobs > 1 ->
+          let pool = Dm_linalg.Pool.create ~jobs in
+          Dm_linalg.Pool.set_default (Some pool);
+          at_exit (fun () -> Dm_linalg.Pool.shutdown pool)
+      | _ -> ())

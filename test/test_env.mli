@@ -1,0 +1,8 @@
+(** Shared per-process setup for the test executables. *)
+
+val install_pool_from_env : unit -> unit
+(** Reads [BENCH_JOBS]; at values above 1 installs a
+    {!Dm_linalg.Pool} of that many domains as the process-wide default
+    (shut down at exit) so the suites exercise the same pooled code
+    paths as the bench harness.  Unset, unparsable or ≤ 1 values leave
+    the default pool uninstalled. *)

@@ -619,6 +619,8 @@ let pool_props =
 
 (* ------------------------------------------------------------------ *)
 
+let () = Test_env.install_pool_from_env ()
+
 let () =
   ignore vec_gen;
   Alcotest.run "dm_linalg"

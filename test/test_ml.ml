@@ -467,6 +467,8 @@ let test_metrics_errors () =
 
 (* ------------------------------------------------------------------ *)
 
+let () = Test_env.install_pool_from_env ()
+
 let () =
   Alcotest.run "dm_ml"
     [

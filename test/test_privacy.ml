@@ -253,6 +253,8 @@ let composition_props =
 
 (* ------------------------------------------------------------------ *)
 
+let () = Test_env.install_pool_from_env ()
+
 let () =
   Alcotest.run "dm_privacy"
     [

@@ -254,6 +254,8 @@ let synth_props =
 
 (* ------------------------------------------------------------------ *)
 
+let () = Test_env.install_pool_from_env ()
+
 let () =
   Alcotest.run "dm_synth"
     [
