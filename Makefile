@@ -24,11 +24,22 @@ bench:
 # (Test_env reads BENCH_JOBS), so the byte-determinism properties are
 # exercised on both code paths — then a tiny 2-domain bench smoke that
 # also writes a BENCH_*.json record exercising the perf-trajectory
-# pipeline.
+# pipeline.  When a previous BENCH_*.json exists, the smoke record is
+# compared against it and a flagged regression fails the target; the
+# threshold is loose (+150%) because the 0.01-scale smoke timings are
+# noisy — the compare mainly guards the critical sparse_cut keys
+# against silent removal and catches order-of-magnitude slowdowns.
 ci: build
 	BENCH_JOBS=1 dune runtest --force
 	BENCH_JOBS=4 dune runtest --force
-	BENCH_SCALE=0.01 BENCH_JOBS=2 dune exec bench/main.exe
+	@prev=$$(ls -1 BENCH_*.json 2>/dev/null | tail -1); \
+	BENCH_SCALE=0.01 BENCH_JOBS=2 dune exec bench/main.exe || exit $$?; \
+	new=$$(ls -1 BENCH_*.json 2>/dev/null | tail -1); \
+	if [ -n "$$prev" ] && [ "$$prev" != "$$new" ]; then \
+	  dune exec bench/compare.exe -- --threshold 1.5 "$$prev" "$$new"; \
+	else \
+	  echo "no previous BENCH record; skipping perf compare"; \
+	fi
 
 clean:
 	dune clean

@@ -200,6 +200,34 @@ let make_tests () =
       ~model:(Impression.model setup case)
       ~stream ~reserves
   in
+  (* Scalar-scaled sparse cut kernel in isolation: the fig5c sparse
+     path's per-round shape update — an n-dim ellipsoid cut along
+     ~23-nonzero directions with in-place mutation permitted, so the
+     O(nnz·n + nnz²) path (plus its amortized fold-ins) is what gets
+     timed. *)
+  let sparse_cut_round dim =
+    let rng = Rng.create 23 in
+    let dirs =
+      Array.init 64 (fun _ ->
+          let x = Vec.zeros dim in
+          for _ = 1 to 23 do
+            x.(Rng.int rng dim) <- Dist.normal rng ~mean:0. ~std:1.
+          done;
+          x)
+    in
+    let ell = ref (Ellipsoid.ball ~dim ~radius:4.) in
+    let t = ref 0 in
+    fun () ->
+      let x = dirs.(!t mod 64) in
+      incr t;
+      let b = Ellipsoid.bounds !ell ~x in
+      match
+        Ellipsoid.cut_below ~mutate:true !ell ~x ~price:b.Ellipsoid.mid
+      with
+      | Ellipsoid.Cut e -> ell := e
+      | Ellipsoid.Too_shallow | Ellipsoid.Empty ->
+          ell := Ellipsoid.ball ~dim ~radius:4.
+  in
   (* Fig. 1: single-round regret curve. *)
   let fig1_curve =
     let prices = Vec.init 101 (fun i -> float_of_int i /. 10.) in
@@ -270,6 +298,10 @@ let make_tests () =
         (Staged.stage (impression_round Impression.Sparse));
       Test.make ~name:"fig5c round dense support"
         (Staged.stage (impression_round Impression.Dense));
+      Test.make ~name:"sparse_cut n128 nnz23"
+        (Staged.stage (sparse_cut_round 128));
+      Test.make ~name:"sparse_cut n1024 nnz23"
+        (Staged.stage (sparse_cut_round 1024));
       Test.make ~name:"fig1 regret curve" (Staged.stage fig1_curve);
       Test.make ~name:"lemma8 adversarial round" (Staged.stage lemma8_round);
       Test.make ~name:"theorem3 1d round" (Staged.stage theorem3_round);

@@ -202,7 +202,20 @@ let load path =
   | src -> of_string ~path src
   | exception Sys_error msg -> Error msg
 
-let compare_section ppf ~title ~unit ~threshold old_entries new_entries =
+(* Metric keys whose disappearance from a newer record is itself a
+   regression: the perf-sensitive kernels a refactor is most likely to
+   silently drop from the bench matrix. *)
+let critical_prefixes = [ "pricing/sparse_cut" ]
+
+let is_critical name =
+  List.exists
+    (fun p ->
+      String.length name >= String.length p
+      && String.sub name 0 (String.length p) = p)
+    critical_prefixes
+
+let compare_section ppf ~title ~unit ~threshold ?(critical = fun _ -> false)
+    old_entries new_entries =
   let regressions = ref 0 in
   let fmt_value = function
     | Some v -> Printf.sprintf "%.4g %s" v unit
@@ -235,13 +248,21 @@ let compare_section ppf ~title ~unit ~threshold old_entries new_entries =
     List.filter_map
       (fun (name, _) ->
         if List.mem_assoc name new_entries then None
-        else
+        else begin
+          let verdict =
+            if critical name then begin
+              incr regressions;
+              "REGRESSION (removed)"
+            end
+            else "removed"
+          in
           Some
             [
               name;
               fmt_value (List.assoc_opt name old_entries |> Option.join);
-              "-"; "-"; "removed";
-            ])
+              "-"; "-"; verdict;
+            ]
+        end)
       old_entries
   in
   Table.print ppf ~title ~header:[ "benchmark"; "old"; "new"; "delta"; "" ]
@@ -260,6 +281,6 @@ let compare_records ppf ~threshold old_rec new_rec =
   in
   let r2 =
     compare_section ppf ~title:"stage 2: kernel ns/call" ~unit:"ns" ~threshold
-      old_rec.stage2 new_rec.stage2
+      ~critical:is_critical old_rec.stage2 new_rec.stage2
   in
   r1 + r2

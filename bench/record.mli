@@ -29,18 +29,31 @@ val of_string : ?path:string -> string -> (record, string) result
 val load : string -> (record, string) result
 (** [of_string] over a file's contents; I/O errors become [Error]. *)
 
+val critical_prefixes : string list
+(** Benchmark-name prefixes whose disappearance from a newer record
+    counts as a regression (currently the [pricing/sparse_cut]
+    kernels) — a
+    refactor that silently drops a perf-sensitive kernel from the
+    bench matrix should fail the compare, not pass it by vacuity. *)
+
+val is_critical : string -> bool
+(** Whether a stage-2 benchmark name matches {!critical_prefixes}. *)
+
 val compare_section :
   Format.formatter ->
   title:string ->
   unit:string ->
   threshold:float ->
+  ?critical:(string -> bool) ->
   (string * float option) list ->
   (string * float option) list ->
   int
 (** [compare_section ppf ~title ~unit ~threshold old new] prints the
     per-benchmark delta table and returns how many entries got slower
-    by more than the [threshold] fraction.  Entries present in only one
-    record are listed as new/removed but never flagged. *)
+    by more than the [threshold] fraction.  Entries present in only
+    one record are listed as new/removed; removed entries are flagged
+    as regressions iff [critical] (default: never) accepts their
+    name. *)
 
 val compare_records :
   Format.formatter -> threshold:float -> record -> record -> int

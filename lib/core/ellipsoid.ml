@@ -7,6 +7,7 @@ type t = {
   dim : int;
   center : Vec.t;
   shape : Mat.t;
+  scale : float;
   mutable log_vol : float;
   mutable cuts_since_sync : int;
 }
@@ -15,8 +16,34 @@ type t = {
    [make] (and deserialization) stay O(n²) — the O(n³) Cholesky runs
    lazily on the first [log_volume_factor] read.  Each cut advances the
    cache by a closed-form O(1) delta; after [resync_interval] deltas a
-   read triggers a full recomputation to bound float drift. *)
+   read triggers a full recomputation to bound float drift.
+
+   The true shape is A = scale·M with M in [shape].  Dense cut paths
+   fold the Löwner–John [factor] into M and leave [scale] untouched, so
+   any ellipsoid that never takes the sparse fast path has
+   [scale = 1.] exactly and every formula below degenerates to the
+   plain dense arithmetic bit-for-bit ([1.0 *. x], [x /. 1.0] and
+   [sqrt 1.0 = 1.0] are all IEEE-exact).  The sparse fast path instead
+   multiplies [scale] in O(1) and rank-one-updates only M's
+   support × support block; [fold_scale] periodically folds the scalar
+   back into M to bound its drift and dynamic range. *)
 let resync_interval = 1000
+
+(* The sparse path folds [scale] back into M (an O(n²) pass, amortized
+   over [resync_interval] cuts by riding the same counter as the
+   volume-cache resync) whenever the scalar leaves this range or the
+   cut count crosses a resync boundary. *)
+let scale_floor = 1e-9
+
+let scale_ceil = 1e9
+
+(* Below this dimension [bounds] skips the sparse-view attempt: the
+   nonzero scan plus gather costs more than the O(n²) quadratic form
+   it would save (measured: the ~20-dim fig5c dense-support round
+   slows ~60% with the scan, while at n ≥ 64 the sparse form wins by
+   orders of magnitude).  [cut_below]'s mutate path is not gated — a
+   cut is O(n²) either way, so the scan there is noise. *)
+let sparse_bounds_floor = 64
 
 let make ~center ~shape =
   let n = Vec.dim center in
@@ -31,7 +58,7 @@ let make ~center ~shape =
   done;
   if not !ok_diag then
     invalid_arg "Ellipsoid.make: shape has a non-positive diagonal";
-  { dim = n; center; shape; log_vol = Float.nan; cuts_since_sync = 0 }
+  { dim = n; center; shape; scale = 1.; log_vol = Float.nan; cuts_since_sync = 0 }
 
 let ball ~dim ~radius =
   if radius <= 0. then invalid_arg "Ellipsoid.ball: radius must be positive";
@@ -56,11 +83,23 @@ let of_box ~lo ~hi =
 
 let dim t = t.dim
 
+let scale t = t.scale
+
 type bounds = { lower : float; upper : float; mid : float; half_width : float }
 
 let bounds t ~x =
   if Vec.dim x <> t.dim then invalid_arg "Ellipsoid.bounds: dimension mismatch";
-  let q = Mat.quad t.shape x in
+  (* xᵀAx = scale·(xᵀMx); the gathered quadratic form is bit-identical
+     to the dense one, so sparse streams get the O(nnz²) kernel with no
+     observable difference. *)
+  let qm =
+    match
+      if t.dim >= sparse_bounds_floor then Vec.Sparse.of_dense x else None
+    with
+    | Some sx -> Mat.quad_sparse t.shape sx
+    | None -> Mat.quad t.shape x
+  in
+  let q = t.scale *. qm in
   let half_width = if q <= 0. then 0. else sqrt q in
   let mid = Vec.dot x t.center in
   { lower = mid -. half_width; upper = mid +. half_width; mid; half_width }
@@ -72,7 +111,7 @@ let contains ?(slack = 1e-9) t point =
     invalid_arg "Ellipsoid.contains: dimension mismatch";
   let d = Vec.sub point t.center in
   match Chol.solve t.shape d with
-  | y -> Vec.dot d y <= 1. +. slack
+  | y -> Vec.dot d y /. t.scale <= 1. +. slack
   | exception Chol.Not_positive_definite _ -> false
 
 type cut_result = Cut of t | Too_shallow | Empty
@@ -87,8 +126,15 @@ type cut_result = Cut of t | Too_shallow | Empty
    caller-supplied buffer.  Because b = A·x/√(xᵀAx) satisfies
    bᵀA⁻¹b = 1, the determinant has the closed form
    det A' = factorⁿ·(1−β)·det A, giving an O(1) delta for the cached
-   ½·log det (n = 1 contributes log((1−α)/2)). *)
-let cut_below ?into t ~x ~price =
+   ½·log det (n = 1 contributes log((1−α)/2)).
+
+   In the scalar-scaled representation A = s·M the same update reads
+   A' = (factor·s)·(M − β·b̃·b̃ᵀ) with b̃ = M·x/√(xᵀMx) = b/√s: the
+   factor multiplies the scalar in O(1) and the rank-one part touches
+   only the support × support block of b̃ — the sparse fast path below,
+   taken when the caller permits in-place mutation ([mutate]) and the
+   cut direction is sparse enough to pay. *)
+let cut_below_dense ?into t ~x ~price =
   let { mid; half_width; _ } = bounds t ~x in
   if half_width <= 0. then Too_shallow
   else begin
@@ -97,8 +143,8 @@ let cut_below ?into t ~x ~price =
     if alpha >= 1. then Empty
     else if alpha <= -1. /. n then Too_shallow
     else begin
-      (* b = A·x / √(xᵀAx) *)
-      let b = Vec.scale (1. /. half_width) (Mat.matvec t.shape x) in
+      (* b = A·x / √(xᵀAx) = scale·(M·x) / √(xᵀAx) *)
+      let b = Vec.scale (t.scale /. half_width) (Mat.matvec t.shape x) in
       let center = Vec.copy t.center in
       Vec.axpy (-.(1. +. (n *. alpha)) /. (n +. 1.)) b center;
       let shape, dlog =
@@ -113,7 +159,11 @@ let cut_below ?into t ~x ~price =
             2. *. (1. +. (n *. alpha)) /. ((n +. 1.) *. (1. +. alpha))
           in
           let factor = n *. n *. (1. -. (alpha *. alpha)) /. ((n *. n) -. 1.) in
-          ( Mat.rank_one_rescale ?into t.shape ~beta:(-.beta) ~b ~factor,
+          (* Folding factor·(A − β·b·bᵀ) into M at fixed scale divides
+             the rank-one coefficient by scale: M' = factor·(M − (β/s)·b·bᵀ). *)
+          ( Mat.rank_one_rescale ?into t.shape
+              ~beta:(-.(beta /. t.scale))
+              ~b ~factor,
             0.5 *. ((n *. log factor) +. log1p (-.beta)) )
         end
       in
@@ -128,8 +178,66 @@ let cut_below ?into t ~x ~price =
     end
   end
 
-let cut_above ?into t ~x ~price =
-  cut_below ?into t ~x:(Vec.neg x) ~price:(-.price)
+let cut_below_sparse t ~sx ~price =
+  let m = Mat.matvec_sparse t.shape sx in
+  (* xᵀMx as matvec-then-dot — the same reduction order as the pooled
+     quadratic form, O(nnz) extra on top of the matvec we need anyway. *)
+  let qm = Vec.Sparse.dot_dense sx m in
+  let q = t.scale *. qm in
+  if q <= 0. then Too_shallow
+  else begin
+    let half_width = sqrt q in
+    let mid = Vec.Sparse.dot_dense sx t.center in
+    let n = float_of_int t.dim in
+    let alpha = (mid -. price) /. half_width in
+    if alpha >= 1. then Empty
+    else if alpha <= -1. /. n then Too_shallow
+    else begin
+      let beta = 2. *. (1. +. (n *. alpha)) /. ((n +. 1.) *. (1. +. alpha)) in
+      let factor = n *. n *. (1. -. (alpha *. alpha)) /. ((n *. n) -. 1.) in
+      (* b̃ = M·x / √(xᵀMx); the A-space direction is b = √scale·b̃. *)
+      let btilde = Vec.scale (1. /. sqrt qm) m in
+      let center = Vec.copy t.center in
+      Vec.axpy
+        (-.(1. +. (n *. alpha)) /. (n +. 1.) *. sqrt t.scale)
+        btilde center;
+      let sb = Vec.Sparse.gather btilde in
+      let scale' =
+        Mat.rank_one_rescale_sparse t.shape ~beta:(-.beta) ~b:sb ~factor
+          ~scale:t.scale
+      in
+      let dlog = 0.5 *. ((n *. log factor) +. log1p (-.beta)) in
+      let cuts = t.cuts_since_sync + 1 in
+      let scale' =
+        if
+          scale' < scale_floor || scale' > scale_ceil
+          || cuts mod resync_interval = 0
+        then begin
+          Mat.scale_inplace scale' t.shape;
+          1.
+        end
+        else scale'
+      in
+      Cut
+        {
+          t with
+          center;
+          scale = scale';
+          log_vol = t.log_vol +. dlog;
+          cuts_since_sync = cuts;
+        }
+    end
+  end
+
+let cut_below ?into ?(mutate = false) t ~x ~price =
+  if Vec.dim x <> t.dim then
+    invalid_arg "Ellipsoid.cut_below: dimension mismatch";
+  match if mutate && t.dim > 1 then Vec.Sparse.of_dense x else None with
+  | Some sx -> cut_below_sparse t ~sx ~price
+  | None -> cut_below_dense ?into t ~x ~price
+
+let cut_above ?into ?mutate t ~x ~price =
+  cut_below ?into ?mutate t ~x:(Vec.neg x) ~price:(-.price)
 
 let apply t = function Cut t' -> t' | Too_shallow | Empty -> t
 
@@ -138,77 +246,115 @@ let alpha t ~x ~price =
   if half_width <= 0. then invalid_arg "Ellipsoid.alpha: degenerate direction";
   (mid -. price) /. half_width
 
+(* ½·log det A = ½·log det M + (n/2)·log scale; the scale term is only
+   added when scale ≠ 1 so pure-dense histories reproduce the old
+   bits exactly. *)
+let half_log_det t =
+  let lv = 0.5 *. Chol.log_det t.shape in
+  if t.scale = 1. then lv
+  else lv +. (0.5 *. float_of_int t.dim *. log t.scale)
+
 let log_volume_factor t =
   if Float.is_nan t.log_vol || t.cuts_since_sync >= resync_interval then begin
-    t.log_vol <- 0.5 *. Chol.log_det t.shape;
+    t.log_vol <- half_log_det t;
     t.cuts_since_sync <- 0
   end;
   t.log_vol
 
 let volume_drift t =
   if Float.is_nan t.log_vol then 0.
-  else abs_float (t.log_vol -. (0.5 *. Chol.log_det t.shape))
+  else abs_float (t.log_vol -. half_log_det t)
 
 let axis_widths t =
-  Vec.map (fun l -> sqrt (Float.max 0. l)) (Eigen.eigenvalues t.shape)
+  Vec.map
+    (fun l -> sqrt (Float.max 0. (t.scale *. l)))
+    (Eigen.eigenvalues t.shape)
 
 let serialize t =
   let buf = Buffer.create (64 + (t.dim * (t.dim + 1) * 24)) in
-  Buffer.add_string buf "ellipsoid/1\n";
+  (* Scale-1 ellipsoids keep the v1 format byte-for-byte; a pending
+     scalar upgrades the snapshot to v2 with one extra scale line. *)
+  let v2 = t.scale <> 1. in
+  Buffer.add_string buf (if v2 then "ellipsoid/2\n" else "ellipsoid/1\n");
   Buffer.add_string buf (string_of_int t.dim);
   Buffer.add_char buf '\n';
-  let add_float x =
+  if v2 then begin
     (* %h prints an exact hexadecimal literal that float_of_string
        parses back bit-for-bit. *)
-    Buffer.add_string buf (Printf.sprintf "%h " x)
-  in
+    Buffer.add_string buf (Printf.sprintf "%h" t.scale);
+    Buffer.add_char buf '\n'
+  end;
+  let add_float x = Buffer.add_string buf (Printf.sprintf "%h " x) in
   Array.iter add_float t.center;
   Buffer.add_char buf '\n';
-  Array.iter add_float (Mat.to_arrays t.shape |> Array.to_list |> Array.concat);
+  (* The flat row-major backing array streams rows straight into the
+     buffer — no O(n²) to_arrays/concat intermediates. *)
+  Array.iter add_float t.shape.Mat.data;
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
 let deserialize text =
   let fail msg = Error msg in
+  let floats line =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+    |> List.map float_of_string_opt
+  in
+  let all_some l =
+    if List.for_all Option.is_some l then
+      Some (Array.of_list (List.map Option.get l))
+    else None
+  in
+  (* NaN slips through [make]'s symmetry and positive-diagonal checks
+     (every NaN comparison is false), so finiteness must be rejected
+     here. *)
+  let all_finite a = Array.for_all Float.is_finite a in
+  let build ~dim ~scale ~center_line ~shape_line =
+    match (all_some (floats center_line), all_some (floats shape_line)) with
+    | None, _ | _, None -> fail "malformed float literal"
+    | Some center, Some flat ->
+        if not (all_finite center && all_finite flat) then
+          fail "non-finite center or shape entry"
+        else if Array.length center <> dim then fail "center length mismatch"
+        else if Array.length flat <> dim * dim then fail "shape length mismatch"
+        else
+          let shape = Mat.init dim dim (fun i j -> flat.((i * dim) + j)) in
+          (match make ~center ~shape with
+          | e -> Ok { e with scale }
+          | exception Invalid_argument msg -> fail msg)
+  in
   match String.split_on_char '\n' text with
-  | header :: dim_line :: center_line :: shape_line :: _ -> (
-      if String.trim header <> "ellipsoid/1" then
-        fail "unknown header (want ellipsoid/1)"
-      else
-        match int_of_string_opt (String.trim dim_line) with
-        | None -> fail "malformed dimension"
-        | Some dim when dim < 1 -> fail "non-positive dimension"
-        | Some dim -> (
-            let floats line =
-              String.split_on_char ' ' (String.trim line)
-              |> List.filter (fun s -> s <> "")
-              |> List.map float_of_string_opt
-            in
-            let all_some l =
-              if List.for_all Option.is_some l then
-                Some (Array.of_list (List.map Option.get l))
-              else None
-            in
-            (* NaN slips through [make]'s symmetry and positive-diagonal
-               checks (every NaN comparison is false), so finiteness must
-               be rejected here. *)
-            let all_finite a = Array.for_all Float.is_finite a in
-            match (all_some (floats center_line), all_some (floats shape_line)) with
-            | None, _ | _, None -> fail "malformed float literal"
-            | Some center, Some flat ->
-                if not (all_finite center && all_finite flat) then
-                  fail "non-finite center or shape entry"
-                else if Array.length center <> dim then
-                  fail "center length mismatch"
-                else if Array.length flat <> dim * dim then
-                  fail "shape length mismatch"
-                else
-                  let shape = Mat.init dim dim (fun i j -> flat.((i * dim) + j)) in
-                  (match make ~center ~shape with
-                  | e -> Ok e
-                  | exception Invalid_argument msg -> fail msg)))
+  | header :: dim_line :: rest -> (
+      let version =
+        match String.trim header with
+        | "ellipsoid/1" -> Some 1
+        | "ellipsoid/2" -> Some 2
+        | _ -> None
+      in
+      match version with
+      | None -> fail "unknown header (want ellipsoid/1 or ellipsoid/2)"
+      | Some version -> (
+          match int_of_string_opt (String.trim dim_line) with
+          | None -> fail "malformed dimension"
+          | Some dim when dim < 1 -> fail "non-positive dimension"
+          | Some dim -> (
+              match (version, rest) with
+              | 1, center_line :: shape_line :: _ ->
+                  build ~dim ~scale:1. ~center_line ~shape_line
+              | 2, scale_line :: center_line :: shape_line :: _ -> (
+                  match float_of_string_opt (String.trim scale_line) with
+                  | Some s when Float.is_finite s && s > 0. ->
+                      build ~dim ~scale:s ~center_line ~shape_line
+                  | Some _ -> fail "non-finite or non-positive scale"
+                  | None -> fail "malformed scale")
+              | _ -> fail "truncated snapshot")))
   | _ -> fail "truncated snapshot"
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>ellipsoid dim=%d@,center=%a@,shape=@,%a@]" t.dim
-    Vec.pp t.center Mat.pp t.shape
+  if t.scale = 1. then
+    Format.fprintf ppf "@[<v>ellipsoid dim=%d@,center=%a@,shape=@,%a@]" t.dim
+      Vec.pp t.center Mat.pp t.shape
+  else
+    Format.fprintf ppf
+      "@[<v>ellipsoid dim=%d@,center=%a@,scale=%.6g@,shape=@,%a@]" t.dim
+      Vec.pp t.center t.scale Mat.pp t.shape

@@ -22,7 +22,16 @@
 type t = private {
   dim : int;
   center : Dm_linalg.Vec.t;
-  shape : Dm_linalg.Mat.t;  (** symmetric positive definite [A] *)
+  shape : Dm_linalg.Mat.t;
+      (** symmetric positive definite [M]; the true shape is
+          [A = scale·M] *)
+  scale : float;
+      (** positive scalar [s] of the representation [A = s·M].  Every
+          dense cut folds its Löwner–John factor into [shape] and
+          leaves [scale] at exactly [1.], reproducing the plain dense
+          arithmetic bit-for-bit; only the in-place sparse cut path
+          accumulates factors here (and periodically folds them back
+          into [shape] — see {!cut_below}). *)
   mutable log_vol : float;
       (** cached [½·log det A]; NaN until first computed.  Maintained
           incrementally across cuts — read it through
@@ -47,6 +56,11 @@ val of_box : lo:Dm_linalg.Vec.t -> hi:Dm_linalg.Vec.t -> t
     [R = √(Σᵢ max(ℓᵢ², uᵢ²))] centred at the origin. *)
 
 val dim : t -> int
+
+val scale : t -> float
+(** The scalar [s] of the representation [A = s·M] — exactly [1.]
+    unless the sparse in-place cut path has run since the last
+    fold-in.  Exposed for tests and analysis. *)
 
 type bounds = {
   lower : float;  (** [p̲ = min_{θ∈E} xᵀθ = xᵀc − √(xᵀAx)] *)
@@ -73,7 +87,13 @@ type cut_result =
   | Too_shallow  (** α ≤ −1/n: no volume reduction is possible *)
   | Empty  (** α ≥ 1: the kept region has empty interior *)
 
-val cut_below : ?into:Dm_linalg.Mat.t -> t -> x:Dm_linalg.Vec.t -> price:float -> cut_result
+val cut_below :
+  ?into:Dm_linalg.Mat.t ->
+  ?mutate:bool ->
+  t ->
+  x:Dm_linalg.Vec.t ->
+  price:float ->
+  cut_result
 (** Keep [{θ | xᵀθ ≤ price}] — the rejection update (the buyer's
     refusal proves the market value, hence [xᵀθ*], is below the
     effective price).  [into], when given, receives the new shape
@@ -82,11 +102,34 @@ val cut_below : ?into:Dm_linalg.Mat.t -> t -> x:Dm_linalg.Vec.t -> price:float -
     written when the result is [Cut]).  The update runs as one fused
     streaming pass and its exact (i, j)-symmetric term association
     keeps the shape bit-exactly symmetric, so no symmetrization pass
-    is needed. *)
+    is needed.
 
-val cut_above : ?into:Dm_linalg.Mat.t -> t -> x:Dm_linalg.Vec.t -> price:float -> cut_result
+    [mutate] (default [false]) permits the sparse fast path: when the
+    cut direction [x] passes {!Dm_linalg.Vec.Sparse.of_dense}'s
+    density threshold (and [dim > 1]), the Löwner–John factor is
+    multiplied into [scale] in O(1) and [shape] is rank-one-updated
+    {b in place} over the cut direction's support — O(nnz·n + nnz²)
+    per cut instead of O(n²).  The input ellipsoid's shape buffer is
+    then consumed (the returned [Cut] aliases it); callers detect this
+    by physical equality of the shape fields and must not reuse the
+    input otherwise.  The scalar is folded back into [shape]
+    (an O(n²) pass, and [scale] returns to [1.]) whenever it leaves
+    [[1e-9, 1e9]] or the cut count crosses a 1000-cut resync boundary.
+    With [mutate:false], or a dense direction, the allocating dense
+    path runs and [scale] is preserved — results agree with the dense
+    representation exactly on cut decisions and to ≤1e-9 relative on
+    prices and log-volume (see DESIGN.md's tolerance contract). *)
+
+val cut_above :
+  ?into:Dm_linalg.Mat.t ->
+  ?mutate:bool ->
+  t ->
+  x:Dm_linalg.Vec.t ->
+  price:float ->
+  cut_result
 (** Keep [{θ | xᵀθ ≥ price}] — the acceptance update.  Implemented by
-    reflecting [x ↦ −x, price ↦ −price] into {!cut_below}. *)
+    reflecting [x ↦ −x, price ↦ −price] into {!cut_below} ([mutate]
+    passes through). *)
 
 val apply : t -> cut_result -> t
 (** The new knowledge set: the cut ellipsoid if one was produced, the
@@ -117,13 +160,18 @@ val axis_widths : t -> Dm_linalg.Vec.t
 
 val serialize : t -> string
 (** Text snapshot (hexadecimal float literals, so the round-trip is
-    exact bit-for-bit).  Stable format, versioned header. *)
+    exact bit-for-bit).  Stable format, versioned header: an
+    ellipsoid with [scale = 1.] emits the original ["ellipsoid/1"]
+    layout byte-for-byte; a pending sparse-path scalar upgrades the
+    snapshot to ["ellipsoid/2"], which inserts one extra scale line
+    after the dimension. *)
 
 val deserialize : string -> (t, string) result
-(** Inverse of {!serialize}; [Error] describes the first problem
-    found (bad header, wrong counts, malformed or non-finite numbers,
-    asymmetric or non-positive shape).  NaN and infinite entries are
-    rejected explicitly — NaN would otherwise slip through the
-    symmetry and positive-diagonal checks. *)
+(** Inverse of {!serialize}; accepts both snapshot versions.  [Error]
+    describes the first problem found (bad header, wrong counts,
+    malformed, non-finite or non-positive scale, malformed or
+    non-finite numbers, asymmetric or non-positive shape).  NaN and
+    infinite entries are rejected explicitly — NaN would otherwise
+    slip through the symmetry and positive-diagonal checks. *)
 
 val pp : Format.formatter -> t -> unit

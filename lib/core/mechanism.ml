@@ -28,13 +28,15 @@ type config = {
   variant : variant;
   epsilon : float;
   allow_conservative_cuts : bool;
+  sparse_cuts : bool;
 }
 
-let config ?(allow_conservative_cuts = false) ~variant ~epsilon () =
+let config ?(allow_conservative_cuts = false) ?(sparse_cuts = true) ~variant
+    ~epsilon () =
   if not (epsilon > 0.) || epsilon = infinity then
     invalid_arg "Mechanism.config: epsilon must be finite and positive";
   check_delta variant.delta;
-  { variant; epsilon; allow_conservative_cuts }
+  { variant; epsilon; allow_conservative_cuts; sparse_cuts }
 
 type t = {
   cfg : config;
@@ -109,21 +111,32 @@ let observe t ~x decision ~accepted =
         (* Ping-pong the two shape buffers: the outgoing ellipsoid's
            matrix becomes the next cut's destination — unless a caller
            holds a reference to it (see [ellipsoid]), in which case the
-           cut allocates fresh and the exposed buffer is dropped. *)
+           cut allocates fresh and the exposed buffer is dropped.  The
+           in-place sparse path ([mutate]) may instead consume the
+           current shape buffer outright; it is only permitted while no
+           caller can observe the mutation. *)
         let into = if t.exposed then None else t.spare in
+        let mutate = t.cfg.sparse_cuts && not t.exposed in
         let result =
           if accepted then
             (* p ≤ v = φ(x)ᵀθ* + δ_t  ⇒  φ(x)ᵀθ* ≥ p − δ *)
-            Ellipsoid.cut_above ?into t.ell ~x ~price:(price -. delta)
+            Ellipsoid.cut_above ?into ~mutate t.ell ~x ~price:(price -. delta)
           else
             (* p > v  ⇒  φ(x)ᵀθ* ≤ p + δ *)
-            Ellipsoid.cut_below ?into t.ell ~x ~price:(price +. delta)
+            Ellipsoid.cut_below ?into ~mutate t.ell ~x ~price:(price +. delta)
         in
         match result with
         | Ellipsoid.Cut ell' ->
-            t.spare <- (if t.exposed then None else Some t.ell.Ellipsoid.shape);
-            t.exposed <- false;
-            t.ell <- ell'
+            if ell'.Ellipsoid.shape == t.ell.Ellipsoid.shape then
+              (* Sparse in-place cut: the shape buffer carried over, so
+                 the spare/exposed bookkeeping is untouched. *)
+              t.ell <- ell'
+            else begin
+              t.spare <-
+                (if t.exposed then None else Some t.ell.Ellipsoid.shape);
+              t.exposed <- false;
+              t.ell <- ell'
+            end
         | Ellipsoid.Too_shallow | Ellipsoid.Empty -> ()
       end
 

@@ -52,10 +52,22 @@ type config = {
   epsilon : float;  (** exploration threshold, finite and > 0 *)
   allow_conservative_cuts : bool;
       (** Lemma-8 footgun; [false] in every paper variant *)
+  sparse_cuts : bool;
+      (** permit the in-place scalar-scaled sparse cut path
+          ({!Ellipsoid.cut_below}'s [mutate]) when the feature vector
+          is sparse enough — default [true].  Decisions and accept/
+          reject outcomes are identical either way; posted prices and
+          log-volumes agree to ≤1e-9 relative (DESIGN.md).  Set
+          [false] to force the bit-exact dense reference path. *)
 }
 
 val config :
-  ?allow_conservative_cuts:bool -> variant:variant -> epsilon:float -> unit -> config
+  ?allow_conservative_cuts:bool ->
+  ?sparse_cuts:bool ->
+  variant:variant ->
+  epsilon:float ->
+  unit ->
+  config
 
 type t
 (** Mutable mechanism state: the current ellipsoid plus round
@@ -121,4 +133,6 @@ val restore : string -> (t, string) result
 (** Inverse of {!snapshot}.  [Error] on any malformed input, including
     non-finite floats (NaN ε/δ or ellipsoid entries) and negative
     round counters — a corrupted snapshot never yields a mechanism
-    that misprices silently. *)
+    that misprices silently.  The snapshot format predates
+    [sparse_cuts], which is not recorded; restored mechanisms get the
+    default ([true]). *)

@@ -180,6 +180,90 @@ let matvec m x =
           done));
   y
 
+(* Sparse-aware kernels over a prebuilt {!Vec.Sparse} view.  They are
+   deliberately serial: their work is O(nnz·n) or O(nnz²), below the
+   flop count where pool dispatch pays, and the pricing hot loop that
+   calls them runs one round at a time anyway.  Reduction orders match
+   the dense kernels' (ascending index within each output element, the
+   exactly-zero terms skipped — exact for finite data, see
+   [sparse_support]), so on the same input the sparse and dense
+   kernels agree bit-for-bit. *)
+
+let matvec_sparse m (sx : Vec.Sparse.t) =
+  if sx.Vec.Sparse.dim <> m.cols then
+    invalid_arg "Mat.matvec_sparse: dimension mismatch";
+  let data = m.data in
+  let cols = m.cols in
+  let idx = sx.Vec.Sparse.idx and v = sx.Vec.Sparse.value in
+  let nnz = Array.length idx in
+  let y = Array.make m.rows 0. in
+  over_rows m.rows (fun lo hi ->
+      for i = lo to hi - 1 do
+        let base = i * cols in
+        let acc = ref 0. in
+        for k = 0 to nnz - 1 do
+          acc :=
+            !acc
+            +. (Array.unsafe_get data (base + Array.unsafe_get idx k)
+               *. Array.unsafe_get v k)
+        done;
+        Array.unsafe_set y i !acc
+      done);
+  y
+
+let quad_sparse m (sx : Vec.Sparse.t) =
+  if m.rows <> m.cols then invalid_arg "Mat.quad_sparse: not square";
+  if sx.Vec.Sparse.dim <> m.rows then
+    invalid_arg "Mat.quad_sparse: dimension mismatch";
+  let data = m.data in
+  let n = m.rows in
+  let idx = sx.Vec.Sparse.idx and v = sx.Vec.Sparse.value in
+  let nnz = Array.length idx in
+  (* O(nnz²): only the support × support block contributes.  Outer and
+     inner indices ascend, matching both the serial [quad] (which
+     row-skips on xᵢ = 0 and adds exact ±0 terms for the zero columns)
+     and its pooled matvec-then-dot branch. *)
+  let acc = ref 0. in
+  for a = 0 to nnz - 1 do
+    let base = n * Array.unsafe_get idx a in
+    let rowacc = ref 0. in
+    for b = 0 to nnz - 1 do
+      rowacc :=
+        !rowacc
+        +. (Array.unsafe_get data (base + Array.unsafe_get idx b)
+           *. Array.unsafe_get v b)
+    done;
+    acc := !acc +. (Array.unsafe_get v a *. !rowacc)
+  done;
+  !acc
+
+let rank_one_rescale_sparse m ~beta ~b ~factor ~scale =
+  if m.rows <> m.cols then invalid_arg "Mat.rank_one_rescale_sparse: not square";
+  if b.Vec.Sparse.dim <> m.rows then
+    invalid_arg "Mat.rank_one_rescale_sparse: dimension mismatch";
+  let data = m.data in
+  let n = m.rows in
+  let idx = b.Vec.Sparse.idx and v = b.Vec.Sparse.value in
+  let nnz = Array.length idx in
+  (* In the scalar-scaled representation A = scale·M, the ellipsoid
+     update A' = factor·(A + beta·b_A·b_Aᵀ) with b_A = √scale·b is
+     M := M + beta·b·bᵀ (touching only the support × support block —
+     O(nnz²) entries instead of the O(n²) a fused dense rescale pays)
+     and the O(1) scalar multiply returned to the caller.  The update
+     term keeps {!rank_one_rescale}'s beta·(bᵢ·bⱼ) association, so M
+     stays bit-exactly symmetric. *)
+  for a = 0 to nnz - 1 do
+    let base = n * Array.unsafe_get idx a in
+    let bi = Array.unsafe_get v a in
+    for c = 0 to nnz - 1 do
+      let j = Array.unsafe_get idx c in
+      Array.unsafe_set data (base + j)
+        (Array.unsafe_get data (base + j)
+        +. (beta *. (bi *. Array.unsafe_get v c)))
+    done
+  done;
+  factor *. scale
+
 let matvec_t m x =
   if Array.length x <> m.rows then
     invalid_arg "Mat.matvec_t: dimension mismatch";

@@ -76,6 +76,34 @@ val matvec : t -> Vec.t -> Vec.t
 val matvec_t : t -> Vec.t -> Vec.t
 (** [matvec_t a x] is [Aᵀ·x], without materializing the transpose. *)
 
+val matvec_sparse : t -> Vec.Sparse.t -> Vec.t
+(** [matvec_sparse a sx] is [A·x] for a prebuilt sparse view of [x],
+    touching only the [nnz] columns in the support: O(n·nnz).
+    Bit-identical to [matvec a (Vec.Sparse.to_dense sx)] on finite
+    data (same per-row reduction order; the skipped terms are exact
+    ±0). *)
+
+val quad_sparse : t -> Vec.Sparse.t -> float
+(** [quad_sparse a sx] is the quadratic form [xᵀ·A·x] over the
+    support × support block only: O(nnz²).  Bit-identical to
+    [quad a (Vec.Sparse.to_dense sx)] on finite data, on both the
+    serial and the pooled [quad] branches. *)
+
+val rank_one_rescale_sparse :
+  t -> beta:float -> b:Vec.Sparse.t -> factor:float -> scale:float -> float
+(** [rank_one_rescale_sparse m ~beta ~b ~factor ~scale] is the
+    scalar-scaled form of {!rank_one_rescale}: for an ellipsoid shape
+    held as [A = scale·M] it applies [A' = factor·(A + beta·b_A·b_Aᵀ)]
+    (where [b_A = √scale·b], [b] being the M-space unit direction) by
+    mutating [M := M + beta·b·bᵀ] **in place** over the
+    support × support block — O(nnz²) entries touched instead of the
+    O(n²) of a fused dense rescale — and returning the new scalar
+    [factor·scale] in O(1).  The update term keeps the exactly
+    (i, j)-symmetric [beta·(bᵢ·bⱼ)] association of
+    {!rank_one_rescale}, so [M] stays bit-exactly symmetric.  Serial
+    by design: the touched block is far below the pool's profitable
+    flop count. *)
+
 val matmul : t -> t -> t
 
 val outer : Vec.t -> Vec.t -> t

@@ -134,3 +134,72 @@ let pp ppf v =
       Format.fprintf ppf "%.6g" x)
     v;
   Format.fprintf ppf "@]]"
+
+module Sparse = struct
+  type dense = t
+
+  type t = { dim : int; idx : int array; value : float array }
+
+  let count_nonzeros (x : dense) =
+    let nnz = ref 0 in
+    for i = 0 to Array.length x - 1 do
+      if Array.unsafe_get x i <> 0. then incr nnz
+    done;
+    !nnz
+
+  let gather_support (x : dense) nnz =
+    let idx = Array.make nnz 0 in
+    let value = Array.make nnz 0. in
+    let k = ref 0 in
+    for i = 0 to Array.length x - 1 do
+      let xi = Array.unsafe_get x i in
+      if xi <> 0. then begin
+        Array.unsafe_set idx !k i;
+        Array.unsafe_set value !k xi;
+        incr k
+      end
+    done;
+    { dim = Array.length x; idx; value }
+
+  let gather x = gather_support x (count_nonzeros x)
+
+  let default_max_density = 0.125
+
+  let of_dense ?(max_density = default_max_density) x =
+    if not (max_density > 0.) then
+      invalid_arg "Vec.Sparse.of_dense: max_density must be positive";
+    let nnz = count_nonzeros x in
+    if float_of_int nnz > max_density *. float_of_int (Array.length x) then None
+    else Some (gather_support x nnz)
+
+  let dim s = s.dim
+
+  let nnz s = Array.length s.idx
+
+  let density s =
+    if s.dim = 0 then 0.
+    else float_of_int (Array.length s.idx) /. float_of_int s.dim
+
+  let to_dense s =
+    let x = Array.make s.dim 0. in
+    for k = 0 to Array.length s.idx - 1 do
+      x.(s.idx.(k)) <- s.value.(k)
+    done;
+    x
+
+  let dot_dense s (y : dense) =
+    if s.dim <> Array.length y then
+      invalid_arg "Vec.Sparse.dot_dense: dimension mismatch";
+    (* Ascending-index accumulation with the exactly-zero terms of the
+       dense dot skipped: the skipped terms are ±0 and the running sum
+       is never −0, so this matches [Vec.dot] bit-for-bit on finite
+       data. *)
+    let acc = ref 0. in
+    for k = 0 to Array.length s.idx - 1 do
+      acc :=
+        !acc
+        +. (Array.unsafe_get s.value k
+           *. Array.unsafe_get y (Array.unsafe_get s.idx k))
+    done;
+    !acc
+end

@@ -107,3 +107,49 @@ val sorted : t -> t
 
 val pp : Format.formatter -> t -> unit
 (** Prints as [[v0; v1; ...]] with 6 significant digits. *)
+
+(** Read-only index/value views of sparse vectors, built once per round
+    from a dense vector so the sparse-aware {!Mat} kernels
+    ([matvec_sparse], [quad_sparse], [rank_one_rescale_sparse]) can
+    skip the zero coordinates without rescanning.  Views alias nothing:
+    the index and value arrays are freshly gathered copies, so later
+    mutation of the source vector does not affect them. *)
+module Sparse : sig
+  type dense = t
+
+  type t = private { dim : int; idx : int array; value : float array }
+  (** [idx] holds the positions of the nonzero entries in increasing
+      order; [value.(k)] is the entry at [idx.(k)].  Entries that are
+      exactly [0.] (either sign) are never included. *)
+
+  val default_max_density : float
+  (** [0.125] — the same 8·nnz ≤ n rule the dense kernels use for
+      their internal zero-skipping fast path. *)
+
+  val of_dense : ?max_density:float -> dense -> t option
+  (** Gather the nonzero entries of a dense vector, or [None] when
+      more than [max_density] (default {!default_max_density}) of the
+      coordinates are nonzero — the signal that the dense kernels will
+      be at least as fast as the gathered ones.  Raises
+      [Invalid_argument] if [max_density ≤ 0]. *)
+
+  val gather : dense -> t
+  (** Unconditional gather (no density threshold) — used for
+      intermediate vectors whose support matters even when it is
+      large, e.g. the ellipsoid cut direction [b = M·x/√(xᵀMx)]. *)
+
+  val dim : t -> int
+
+  val nnz : t -> int
+
+  val density : t -> float
+  (** [nnz / dim]; [0.] for the empty vector. *)
+
+  val to_dense : t -> dense
+
+  val dot_dense : t -> dense -> float
+  (** [dot_dense s y] is [Σₖ value.(k)·y.(idx.(k))] in ascending index
+      order — bit-identical to [Vec.dot (to_dense s) y] on finite data
+      (the skipped terms are ±0 and the running sum is never −0, so
+      dropping them is exact). *)
+end

@@ -114,6 +114,50 @@ let test_new_and_removed_entries () =
   check_bool "new listed" true (contains out "new");
   check_bool "removed listed" true (contains out "removed")
 
+let test_critical_removal_flagged () =
+  (* Dropping a critical sparse_cut kernel from the matrix is itself a
+     regression; dropping a non-critical one still is not. *)
+  check_bool "prefix list names sparse_cut" true
+    (List.mem "pricing/sparse_cut" Record.critical_prefixes);
+  check_bool "is_critical matches" true
+    (Record.is_critical "pricing/sparse_cut n1024 nnz23");
+  check_bool "is_critical rejects others" true
+    (not (Record.is_critical "pricing/fig1 regret curve"));
+  let old_rec =
+    parse_exn
+      {|{ "schema": "dm-bench/1", "stamp": "old",
+          "stage1_wall_clock_s": [],
+          "stage2_ns_per_call": [
+            { "benchmark": "pricing/sparse_cut n1024 nnz23", "ns": 50e3 },
+            { "benchmark": "pricing/fig1 regret curve", "ns": 900.0 } ] }|}
+  in
+  let new_rec =
+    parse_exn
+      {|{ "schema": "dm-bench/1", "stamp": "new",
+          "stage1_wall_clock_s": [],
+          "stage2_ns_per_call": [] }|}
+  in
+  let total, out =
+    render (fun ppf -> Record.compare_records ppf ~threshold:0.25 old_rec new_rec)
+  in
+  check_int "only the critical removal counts" 1 total;
+  check_bool "flagged as removed regression" true
+    (contains out "REGRESSION (removed)");
+  (* A critical kernel that is present but slower still goes through
+     the ordinary threshold logic. *)
+  let fast =
+    parse_exn
+      {|{ "schema": "dm-bench/1", "stamp": "new2",
+          "stage1_wall_clock_s": [],
+          "stage2_ns_per_call": [
+            { "benchmark": "pricing/sparse_cut n1024 nnz23", "ns": 55e3 },
+            { "benchmark": "pricing/fig1 regret curve", "ns": 900.0 } ] }|}
+  in
+  let total, _ =
+    render (fun ppf -> Record.compare_records ppf ~threshold:0.25 old_rec fast)
+  in
+  check_int "within threshold: clean" 0 total
+
 let test_null_kernel_never_flagged () =
   (* A kernel that was skipped (null) on either side cannot regress. *)
   let old_rec =
@@ -151,6 +195,8 @@ let () =
           Alcotest.test_case "improvement" `Quick test_improvement;
           Alcotest.test_case "new and removed entries" `Quick
             test_new_and_removed_entries;
+          Alcotest.test_case "critical removal flagged" `Quick
+            test_critical_removal_flagged;
           Alcotest.test_case "null kernel never flagged" `Quick
             test_null_kernel_never_flagged;
         ] );

@@ -618,6 +618,141 @@ let pool_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Vec.Sparse views + sparse-aware kernels                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sparse_view () =
+  let x = Array.make 16 0. in
+  x.(1) <- 3.;
+  x.(4) <- -2.;
+  (match Vec.Sparse.of_dense x with
+  | None -> Alcotest.fail "2/16 density must pass the 0.125 threshold"
+  | Some s ->
+      check_int "dim" 16 (Vec.Sparse.dim s);
+      check_int "nnz" 2 (Vec.Sparse.nnz s);
+      check_float "density" 0.125 (Vec.Sparse.density s);
+      check_bool "ascending idx" true (s.Vec.Sparse.idx = [| 1; 4 |]);
+      check_bool "values" true (s.Vec.Sparse.value = [| 3.; -2. |]);
+      check_bool "round-trip" true (bits_equal_vec (Vec.Sparse.to_dense s) x));
+  (* A dense vector is rejected by the threshold but not by [gather]. *)
+  check_bool "dense rejected" true (Vec.Sparse.of_dense (Vec.ones 4) = None);
+  check_int "gather ignores threshold" 4 (Vec.Sparse.nnz (Vec.Sparse.gather (Vec.ones 4)));
+  (* −0. entries are exact zeros and must not be gathered. *)
+  check_int "negative zero skipped" 1
+    (Vec.Sparse.nnz (Vec.Sparse.gather [| -0.; 5.; 0. |]));
+  Alcotest.check_raises "non-positive max_density"
+    (Invalid_argument "Vec.Sparse.of_dense: max_density must be positive")
+    (fun () -> ignore (Vec.Sparse.of_dense ~max_density:0. (Vec.ones 4)))
+
+(* The sparse kernels promise bit-identity with their dense
+   counterparts on the gathered vector, at any dimension and worker
+   count (the dense side may pool, the sparse side is serial). *)
+let check_sparse_kernels_at n =
+  let a = fill_mat n 1 in
+  let x = fill_vec ~sparse:true n 4 in
+  let sx = Vec.Sparse.gather x in
+  let check jobs () =
+    let tag s = Printf.sprintf "%s n=%d jobs=%d" s n jobs in
+    check_bool (tag "matvec_sparse") true
+      (bits_equal_vec (Mat.matvec_sparse a sx) (Mat.matvec a x));
+    check_bool (tag "quad_sparse") true
+      (Int64.equal
+         (Int64.bits_of_float (Mat.quad_sparse a sx))
+         (Int64.bits_of_float (Mat.quad a x)));
+    check_bool (tag "dot_dense") true
+      (Int64.equal
+         (Int64.bits_of_float (Vec.Sparse.dot_dense sx (Mat.row a 0)))
+         (Int64.bits_of_float (Vec.dot x (Mat.row a 0))))
+  in
+  check 0 ();
+  List.iter (fun jobs -> with_default_pool jobs (check jobs)) [ 1; 2; 4 ]
+
+let test_sparse_kernels_small () = List.iter check_sparse_kernels_at [ 1; 2; 7; 40 ]
+
+let test_sparse_kernels_threshold () =
+  List.iter check_sparse_kernels_at [ 511; 512 ]
+
+let test_sparse_rescale () =
+  (* In-place sparse rank-one vs the allocating dense rescale at
+     factor 1 (1.0·x is IEEE-exact, so the dense result is the pure
+     rank-one update): identical bits on the matrix, and the returned
+     scalar is exactly factor·scale. *)
+  let n = 40 in
+  let a = Mat.matmul (fill_mat n 2) (Mat.transpose (fill_mat n 2)) in
+  let b = fill_vec ~sparse:true n 9 in
+  let sb = Vec.Sparse.gather b in
+  let mutated = Mat.copy a in
+  let scale' =
+    Mat.rank_one_rescale_sparse mutated ~beta:(-0.43) ~b:sb ~factor:1.07
+      ~scale:0.83
+  in
+  let reference = Mat.rank_one_rescale a ~beta:(-0.43) ~b ~factor:1. in
+  check_bool "support-block update bit-matches dense rank-one" true
+    (bits_equal_mat mutated reference);
+  check_bool "scalar is factor*scale" true
+    (Int64.equal (Int64.bits_of_float scale')
+       (Int64.bits_of_float (1.07 *. 0.83)));
+  (* Bit-exact symmetry survives the in-place sparse update. *)
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if
+        not
+          (Int64.equal
+             (Int64.bits_of_float (Mat.get mutated i j))
+             (Int64.bits_of_float (Mat.get mutated j i)))
+      then ok := false
+    done
+  done;
+  check_bool "bit-exact symmetry" true !ok
+
+let sparse_props =
+  [
+    prop "of_dense round-trips and stores no zeros" 200
+      QCheck.(pair (int_range 1 64) (int_range 0 1000))
+      (fun (n, seed) ->
+        let x = fill_vec ~sparse:(seed mod 3 <> 0) n seed in
+        match Vec.Sparse.of_dense x with
+        | None ->
+            (* Rejected: the density really is above the threshold. *)
+            let s = Vec.Sparse.gather x in
+            Vec.Sparse.density s > Vec.Sparse.default_max_density
+        | Some s ->
+            Vec.Sparse.density s <= Vec.Sparse.default_max_density
+            && Array.for_all (fun v -> v <> 0.) s.Vec.Sparse.value
+            && bits_equal_vec (Vec.Sparse.to_dense s) x);
+    prop "sparse kernels bit-match dense (with pool)" 60
+      QCheck.(pair (int_range 1 32) (int_range 0 1000))
+      (fun (n, seed) ->
+        let a = fill_mat n seed in
+        let x = fill_vec ~sparse:true n (seed + 3) in
+        let sx = Vec.Sparse.gather x in
+        let y = fill_vec ~sparse:false n (seed + 5) in
+        with_default_pool 2 (fun () ->
+            bits_equal_vec (Mat.matvec_sparse a sx) (Mat.matvec a x)
+            && Int64.equal
+                 (Int64.bits_of_float (Mat.quad_sparse a sx))
+                 (Int64.bits_of_float (Mat.quad a x))
+            && Int64.equal
+                 (Int64.bits_of_float (Vec.Sparse.dot_dense sx y))
+                 (Int64.bits_of_float (Vec.dot x y))));
+    prop "sparse rescale bit-matches dense rank-one" 60
+      QCheck.(pair (int_range 1 32) (int_range 0 1000))
+      (fun (n, seed) ->
+        let a = fill_mat n seed in
+        let b = fill_vec ~sparse:true n (seed + 7) in
+        let sb = Vec.Sparse.gather b in
+        let mutated = Mat.copy a in
+        let scale' =
+          Mat.rank_one_rescale_sparse mutated ~beta:(-0.37) ~b:sb ~factor:1.013
+            ~scale:2.5
+        in
+        bits_equal_mat mutated (Mat.rank_one_rescale a ~beta:(-0.37) ~b ~factor:1.)
+        && Int64.equal (Int64.bits_of_float scale')
+             (Int64.bits_of_float (1.013 *. 2.5)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let () = Test_env.install_pool_from_env ()
 
@@ -684,4 +819,15 @@ let () =
             test_rescale_validation;
         ]
         @ pool_props );
+      ( "sparse",
+        [
+          Alcotest.test_case "sparse view basics" `Quick test_sparse_view;
+          Alcotest.test_case "sparse kernels vs dense (small dims)" `Quick
+            test_sparse_kernels_small;
+          Alcotest.test_case "sparse kernels vs dense (511/512 threshold)"
+            `Slow test_sparse_kernels_threshold;
+          Alcotest.test_case "in-place sparse rescale" `Quick
+            test_sparse_rescale;
+        ]
+        @ sparse_props );
     ]
