@@ -10,7 +10,7 @@ build:
 test:
 	dune runtest
 
-# Pre-commit loop: full build, all nine test suites, then a 2-domain
+# Pre-commit loop: full build, all ten test suites, then a 2-domain
 # smoke run of two fast artifacts to catch runner regressions.
 dev: build test
 	dune exec bin/experiments.exe -- fig1 --jobs 2
@@ -22,7 +22,9 @@ bench:
 # What .github/workflows/ci.yml runs: build with warnings as errors,
 # every test suite twice — serial and with a 4-domain default pool
 # (Test_env reads BENCH_JOBS), so the byte-determinism properties are
-# exercised on both code paths — then a tiny 2-domain bench smoke that
+# exercised on both code paths — then a crash-recovery smoke (kill a
+# journaled run, recover, resume; all four variants must come back
+# bit-identical) and a tiny 2-domain bench smoke that
 # also writes a BENCH_*.json record exercising the perf-trajectory
 # pipeline.  When a previous BENCH_*.json exists, the smoke record is
 # compared against it and a flagged regression fails the target; the
@@ -32,6 +34,11 @@ bench:
 ci: build
 	BENCH_JOBS=1 dune runtest --force
 	BENCH_JOBS=4 dune runtest --force
+	@echo "crash-recovery smoke:"; \
+	dune exec bin/experiments.exe -- recover --scale 0.01 \
+	  | tee /dev/stderr \
+	  | grep -q "4/4 variants bit-identical" \
+	  || { echo "crash-recovery smoke FAILED"; exit 1; }
 	@prev=$$(ls -1 BENCH_*.json 2>/dev/null | tail -1); \
 	BENCH_SCALE=0.01 BENCH_JOBS=2 dune exec bench/main.exe || exit $$?; \
 	new=$$(ls -1 BENCH_*.json 2>/dev/null | tail -1); \

@@ -62,6 +62,11 @@ let jobs_requested =
 
 let jobs = min jobs_requested (Domain.recommended_domain_count ())
 
+let () =
+  if jobs < jobs_requested then
+    Printf.eprintf "bench: clamping BENCH_JOBS %d to the %d available core(s)\n%!"
+      jobs_requested jobs
+
 (* One pool for the whole run, installed as the process default: the
    stage-1 drivers reach it through [Runner], and the large-n kernels
    inside single cells (fig5c's n = 1024 rounds, stage 2's kernel
@@ -107,6 +112,7 @@ let stage1_artifacts =
         Dm_experiments.Ablation.param_dist_sweep ~rounds:5_000 ~jobs ppf );
     ("baselines", fun ppf -> Dm_experiments.Baselines.compare ~scale ~jobs ppf);
     ("longrun", fun ppf -> Dm_experiments.Longrun.report ~scale ~jobs ppf);
+    ("recover", fun ppf -> Dm_experiments.Recover.report ~scale ~jobs ppf);
     ("rank", fun ppf -> Dm_experiments.Diagnostics.report ~sample:1_000 ppf);
     ("overhead", fun ppf -> Dm_experiments.Overhead.report ppf);
   ]
@@ -394,6 +400,42 @@ let stage2 () =
   estimates
 
 (* ------------------------------------------------------------------ *)
+(* Journal-overhead stage                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Rounds/s of the longrun market with the dm_store journal off, on
+   without per-record fsync, and fsync-every-record.  The entries join
+   the stage-2 JSON under the "journal/" prefix that
+   [Dm_bench.Record.critical_prefixes] watches, so a regression in the
+   journal hot path flags `bench/compare.exe`. *)
+let journal_stage () =
+  Format.fprintf ppf
+    "==================================================================@.";
+  Format.fprintf ppf "Journal overhead: longrun market, dm_store sink@.";
+  Format.fprintf ppf
+    "==================================================================@.@.";
+  let rounds = Dm_experiments.Longrun.scaled_rounds scale 400_000 in
+  let entries = Dm_experiments.Recover.journal_overhead ~rounds () in
+  let ns name = List.assoc name entries in
+  let off = ns "journal/longrun_off" in
+  let row name ns =
+    [
+      name;
+      Printf.sprintf "%.1f" ns;
+      Printf.sprintf "%.0f" (1e9 /. ns);
+      (if ns <= off then "-" else Printf.sprintf "+%.1f%%" ((ns -. off) /. off *. 100.));
+    ]
+  in
+  Dm_experiments.Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "journal overhead at %d rounds (n = %d, best of 3 interleaved passes)"
+         rounds Dm_experiments.Longrun.default_dim)
+    ~header:[ "mode"; "ns/round"; "rounds/s"; "vs off" ]
+    (List.map (fun (name, v) -> row name v) entries);
+  entries
+
+(* ------------------------------------------------------------------ *)
 (* JSON trajectory file                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -457,7 +499,13 @@ let () =
   in
   let stage1_timings = stage1 () in
   let stage2_estimates = stage2 () in
-  let path = write_json ~stamp ~stage1_timings ~stage2_estimates in
+  let journal_estimates =
+    List.map (fun (name, ns) -> (name, Some ns)) (journal_stage ())
+  in
+  let path =
+    write_json ~stamp ~stage1_timings
+      ~stage2_estimates:(stage2_estimates @ journal_estimates)
+  in
   (match pool with
   | Some p ->
       Pool.set_default None;

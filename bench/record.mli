@@ -31,10 +31,10 @@ val load : string -> (record, string) result
 
 val critical_prefixes : string list
 (** Benchmark-name prefixes whose disappearance from a newer record
-    counts as a regression (currently the [pricing/sparse_cut]
-    kernels) — a
-    refactor that silently drops a perf-sensitive kernel from the
-    bench matrix should fail the compare, not pass it by vacuity. *)
+    counts as a regression (currently the [pricing/sparse_cut] kernels
+    and the [journal/] overhead entries) — a refactor that silently
+    drops a perf-sensitive kernel from the bench matrix should fail
+    the compare, not pass it by vacuity. *)
 
 val is_critical : string -> bool
 (** Whether a stage-2 benchmark name matches {!critical_prefixes}. *)

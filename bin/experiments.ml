@@ -36,7 +36,14 @@ let check_scale scale =
    way, so the clamp is pure wall-clock hygiene). *)
 let check_jobs jobs =
   if jobs < 1 then `Error (false, "jobs must be at least 1")
-  else `Ok (min jobs (Domain.recommended_domain_count ()))
+  else begin
+    let cores = Domain.recommended_domain_count () in
+    if jobs > cores then
+      Printf.eprintf
+        "experiments: clamping --jobs %d to the %d available core(s)\n%!" jobs
+        cores;
+    `Ok (min jobs cores)
+  end
 
 (* One pool for the whole invocation, installed as the process default
    so the large-n Mat kernels accelerate inside a single cell, and
@@ -154,6 +161,13 @@ let longrun_cmd =
     (fun ~pool ~scale ~seed ~jobs ->
       Dm_experiments.Longrun.report ?pool ~scale ~seed ~jobs ppf)
 
+let recover_cmd =
+  simple "recover"
+    "Crash recovery: journaled run killed mid-stream, recovered from \
+     snapshot + journal tail, resumed bit-identically"
+    (fun ~pool ~scale ~seed ~jobs ->
+      Dm_experiments.Recover.report ?pool ~scale ~seed ~jobs ppf)
+
 let baselines_cmd =
   simple "baselines" "Ellipsoid vs SGD (Amin et al.) vs risk-averse"
     (fun ~pool ~scale ~seed ~jobs -> Dm_experiments.Baselines.compare ?pool ~scale ~seed ~jobs ppf)
@@ -191,6 +205,7 @@ let all_cmd =
             Dm_experiments.Baselines.compare ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Baselines.seed_robustness ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Longrun.report ?pool ~scale ~seed ~jobs ppf;
+            Dm_experiments.Recover.report ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Diagnostics.report ~seed ppf;
             Dm_experiments.Overhead.report ppf);
         `Ok ()
@@ -213,5 +228,5 @@ let () =
             fig1_cmd; fig4_cmd; table1_cmd; fig5a_cmd; fig5b_cmd; fig5c_cmd;
             coldstart_cmd; lemma8_cmd; theorem3_cmd; theorem2_cmd; lemma2_cmd;
             lemma45_cmd; overhead_cmd; ablation_cmd; baselines_cmd;
-            robustness_cmd; longrun_cmd; rank_cmd; all_cmd;
+            robustness_cmd; longrun_cmd; recover_cmd; rank_cmd; all_cmd;
           ]))

@@ -16,6 +16,23 @@ type policy =
 
 type kind = Exploratory | Conservative | Skipped | Baseline
 
+type event = {
+  t : int;
+  x : Vec.t;
+  reserve : float;
+  kind : kind;
+  price_index : float;
+  lower : float;
+  upper : float;
+  posted : float option;
+  accepted : bool;
+  payment : float;
+}
+
+(* Shared audit triple for rounds run without a journal sink, so the
+   no-journal hot path allocates nothing extra per round. *)
+let no_audit = (Float.nan, Float.nan, Float.nan)
+
 type round = {
   index : int;
   reserve : float;
@@ -85,9 +102,10 @@ let resolve_checkpoints ~fname ~rounds = function
       c
   | None -> default_checkpoints ~rounds
 
-let run ?checkpoints ?(record_rounds = false) ~policy ~model ~noise ~workload
-    ~rounds () =
+let run ?checkpoints ?(record_rounds = false) ?journal ~policy ~model ~noise
+    ~workload ~rounds () =
   if rounds < 1 then invalid_arg "Broker.run: need at least one round";
+  let journaling = Option.is_some journal in
   let checkpoints =
     resolve_checkpoints ~fname:"Broker.run" ~rounds checkpoints
   in
@@ -117,18 +135,25 @@ let run ?checkpoints ?(record_rounds = false) ~policy ~model ~noise ~workload
     let delta_t = noise t in
     let market_index = Vec.dot phi theta +. delta_t in
     let market_value = link.Model.g market_index in
-    let posted, kind, accepted =
+    let posted, kind, accepted, audit =
       match policy with
       | Risk_averse ->
-          (Some q_value, Baseline, q_value <= market_value)
+          let audit =
+            if journaling then (link.Model.g_inv q_value, Float.nan, Float.nan)
+            else no_audit
+          in
+          (Some q_value, Baseline, q_value <= market_value, audit)
       | Custom c -> (
           let reserve_index = link.Model.g_inv q_value in
           match c.decide ~x:phi ~reserve:reserve_index with
-          | None -> (None, Skipped, false)
+          | None -> (None, Skipped, false, no_audit)
           | Some price ->
               let accepted = price <= market_index in
               c.learn ~x:phi ~price ~accepted;
-              (Some (link.Model.g price), Baseline, accepted))
+              let audit =
+                if journaling then (price, Float.nan, Float.nan) else no_audit
+              in
+              (Some (link.Model.g price), Baseline, accepted, audit))
       | Ellipsoid_pricing mech ->
           let reserve_index = link.Model.g_inv q_value in
           let decision = Mechanism.decide mech ~x:phi ~reserve:reserve_index in
@@ -138,15 +163,21 @@ let run ?checkpoints ?(record_rounds = false) ~policy ~model ~noise ~workload
             | Mechanism.Post { price; _ } -> price <= market_index
           in
           Mechanism.observe mech ~x:phi decision ~accepted;
-          let posted, kind =
+          let posted, kind, audit =
             match decision with
-            | Mechanism.Skip -> (None, Skipped)
-            | Mechanism.Post { price; kind = Mechanism.Exploratory; _ } ->
-                (Some (link.Model.g price), Exploratory)
-            | Mechanism.Post { price; kind = Mechanism.Conservative; _ } ->
-                (Some (link.Model.g price), Conservative)
+            | Mechanism.Skip -> (None, Skipped, no_audit)
+            | Mechanism.Post { price; kind = mkind; lower; upper } ->
+                let kind =
+                  match mkind with
+                  | Mechanism.Exploratory -> Exploratory
+                  | Mechanism.Conservative -> Conservative
+                in
+                let audit =
+                  if journaling then (price, lower, upper) else no_audit
+                in
+                (Some (link.Model.g price), kind, audit)
           in
-          (posted, kind, accepted)
+          (posted, kind, accepted, audit)
     in
     let regret =
       match posted with
@@ -174,6 +205,23 @@ let run ?checkpoints ?(record_rounds = false) ~policy ~model ~noise ~workload
     Stats.online_add rs_stats q_value;
     (match posted with Some p -> Stats.online_add post_stats p | None -> ());
     Stats.online_add regret_stats regret;
+    (match journal with
+    | Some sink ->
+        let price_index, lower, upper = audit in
+        sink
+          {
+            t;
+            x = phi;
+            reserve = q_value;
+            kind;
+            price_index;
+            lower;
+            upper;
+            posted;
+            accepted;
+            payment = revenue;
+          }
+    | None -> ());
     (match logs with
     | Some cell ->
         cell :=
@@ -237,9 +285,10 @@ let kind_of_code = function
   | 2 -> Conservative
   | _ -> Baseline
 
-let run_sharded ?checkpoints ?(record_rounds = false) ?(mode = Exact)
+let run_sharded ?checkpoints ?(record_rounds = false) ?journal ?(mode = Exact)
     ?(shards = 8) ?pool ~policy ~model ~noise ~workload ~rounds () =
   if rounds < 1 then invalid_arg "Broker.run_sharded: need at least one round";
+  let journaling = Option.is_some journal in
   if shards < 1 then invalid_arg "Broker.run_sharded: need at least one shard";
   (match mode with
   | Warm_start { stride } when stride < 1 ->
@@ -298,6 +347,11 @@ let run_sharded ?checkpoints ?(record_rounds = false) ?(mode = Exact)
   let kindc = Array.make rounds code_skip in
   let posted = Array.make rounds 0. in
   let accepted = Array.make rounds false in
+  (* Per-round audit fields (index-space price and decision-time
+     bounds) are only materialized when a journal sink is installed. *)
+  let pix = if journaling then Array.make rounds Float.nan else [||] in
+  let low_b = if journaling then Array.make rounds Float.nan else [||] in
+  let up_b = if journaling then Array.make rounds Float.nan else [||] in
   (match policy with
   | Custom _ -> assert false (* rejected above *)
   | Risk_averse ->
@@ -305,7 +359,8 @@ let run_sharded ?checkpoints ?(record_rounds = false) ?(mode = Exact)
           for t = lo to hi - 1 do
             kindc.(t) <- code_baseline;
             posted.(t) <- reserve_v.(t);
-            accepted.(t) <- reserve_v.(t) <= market_v.(t)
+            accepted.(t) <- reserve_v.(t) <= market_v.(t);
+            if journaling then pix.(t) <- link.Model.g_inv reserve_v.(t)
           done)
   | Ellipsoid_pricing mech ->
       let replay m lo hi =
@@ -320,12 +375,17 @@ let run_sharded ?checkpoints ?(record_rounds = false) ?(mode = Exact)
           accepted.(t) <- acc;
           match decision with
           | Mechanism.Skip -> kindc.(t) <- code_skip
-          | Mechanism.Post { price; kind = Mechanism.Exploratory; _ } ->
-              kindc.(t) <- code_exploratory;
-              posted.(t) <- link.Model.g price
-          | Mechanism.Post { price; kind = Mechanism.Conservative; _ } ->
-              kindc.(t) <- code_conservative;
-              posted.(t) <- link.Model.g price
+          | Mechanism.Post { price; kind; lower; upper } ->
+              kindc.(t) <-
+                (match kind with
+                | Mechanism.Exploratory -> code_exploratory
+                | Mechanism.Conservative -> code_conservative);
+              posted.(t) <- link.Model.g price;
+              if journaling then begin
+                pix.(t) <- price;
+                low_b.(t) <- lower;
+                up_b.(t) <- upper
+              end
         done
       in
       (match mode with
@@ -444,6 +504,30 @@ let run_sharded ?checkpoints ?(record_rounds = false) ?(mode = Exact)
           | None -> ()
         done
       done);
+  (* Journal emission happens once per round, in round order, exactly
+     as [run] would — so a sink observes an identical event stream
+     from either entry point (Custom is rejected above). *)
+  (match journal with
+  | Some sink ->
+      for t = 0 to rounds - 1 do
+        let posted_opt =
+          if kindc.(t) = code_skip then None else Some posted.(t)
+        in
+        sink
+          {
+            t;
+            x = phi.(t);
+            reserve = reserve_v.(t);
+            kind = kind_of_code kindc.(t);
+            price_index = pix.(t);
+            lower = low_b.(t);
+            upper = up_b.(t);
+            posted = posted_opt;
+            accepted = accepted.(t);
+            payment = revenue.(t);
+          }
+      done
+  | None -> ());
   (* Phase D: ordered merge.  The series and totals re-walk the
      per-round arrays sequentially so every float addition happens in
      the same order as [run] — merging per-shard partial sums instead

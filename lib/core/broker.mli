@@ -33,6 +33,30 @@ type policy =
 
 type kind = Exploratory | Conservative | Skipped | Baseline
 
+type event = {
+  t : int;  (** 0-based round number *)
+  x : Dm_linalg.Vec.t;  (** index-space feature vector φ(x) *)
+  reserve : float;  (** value space *)
+  kind : kind;
+  price_index : float;
+      (** index-space posted price — what the policy's decision said
+          before the link map; NaN on skipped rounds *)
+  lower : float;  (** knowledge-set bound p̲ at decision time; NaN when
+                      the policy exposes none (skips, baselines) *)
+  upper : float;  (** p̄ at decision time; NaN likewise *)
+  posted : float option;  (** value space; [None] for skips *)
+  accepted : bool;
+  payment : float;  (** value space; [0.] unless accepted *)
+}
+(** One round of the trading loop as seen by a [?journal] sink — the
+    durable audit record: which query arrived, what was posted and
+    why (the decision-time bounds), and how the buyer responded.
+    Everything a mechanism needs to replay the round
+    ([x], [price_index], [kind], [lower]/[upper], [accepted]) is
+    included; the realized market value deliberately is not — a real
+    broker never observes it, and in simulation it is a pure function
+    of the round. *)
+
 type round = {
   index : int;  (** 0-based round number *)
   reserve : float;  (** value space *)
@@ -77,6 +101,7 @@ val default_checkpoints : rounds:int -> int array
 val run :
   ?checkpoints:int array ->
   ?record_rounds:bool ->
+  ?journal:(event -> unit) ->
   policy:policy ->
   model:Model.t ->
   noise:(int -> float) ->
@@ -92,7 +117,13 @@ val run :
     per-round logs — leave it off for 10⁵-round sweeps.
     [checkpoints], when given, must be strictly increasing 1-based
     round counts within [1, rounds]; anything else raises
-    [Invalid_argument] rather than silently dropping entries. *)
+    [Invalid_argument] rather than silently dropping entries.
+
+    [journal], when given, receives one {!event} per round, in round
+    order, after the policy has observed the buyer's response — this
+    is where [Dm_store] attaches its durable journal.  The sink never
+    influences pricing, accounting or randomness, so a run's result
+    is byte-identical with or without it. *)
 
 type shard_mode =
   | Exact
@@ -112,6 +143,7 @@ type shard_mode =
 val run_sharded :
   ?checkpoints:int array ->
   ?record_rounds:bool ->
+  ?journal:(event -> unit) ->
   ?mode:shard_mode ->
   ?shards:int ->
   ?pool:Dm_linalg.Pool.t ->
@@ -149,4 +181,9 @@ val run_sharded :
     intermediate state, which callers should treat as unspecified.
     [shards] is deliberately independent of the pool size so output
     never varies with [--jobs]; it raises [Invalid_argument] when
-    [< 1]. *)
+    [< 1].
+
+    [journal] behaves as in {!run}: events are emitted sequentially
+    in round order (after the mechanism pass, from the merged
+    per-round arrays), and in exact mode the event stream is
+    bit-identical to the one {!run} would emit. *)

@@ -2,6 +2,7 @@ module Vec = Dm_linalg.Vec
 module Mat = Dm_linalg.Mat
 module Chol = Dm_linalg.Chol
 module Eigen = Dm_linalg.Eigen
+module Serial = Dm_linalg.Serial
 
 type t = {
   dim : int;
@@ -294,34 +295,54 @@ let serialize t =
   Buffer.contents buf
 
 let deserialize text =
-  let fail msg = Error msg in
+  let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
   let floats line =
     String.split_on_char ' ' (String.trim line)
     |> List.filter (fun s -> s <> "")
     |> List.map float_of_string_opt
   in
-  let all_some l =
-    if List.for_all Option.is_some l then
-      Some (Array.of_list (List.map Option.get l))
-    else None
+  (* Error messages carry the 1-based line number and, for float rows,
+     the 1-based field index of the first offender, so a corrupt
+     snapshot report names exactly where the damage is. *)
+  let parse_row ~line_no ~what line =
+    let parts = floats line in
+    match
+      List.find_index Option.is_none parts
+    with
+    | Some i ->
+        fail "line %d (%s): malformed float literal at field %d" line_no what
+          (i + 1)
+    | None ->
+        (* NaN slips through [make]'s symmetry and positive-diagonal
+           checks (every NaN comparison is false), so finiteness must
+           be rejected here. *)
+        let a = Array.of_list (List.map Option.get parts) in
+        (match Array.find_index (fun v -> not (Float.is_finite v)) a with
+        | Some i ->
+            fail "line %d (%s): non-finite entry at field %d" line_no what
+              (i + 1)
+        | None -> Ok a)
   in
-  (* NaN slips through [make]'s symmetry and positive-diagonal checks
-     (every NaN comparison is false), so finiteness must be rejected
-     here. *)
-  let all_finite a = Array.for_all Float.is_finite a in
-  let build ~dim ~scale ~center_line ~shape_line =
-    match (all_some (floats center_line), all_some (floats shape_line)) with
-    | None, _ | _, None -> fail "malformed float literal"
-    | Some center, Some flat ->
-        if not (all_finite center && all_finite flat) then
-          fail "non-finite center or shape entry"
-        else if Array.length center <> dim then fail "center length mismatch"
-        else if Array.length flat <> dim * dim then fail "shape length mismatch"
-        else
-          let shape = Mat.init dim dim (fun i j -> flat.((i * dim) + j)) in
-          (match make ~center ~shape with
-          | e -> Ok { e with scale }
-          | exception Invalid_argument msg -> fail msg)
+  let build ~dim ~scale ~center:(center_no, center_line)
+      ~shape:(shape_no, shape_line) =
+    match parse_row ~line_no:center_no ~what:"center" center_line with
+    | Error _ as e -> e
+    | Ok center -> (
+        match parse_row ~line_no:shape_no ~what:"shape" shape_line with
+        | Error _ as e -> e
+        | Ok flat ->
+            if Array.length center <> dim then
+              fail "line %d (center): %d entries where the dimension says %d"
+                center_no (Array.length center) dim
+            else if Array.length flat <> dim * dim then
+              fail "line %d (shape): %d entries where the dimension says %d"
+                shape_no (Array.length flat) (dim * dim)
+            else
+              let shape = Mat.init dim dim (fun i j -> flat.((i * dim) + j)) in
+              (match make ~center ~shape with
+              | e -> Ok { e with scale }
+              | exception Invalid_argument msg ->
+                  fail "line %d (shape): %s" shape_no msg))
   in
   match String.split_on_char '\n' text with
   | header :: dim_line :: rest -> (
@@ -332,23 +353,95 @@ let deserialize text =
         | _ -> None
       in
       match version with
-      | None -> fail "unknown header (want ellipsoid/1 or ellipsoid/2)"
+      | None -> fail "line 1: unknown header (want ellipsoid/1 or ellipsoid/2)"
       | Some version -> (
           match int_of_string_opt (String.trim dim_line) with
-          | None -> fail "malformed dimension"
-          | Some dim when dim < 1 -> fail "non-positive dimension"
+          | None -> fail "line 2: malformed dimension"
+          | Some dim when dim < 1 -> fail "line 2: non-positive dimension"
           | Some dim -> (
               match (version, rest) with
               | 1, center_line :: shape_line :: _ ->
-                  build ~dim ~scale:1. ~center_line ~shape_line
+                  build ~dim ~scale:1. ~center:(3, center_line)
+                    ~shape:(4, shape_line)
               | 2, scale_line :: center_line :: shape_line :: _ -> (
                   match float_of_string_opt (String.trim scale_line) with
                   | Some s when Float.is_finite s && s > 0. ->
-                      build ~dim ~scale:s ~center_line ~shape_line
-                  | Some _ -> fail "non-finite or non-positive scale"
-                  | None -> fail "malformed scale")
-              | _ -> fail "truncated snapshot")))
-  | _ -> fail "truncated snapshot"
+                      build ~dim ~scale:s ~center:(4, center_line)
+                        ~shape:(5, shape_line)
+                  | Some _ -> fail "line 3: non-finite or non-positive scale"
+                  | None -> fail "line 3: malformed scale")
+              | 1, _ -> fail "truncated snapshot (4 lines expected)"
+              | _ -> fail "truncated snapshot (5 lines expected)")))
+  | _ -> fail "truncated snapshot (header and dimension lines expected)"
+
+let binary_magic = "dm-ell/3"
+
+let serialize_binary t =
+  let buf = Buffer.create (40 + (8 * t.dim * (t.dim + 1))) in
+  Buffer.add_string buf binary_magic;
+  Serial.add_u32 buf t.dim;
+  Serial.add_f64 buf t.scale;
+  Serial.add_u32 buf t.cuts_since_sync;
+  (* The raw bit pattern, so the NaN "cache unset" sentinel survives. *)
+  Serial.add_f64 buf t.log_vol;
+  Array.iter (Serial.add_f64 buf) t.center;
+  Array.iter (Serial.add_f64 buf) t.shape.Mat.data;
+  Buffer.contents buf
+
+(* A u32 dimension larger than this would overflow [dim * dim * 8]
+   allocations; no real snapshot comes close. *)
+let max_binary_dim = 1 lsl 20
+
+let deserialize_binary ?(pos = 0) s =
+  let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
+  let r = Serial.reader ~pos s in
+  try
+    if not (Serial.expect r binary_magic) then
+      fail "byte %d: bad magic (want %s)" pos binary_magic
+    else
+      let at = r.Serial.pos in
+      let dim = Serial.take_u32 r in
+      if dim < 1 then fail "byte %d: non-positive dimension" at
+      else if dim > max_binary_dim then fail "byte %d: implausible dimension" at
+      else
+        let at = r.Serial.pos in
+        let scale = Serial.take_f64 r in
+        if not (Float.is_finite scale && scale > 0.) then
+          fail "byte %d: non-finite or non-positive scale" at
+        else
+          let cuts_since_sync = Serial.take_u32 r in
+          let at = r.Serial.pos in
+          let log_vol = Serial.take_f64 r in
+          if Float.is_finite log_vol || Float.is_nan log_vol then
+            let read_row ~what n =
+              let off = r.Serial.pos in
+              let a = Array.init n (fun _ -> Serial.take_f64 r) in
+              match Array.find_index (fun v -> not (Float.is_finite v)) a with
+              | Some i ->
+                  Error
+                    (Printf.sprintf "byte %d: non-finite %s entry at index %d"
+                       (off + (8 * i)) what i)
+              | None -> Ok a
+            in
+            match read_row ~what:"center" dim with
+            | Error _ as e -> e
+            | Ok center -> (
+                let shape_off = r.Serial.pos in
+                match read_row ~what:"shape" (dim * dim) with
+                | Error _ as e -> e
+                | Ok flat -> (
+                    let shape =
+                      Mat.init dim dim (fun i j -> flat.((i * dim) + j))
+                    in
+                    match make ~center ~shape with
+                    | e ->
+                        e.log_vol <- log_vol;
+                        e.cuts_since_sync <- cuts_since_sync;
+                        Ok { e with scale }
+                    | exception Invalid_argument msg ->
+                        fail "byte %d (shape): %s" shape_off msg))
+          else fail "byte %d: infinite log-volume cache" at
+  with Serial.Short off -> fail "truncated at byte %d" off
 
 let pp ppf t =
   if t.scale = 1. then

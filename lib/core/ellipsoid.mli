@@ -170,8 +170,30 @@ val deserialize : string -> (t, string) result
 (** Inverse of {!serialize}; accepts both snapshot versions.  [Error]
     describes the first problem found (bad header, wrong counts,
     malformed, non-finite or non-positive scale, malformed or
-    non-finite numbers, asymmetric or non-positive shape).  NaN and
-    infinite entries are rejected explicitly — NaN would otherwise
-    slip through the symmetry and positive-diagonal checks. *)
+    non-finite numbers, asymmetric or non-positive shape) and names
+    the offending line — and, for float rows, the field index — so
+    corrupt-snapshot reports are actionable.  NaN and infinite
+    entries are rejected explicitly — NaN would otherwise slip
+    through the symmetry and positive-diagonal checks. *)
+
+val binary_magic : string
+(** The 8-byte magic (["dm-ell/3"]) opening a binary snapshot. *)
+
+val serialize_binary : t -> string
+(** Compact binary (v3) snapshot: {!binary_magic}, then
+    little-endian [dim], [scale], [cuts_since_sync], the raw
+    [log_vol] bit pattern, and the center and flat row-major shape as
+    IEEE-754 bit patterns ({!Dm_linalg.Serial}).  Unlike the text
+    formats it also preserves [scale = 1.] vs. v2 upgrades uniformly
+    and the incremental-volume cache state, so a binary round-trip
+    reproduces the ellipsoid record field-for-field. *)
+
+val deserialize_binary : ?pos:int -> string -> (t, string) result
+(** Inverse of {!serialize_binary}, starting at byte [pos]
+    (default 0); trailing bytes are ignored.  [Error] messages carry
+    the absolute byte offset of the first problem.  Validation
+    matches {!deserialize} (finite entries, positive scale, [make]'s
+    symmetry and diagonal checks); the log-volume field may be NaN
+    (the "cache unset" sentinel) but not infinite. *)
 
 val pp : Format.formatter -> t -> unit

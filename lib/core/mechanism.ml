@@ -1,3 +1,5 @@
+module Serial = Dm_linalg.Serial
+
 type variant = { use_reserve : bool; delta : float }
 
 let check_delta delta =
@@ -162,16 +164,82 @@ let snapshot t =
     t.cfg.allow_conservative_cuts t.cfg.epsilon t.exploratory t.conservative
     t.skipped (Ellipsoid.serialize t.ell)
 
-let restore text =
+let binary_magic = "dm-mech3"
+
+let snapshot_binary t =
+  let buf = Buffer.create (64 + (8 * Ellipsoid.dim t.ell * (Ellipsoid.dim t.ell + 1))) in
+  Buffer.add_string buf binary_magic;
+  Serial.add_u8 buf (Bool.to_int t.cfg.variant.use_reserve);
+  Serial.add_f64 buf t.cfg.variant.delta;
+  Serial.add_u8 buf (Bool.to_int t.cfg.allow_conservative_cuts);
+  Serial.add_u8 buf (Bool.to_int t.cfg.sparse_cuts);
+  Serial.add_f64 buf t.cfg.epsilon;
+  Serial.add_u64 buf t.exploratory;
+  Serial.add_u64 buf t.conservative;
+  Serial.add_u64 buf t.skipped;
+  Buffer.add_string buf (Ellipsoid.serialize_binary t.ell);
+  Buffer.contents buf
+
+(* Every [restore] error is prefixed "Mechanism.restore: " and names
+   the offending line (text format) or absolute byte offset (binary),
+   so corrupt-snapshot reports surfaced by crash recovery are
+   actionable without hexdumping the file. *)
+let fail fmt = Printf.ksprintf (fun m -> Error ("Mechanism.restore: " ^ m)) fmt
+
+exception Restore_failure of string
+
+let restore_binary text =
+  let failf fmt = Printf.ksprintf (fun m -> raise (Restore_failure m)) fmt in
+  let r = Serial.reader ~pos:(String.length binary_magic) text in
+  let flag what =
+    let off = r.Serial.pos in
+    match Serial.take_u8 r with
+    | 0 -> false
+    | 1 -> true
+    | b -> failf "byte %d: bad %s flag (%d)" off what b
+  in
+  try
+    let use_reserve = flag "use_reserve" in
+    let delta = Serial.take_f64 r in
+    let allow = flag "allow_conservative_cuts" in
+    let sparse_cuts = flag "sparse_cuts" in
+    let epsilon = Serial.take_f64 r in
+    let exploratory = Serial.take_u64 r in
+    let conservative = Serial.take_u64 r in
+    let skipped = Serial.take_u64 r in
+    match Ellipsoid.deserialize_binary ~pos:r.Serial.pos text with
+    | Error msg -> fail "ellipsoid: %s" msg
+    | Ok ell -> (
+        match
+          config ~allow_conservative_cuts:allow ~sparse_cuts
+            ~variant:{ use_reserve; delta } ~epsilon ()
+        with
+        | exception Invalid_argument msg -> fail "%s" msg
+        | cfg ->
+            Ok
+              {
+                cfg;
+                ell;
+                exploratory;
+                conservative;
+                skipped;
+                spare = None;
+                exposed = false;
+              })
+  with
+  | Restore_failure m -> Error ("Mechanism.restore: " ^ m)
+  | Serial.Short off -> fail "truncated at byte %d" off
+
+let restore_text text =
   match String.index_opt text '\n' with
-  | None -> Error "truncated snapshot"
+  | None -> fail "line 1: truncated snapshot"
   | Some i -> (
       if String.sub text 0 i <> "mechanism/1" then
-        Error "unknown header (want mechanism/1)"
+        fail "line 1: unknown header (want mechanism/1)"
       else
         let rest = String.sub text (i + 1) (String.length text - i - 1) in
         match String.index_opt rest '\n' with
-        | None -> Error "truncated snapshot"
+        | None -> fail "line 2: truncated snapshot"
         | Some j -> (
             let state_line = String.sub rest 0 j in
             let ell_text = String.sub rest (j + 1) (String.length rest - j - 1) in
@@ -180,19 +248,24 @@ let restore text =
                 (fun use_reserve delta allow epsilon e c s ->
                   (use_reserve, delta, allow, epsilon, e, c, s))
             with
-            | exception Scanf.Scan_failure msg -> Error ("bad state line: " ^ msg)
-            | exception Failure msg -> Error ("bad state line: " ^ msg)
-            | _, _, _, _, e, c, s when e < 0 || c < 0 || s < 0 ->
-                Error "negative round counter"
+            | exception Scanf.Scan_failure msg ->
+                fail "line 2: bad state line: %s" msg
+            | exception Failure msg -> fail "line 2: bad state line: %s" msg
+            | _, _, _, _, e, _, _ when e < 0 ->
+                fail "line 2: negative exploratory counter (field 5)"
+            | _, _, _, _, _, c, _ when c < 0 ->
+                fail "line 2: negative conservative counter (field 6)"
+            | _, _, _, _, _, _, s when s < 0 ->
+                fail "line 2: negative skipped counter (field 7)"
             | use_reserve, delta, allow, epsilon, e, c, s -> (
                 match Ellipsoid.deserialize ell_text with
-                | Error msg -> Error msg
+                | Error msg -> fail "ellipsoid section at line 3: %s" msg
                 | Ok ell -> (
                     match
                       config ~allow_conservative_cuts:allow
                         ~variant:{ use_reserve; delta } ~epsilon ()
                     with
-                    | exception Invalid_argument msg -> Error msg
+                    | exception Invalid_argument msg -> fail "line 2: %s" msg
                     | cfg ->
                         Ok
                           {
@@ -204,6 +277,12 @@ let restore text =
                             spare = None;
                             exposed = false;
                           }))))
+
+let restore text =
+  let m = String.length binary_magic in
+  if String.length text >= m && String.sub text 0 m = binary_magic then
+    restore_binary text
+  else restore_text text
 
 let te_upper_bound ~radius ~feature_bound ~dim ~epsilon =
   if radius <= 0. || feature_bound <= 0. || dim < 1 || epsilon <= 0. then

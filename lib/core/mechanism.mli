@@ -129,10 +129,24 @@ val snapshot : t -> string
     broker process can restart mid-stream without losing what it
     learned. *)
 
+val binary_magic : string
+(** The 8-byte magic (["dm-mech3"]) opening a binary snapshot. *)
+
+val snapshot_binary : t -> string
+(** Compact binary (v3) snapshot: {!binary_magic}, the configuration
+    and counters as little-endian fields, then the ellipsoid's
+    {!Ellipsoid.serialize_binary} image.  Unlike the text format it
+    records [sparse_cuts] and the ellipsoid's scalar/volume-cache
+    state, so a round-trip reproduces the mechanism field-for-field
+    — this is what the [Dm_store] snapshot files hold. *)
+
 val restore : string -> (t, string) result
-(** Inverse of {!snapshot}.  [Error] on any malformed input, including
-    non-finite floats (NaN ε/δ or ellipsoid entries) and negative
-    round counters — a corrupted snapshot never yields a mechanism
-    that misprices silently.  The snapshot format predates
-    [sparse_cuts], which is not recorded; restored mechanisms get the
-    default ([true]). *)
+(** Inverse of {!snapshot} and {!snapshot_binary} — the format is
+    sniffed from the leading magic.  [Error] on any malformed input,
+    including non-finite floats (NaN ε/δ or ellipsoid entries) and
+    negative round counters — a corrupted snapshot never yields a
+    mechanism that misprices silently.  Messages are prefixed
+    ["Mechanism.restore: "] and name the offending line and field
+    (text) or byte offset (binary).  The text format predates
+    [sparse_cuts], which it does not record; text-restored mechanisms
+    get the default ([true]). *)

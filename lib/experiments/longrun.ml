@@ -8,7 +8,7 @@ module Rng = Dm_prob.Rng
 module Dist = Dm_prob.Dist
 module Subgaussian = Dm_prob.Subgaussian
 
-let dim = 16
+let default_dim = 16
 let delta = 0.01
 let full_rounds = 1_000_000
 let warm_stride = 4
@@ -17,6 +17,7 @@ let scaled_rounds scale rounds =
   max 100 (int_of_float (Float.round (scale *. float_of_int rounds)))
 
 type setup = {
+  dim : int;
   rounds : int;
   model : Model.t;
   radius : float;
@@ -32,7 +33,7 @@ type setup = {
    of child [t], so they are pure in [t] and safe to call from any
    domain — the contract [Broker.run_sharded] needs to materialize
    shard prefixes in parallel. *)
-let make_setup ~seed ~rounds =
+let make_setup ?(dim = default_dim) ~seed ~rounds () =
   let root = Rng.create seed in
   let theta_rng = Rng.split root in
   let workload_root = Rng.split root in
@@ -56,7 +57,7 @@ let make_setup ~seed ~rounds =
   let noise t =
     Dist.normal (Rng.copy noise_streams.(t)) ~mean:0. ~std:sigma
   in
-  { rounds; model; radius; epsilon; workload; noise }
+  { dim; rounds; model; radius; epsilon; workload; noise }
 
 (* Same ε floor as [Noisy_query.mechanism]: below 2.5nδ the buffered
    cuts stall (EXPERIMENTS.md), so the uncertainty variants would
@@ -64,11 +65,11 @@ let make_setup ~seed ~rounds =
 let mechanism setup variant =
   let epsilon =
     Float.max setup.epsilon
-      (2.5 *. float_of_int dim *. variant.Mechanism.delta)
+      (2.5 *. float_of_int setup.dim *. variant.Mechanism.delta)
   in
   Mechanism.create
     (Mechanism.config ~variant ~epsilon ())
-    (Ellipsoid.ball ~dim ~radius:setup.radius)
+    (Ellipsoid.ball ~dim:setup.dim ~radius:setup.radius)
 
 let variants =
   [
@@ -103,7 +104,7 @@ let max_ratio_drift (a : Broker.series) (b : Broker.series) =
 
 let report ?pool ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
   let rounds = scaled_rounds scale full_rounds in
-  let setup = make_setup ~seed ~rounds in
+  let setup = make_setup ~seed ~rounds () in
   let go pool =
     let run_seq variant =
       Broker.run
@@ -156,7 +157,7 @@ let report ?pool ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
            "Long horizon (n = %d, T = %d): sharded broker vs sequential \
             reference; exact merge verified per variant, warm-start \
             (stride %d) drift is max |Δ regret ratio|"
-           dim rounds warm_stride)
+           setup.dim rounds warm_stride)
       ~header:
         [
           "variant"; "regret"; "ratio"; "exact merge"; "warm drift"; "expl";

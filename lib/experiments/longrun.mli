@@ -6,7 +6,63 @@
     regret-ratio drift).  The market is the App-1 shape at n = 16 with
     the stream generated from per-round {!Dm_prob.Rng.split} children,
     so shard prefixes materialize in parallel at any jobs value while
-    the printed bytes never change. *)
+    the printed bytes never change.
+
+    The market construction ({!make_setup}, {!mechanism}, {!variants})
+    and the bit-identity helpers are exposed so other artifacts that
+    need the same reproducible stream — notably
+    {!Dm_experiments.Recover} — reuse them instead of forking the
+    shape. *)
+
+val default_dim : int
+(** Feature dimension the artifact itself runs at (16). *)
+
+val full_rounds : int
+(** The unscaled horizon (10⁶ rounds). *)
+
+val scaled_rounds : float -> int -> int
+(** [scaled_rounds scale rounds] is the horizon after applying a
+    [--scale] factor, floored at 100 rounds. *)
+
+type setup = {
+  dim : int;  (** feature dimension *)
+  rounds : int;  (** horizon the streams were materialized for *)
+  model : Dm_market.Model.t;  (** the linear market-value model *)
+  radius : float;  (** initial ellipsoid ball radius *)
+  epsilon : float;  (** target accuracy n²/T (before the δ floor) *)
+  workload : int -> Dm_linalg.Vec.t * float;
+      (** round [t]'s feature vector and reserve, pure in [t] *)
+  noise : int -> float;  (** round [t]'s valuation noise, pure in [t] *)
+}
+(** One reproducible market: the App-1 shape (tilted non-negative
+    θ-star with norm √(2n), unit-norm non-negative features, reserve
+    q = Σᵢ xᵢ) with the stream backed by per-round
+    {!Dm_prob.Rng.split} children, so [workload]/[noise] are pure in
+    [t] and safe from any domain. *)
+
+val make_setup : ?dim:int -> seed:int -> rounds:int -> unit -> setup
+(** Materialize the market for a horizon.  [dim] defaults to
+    {!default_dim}; everything downstream of [seed] is deterministic,
+    so two calls with equal arguments replay the same stream. *)
+
+val mechanism : setup -> Dm_market.Mechanism.variant -> Dm_market.Mechanism.t
+(** A fresh mechanism for [setup]: ε floored at 2.5 n δ (below that
+    the buffered-cut variants stall — EXPERIMENTS.md) over the ball
+    of [setup.radius]. *)
+
+val variants : (string * Dm_market.Mechanism.variant) list
+(** The four paper variants (pure, uncertainty, reserve,
+    reserve+uncertainty) with the artifact's δ = 0.01. *)
+
+val bits : float -> int64
+(** IEEE-754 bit pattern, for bit-identity comparisons. *)
+
+val floats_identical : float array -> float array -> bool
+(** Element-wise bit-pattern equality (NaN-safe). *)
+
+val series_identical : Dm_market.Broker.series -> Dm_market.Broker.series -> bool
+(** Bit-pattern equality of two regret series (checkpoints, cumulative
+    regret and value, regret ratio). *)
 
 val report :
   ?pool:Dm_linalg.Pool.t ->

@@ -1,0 +1,272 @@
+module Broker = Dm_market.Broker
+module Mechanism = Dm_market.Mechanism
+module Pool = Dm_linalg.Pool
+module Rng = Dm_prob.Rng
+module Store = Dm_store.Store
+module Journal = Dm_store.Journal
+
+let dim = 8
+let full_rounds = 100_000
+
+(* Store directories are flat (segments + snapshots, no subdirs), so
+   one level of removal is all cleanup ever needs. *)
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let flip_byte path ~offset =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let b = Bytes.create 1 in
+      ignore (Unix.lseek fd offset Unix.SEEK_SET);
+      if Unix.read fd b 0 1 <> 1 then
+        failwith "Recover.flip_byte: short read";
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+      ignore (Unix.lseek fd offset Unix.SEEK_SET);
+      if Unix.write fd b 0 1 <> 1 then
+        failwith "Recover.flip_byte: short write")
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error msg -> failwith ("Recover.report: " ^ msg)
+
+(* One self-contained verification cell.  Everything below is a pure
+   function of (seed, rounds, index, variant) — the cell touches only
+   its own store directory, so the cells are safe on any domain and
+   the rendered bytes cannot depend on the jobs value. *)
+let verify_variant ~seed ~rounds index (name, variant) =
+  let setup = Longrun.make_setup ~dim ~seed ~rounds () in
+  let fresh () = Longrun.mechanism setup variant in
+  let run ?journal ~policy ~rounds () =
+    Broker.run ?journal ~policy ~model:setup.Longrun.model
+      ~noise:setup.Longrun.noise ~workload:setup.Longrun.workload ~rounds ()
+  in
+  let reference = run ~policy:(Broker.Ellipsoid_pricing (fresh ())) ~rounds () in
+  let frng = Rng.create (seed + (104729 * (index + 1))) in
+  let crash_round =
+    let base = (rounds * 3 / 5) + Rng.int frng 7 - 3 in
+    max 1 (min (rounds - 1) base)
+  in
+  let dir =
+    Filename.concat (Sys.getcwd ())
+      (Printf.sprintf ".dm_store_tmp-%d-%d" (Unix.getpid ()) index)
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* Deliberately tiny segments so rotation and compaction are
+     exercised even at smoke scale. *)
+  let snapshot_every = max 50 (rounds / 8) in
+  let store =
+    Store.create ~segment_bytes:4096 ~snapshot_every ~dir ~start:0 ()
+  in
+  let mech_j = fresh () in
+  ignore
+    (run
+       ~journal:(Store.sink store ~mech:mech_j)
+       ~policy:(Broker.Ellipsoid_pricing mech_j)
+       ~rounds:crash_round ());
+  let keep = Rng.float frng in
+  let junk =
+    String.init (1 + Rng.int frng 24) (fun _ -> Char.chr (Rng.int frng 256))
+  in
+  Store.simulate_crash store ~keep ~junk;
+  (* Corruption probe: flip one byte inside the first record of the
+     first segment — well before the tail — and check recovery refuses
+     rather than repricing from damaged history.  Offset 18 = 8-byte
+     magic + 8-byte frame header + 2 bytes into the payload. *)
+  let first_seg = snd (List.hd (Journal.segments ~dir)) in
+  flip_byte first_seg ~offset:18;
+  let probe_rejected =
+    match Store.recover ~dir () with
+    | Error msg -> String.contains msg ':'
+    | Ok _ -> false
+  in
+  flip_byte first_seg ~offset:18;
+  let rec1 = ok_or_fail (Store.recover ~initial:fresh ~dir ()) in
+  let mech1 = Option.get rec1.Store.mechanism in
+  let state1 = Mechanism.snapshot_binary mech1 in
+  let deleted = Store.compact ~dir in
+  let rec2 = ok_or_fail (Store.recover ~initial:fresh ~dir ()) in
+  let mech = Option.get rec2.Store.mechanism in
+  let compact_ok =
+    String.equal state1 (Mechanism.snapshot_binary mech)
+    && rec2.Store.next_round = rec1.Store.next_round
+  in
+  (* Resume over the full horizon through one [Broker.run], so every
+     cumulative sum is accumulated in the reference's exact order: the
+     journaled prefix replays its recorded decisions (the mechanism
+     already holds their knowledge), live rounds price from the
+     recovered state. *)
+  let events = rec1.Store.events in
+  let n_prefix = rec1.Store.next_round in
+  if Array.length events <> n_prefix then
+    failwith "Recover.report: journal does not cover the recovered prefix";
+  let t = ref 0 in
+  let pending = ref None in
+  let decide ~x ~reserve =
+    let i = !t in
+    incr t;
+    if i < n_prefix then
+      match events.(i).Broker.kind with
+      | Broker.Skipped -> None
+      | _ -> Some events.(i).Broker.price_index
+    else
+      let d = Mechanism.decide mech ~x ~reserve in
+      match d with
+      | Mechanism.Skip ->
+          Mechanism.observe mech ~x d ~accepted:false;
+          None
+      | Mechanism.Post { price; _ } ->
+          pending := Some d;
+          Some price
+  in
+  let learn ~x ~price:_ ~accepted =
+    match !pending with
+    | Some d ->
+        pending := None;
+        Mechanism.observe mech ~x d ~accepted
+    | None -> ()
+  in
+  let resumed =
+    run
+      ~policy:
+        (Broker.Custom
+           {
+             Broker.policy_name = "recovered " ^ name;
+             decide;
+             learn;
+             uses_reserve = variant.Mechanism.use_reserve;
+           })
+      ~rounds ()
+  in
+  let identical =
+    Longrun.series_identical reference.Broker.series resumed.Broker.series
+    && Longrun.bits reference.Broker.total_regret
+       = Longrun.bits resumed.Broker.total_regret
+    && Longrun.bits reference.Broker.total_value
+       = Longrun.bits resumed.Broker.total_value
+  in
+  let row =
+    [
+      name;
+      string_of_int crash_round;
+      string_of_int rec1.Store.snapshot_round;
+      string_of_int rec1.Store.replayed;
+      (if rec1.Store.torn then "torn" else "clean");
+      (if probe_rejected then "rejected" else "ACCEPTED");
+      (if compact_ok then Printf.sprintf "ok (-%d seg)" deleted else "DRIFT");
+      (if identical then "bit-identical" else "MISMATCH");
+    ]
+  in
+  (row, identical)
+
+let report ?pool ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
+  let rounds = Longrun.scaled_rounds scale full_rounds in
+  let go pool =
+    let cells =
+      Array.of_list (List.mapi (fun i v -> (i, v)) Longrun.variants)
+    in
+    let results =
+      Runner.map ?pool ~jobs
+        (fun (i, v) -> verify_variant ~seed ~rounds i v)
+        cells
+    in
+    let rows = Array.to_list (Array.map fst results) in
+    Table.print ppf
+      ~title:
+        (Printf.sprintf
+           "Crash recovery (n = %d, T = %d): journaled run killed at \
+            crash@, recovered from newest snapshot + journal tail, \
+            resumed to T; pre-tail byte flips must be rejected and \
+            compaction must not change the recovered state"
+           dim rounds)
+      ~header:
+        [
+          "variant"; "crash@"; "snap@"; "replayed"; "tail"; "probe";
+          "compaction"; "resume";
+        ]
+      rows;
+    let ok_count =
+      Array.fold_left (fun n (_, ok) -> if ok then n + 1 else n) 0 results
+    in
+    Format.fprintf ppf
+      "Crash recovery: %d/%d variants bit-identical to the uninterrupted \
+       reference after kill, recover and resume.@.@."
+      ok_count (Array.length cells)
+  in
+  match pool with
+  | Some _ -> go pool
+  | None -> (
+      match Pool.get_default () with
+      | Some _ -> go None (* Runner.map picks the default pool up *)
+      | None when jobs > 1 -> Pool.with_pool ~jobs (fun p -> go (Some p))
+      | None -> go None)
+
+let journal_overhead ?(seed = 42) ?(reps = 3) ~rounds () =
+  if rounds < 1 then
+    invalid_arg "Recover.journal_overhead: need at least one round";
+  if reps < 1 then invalid_arg "Recover.journal_overhead: need at least one rep";
+  let variant = snd (List.hd Longrun.variants) in
+  let time_run ~tag ~rounds ~journaled ~fsync =
+    let setup = Longrun.make_setup ~seed ~rounds () in
+    let mech = Longrun.mechanism setup variant in
+    let run ?journal () =
+      ignore
+        (Broker.run ?journal
+           ~policy:(Broker.Ellipsoid_pricing mech)
+           ~model:setup.Longrun.model ~noise:setup.Longrun.noise
+           ~workload:setup.Longrun.workload ~rounds ())
+    in
+    if not journaled then begin
+      let t0 = Unix.gettimeofday () in
+      run ();
+      let t1 = Unix.gettimeofday () in
+      (t1 -. t0) *. 1e9 /. float_of_int rounds
+    end
+    else begin
+      let dir =
+        Filename.concat (Sys.getcwd ())
+          (Printf.sprintf ".dm_store_bench-%d-%s" (Unix.getpid ()) tag)
+      in
+      rm_rf dir;
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          (* No periodic snapshots: the stage isolates the journal
+             sink itself; snapshot cadence is a separate cost knob. *)
+          let store =
+            Store.create ~fsync_every_record:fsync ~snapshot_every:0 ~dir
+              ~start:0 ()
+          in
+          let t0 = Unix.gettimeofday () in
+          run ~journal:(Store.sink store ~mech) ();
+          let t1 = Unix.gettimeofday () in
+          Store.close store;
+          (t1 -. t0) *. 1e9 /. float_of_int rounds)
+    end
+  in
+  (* Interleaved min-of-reps: one pass per rep over all three modes,
+     keeping each mode's best time, so a noisy neighbour perturbing
+     one pass cannot skew the off/on ratio. *)
+  let best = Array.make 3 infinity in
+  for _ = 1 to reps do
+    best.(0) <-
+      Float.min best.(0)
+        (time_run ~tag:"off" ~rounds ~journaled:false ~fsync:false);
+    best.(1) <-
+      Float.min best.(1)
+        (time_run ~tag:"nofsync" ~rounds ~journaled:true ~fsync:false);
+    best.(2) <-
+      Float.min best.(2)
+        (time_run ~tag:"fsync" ~rounds:(min rounds 2000) ~journaled:true
+           ~fsync:true)
+  done;
+  [
+    ("journal/longrun_off", best.(0));
+    ("journal/longrun_nofsync", best.(1));
+    ("journal/longrun_fsync", best.(2));
+  ]

@@ -1,0 +1,54 @@
+(** Crash-recovery artifact: kill a journaled market mid-stream,
+    recover from disk, resume, and verify the regret series is
+    bit-identical to an uninterrupted reference run.
+
+    Per mechanism variant (the four of {!Longrun.variants}) the driver
+
+    + runs the uninterrupted reference over the full horizon;
+    + replays the same stream with a {!Dm_store.Store} attached
+      (small segments, periodic snapshots) and hard-kills it at a
+      seeded crash round — {!Dm_store.Store.simulate_crash} truncates
+      the active segment at a seeded point past the durable watermark
+      and appends seeded torn-tail junk;
+    + probes the corruption contract: flips one byte in a pre-tail
+      record, checks {!Dm_store.Store.recover} refuses with an
+      [Error], and restores the byte;
+    + recovers (newest snapshot + journal-tail replay), compacts,
+      re-recovers, and checks compaction changed nothing;
+    + resumes to the full horizon — journaled prefix rounds replay
+      their recorded decisions, live rounds come from the recovered
+      mechanism — and compares the final regret series bit-for-bit
+      with the reference.
+
+    Every quantity printed is a pure function of [seed] and [scale],
+    so the output is byte-identical at any [jobs] value. *)
+
+val full_rounds : int
+(** The unscaled horizon (10⁵ rounds at n = 8). *)
+
+val report :
+  ?pool:Dm_linalg.Pool.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?jobs:int ->
+  Format.formatter ->
+  unit
+(** Run the four variant cells (in parallel under [jobs]/[pool],
+    resolved exactly as in {!Longrun.report}) and print the
+    verification table plus a summary line of the form
+    ["… 4/4 variants bit-identical …"] that the CI smoke greps
+    for. *)
+
+val journal_overhead :
+  ?seed:int -> ?reps:int -> rounds:int -> unit -> (string * float) list
+(** Benchmark helper for the journal-overhead stage: time the
+    {!Longrun} market (n = 16, pure variant) for [rounds] rounds with
+    journaling off, journaling on without per-record fsync, and
+    fsync-every-record (capped at [min rounds 2000] — it is orders of
+    magnitude slower), returning [(name, ns-per-round)] pairs whose
+    names carry the ["journal/"] prefix that
+    {!Dm_bench.Record.critical_prefixes} watches.  Each mode reports
+    its minimum over [reps] (default 3) interleaved passes — the
+    standard defence against scheduler noise skewing the off/on
+    ratio.  Timings cover the trading loop only (rotation and
+    snapshot fsyncs included, the final close excluded). *)

@@ -1,0 +1,82 @@
+module Mechanism = Dm_market.Mechanism
+
+let magic = "dm-snp3\n"
+
+let file_name round = Printf.sprintf "snap-%012d.dms" round
+
+let round_of name =
+  if
+    String.length name = 21
+    && String.starts_with ~prefix:"snap-" name
+    && String.ends_with ~suffix:".dms" name
+  then
+    let digits = String.sub name 5 12 in
+    if String.for_all (fun c -> c >= '0' && c <= '9') digits then
+      int_of_string_opt digits
+    else None
+  else None
+
+(* fsync on a directory fd publishes the rename itself; without it a
+   crash can keep the old directory entry even though the file data
+   is safe. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      let () = try Unix.fsync fd with Unix.Unix_error _ -> () in
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let write ~dir ~round mech =
+  if round < 0 then invalid_arg "Snapshots.write: negative round";
+  let final = Filename.concat dir (file_name round) in
+  let tmp = final ^ ".tmp" in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Frame.append buf (Mechanism.snapshot_binary mech);
+  let oc = open_out_bin tmp in
+  Buffer.output_buffer oc buf;
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  close_out oc;
+  Sys.rename tmp final;
+  fsync_dir dir
+
+let rounds ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map round_of
+    |> List.sort compare
+
+let load ~dir ~round =
+  let fail fmt = Printf.ksprintf (fun m -> Error ("Snapshots.load: " ^ m)) fmt in
+  let path = Filename.concat dir (file_name round) in
+  let name = file_name round in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> fail "%s" msg
+  | content -> (
+      if String.length content < String.length magic then
+        fail "%s: shorter than its magic" name
+      else if String.sub content 0 (String.length magic) <> magic then
+        fail "%s: bad magic" name
+      else
+        match Frame.decode ~pos:(String.length magic) content with
+        | Error msg -> fail "%s: %s" name msg
+        | Ok ([ payload ], Frame.Clean) -> (
+            match Mechanism.restore payload with
+            | Ok m -> Ok m
+            | Error msg -> fail "%s: %s" name msg)
+        | Ok (_, Frame.Torn off) -> fail "%s: torn record at byte %d" name off
+        | Ok (payloads, Frame.Clean) ->
+            fail "%s: %d records where exactly one was expected" name
+              (List.length payloads))
+
+let newest ~dir =
+  let rec pick = function
+    | [] -> None
+    | round :: older -> (
+        match load ~dir ~round with
+        | Ok m -> Some (round, m)
+        | Error _ -> pick older)
+  in
+  pick (List.rev (rounds ~dir))

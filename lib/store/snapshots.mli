@@ -1,0 +1,36 @@
+(** Durable store of periodic mechanism snapshots.
+
+    Each snapshot is one file [snap-%012d.dms] — the number is the
+    round boundary the state corresponds to (the mechanism has
+    observed rounds [0 .. round-1]) — holding an 8-byte magic and one
+    {!Frame}-framed {!Dm_market.Mechanism.snapshot_binary} payload.
+    Writes are atomic: the bytes go to a temp file which is fsync'd
+    and renamed into place (then the directory is fsync'd), so a
+    crash leaves either the complete new snapshot or none — never a
+    half-written one under the real name. *)
+
+val magic : string
+(** The 8-byte snapshot-file magic (["dm-snp3\n"]). *)
+
+val file_name : int -> string
+(** [snap-%012d.dms] for a round boundary. *)
+
+val round_of : string -> int option
+(** Inverse of {!file_name}; [None] for non-snapshot names. *)
+
+val write : dir:string -> round:int -> Dm_market.Mechanism.t -> unit
+(** Atomically persist the mechanism's state at [round]. *)
+
+val rounds : dir:string -> int list
+(** Round boundaries with a snapshot file present, ascending.  An
+    absent directory reads as empty. *)
+
+val load : dir:string -> round:int -> (Dm_market.Mechanism.t, string) result
+(** Read and validate one snapshot (magic, CRC frame, then
+    {!Dm_market.Mechanism.restore}). *)
+
+val newest : dir:string -> (int * Dm_market.Mechanism.t) option
+(** The newest snapshot that loads cleanly.  Corrupt or torn
+    snapshot files are skipped in favour of older ones — recovery
+    prefers a valid older state over refusing outright, since the
+    journal replays the difference anyway. *)

@@ -1,0 +1,197 @@
+module Broker = Dm_market.Broker
+module Mechanism = Dm_market.Mechanism
+
+type t = {
+  dir : string;
+  snapshot_every : int;
+  writer : Journal.writer;
+  mutable closed : bool;
+}
+
+let create ?segment_bytes ?fsync_every_record ?(snapshot_every = 0) ~dir ~start
+    () =
+  if snapshot_every < 0 then
+    invalid_arg "Store.create: negative snapshot interval";
+  (match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let writer =
+    Journal.create_writer ?segment_bytes ?fsync_every_record ~dir ~start ()
+  in
+  { dir; snapshot_every; writer; closed = false }
+
+let dir t = t.dir
+
+let check_open fname t =
+  if t.closed then invalid_arg (fname ^ ": store is closed")
+
+let sink t ~mech e =
+  check_open "Store.sink" t;
+  Journal.append t.writer e;
+  if t.snapshot_every > 0 && (e.Broker.t + 1) mod t.snapshot_every = 0 then begin
+    (* Journal first, snapshot second: a durable snapshot at round r
+       must imply durable journal coverage of every round below r,
+       otherwise a crash could strand unreplayable rounds between the
+       journal's end and the snapshot. *)
+    Journal.sync t.writer;
+    Snapshots.write ~dir:t.dir ~round:(e.Broker.t + 1) mech
+  end
+
+let snapshot_now t mech =
+  check_open "Store.snapshot_now" t;
+  Journal.sync t.writer;
+  Snapshots.write ~dir:t.dir ~round:(Journal.next_round t.writer) mech
+
+let sync t =
+  check_open "Store.sync" t;
+  Journal.sync t.writer
+
+let close t =
+  if not t.closed then begin
+    Journal.close t.writer;
+    t.closed <- true
+  end
+
+let simulate_crash t ~keep ~junk =
+  check_open "Store.simulate_crash" t;
+  let path = Journal.active_segment t.writer in
+  let durable = Journal.durable_offset t.writer in
+  Journal.abandon t.writer;
+  t.closed <- true;
+  let size = (Unix.stat path).Unix.st_size in
+  let keep = Float.max 0. (Float.min 1. keep) in
+  let offset =
+    durable + int_of_float (keep *. float_of_int (size - durable))
+  in
+  let offset = min size (max durable offset) in
+  if offset < size then Unix.truncate path offset;
+  if junk <> "" then begin
+    let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+    output_string oc junk;
+    close_out oc
+  end
+
+let replay_event mech (e : Broker.event) =
+  let observe decision =
+    Mechanism.observe mech ~x:e.Broker.x decision ~accepted:e.Broker.accepted
+  in
+  match e.Broker.kind with
+  | Broker.Skipped -> observe Mechanism.Skip
+  | Broker.Exploratory | Broker.Conservative ->
+      let kind =
+        match e.Broker.kind with
+        | Broker.Exploratory -> Mechanism.Exploratory
+        | _ -> Mechanism.Conservative
+      in
+      observe
+        (Mechanism.Post
+           {
+             price = e.Broker.price_index;
+             kind;
+             lower = e.Broker.lower;
+             upper = e.Broker.upper;
+           })
+  | Broker.Baseline ->
+      invalid_arg "Store.replay_event: baseline events carry no mechanism decision"
+
+type recovery = {
+  mechanism : Mechanism.t option;
+  next_round : int;
+  snapshot_round : int;
+  replayed : int;
+  torn : bool;
+  events : Broker.event array;
+}
+
+let recover ?initial ~dir () =
+  let fail fmt = Printf.ksprintf (fun m -> Error ("Store.recover: " ^ m)) fmt in
+  match Journal.read_dir ~dir with
+  | Error _ as e -> e
+  | Ok (events, tail) -> (
+      let events = Array.of_list events in
+      let n = Array.length events in
+      let torn = match tail with Journal.Torn _ -> true | Journal.Clean -> false in
+      let first_t = if n = 0 then max_int else events.(0).Broker.t in
+      let last_next = if n = 0 then 0 else events.(n - 1).Broker.t + 1 in
+      let base =
+        match Snapshots.newest ~dir with
+        | Some (r, m) -> Ok (Some m, r)
+        | None -> (
+            match initial with
+            | Some make -> Ok (Some (make ()), 0)
+            | None -> Ok (None, 0))
+      in
+      match base with
+      | Error _ as e -> e
+      | Ok (mech, snapshot_round) -> (
+          match mech with
+          | None ->
+              Ok
+                {
+                  mechanism = None;
+                  next_round = max snapshot_round last_next;
+                  snapshot_round;
+                  replayed = 0;
+                  torn;
+                  events;
+                }
+          | Some m ->
+              if n > 0 && first_t > snapshot_round && last_next > snapshot_round
+              then
+                fail
+                  "journal starts at round %d but replay must begin at round \
+                   %d (missing segments?)"
+                  first_t snapshot_round
+              else begin
+                (* A journal that ends before the snapshot round has
+                   nothing to replay — the snapshot is newer than every
+                   durable event, so it wins outright. *)
+                let replayed = ref 0 in
+                let error = ref None in
+                (try
+                   Array.iter
+                     (fun e ->
+                       if !error = None && e.Broker.t >= snapshot_round then begin
+                         if e.Broker.kind = Broker.Baseline then begin
+                           error :=
+                             Some
+                               (Printf.sprintf
+                                  "Store.recover: round %d is a baseline \
+                                   event; only mechanism policies replay"
+                                  e.Broker.t)
+                         end
+                         else begin
+                           replay_event m e;
+                           incr replayed
+                         end
+                       end)
+                     events
+                 with Invalid_argument msg ->
+                   error := Some ("Store.recover: replay failed: " ^ msg));
+                match !error with
+                | Some msg -> Error msg
+                | None ->
+                    Ok
+                      {
+                        mechanism = Some m;
+                        next_round = max snapshot_round last_next;
+                        snapshot_round;
+                        replayed = !replayed;
+                        torn;
+                        events;
+                      }
+              end))
+
+let compact ~dir =
+  match Snapshots.rounds ~dir with
+  | [] -> 0
+  | rounds ->
+      let newest = List.fold_left max 0 rounds in
+      let rec go deleted = function
+        | (_, path) :: ((next_start, _) :: _ as rest) when next_start <= newest
+          ->
+            Sys.remove path;
+            go (deleted + 1) rest
+        | _ -> deleted
+      in
+      go 0 (Journal.segments ~dir)

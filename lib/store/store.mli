@@ -1,0 +1,113 @@
+(** Durable market state: journal + snapshots + crash recovery.
+
+    A store is a directory holding a segmented event {!Journal} and a
+    {!Snapshots} store of periodic binary mechanism images.  Attach
+    {!sink} as a broker's [?journal] to persist every round; after a
+    crash, {!recover} rebuilds the mechanism from the newest valid
+    snapshot plus a replay of the journal tail.
+
+    Crash-consistency contract (DESIGN.md has the full statement):
+
+    - journal appends are buffered; segment rotation, every snapshot,
+      {!sync} and {!close} flush+fsync, so a crash loses at most the
+      suffix appended since the last of those barriers — which
+      recovery tolerates as a torn tail;
+    - the journal is fsync'd {e before} a snapshot is written, so a
+      durable snapshot at round [r] implies durable journal coverage
+      of rounds [< r];
+    - snapshots land by atomic rename, so a crash mid-snapshot leaves
+      the previous snapshot set intact;
+    - CRC damage anywhere before the journal tail, or in every
+      snapshot, makes recovery refuse with [Error] rather than
+      misprice silently. *)
+
+type t
+
+val create :
+  ?segment_bytes:int ->
+  ?fsync_every_record:bool ->
+  ?snapshot_every:int ->
+  dir:string ->
+  start:int ->
+  unit ->
+  t
+(** Open a store rooted at [dir] (created if absent, one level deep)
+    whose next journaled event is round [start].
+    [snapshot_every = k > 0] snapshots the attached mechanism after
+    every round [t] with [(t+1) mod k = 0] (default [0]: only
+    explicit {!snapshot_now} calls).  [segment_bytes] and
+    [fsync_every_record] pass through to
+    {!Journal.create_writer}. *)
+
+val dir : t -> string
+
+val sink : t -> mech:Dm_market.Mechanism.t -> Dm_market.Broker.event -> unit
+(** [sink t ~mech] (partially applied) is a [?journal] sink for
+    {!Dm_market.Broker.run}/[run_sharded]: appends every event and
+    takes the periodic snapshots of [mech] that [snapshot_every]
+    asks for (journal fsync'd first — the contract above). *)
+
+val snapshot_now : t -> Dm_market.Mechanism.t -> unit
+(** Sync the journal, then snapshot [mech] at the current
+    {!Journal.next_round} boundary. *)
+
+val sync : t -> unit
+(** Durability barrier: flush and fsync the active journal segment. *)
+
+val close : t -> unit
+(** Sync and release; idempotent. *)
+
+val simulate_crash : t -> keep:float -> junk:string -> unit
+(** Fault-injection hook for the recovery driver and tests: abandon
+    the writer as a hard kill would (no final fsync), truncate the
+    active segment at the durable watermark plus [keep] (clamped to
+    [0, 1]) of the bytes written beyond it, then append the [junk]
+    bytes as torn-tail garbage.  Bytes below {!Journal.durable_offset}
+    are never touched — a real crash cannot un-fsync data.  The store
+    counts as closed afterwards. *)
+
+val replay_event :
+  Dm_market.Mechanism.t -> Dm_market.Broker.event -> unit
+(** Re-apply one journaled round to a mechanism: reconstructs the
+    recorded decision ([Skip], or [Post] from [price_index]/[kind]/
+    bounds) and feeds it through {!Dm_market.Mechanism.observe} with
+    the recorded acceptance.  Replaying a [Baseline] event raises
+    [Invalid_argument] — baselines carry no mechanism decision. *)
+
+type recovery = {
+  mechanism : Dm_market.Mechanism.t option;
+      (** the recovered state, positioned at [next_round]; [None]
+          when the store has no valid snapshot and no [initial] was
+          supplied *)
+  next_round : int;  (** first round not yet on disk *)
+  snapshot_round : int;  (** boundary the state was restored from;
+                             [0] when replay started from scratch *)
+  replayed : int;  (** journal events applied on top of the snapshot *)
+  torn : bool;  (** whether a torn journal tail was discarded *)
+  events : Dm_market.Broker.event array;
+      (** every event on disk, in round order — the full audit trail
+          (starts later than round 0 after {!compact}) *)
+}
+
+val recover :
+  ?initial:(unit -> Dm_market.Mechanism.t) ->
+  dir:string ->
+  unit ->
+  (recovery, string) result
+(** Rebuild state from [dir]: read the journal (tolerating a torn
+    tail in the final segment only), pick the newest snapshot that
+    validates ({!Snapshots.newest}), and replay the events at or
+    after its round.  With no usable snapshot, [initial] supplies
+    the round-0 state to replay from (it is only called in that
+    case); otherwise [mechanism] is [None] and only the audit fields
+    are filled.  [Error] (with a [Module.function: reason] message)
+    on pre-tail journal corruption, round gaps, a journal that
+    starts after the round replay must begin from, or a
+    non-replayable [Baseline] event in the replay range. *)
+
+val compact : dir:string -> int
+(** Delete journal segments entirely covered by the newest snapshot
+    — those whose successor segment starts at or before its round —
+    and return how many were removed.  The active (last) segment and
+    all snapshots are kept, so {!recover} after compaction yields
+    the same state. *)

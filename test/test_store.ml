@@ -1,0 +1,542 @@
+(* Unit and property tests for the dm_store durability layer: frame
+   codec, journal writer/reader, snapshot store, crash recovery and
+   the cross-format snapshot equivalence the recovery path relies
+   on. *)
+
+module Vec = Dm_linalg.Vec
+module Rng = Dm_prob.Rng
+module Mechanism = Dm_market.Mechanism
+module Broker = Dm_market.Broker
+module Frame = Dm_store.Frame
+module Journal = Dm_store.Journal
+module Snapshots = Dm_store.Snapshots
+module Store = Dm_store.Store
+module Longrun = Dm_experiments.Longrun
+module Recover = Dm_experiments.Recover
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+(* Scratch stores live under the build sandbox's cwd, never /tmp. *)
+let dir_counter = ref 0
+
+let with_dir f =
+  incr dir_counter;
+  let dir =
+    Filename.concat (Sys.getcwd ())
+      (Printf.sprintf ".dm_store_test-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let flip_byte path ~offset =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let b = Bytes.create 1 in
+      ignore (Unix.lseek fd offset Unix.SEEK_SET);
+      if Unix.read fd b 0 1 <> 1 then failwith "flip_byte: short read";
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+      ignore (Unix.lseek fd offset Unix.SEEK_SET);
+      if Unix.write fd b 0 1 <> 1 then failwith "flip_byte: short write")
+
+let ok_or_fail = function Ok v -> v | Error msg -> Alcotest.fail msg
+
+let fbits = Int64.bits_of_float
+
+let event_equal (a : Broker.event) (b : Broker.event) =
+  let obits = function None -> None | Some v -> Some (fbits v) in
+  let vec_bits v = Array.init (Vec.dim v) (fun i -> fbits (Vec.get v i)) in
+  a.Broker.t = b.Broker.t && a.kind = b.kind && a.accepted = b.accepted
+  && fbits a.reserve = fbits b.reserve
+  && fbits a.price_index = fbits b.price_index
+  && fbits a.lower = fbits b.lower
+  && fbits a.upper = fbits b.upper
+  && obits a.posted = obits b.posted
+  && fbits a.payment = fbits b.payment
+  && vec_bits a.x = vec_bits b.x
+
+(* A random but semantically shaped event; sparse-ish feature vectors
+   (75% zeros) exercise the Vec.Sparse storage path, dense ones the
+   float loop.  Non-zero entries stay away from -0., which sparse
+   storage normalizes to +0. by design. *)
+let gen_event rng ~t =
+  let dim = 1 + Rng.int rng 40 in
+  let sparse_ish = Rng.int rng 2 = 0 in
+  let x =
+    Vec.init dim (fun _ ->
+        if sparse_ish && Rng.int rng 4 <> 0 then 0.
+        else ((Rng.float rng -. 0.5) *. 8.) +. 0.001)
+  in
+  let kind =
+    match Rng.int rng 4 with
+    | 0 -> Broker.Exploratory
+    | 1 -> Broker.Conservative
+    | 2 -> Broker.Skipped
+    | _ -> Broker.Baseline
+  in
+  let price = 0.25 +. Rng.float rng in
+  match kind with
+  | Broker.Skipped ->
+      { Broker.t; x; reserve = Rng.float rng; kind; price_index = nan;
+        lower = nan; upper = nan; posted = None; accepted = false; payment = 0. }
+  | Broker.Baseline ->
+      let accepted = Rng.int rng 2 = 0 in
+      { Broker.t; x; reserve = price; kind; price_index = nan; lower = nan;
+        upper = nan; posted = Some price; accepted;
+        payment = (if accepted then price else 0.) }
+  | _ ->
+      let accepted = Rng.int rng 2 = 0 in
+      { Broker.t; x; reserve = Rng.float rng; kind;
+        price_index = Rng.float rng; lower = -.Rng.float rng;
+        upper = 1. +. Rng.float rng; posted = Some price; accepted;
+        payment = (if accepted then price else 0.) }
+
+(* ------------------------------------------------------------------ *)
+(* Frame: CRC32 framing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let frame_string payloads =
+  let buf = Buffer.create 256 in
+  List.iter (Frame.append buf) payloads;
+  Buffer.contents buf
+
+(* Record end offsets: [e1; e2; ...; total]. *)
+let frame_ends payloads =
+  List.rev
+    (List.fold_left
+       (fun acc p ->
+         let prev = match acc with [] -> 0 | e :: _ -> e in
+         (prev + Frame.frame_bytes p) :: acc)
+       [] payloads)
+
+let firstn n l = List.filteri (fun i _ -> i < n) l
+
+let prop_roundtrip =
+  prop "framed records round-trip cleanly" 300
+    QCheck.(small_list (string_of_size Gen.(int_range 0 48)))
+    (fun payloads ->
+      match Frame.decode (frame_string payloads) with
+      | Ok (ps, Frame.Clean) -> ps = payloads
+      | Ok (_, Frame.Torn _) -> QCheck.Test.fail_report "torn on clean input"
+      | Error m -> QCheck.Test.fail_reportf "decode: %s" m)
+
+let prop_truncation =
+  prop "truncation yields the longest valid prefix" 500
+    QCheck.(pair (small_list (string_of_size Gen.(int_range 0 32))) small_nat)
+    (fun (payloads, cut_seed) ->
+      let src = frame_string payloads in
+      let cut = cut_seed mod (String.length src + 1) in
+      let ends = frame_ends payloads in
+      let expect_n = List.length (List.filter (fun e -> e <= cut) ends) in
+      let boundary = cut = 0 || List.mem cut ends in
+      let torn_at =
+        List.fold_left (fun acc e -> if e <= cut then e else acc) 0 ends
+      in
+      match Frame.decode (String.sub src 0 cut) with
+      | Ok (ps, tail) ->
+          ps = firstn expect_n payloads
+          && (match tail with
+             | Frame.Clean -> boundary
+             | Frame.Torn off -> (not boundary) && off = torn_at)
+      | Error m -> QCheck.Test.fail_reportf "decode: %s" m)
+
+let prop_corruption =
+  prop "bit flips before the tail never pass as clean" 500
+    QCheck.(
+      triple
+        (small_list (string_of_size Gen.(int_range 0 32)))
+        small_nat small_nat)
+    (fun (extra, pos_seed, bit_seed) ->
+      (* Two fixed records up front guarantee a non-tail target. *)
+      let payloads = "alpha-payload" :: "beta-payload" :: extra in
+      let src = frame_string payloads in
+      let ends = frame_ends payloads in
+      let last_start = List.nth ends (List.length ends - 2) in
+      let pos = pos_seed mod last_start in
+      let corrupted = Bytes.of_string src in
+      Bytes.set corrupted pos
+        (Char.chr (Char.code (Bytes.get corrupted pos) lxor (1 lsl (bit_seed mod 8))));
+      (* index of the record holding the flipped byte *)
+      let corrupt_idx = List.length (List.filter (fun e -> e <= pos) ends) in
+      match Frame.decode (Bytes.to_string corrupted) with
+      | Error _ -> true
+      | Ok (ps, tail) ->
+          (* A flipped length field can masquerade as a torn tail, but
+             only by discarding everything from the damaged record on —
+             never by altering or inventing a payload. *)
+          tail <> Frame.Clean
+          && List.length ps <= corrupt_idx
+          && ps = firstn (List.length ps) payloads)
+
+let test_seal_matches_append () =
+  let payloads =
+    [ ""; "x"; String.init 16 Char.chr;
+      String.init 41 (fun i -> Char.chr (i * 3 land 0xff)); "0123456789abcdef0" ]
+  in
+  let reference = frame_string payloads in
+  (* Encode the same frames with blank CRCs, then seal the batch. *)
+  let b = Bytes.make (String.length reference) '\000' in
+  let at = ref 0 in
+  List.iter
+    (fun p ->
+      Bytes.set_int32_le b !at (Int32.of_int (String.length p));
+      Bytes.blit_string p 0 b (!at + 8) (String.length p);
+      at := !at + 8 + String.length p)
+    payloads;
+  Frame.seal b ~stop:!at;
+  check_bool "sealed batch = per-record framing" true
+    (String.equal (Bytes.to_string b) reference);
+  (match Frame.decode (Bytes.to_string b) with
+  | Ok (ps, Frame.Clean) -> check_bool "decodes cleanly" true (ps = payloads)
+  | _ -> Alcotest.fail "sealed batch did not decode cleanly");
+  Alcotest.check_raises "mid-frame stop refused"
+    (Invalid_argument "Frame.seal: truncated frame") (fun () ->
+      Frame.seal b ~stop:(!at - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Journal: event codec and segmented writer/reader                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_event_codec =
+  prop "event codec round-trips every field bit-for-bit" 300
+    QCheck.(pair (int_range 0 100_000) (int_range 0 10_000))
+    (fun (seed, t) ->
+      let e = gen_event (Rng.create seed) ~t in
+      match Journal.decode_event (Journal.encode_event e) with
+      | Ok e' -> event_equal e e'
+      | Error m -> QCheck.Test.fail_reportf "decode_event: %s" m)
+
+let write_journal ~dir ~seed ~n =
+  let rng = Rng.create seed in
+  let events = List.init n (fun t -> gen_event rng ~t) in
+  let w = Journal.create_writer ~segment_bytes:4096 ~dir ~start:0 () in
+  List.iter (Journal.append w) events;
+  (events, w)
+
+let test_writer_rotation_roundtrip () =
+  with_dir @@ fun dir ->
+  let n = 300 in
+  let events, w = write_journal ~dir ~seed:99 ~n in
+  check_int "next_round" n (Journal.next_round w);
+  (try
+     Journal.append w (List.hd events);
+     Alcotest.fail "round gap accepted"
+   with Invalid_argument _ -> ());
+  Journal.close w;
+  check_bool "rotation produced several segments" true
+    (List.length (Journal.segments ~dir) > 1);
+  match Journal.read_dir ~dir with
+  | Ok (es, Journal.Clean) ->
+      check_int "event count" n (List.length es);
+      List.iter2
+        (fun a b -> check_bool "event bits" true (event_equal a b))
+        events es
+  | Ok (_, Journal.Torn _) -> Alcotest.fail "unexpected torn tail"
+  | Error m -> Alcotest.fail m
+
+let test_torn_tail_tolerated () =
+  with_dir @@ fun dir ->
+  let n = 120 in
+  let _, w = write_journal ~dir ~seed:7 ~n in
+  Journal.close w;
+  let segs = Journal.segments ~dir in
+  let last = snd (List.nth segs (List.length segs - 1)) in
+  let size = (Unix.stat last).Unix.st_size in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 last in
+  output_string oc "\x01garbage-after-crash";
+  close_out oc;
+  (match Journal.read_dir ~dir with
+  | Ok (es, Journal.Torn { segment; offset }) ->
+      check_int "all events intact" n (List.length es);
+      check_bool "torn in the final segment" true (String.equal segment last);
+      check_int "torn exactly at the durable size" size offset
+  | Ok (_, Journal.Clean) -> Alcotest.fail "trailing garbage read as clean"
+  | Error m -> Alcotest.fail m);
+  (* cutting into the final record loses it but stays recoverable *)
+  Unix.truncate last (size - 3);
+  match Journal.read_dir ~dir with
+  | Ok (es, Journal.Torn _) -> check_int "one event lost" (n - 1) (List.length es)
+  | Ok (_, Journal.Clean) -> Alcotest.fail "truncation read as clean"
+  | Error m -> Alcotest.fail m
+
+let test_pretail_corruption_refused () =
+  with_dir @@ fun dir ->
+  let n = 120 in
+  let _, w = write_journal ~dir ~seed:13 ~n in
+  Journal.close w;
+  let segs = Journal.segments ~dir in
+  check_bool "multiple segments" true (List.length segs >= 2);
+  let first = snd (List.hd segs) in
+  (* One flipped payload byte well before the tail: offset 18 is magic
+     (8) + frame header (8) + 2 bytes into the first record. *)
+  flip_byte first ~offset:18;
+  (match Journal.read_dir ~dir with
+  | Error m -> check_bool "names Journal.read_dir" true (contains m "Journal.read_dir")
+  | Ok _ -> Alcotest.fail "pre-tail corruption accepted");
+  flip_byte first ~offset:18;
+  (* a mangled magic before the final segment is corruption too *)
+  flip_byte first ~offset:0;
+  (match Journal.read_dir ~dir with
+  | Error m -> check_bool "magic named" true (contains m "magic")
+  | Ok _ -> Alcotest.fail "bad pre-tail magic accepted");
+  flip_byte first ~offset:0;
+  (* ...but on the final segment it is the rotation crash window *)
+  let last = snd (List.nth segs (List.length segs - 1)) in
+  flip_byte last ~offset:0;
+  match Journal.read_dir ~dir with
+  | Ok (es, Journal.Torn { segment; offset }) ->
+      check_bool "final segment dropped whole" true
+        (String.equal segment last && offset = 0);
+      check_bool "earlier segments kept" true
+        (List.length es > 0 && List.length es < n)
+  | Ok (_, Journal.Clean) -> Alcotest.fail "mangled final magic read as clean"
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: atomic store, corrupt files skipped                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a mechanism over the Longrun stream; the market index is a
+   pure function of the round so every mechanism sees the same
+   buyers. *)
+let drive setup mech t =
+  let x, reserve = setup.Longrun.workload t in
+  let market =
+    (1.2 *. Vec.sum x /. float_of_int setup.Longrun.dim) +. setup.Longrun.noise t
+  in
+  let d, _ = Mechanism.step mech ~x ~reserve ~market_index:market in
+  match d with
+  | Mechanism.Skip -> Int64.min_int
+  | Mechanism.Post { price; _ } -> fbits price
+
+let test_snapshots_newest_skips_corrupt () =
+  with_dir @@ fun dir ->
+  let setup = Longrun.make_setup ~dim:4 ~seed:11 ~rounds:200 () in
+  let mech = Longrun.mechanism setup (snd (List.nth Longrun.variants 2)) in
+  for t = 0 to 99 do ignore (drive setup mech t) done;
+  Snapshots.write ~dir ~round:100 mech;
+  let b100 = Mechanism.snapshot_binary mech in
+  for t = 100 to 199 do ignore (drive setup mech t) done;
+  Snapshots.write ~dir ~round:200 mech;
+  let b200 = Mechanism.snapshot_binary mech in
+  check_bool "both rounds listed" true (Snapshots.rounds ~dir = [ 100; 200 ]);
+  (match Snapshots.newest ~dir with
+  | Some (200, m) ->
+      check_bool "newest state exact" true
+        (String.equal b200 (Mechanism.snapshot_binary m))
+  | _ -> Alcotest.fail "newest did not pick round 200");
+  (* damage the newest snapshot mid-payload: load refuses, newest
+     falls back to the older valid one *)
+  let snap200 = Filename.concat dir (Snapshots.file_name 200) in
+  flip_byte snap200 ~offset:((Unix.stat snap200).Unix.st_size / 2);
+  (match Snapshots.load ~dir ~round:200 with
+  | Error m -> check_bool "load names a reason" true (contains m ":")
+  | Ok _ -> Alcotest.fail "corrupt snapshot loaded");
+  match Snapshots.newest ~dir with
+  | Some (100, m) ->
+      check_bool "fallback state exact" true
+        (String.equal b100 (Mechanism.snapshot_binary m))
+  | _ -> Alcotest.fail "newest did not fall back to round 100"
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot cross-format equivalence (text v1/v2 vs binary v3)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Restore the same mechanism from its text and binary snapshots and
+   drive all three over 1000 further rounds of the same dense stream:
+   every posted price must match bit-for-bit.  (The text format does
+   not record [sparse_cuts], so the streams here are dense — the App-1
+   shape — where the flag cannot influence a price.) *)
+let cross_format ~dim ~variant_idx () =
+  let prefix = 200 and extra = 1000 in
+  let setup = Longrun.make_setup ~dim ~seed:(31 + dim) ~rounds:(prefix + extra) () in
+  let variant = snd (List.nth Longrun.variants variant_idx) in
+  let mech = Longrun.mechanism setup variant in
+  for t = 0 to prefix - 1 do ignore (drive setup mech t) done;
+  let m_text = ok_or_fail (Mechanism.restore (Mechanism.snapshot mech)) in
+  let m_bin = ok_or_fail (Mechanism.restore (Mechanism.snapshot_binary mech)) in
+  let run m = Array.init extra (fun i -> drive setup m (prefix + i)) in
+  let p0 = run mech in
+  let p_text = run m_text in
+  let p_bin = run m_bin in
+  check_bool "text restore prices bit-identical" true (p0 = p_text);
+  check_bool "binary restore prices bit-identical" true (p0 = p_bin)
+
+let test_restore_error_names_position () =
+  match Mechanism.restore "dm-mechanism-snapshot v9000\nnonsense" with
+  | Ok _ -> Alcotest.fail "garbage restored"
+  | Error m -> check_bool "prefixed" true (contains m "Mechanism.restore")
+
+(* ------------------------------------------------------------------ *)
+(* Store: crash, recovery, compaction                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_crash_recover_compact () =
+  with_dir @@ fun dir ->
+  let rounds = 400 and crash = 250 in
+  let setup = Longrun.make_setup ~dim:4 ~seed:17 ~rounds () in
+  let variant = snd (List.hd Longrun.variants) in
+  let store = Store.create ~segment_bytes:4096 ~snapshot_every:64 ~dir ~start:0 () in
+  let mech = Longrun.mechanism setup variant in
+  ignore
+    (Broker.run
+       ~journal:(Store.sink store ~mech)
+       ~policy:(Broker.Ellipsoid_pricing mech) ~model:setup.Longrun.model
+       ~noise:setup.Longrun.noise ~workload:setup.Longrun.workload
+       ~rounds:crash ());
+  Store.simulate_crash store ~keep:0.5 ~junk:"torn-tail-garbage";
+  let fresh () = Longrun.mechanism setup variant in
+  let rec1 = ok_or_fail (Store.recover ~initial:fresh ~dir ()) in
+  check_bool "recovered from a snapshot" true (rec1.Store.snapshot_round > 0);
+  check_bool "journal covers the prefix" true
+    (Array.length rec1.Store.events = rec1.Store.next_round);
+  check_bool "prefix within the crash point" true (rec1.Store.next_round <= crash);
+  check_bool "prefix reaches the snapshot" true
+    (rec1.Store.next_round >= rec1.Store.snapshot_round);
+  (* pre-tail byte flip: recovery must refuse, not reprice *)
+  let first_seg = snd (List.hd (Journal.segments ~dir)) in
+  flip_byte first_seg ~offset:18;
+  (match Store.recover ~dir () with
+  | Error m -> check_bool "Module.function: reason" true (contains m ":")
+  | Ok _ -> Alcotest.fail "recover accepted pre-tail corruption");
+  flip_byte first_seg ~offset:18;
+  let state1 = Mechanism.snapshot_binary (Option.get rec1.Store.mechanism) in
+  let deleted = Store.compact ~dir in
+  check_bool "compaction removed covered segments" true (deleted >= 1);
+  let rec2 = ok_or_fail (Store.recover ~initial:fresh ~dir ()) in
+  check_bool "compaction preserves the recovered state" true
+    (rec2.Store.next_round = rec1.Store.next_round
+    && String.equal state1 (Mechanism.snapshot_binary (Option.get rec2.Store.mechanism)))
+
+let test_sharded_journal_identity () =
+  let rounds = 400 in
+  let setup = Longrun.make_setup ~dim:8 ~seed:23 ~rounds () in
+  let variant = snd (List.nth Longrun.variants 3) in
+  let collect run_fn =
+    let buf = Buffer.create (1 lsl 16) in
+    let mech = Longrun.mechanism setup variant in
+    ignore
+      (run_fn
+         ~journal:(fun e -> Buffer.add_string buf (Journal.encode_event e))
+         ~policy:(Broker.Ellipsoid_pricing mech));
+    Buffer.contents buf
+  in
+  let sequential =
+    collect (fun ~journal ~policy ->
+        Broker.run ~journal ~policy ~model:setup.Longrun.model
+          ~noise:setup.Longrun.noise ~workload:setup.Longrun.workload ~rounds ())
+  in
+  let sharded =
+    collect (fun ~journal ~policy ->
+        Broker.run_sharded ~journal ~mode:Broker.Exact ~shards:5 ~policy
+          ~model:setup.Longrun.model ~noise:setup.Longrun.noise
+          ~workload:setup.Longrun.workload ~rounds ())
+  in
+  check_bool "sharded journal stream bit-identical" true
+    (String.equal sequential sharded)
+
+(* ------------------------------------------------------------------ *)
+(* Recover driver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_recover_driver_smoke () =
+  let out = render (fun ppf -> Recover.report ~scale:0.01 ~seed:5 ~jobs:1 ppf) in
+  check_bool "all variants bit-identical" true
+    (contains out "4/4 variants bit-identical");
+  check_bool "corruption probe rejected" true (contains out "rejected");
+  check_bool "compaction verified" true (contains out "ok (-")
+
+let test_recover_driver_jobs_independent () =
+  let out jobs = render (fun ppf -> Recover.report ~scale:0.01 ~seed:5 ~jobs ppf) in
+  check_bool "bytes identical across jobs" true (String.equal (out 1) (out 2))
+
+let test_journal_overhead_shape () =
+  let entries = Recover.journal_overhead ~seed:3 ~reps:1 ~rounds:300 () in
+  check_int "three modes" 3 (List.length entries);
+  check_bool "expected names" true
+    (List.map fst entries
+    = [ "journal/longrun_off"; "journal/longrun_nofsync"; "journal/longrun_fsync" ]);
+  List.iter
+    (fun (name, ns) ->
+      check_bool (name ^ " positive and finite") true (ns > 0. && Float.is_finite ns))
+    entries
+
+(* ------------------------------------------------------------------ *)
+
+let () = Test_env.install_pool_from_env ()
+
+let () =
+  Alcotest.run "dm_store"
+    [
+      ( "frame",
+        [
+          prop_roundtrip;
+          prop_truncation;
+          prop_corruption;
+          Alcotest.test_case "batch seal = per-record framing" `Quick
+            test_seal_matches_append;
+        ] );
+      ( "journal",
+        [
+          prop_event_codec;
+          Alcotest.test_case "writer rotation round-trip" `Quick
+            test_writer_rotation_roundtrip;
+          Alcotest.test_case "torn tail tolerated" `Quick test_torn_tail_tolerated;
+          Alcotest.test_case "pre-tail corruption refused" `Quick
+            test_pretail_corruption_refused;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "newest skips corrupt files" `Quick
+            test_snapshots_newest_skips_corrupt;
+          Alcotest.test_case "restore error names position" `Quick
+            test_restore_error_names_position;
+          Alcotest.test_case "cross-format prices, n = 1" `Quick
+            (cross_format ~dim:1 ~variant_idx:0);
+          Alcotest.test_case "cross-format prices, n = 2" `Quick
+            (cross_format ~dim:2 ~variant_idx:1);
+          Alcotest.test_case "cross-format prices, n = 8" `Quick
+            (cross_format ~dim:8 ~variant_idx:2);
+          Alcotest.test_case "cross-format prices, n = 128" `Slow
+            (cross_format ~dim:128 ~variant_idx:3);
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "crash, recover, compact" `Quick
+            test_store_crash_recover_compact;
+          Alcotest.test_case "sharded journal bit-identity" `Quick
+            test_sharded_journal_identity;
+        ] );
+      ( "recover driver",
+        [
+          Alcotest.test_case "smoke (tiny)" `Slow test_recover_driver_smoke;
+          Alcotest.test_case "jobs-independent bytes" `Slow
+            test_recover_driver_jobs_independent;
+          Alcotest.test_case "journal overhead shape" `Slow
+            test_journal_overhead_shape;
+        ] );
+    ]
