@@ -1,0 +1,44 @@
+module Broker = Dm_market.Broker
+module Snapshots = Dm_store.Snapshots
+module Store = Dm_store.Store
+
+let mk_event t =
+  { Broker.t; x = [| 1.0; 2.0 |]; reserve = 0.5; kind = Broker.Exploratory;
+    price_index = 0.3; lower = 0.1; upper = 0.9; posted = Some 0.4;
+    accepted = true; payment = 0.4 }
+
+let () =
+  let dir = "/tmp/repro_store2" in
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end;
+  let ell = Dm_market.Ellipsoid.make ~center:[| 0.; 0. |]
+      ~shape:(Dm_linalg.Mat.init 2 2 (fun i j -> if i = j then 10. else 0.)) in
+  let mech = Dm_market.Mechanism.create
+      (Dm_market.Mechanism.config ~variant:{ Dm_market.Mechanism.use_reserve = false; delta = 0.01 }
+         ~epsilon:0.5 ()) ell in
+  (* Tiny segments to force rotation; snapshot every 20 rounds. *)
+  let store = Store.create ~segment_bytes:4096 ~snapshot_every:20 ~dir ~start:0 () in
+  for t = 0 to 99 do Store.sink store ~mech (mk_event t) done;
+  Store.close store;
+  (* Corrupt the NEWEST snapshot (flip a payload byte). *)
+  let rounds = Snapshots.rounds ~dir in
+  let newest = List.fold_left max 0 rounds in
+  let snap = Filename.concat dir (Printf.sprintf "snap-%012d.dms" newest) in
+  let fd = Unix.openfile snap [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd 20 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "\xff") 0 1);
+  Unix.close fd;
+  Printf.printf "corrupted newest snapshot round=%d\n" newest;
+  (* Sanity: recovery before compaction falls back to an older snapshot. *)
+  (match Store.recover ~dir () with
+   | Ok r -> Printf.printf "recover-before-compact ok: snap@%d next=%d\n"
+               r.Store.snapshot_round r.Store.next_round
+   | Error m -> Printf.printf "recover-before-compact ERROR: %s\n" m);
+  let deleted = Store.compact ~dir in
+  Printf.printf "compact deleted %d segments\n" deleted;
+  (match Store.recover ~dir () with
+   | Ok r -> Printf.printf "recover-after-compact ok: snap@%d next=%d\n"
+               r.Store.snapshot_round r.Store.next_round
+   | Error m -> Printf.printf "recover-after-compact ERROR: %s\n" m)
