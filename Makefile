@@ -24,7 +24,9 @@ bench:
 # (Test_env reads BENCH_JOBS), so the byte-determinism properties are
 # exercised on both code paths — then a crash-recovery smoke (kill a
 # journaled run, recover, resume; all four variants must come back
-# bit-identical) and a tiny 2-domain bench smoke that
+# bit-identical), a fleet smoke (concurrent tenants on one shared
+# group-commit journal; every tenant must match its solo run live and
+# after kill/recover/resume) and a tiny 2-domain bench smoke that
 # also writes a BENCH_*.json record exercising the perf-trajectory
 # pipeline.  When a previous BENCH_*.json exists, the smoke record is
 # compared against it and a flagged regression fails the target; the
@@ -39,6 +41,11 @@ ci: build
 	  | tee /dev/stderr \
 	  | grep -q "4/4 variants bit-identical" \
 	  || { echo "crash-recovery smoke FAILED"; exit 1; }
+	@echo "fleet group-commit smoke:"; \
+	dune exec bin/experiments.exe -- fleet --scale 0.01 \
+	  | tee /dev/stderr \
+	  | grep -q "10/10 tenants bit-identical" \
+	  || { echo "fleet smoke FAILED"; exit 1; }
 	@prev=$$(ls -1 BENCH_*.json 2>/dev/null | tail -1); \
 	BENCH_SCALE=0.01 BENCH_JOBS=2 dune exec bench/main.exe || exit $$?; \
 	new=$$(ls -1 BENCH_*.json 2>/dev/null | tail -1); \

@@ -113,6 +113,7 @@ let stage1_artifacts =
     ("baselines", fun ppf -> Dm_experiments.Baselines.compare ~scale ~jobs ppf);
     ("longrun", fun ppf -> Dm_experiments.Longrun.report ~scale ~jobs ppf);
     ("recover", fun ppf -> Dm_experiments.Recover.report ~scale ~jobs ppf);
+    ("fleet", fun ppf -> Dm_experiments.Fleet.report ~scale ~jobs ppf);
     ("rank", fun ppf -> Dm_experiments.Diagnostics.report ~sample:1_000 ppf);
     ("overhead", fun ppf -> Dm_experiments.Overhead.report ppf);
   ]
@@ -404,7 +405,8 @@ let stage2 () =
 (* ------------------------------------------------------------------ *)
 
 (* Rounds/s of the longrun market with the dm_store journal off, on
-   without per-record fsync, and fsync-every-record.  The entries join
+   without per-record fsync, and fsync-every-record, then the
+   multi-tenant fleet with its group-commit journal.  The entries join
    the stage-2 JSON under the "journal/" prefix that
    [Dm_bench.Record.critical_prefixes] watches, so a regression in the
    journal hot path flags `bench/compare.exe`. *)
@@ -433,7 +435,38 @@ let journal_stage () =
          rounds Dm_experiments.Longrun.default_dim)
     ~header:[ "mode"; "ns/round"; "rounds/s"; "vs off" ]
     (List.map (fun (name, v) -> row name v) entries);
-  entries
+  (* Group-commit amortization: every tenant-round is fully durable
+     (like fsync-every-record above), but one group fsync covers a
+     whole cross-tenant batch, so fsyncs-per-round must come out
+     orders of magnitude below the solo fsync mode's 1.0. *)
+  let fleet_rounds = Dm_experiments.Longrun.scaled_rounds scale 2_000 in
+  let fleet_entries =
+    Dm_experiments.Fleet.journal_amortization ~rounds:fleet_rounds ()
+  in
+  let fleet_ns = List.assoc "journal/fleet_group" fleet_entries in
+  let fleet_rate =
+    List.assoc "journal/fleet_fsyncs_per_kround" fleet_entries /. 1000.
+  in
+  let fsync_ns = ns "journal/longrun_fsync" in
+  Dm_experiments.Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "fleet group commit: 64 tenants x %d rounds (n = %d), every round \
+          durable"
+         fleet_rounds 4)
+    ~header:[ "mode"; "ns/round"; "fsyncs/round"; "vs solo fsync ns" ]
+    [
+      [
+        "journal/longrun_fsync"; Printf.sprintf "%.1f" fsync_ns; "1.0"; "1.00x";
+      ];
+      [
+        "journal/fleet_group";
+        Printf.sprintf "%.1f" fleet_ns;
+        Printf.sprintf "%.2e" fleet_rate;
+        Printf.sprintf "%.0fx" (fsync_ns /. fleet_ns);
+      ];
+    ];
+  entries @ fleet_entries
 
 (* ------------------------------------------------------------------ *)
 (* JSON trajectory file                                                *)

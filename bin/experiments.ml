@@ -168,6 +168,14 @@ let recover_cmd =
     (fun ~pool ~scale ~seed ~jobs ->
       Dm_experiments.Recover.report ?pool ~scale ~seed ~jobs ppf)
 
+let fleet_cmd =
+  simple "fleet"
+    "Multi-tenant broker fleet: ~10^3 concurrent markets on one shared \
+     group-commit journal, each bit-identical to its solo run, live and \
+     after kill/recover/resume"
+    (fun ~pool ~scale ~seed ~jobs ->
+      Dm_experiments.Fleet.report ?pool ~scale ~seed ~jobs ppf)
+
 let baselines_cmd =
   simple "baselines" "Ellipsoid vs SGD (Amin et al.) vs risk-averse"
     (fun ~pool ~scale ~seed ~jobs -> Dm_experiments.Baselines.compare ?pool ~scale ~seed ~jobs ppf)
@@ -206,6 +214,7 @@ let all_cmd =
             Dm_experiments.Baselines.seed_robustness ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Longrun.report ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Recover.report ?pool ~scale ~seed ~jobs ppf;
+            Dm_experiments.Fleet.report ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Diagnostics.report ~seed ppf;
             Dm_experiments.Overhead.report ppf);
         `Ok ()
@@ -228,5 +237,6 @@ let () =
             fig1_cmd; fig4_cmd; table1_cmd; fig5a_cmd; fig5b_cmd; fig5c_cmd;
             coldstart_cmd; lemma8_cmd; theorem3_cmd; theorem2_cmd; lemma2_cmd;
             lemma45_cmd; overhead_cmd; ablation_cmd; baselines_cmd;
-            robustness_cmd; longrun_cmd; recover_cmd; rank_cmd; all_cmd;
+            robustness_cmd; longrun_cmd; recover_cmd; fleet_cmd; rank_cmd;
+            all_cmd;
           ]))

@@ -34,6 +34,22 @@ let run ?(epsilon = 1e-3) ?(radius = 1.) ~allow_conservative_cuts ~dim ~rounds
      price to a central cut position (Lemma 8's construction). *)
   let workload t =
     if t < half then begin
+      (* With cuts allowed, every central cut inflates the off-axis
+         widths by n/√(n²−1) — at dim 2 that is (2/√3) per cut, which
+         drives the e₂ width toward float max geometrically.  Detect
+         the divergence on the representative off-axis direction e₂
+         and stop, instead of silently emitting inf/nan regret
+         rows.  (Whether overflow ever arrives depends on the
+         headroom above [radius]; at radius 1 the squared e₁ width
+         underflows first and the widths freeze finite.) *)
+      let w2 = Ellipsoid.width (Mechanism.ellipsoid mech) ~x:e2 in
+      if not (Float.is_finite w2) then
+        invalid_arg
+          (Printf.sprintf
+             "Adversary.run: ellipsoid diverged at round %d (width along e2 \
+              is no longer finite); conservative cuts inflate off-axis \
+              widths geometrically — shorten the horizon"
+             t);
       let b = Ellipsoid.bounds (Mechanism.ellipsoid mech) ~x:e1 in
       (e1, b.Ellipsoid.mid)
     end

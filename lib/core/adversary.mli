@@ -31,4 +31,16 @@ val run :
 (** Play the adversarial sequence against Algorithm 1 (with reserve,
     no uncertainty) for [rounds] rounds in dimension [dim ≥ 2].
     Defaults: [radius = 1] (the Lemma-8 normalization R = S = 1) and
-    [epsilon = 1e-3]. *)
+    [epsilon = 1e-3].
+
+    With [allow_conservative_cuts:true] the off-axis widths grow by
+    n/√(n²−1) per first-half cut, so the width along e₂ climbs
+    geometrically toward float max.  The run probes that width every
+    first-half round and raises [Invalid_argument "Adversary.run:
+    ..."] the moment it stops being finite, instead of returning
+    inf/nan regret rows — at dim 2 a radius of 1e100 diverges after
+    ~870 cuts.  At the default radius the overflow never arrives: the
+    squared width along the attacked axis e₁ underflows to zero first
+    (~920 cuts at dim 2) and every width freezes where it stands, so
+    long unit-radius horizons complete with a finite (saturated)
+    blow-up rather than raising. *)

@@ -34,6 +34,54 @@ let ok_or_fail = function
   | Ok v -> v
   | Error msg -> failwith ("Recover.report: " ^ msg)
 
+(* Resume over the full horizon through one [Broker.run], so every
+   cumulative sum is accumulated in the reference's exact order: the
+   journaled prefix replays its recorded decisions (the mechanism
+   already holds their knowledge), live rounds price from the
+   recovered state.  Shared with the [Fleet] driver, which resumes
+   every tenant of the shared journal this way. *)
+let resume ~name ~setup ~variant ~mech ~events:(events : Broker.event array)
+    ~prefix ~rounds =
+  if Array.length events <> prefix then
+    failwith "Recover.resume: journal does not cover the recovered prefix";
+  let t = ref 0 in
+  let pending = ref None in
+  let decide ~x ~reserve =
+    let i = !t in
+    incr t;
+    if i < prefix then
+      match events.(i).Broker.kind with
+      | Broker.Skipped -> None
+      | _ -> Some events.(i).Broker.price_index
+    else
+      let d = Mechanism.decide mech ~x ~reserve in
+      match d with
+      | Mechanism.Skip ->
+          Mechanism.observe mech ~x d ~accepted:false;
+          None
+      | Mechanism.Post { price; _ } ->
+          pending := Some d;
+          Some price
+  in
+  let learn ~x ~price:_ ~accepted =
+    match !pending with
+    | Some d ->
+        pending := None;
+        Mechanism.observe mech ~x d ~accepted
+    | None -> ()
+  in
+  Broker.run
+    ~policy:
+      (Broker.Custom
+         {
+           Broker.policy_name = "recovered " ^ name;
+           decide;
+           learn;
+           uses_reserve = variant.Mechanism.use_reserve;
+         })
+    ~model:setup.Longrun.model ~noise:setup.Longrun.noise
+    ~workload:setup.Longrun.workload ~rounds ()
+
 (* One self-contained verification cell.  Everything below is a pure
    function of (seed, rounds, index, variant) — the cell touches only
    its own store directory, so the cells are safe on any domain and
@@ -96,52 +144,9 @@ let verify_variant ~seed ~rounds index (name, variant) =
     String.equal state1 (Mechanism.snapshot_binary mech)
     && rec2.Store.next_round = rec1.Store.next_round
   in
-  (* Resume over the full horizon through one [Broker.run], so every
-     cumulative sum is accumulated in the reference's exact order: the
-     journaled prefix replays its recorded decisions (the mechanism
-     already holds their knowledge), live rounds price from the
-     recovered state. *)
-  let events = rec1.Store.events in
-  let n_prefix = rec1.Store.next_round in
-  if Array.length events <> n_prefix then
-    failwith "Recover.report: journal does not cover the recovered prefix";
-  let t = ref 0 in
-  let pending = ref None in
-  let decide ~x ~reserve =
-    let i = !t in
-    incr t;
-    if i < n_prefix then
-      match events.(i).Broker.kind with
-      | Broker.Skipped -> None
-      | _ -> Some events.(i).Broker.price_index
-    else
-      let d = Mechanism.decide mech ~x ~reserve in
-      match d with
-      | Mechanism.Skip ->
-          Mechanism.observe mech ~x d ~accepted:false;
-          None
-      | Mechanism.Post { price; _ } ->
-          pending := Some d;
-          Some price
-  in
-  let learn ~x ~price:_ ~accepted =
-    match !pending with
-    | Some d ->
-        pending := None;
-        Mechanism.observe mech ~x d ~accepted
-    | None -> ()
-  in
   let resumed =
-    run
-      ~policy:
-        (Broker.Custom
-           {
-             Broker.policy_name = "recovered " ^ name;
-             decide;
-             learn;
-             uses_reserve = variant.Mechanism.use_reserve;
-           })
-      ~rounds ()
+    resume ~name ~setup ~variant ~mech ~events:rec1.Store.events
+      ~prefix:rec1.Store.next_round ~rounds
   in
   let identical =
     Longrun.series_identical reference.Broker.series resumed.Broker.series

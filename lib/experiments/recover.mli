@@ -26,6 +26,23 @@
 val full_rounds : int
 (** The unscaled horizon (10⁵ rounds at n = 8). *)
 
+val resume :
+  name:string ->
+  setup:Longrun.setup ->
+  variant:Dm_market.Mechanism.variant ->
+  mech:Dm_market.Mechanism.t ->
+  events:Dm_market.Broker.event array ->
+  prefix:int ->
+  rounds:int ->
+  Dm_market.Broker.result
+(** Resume a recovered market over the full horizon through one
+    {!Dm_market.Broker.run}: rounds below [prefix] replay the
+    recorded decision of [events] (which must cover exactly the
+    prefix, or the call fails), later rounds price live from [mech].
+    Accumulation order matches an uninterrupted run exactly, so a
+    correct recovery resumes bit-identically.  Shared by this driver
+    and {!Fleet}. *)
+
 val report :
   ?pool:Dm_linalg.Pool.t ->
   ?scale:float ->

@@ -1,0 +1,428 @@
+module Broker = Dm_market.Broker
+module Mechanism = Dm_market.Mechanism
+
+let magic = "dm-grp1\n"
+
+let tenant_dir dir tenant =
+  Filename.concat dir (Printf.sprintf "tenant-%06d" tenant)
+
+(* Segments rotate far less often than a solo journal of the same
+   per-tenant horizon (all tenants share one byte budget), so the
+   default stays at the solo journal's 64 MiB. *)
+let default_segment_bytes = 64 * 1024 * 1024
+
+let min_segment_bytes = 4 * 1024
+
+type t = {
+  dir : string;
+  tenants : int;
+  segment_bytes : int;
+  latency_appends : int;
+  snapshot_every : int;
+  mutable fd : Unix.file_descr;
+  mutable path : string;
+  mutable written : int;
+  mutable durable : int;
+  (* Global record sequence: segment names carry the sequence number
+     of their first record, the group analogue of the solo journal's
+     first-event round. *)
+  mutable seq : int;
+  mutable seg_records : int;
+  mutable batch : Bytes.t;
+  mutable batch_pos : int;
+  (* Appends not yet covered by a group fsync — the unit the
+     bounded-latency flush rule counts in. *)
+  mutable waiting : int;
+  mutable fsyncs : int;
+  mutable closed : bool;
+  next : int array;
+}
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n = Unix.write fd b pos len in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let open_segment dir seq =
+  let path = Filename.concat dir (Journal.segment_name seq) in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  write_all fd (Bytes.of_string magic) 0 (String.length magic);
+  (path, fd)
+
+let mkdir_p dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let create ?(segment_bytes = default_segment_bytes) ?(latency_appends = 4096)
+    ?(snapshot_every = 0) ~dir ~tenants () =
+  if tenants < 1 then invalid_arg "Fleet.create: need at least one tenant";
+  if latency_appends < 1 then
+    invalid_arg "Fleet.create: latency bound must be at least one append";
+  if snapshot_every < 0 then
+    invalid_arg "Fleet.create: negative snapshot interval";
+  mkdir_p dir;
+  let segment_bytes = max min_segment_bytes segment_bytes in
+  let path, fd = open_segment dir 0 in
+  {
+    dir;
+    tenants;
+    segment_bytes;
+    latency_appends;
+    snapshot_every;
+    fd;
+    path;
+    written = String.length magic;
+    durable = 0;
+    seq = 0;
+    seg_records = 0;
+    batch = Bytes.create (64 * 1024);
+    batch_pos = 0;
+    waiting = 0;
+    fsyncs = 0;
+    closed = false;
+    next = Array.make tenants 0;
+  }
+
+let check_open fname t =
+  if t.closed then invalid_arg (fname ^ ": fleet store is closed")
+
+(* The group-commit barrier: seal and write whatever every tenant has
+   batched, then one fsync covers all of it.  A no-op when nothing is
+   pending, so idle callers cannot inflate the fsync count. *)
+let commit t =
+  if t.batch_pos > 0 then begin
+    Frame.seal t.batch ~stop:t.batch_pos;
+    write_all t.fd t.batch 0 t.batch_pos;
+    t.batch_pos <- 0
+  end;
+  if t.durable < t.written then begin
+    Unix.fsync t.fd;
+    t.fsyncs <- t.fsyncs + 1;
+    t.durable <- t.written;
+    t.waiting <- 0
+  end
+
+let append t ~tenant e =
+  check_open "Fleet.append" t;
+  if tenant < 0 || tenant >= t.tenants then
+    invalid_arg
+      (Printf.sprintf "Fleet.append: tenant %d outside [0, %d)" tenant
+         t.tenants);
+  if e.Broker.t <> t.next.(tenant) then
+    invalid_arg
+      (Printf.sprintf "Fleet.append: tenant %d expected round %d, got round %d"
+         tenant
+         t.next.(tenant)
+         e.Broker.t);
+  if t.written >= t.segment_bytes && t.seg_records > 0 then begin
+    commit t;
+    Unix.close t.fd;
+    let path, fd = open_segment t.dir t.seq in
+    t.path <- path;
+    t.fd <- fd;
+    t.written <- String.length magic;
+    t.durable <- 0;
+    t.seg_records <- 0
+  end;
+  let bound = Journal.frame_bound e in
+  (* Batch-full flush: the write buffer filling is the first arm of
+     the group-commit policy. *)
+  if bound > Bytes.length t.batch - t.batch_pos then begin
+    commit t;
+    if bound > Bytes.length t.batch then t.batch <- Bytes.create bound
+  end;
+  let total = Journal.encode_frame ~tenant t.batch ~at:t.batch_pos e in
+  t.batch_pos <- t.batch_pos + total;
+  t.written <- t.written + total;
+  t.seg_records <- t.seg_records + 1;
+  t.seq <- t.seq + 1;
+  t.next.(tenant) <- t.next.(tenant) + 1;
+  t.waiting <- t.waiting + 1;
+  (* Latency-bound flush: the oldest unflushed record is at most
+     [latency_appends] appends old. *)
+  if t.waiting >= t.latency_appends then commit t
+
+let sync t =
+  check_open "Fleet.sync" t;
+  commit t
+
+let snapshot t ~tenant mech =
+  check_open "Fleet.snapshot" t;
+  if tenant < 0 || tenant >= t.tenants then
+    invalid_arg
+      (Printf.sprintf "Fleet.snapshot: tenant %d outside [0, %d)" tenant
+         t.tenants);
+  (* Journal first, snapshot second — the same ordering invariant as
+     {!Store.sink}: a durable snapshot at round r must imply durable
+     journal coverage of every round below r, here through the shared
+     group barrier. *)
+  commit t;
+  let td = tenant_dir t.dir tenant in
+  mkdir_p td;
+  Snapshots.write ~dir:td ~round:t.next.(tenant) mech
+
+let sink t ~tenant ~mech e =
+  append t ~tenant e;
+  if t.snapshot_every > 0 && (e.Broker.t + 1) mod t.snapshot_every = 0 then
+    snapshot t ~tenant mech
+
+let close t =
+  if not t.closed then begin
+    commit t;
+    Unix.close t.fd;
+    t.closed <- true
+  end
+
+let abandon t =
+  if not t.closed then begin
+    Unix.close t.fd;
+    t.closed <- true
+  end
+
+let simulate_crash t ~keep ~junk =
+  check_open "Fleet.simulate_crash" t;
+  let path = t.path in
+  let durable = t.durable in
+  abandon t;
+  let size = (Unix.stat path).Unix.st_size in
+  let keep = Float.max 0. (Float.min 1. keep) in
+  let offset = durable + int_of_float (keep *. float_of_int (size - durable)) in
+  let offset = min size (max durable offset) in
+  if offset < size then Unix.truncate path offset;
+  if junk <> "" then begin
+    let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+    output_string oc junk;
+    close_out oc
+  end
+
+let durable_offset t = t.durable
+
+let active_segment t = t.path
+
+let appended t = t.seq
+
+let fsync_count t = t.fsyncs
+
+let next_round t ~tenant =
+  if tenant < 0 || tenant >= t.tenants then
+    invalid_arg
+      (Printf.sprintf "Fleet.next_round: tenant %d outside [0, %d)" tenant
+         t.tenants);
+  t.next.(tenant)
+
+type tail = Clean | Torn of { segment : string; offset : int }
+
+(* Per-segment read: [(first sequence number, path, tagged events)].
+   Mirrors [Journal.read_dir] — torn tails tolerated only in the
+   final segment — with the solo per-round chain replaced by a
+   per-tenant one (each tenant's rounds must be consecutive in log
+   order) and the segment-name chain checked against the running
+   record count. *)
+let read_segments ~dir =
+  let fail fmt =
+    Printf.ksprintf (fun m -> Error ("Fleet.read_dir: " ^ m)) fmt
+  in
+  let segs = Journal.segments ~dir in
+  let n_segs = List.length segs in
+  let next_round : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec walk acc seq_expected i = function
+    | [] -> Ok (List.rev acc, Clean)
+    | (start, path) :: rest -> (
+        let is_last = i = n_segs - 1 in
+        let name = Filename.basename path in
+        let content = In_channel.with_open_bin path In_channel.input_all in
+        (* A solo-journal magic is accepted too: a version-1 log is a
+           valid single-tenant fleet log (every record reads as
+           tenant 0 and its sequence numbers coincide with rounds). *)
+        let magic_ok =
+          String.length content >= String.length magic
+          &&
+          let m = String.sub content 0 (String.length magic) in
+          String.equal m magic || String.equal m Journal.magic
+        in
+        if not magic_ok then
+          if is_last then Ok (List.rev acc, Torn { segment = path; offset = 0 })
+          else
+            fail "segment %s: bad or truncated magic before the final segment"
+              name
+        else if
+          match seq_expected with Some s -> start <> s | None -> false
+        then
+          fail
+            "segment %s: starts at record %d where %d was expected (missing \
+             segment?)"
+            name start (Option.get seq_expected)
+        else
+          match Frame.decode ~pos:(String.length magic) content with
+          | Error msg -> fail "segment %s: %s" name msg
+          | Ok (payloads, frame_tail) -> (
+              let tail_info =
+                match frame_tail with
+                | Frame.Clean -> Ok Clean
+                | Frame.Torn offset ->
+                    if is_last then Ok (Torn { segment = path; offset })
+                    else
+                      fail
+                        "segment %s: torn record at byte %d before the final \
+                         segment"
+                        name offset
+              in
+              match tail_info with
+              | Error _ as e -> e
+              | Ok tail -> (
+                  let rec decode_all evs j = function
+                    | [] -> Ok (List.rev evs, j)
+                    | p :: ps -> (
+                        match Journal.decode_event_tagged p with
+                        | Error msg ->
+                            fail "segment %s: record %d: %s" name j msg
+                        | Ok (tenant, e) -> (
+                            let r = e.Broker.t in
+                            match Hashtbl.find_opt next_round tenant with
+                            | Some expect when r <> expect ->
+                                fail
+                                  "segment %s: record %d: tenant %d round gap \
+                                   (expected %d, found %d)"
+                                  name j tenant expect r
+                            | _ ->
+                                Hashtbl.replace next_round tenant (r + 1);
+                                decode_all ((tenant, e) :: evs) (j + 1) ps))
+                  in
+                  match decode_all [] 0 payloads with
+                  | Error _ as e -> e
+                  | Ok (events, count) -> (
+                      let acc = (start, path, events) :: acc in
+                      match tail with
+                      | Clean -> walk acc (Some (start + count)) (i + 1) rest
+                      | Torn _ as torn ->
+                          (* frame_tail torn implies is_last, so rest = [] *)
+                          Ok (List.rev acc, torn)))))
+  in
+  walk [] None 0 segs
+
+let read_dir ~dir =
+  match read_segments ~dir with
+  | Error _ as e -> e
+  | Ok (segs, tail) ->
+      Ok (List.concat_map (fun (_, _, evs) -> evs) segs, tail)
+
+type recovery = {
+  mechanism : Mechanism.t option;
+  next_round : int;
+  snapshot_round : int;
+  replayed : int;
+  events : Broker.event array;
+}
+
+let recover ?initial ~dir ~tenants () =
+  let fail fmt =
+    Printf.ksprintf (fun m -> Error ("Fleet.recover: " ^ m)) fmt
+  in
+  if tenants < 1 then invalid_arg "Fleet.recover: need at least one tenant";
+  match read_dir ~dir with
+  | Error _ as e -> e
+  | Ok (tagged, tail) -> (
+      let torn = match tail with Torn _ -> true | Clean -> false in
+      let per = Array.make tenants [] in
+      let stray = ref None in
+      List.iter
+        (fun (tn, e) ->
+          if tn < 0 || tn >= tenants then begin
+            if !stray = None then stray := Some tn
+          end
+          else per.(tn) <- e :: per.(tn))
+        tagged;
+      match !stray with
+      | Some tn ->
+          fail "journal names tenant %d but the fleet has %d tenant(s)" tn
+            tenants
+      | None -> (
+          let recover_tenant tn =
+            let events = Array.of_list (List.rev per.(tn)) in
+            let n = Array.length events in
+            let first_t = if n = 0 then max_int else events.(0).Broker.t in
+            let last_next =
+              if n = 0 then 0 else events.(n - 1).Broker.t + 1
+            in
+            let base =
+              match Snapshots.newest ~dir:(tenant_dir dir tn) with
+              | Some (r, m) -> (Some m, r)
+              | None -> (
+                  match initial with
+                  | Some make -> (Some (make tn), 0)
+                  | None -> (None, 0))
+            in
+            match base with
+            | None, snapshot_round ->
+                Ok
+                  {
+                    mechanism = None;
+                    next_round = max snapshot_round last_next;
+                    snapshot_round;
+                    replayed = 0;
+                    events;
+                  }
+            | Some m, snapshot_round ->
+                if n > 0 && first_t > snapshot_round && last_next > snapshot_round
+                then
+                  fail
+                    "tenant %d: journal starts at round %d but replay must \
+                     begin at round %d (missing segments?)"
+                    tn first_t snapshot_round
+                else (
+                  match Store.replay_tail m ~snapshot_round events with
+                  | Error msg -> fail "tenant %d: %s" tn msg
+                  | Ok replayed ->
+                      Ok
+                        {
+                          mechanism = Some m;
+                          next_round = max snapshot_round last_next;
+                          snapshot_round;
+                          replayed;
+                          events;
+                        })
+          in
+          let out = Array.make tenants None in
+          let error = ref None in
+          for tn = 0 to tenants - 1 do
+            if !error = None then
+              match recover_tenant tn with
+              | Ok r -> out.(tn) <- Some r
+              | Error msg -> error := Some msg
+          done;
+          match !error with
+          | Some msg -> Error msg
+          | None -> Ok (Array.map Option.get out, torn)))
+
+let compact ~dir ~tenants =
+  if tenants < 1 then invalid_arg "Fleet.compact: need at least one tenant";
+  match read_segments ~dir with
+  | Error _ as e -> e
+  | Ok (segs, _tail) ->
+      (* A record for tenant tn at round r is covered once tn has a
+         valid snapshot at a round above r.  Per-tenant rounds are
+         consecutive in global log order, so deleting a prefix of
+         fully covered segments removes exactly a prefix of every
+         tenant's rounds — recovery after compaction replays the same
+         tail. *)
+      let snaps =
+        Array.init tenants (fun tn ->
+            match Snapshots.newest ~dir:(tenant_dir dir tn) with
+            | Some (r, _) -> r
+            | None -> 0)
+      in
+      let covered (tn, e) =
+        tn >= 0 && tn < tenants && e.Broker.t < snaps.(tn)
+      in
+      let rec go deleted = function
+        | (_, path, events) :: (_ :: _ as rest)
+          when List.for_all covered events ->
+            Sys.remove path;
+            go (deleted + 1) rest
+        | _ -> Ok deleted
+      in
+      go 0 segs

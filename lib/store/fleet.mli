@@ -1,0 +1,161 @@
+(** Multi-tenant broker fleet: one shared group-commit journal.
+
+    A fleet store multiplexes the event streams of many independent
+    tenants (one paper-market broker each) into a single segmented
+    journal of version-2 tenant-tagged records
+    ({!Journal.encode_event_tagged}), with per-tenant snapshot
+    directories ([tenant-%06d/]) beside the shared segments.  The
+    point is fsync amortization: a solo journal pays one fsync per
+    durable event (~160 µs — EXPERIMENTS.md), while the fleet seals
+    and fsyncs whole cross-tenant batches, so the per-round durability
+    cost divides by the batch size.
+
+    Group-commit contract (DESIGN.md has the full statement):
+
+    - every {!append} lands in one shared write batch; the batch is
+      sealed, written and covered by {e one} fsync for {e all}
+      tenants with records in it — there is no per-tenant barrier;
+    - the batch commits when it reaches the 64 KiB write buffer, when
+      the oldest unflushed append is [latency_appends] appends old,
+      and at every {!sync}, snapshot, rotation and {!close} (the
+      latency bound is counted in appends, not wall-clock time, so
+      runs replay byte-identically);
+    - a crash loses at most the suffix of records appended since the
+      last commit — the {e same} global suffix for every tenant,
+      never bytes below {!durable_offset};
+    - snapshots keep the journal-first ordering of {!Store.sink}: the
+      shared journal is committed before any tenant's snapshot is
+      written. *)
+
+val magic : string
+(** The 8-byte shared-segment magic (["dm-grp1\n"]).  {!read_dir}
+    also accepts {!Journal.magic} segments — a solo version-1 log
+    reads back as a single-tenant fleet log (tenant [0]). *)
+
+val tenant_dir : string -> int -> string
+(** [tenant_dir dir tn] is the per-tenant snapshot directory
+    [dir/tenant-%06d]. *)
+
+type t
+
+val create :
+  ?segment_bytes:int ->
+  ?latency_appends:int ->
+  ?snapshot_every:int ->
+  dir:string ->
+  tenants:int ->
+  unit ->
+  t
+(** Open a fleet store for [tenants ≥ 1] tenants rooted at [dir]
+    (created if absent), every tenant starting at round 0.  Shared
+    segments are named {!Journal.segment_name} of the {e global
+    record sequence} of their first record and rotate past
+    [segment_bytes] (default 64 MiB, minimum 4 KiB).
+    [latency_appends] (default 4096, minimum 1) is the bounded-latency
+    flush rule: a group commit runs once the oldest unflushed record
+    is that many appends old.  [snapshot_every = k > 0] makes {!sink}
+    snapshot a tenant after each of its rounds [t] with
+    [(t+1) mod k = 0]. *)
+
+val append : t -> tenant:int -> Dm_market.Broker.event -> unit
+(** Append one tenant-tagged event to the shared batch, committing
+    under the group-commit policy above.  Each tenant's events must
+    arrive in strictly consecutive round order from 0, and [tenant]
+    must be in range; anything else raises [Invalid_argument]. *)
+
+val sink :
+  t -> tenant:int -> mech:Dm_market.Mechanism.t -> Dm_market.Broker.event -> unit
+(** [sink t ~tenant ~mech] (partially applied) is a [?journal] sink
+    for that tenant's {!Dm_market.Broker.run}: {!append} plus the
+    periodic per-tenant snapshots [snapshot_every] asks for. *)
+
+val snapshot : t -> tenant:int -> Dm_market.Mechanism.t -> unit
+(** Commit the shared journal (group barrier), then write the
+    tenant's snapshot at its current next-round boundary. *)
+
+val sync : t -> unit
+(** Group-commit barrier: seal, write and fsync everything batched so
+    far across all tenants. *)
+
+val close : t -> unit
+(** Commit and release; idempotent. *)
+
+val abandon : t -> unit
+(** Close the descriptor {e without} the final commit — the first
+    half of {!simulate_crash}.  Idempotent. *)
+
+val simulate_crash : t -> keep:float -> junk:string -> unit
+(** Fault-injection hook, exactly {!Store.simulate_crash} on the
+    shared active segment: abandon without the final commit, truncate
+    at the durable watermark plus [keep] (clamped to [0, 1]) of the
+    bytes beyond it, then append [junk] as torn-tail garbage.  Because
+    the log is shared, the lost suffix is the same global suffix for
+    every tenant. *)
+
+val durable_offset : t -> int
+(** Bytes of the active segment covered by the last group fsync. *)
+
+val active_segment : t -> string
+(** Path of the shared segment currently being written. *)
+
+val appended : t -> int
+(** Total records appended so far (the global sequence number of the
+    next record). *)
+
+val fsync_count : t -> int
+(** Group fsyncs issued so far — the amortization numerator the bench
+    stage reports against one-fsync-per-round solo journaling. *)
+
+val next_round : t -> tenant:int -> int
+(** The round the tenant's next appended event must carry. *)
+
+type tail =
+  | Clean
+  | Torn of { segment : string; offset : int }
+      (** the final shared segment lost a suffix from [offset] on *)
+
+val read_dir :
+  dir:string ->
+  ((int * Dm_market.Broker.event) list * tail, string) result
+(** Read every [(tenant, event)] record in global append order.
+    Mirrors {!Journal.read_dir}: only the final segment may be torn;
+    earlier corruption, a broken segment-name chain (names must equal
+    the running record count), a round gap {e within any tenant's}
+    subsequence, or an undecodable record yield [Error] with a
+    [Fleet.read_dir: reason] message. *)
+
+type recovery = {
+  mechanism : Dm_market.Mechanism.t option;
+      (** the tenant's recovered state; [None] when it has no valid
+          snapshot and no [initial] was supplied *)
+  next_round : int;  (** the tenant's first round not on disk *)
+  snapshot_round : int;
+      (** boundary the state was restored from; [0] from scratch *)
+  replayed : int;  (** events applied on top of the snapshot *)
+  events : Dm_market.Broker.event array;
+      (** the tenant's events on disk, in round order *)
+}
+
+val recover :
+  ?initial:(int -> Dm_market.Mechanism.t) ->
+  dir:string ->
+  tenants:int ->
+  unit ->
+  (recovery array * bool, string) result
+(** Rebuild every tenant from [dir]: one pass over the shared log
+    filtered by tenant id, then per tenant the newest valid snapshot
+    plus a {!Store.replay_tail} of its rounds at or after it.
+    [initial tn] supplies tenant [tn]'s round-0 state when it has no
+    usable snapshot.  The [bool] reports whether a torn tail was
+    discarded (shared, hence fleet-wide).  [Error] on journal
+    corruption, a tenant id at or above [tenants], or any tenant
+    whose replay cannot start from its snapshot round. *)
+
+val compact :
+  dir:string -> tenants:int -> (int, string) result
+(** Delete the longest prefix of shared segments in which {e every}
+    record is covered by its tenant's newest valid snapshot, keeping
+    at least the final segment; returns how many were removed.
+    Per-tenant rounds are consecutive in global order, so the deleted
+    records are a round-prefix of each tenant and {!recover} after
+    compaction yields the same states. *)

@@ -6,13 +6,18 @@ let magic = "dm-jrn1\n"
 
 let segment_name start = Printf.sprintf "seg-%012d.dmj" start
 
+(* Accepts any digit run, not just the %012d-padded width: a start
+   offset at or above 10^12 widens the printed name to 13+ digits and
+   a fixed-width parse would silently skip the segment —
+   [int_of_string_opt] also rejects runs past [max_int]. *)
 let segment_start name =
+  let n = String.length name in
   if
-    String.length name = 20
+    n > 8
     && String.starts_with ~prefix:"seg-" name
     && String.ends_with ~suffix:".dmj" name
   then
-    let digits = String.sub name 4 12 in
+    let digits = String.sub name 4 (n - 8) in
     if String.for_all (fun c -> c >= '0' && c <= '9') digits then
       int_of_string_opt digits
     else None
@@ -24,8 +29,16 @@ let segment_start name =
    or as its sparse view (index/value pairs) when the density passes
    the [Vec.Sparse.of_dense] threshold — the same rule the cut
    kernels use, so long sparse-workload journals pay O(nnz) per
-   round, not O(n). *)
+   round, not O(n).
+
+   Version 2 is the multi-tenant tagging of the same layout: a 4-byte
+   little-endian tenant id sits between the version byte and the round
+   field, and everything after it is byte-for-byte the version-1 body.
+   Solo journals keep writing version 1, so old logs and old readers
+   are unaffected; the shared {!Fleet} journal writes version 2. *)
 let version = 1
+
+let tagged_version = 2
 
 let kind_code = function
   | Broker.Skipped -> 0
@@ -41,9 +54,10 @@ let kind_of_code = function
   | _ -> None
 
 (* Upper bound on the framed size of an event: the 8-byte frame
-   header, ~70 bytes of fixed fields, and at worst 12 bytes per
-   feature coordinate (sparse index + value). *)
-let frame_bound (e : Broker.event) = 96 + (12 * Vec.dim e.Broker.x)
+   header, ~75 bytes of fixed fields (including the optional 4-byte
+   tenant tag), and at worst 12 bytes per feature coordinate (sparse
+   index + value). *)
+let frame_bound (e : Broker.event) = 100 + (12 * Vec.dim e.Broker.x)
 
 (* Encode one framed record ([length | crc | payload]) into [scratch]
    at offset [at] and return the frame size.  This is the journal hot
@@ -51,30 +65,43 @@ let frame_bound (e : Broker.event) = 96 + (12 * Vec.dim e.Broker.x)
    via {!Frame.crc32_bytes}, no intermediate copies.  The caller
    guarantees [Bytes.length scratch - at >= frame_bound e];
    [encode_event] extracts the payload from the same encoder, so the
-   record layout exists exactly once. *)
-let encode_frame scratch ~at (e : Broker.event) =
+   record layout exists exactly once.  [?tenant] switches the header
+   to the tagged version-2 form. *)
+let encode_frame ?tenant scratch ~at (e : Broker.event) =
   if e.Broker.t < 0 then invalid_arg "Journal.encode_event: negative round";
   let b = scratch in
   (* Fixed-offset straight-line stores for the constant-layout prefix
-     — closure-free, so the hot path is just the primitive writes. *)
-  let o = at + 8 in
-  Bytes.unsafe_set b o (Char.unsafe_chr version);
-  Bytes.set_int64_le b (o + 1) (Int64.of_int e.Broker.t);
-  Bytes.unsafe_set b (o + 9) (Char.unsafe_chr (kind_code e.Broker.kind));
-  Bytes.unsafe_set b (o + 10) (Char.unsafe_chr (Bool.to_int e.Broker.accepted));
-  Bytes.set_int64_le b (o + 11) (Int64.bits_of_float e.Broker.reserve);
-  Bytes.set_int64_le b (o + 19) (Int64.bits_of_float e.Broker.price_index);
-  Bytes.set_int64_le b (o + 27) (Int64.bits_of_float e.Broker.lower);
-  Bytes.set_int64_le b (o + 35) (Int64.bits_of_float e.Broker.upper);
+     — closure-free, so the hot path is just the primitive writes.
+     [o] is the offset of the round field; only the header before it
+     depends on the version. *)
+  let o =
+    match tenant with
+    | None ->
+        Bytes.unsafe_set b (at + 8) (Char.unsafe_chr version);
+        at + 9
+    | Some id ->
+        if id < 0 || id > 0xFFFF_FFFF then
+          invalid_arg "Journal.encode_event: tenant id outside [0, 2^32)";
+        Bytes.unsafe_set b (at + 8) (Char.unsafe_chr tagged_version);
+        Bytes.set_int32_le b (at + 9) (Int32.of_int id);
+        at + 13
+  in
+  Bytes.set_int64_le b o (Int64.of_int e.Broker.t);
+  Bytes.unsafe_set b (o + 8) (Char.unsafe_chr (kind_code e.Broker.kind));
+  Bytes.unsafe_set b (o + 9) (Char.unsafe_chr (Bool.to_int e.Broker.accepted));
+  Bytes.set_int64_le b (o + 10) (Int64.bits_of_float e.Broker.reserve);
+  Bytes.set_int64_le b (o + 18) (Int64.bits_of_float e.Broker.price_index);
+  Bytes.set_int64_le b (o + 26) (Int64.bits_of_float e.Broker.lower);
+  Bytes.set_int64_le b (o + 34) (Int64.bits_of_float e.Broker.upper);
   let o =
     match e.Broker.posted with
     | None ->
-        Bytes.unsafe_set b (o + 43) '\000';
-        o + 44
+        Bytes.unsafe_set b (o + 42) '\000';
+        o + 43
     | Some p ->
-        Bytes.unsafe_set b (o + 43) '\001';
-        Bytes.set_int64_le b (o + 44) (Int64.bits_of_float p);
-        o + 52
+        Bytes.unsafe_set b (o + 42) '\001';
+        Bytes.set_int64_le b (o + 43) (Int64.bits_of_float p);
+        o + 51
   in
   Bytes.set_int64_le b o (Int64.bits_of_float e.Broker.payment);
   let x = e.Broker.x in
@@ -121,60 +148,104 @@ let encode_event e =
   Frame.seal scratch ~stop:total;
   Bytes.sub_string scratch 8 (total - 8)
 
+let encode_event_tagged ~tenant e =
+  let scratch = Bytes.create (frame_bound e) in
+  let total = encode_frame ~tenant scratch ~at:0 e in
+  Frame.seal scratch ~stop:total;
+  Bytes.sub_string scratch 8 (total - 8)
+
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+(* Everything after the version-dependent header; shared between the
+   solo and tenant-tagged decoders.  The sparse branch validates what
+   the encoder guarantees — [nnz ≤ dim] and strictly increasing
+   in-range indices — because a CRC-colliding corruption could
+   otherwise alias distinct coordinates or write out of range. *)
+let decode_body r =
+  let t = Serial.take_u64 r in
+  let kind_off = r.Serial.pos in
+  match kind_of_code (Serial.take_u8 r) with
+  | None -> fail "byte %d: bad round-kind code" kind_off
+  | Some kind ->
+      let accepted = Serial.take_u8 r <> 0 in
+      let reserve = Serial.take_f64 r in
+      let price_index = Serial.take_f64 r in
+      let lower = Serial.take_f64 r in
+      let upper = Serial.take_f64 r in
+      let posted =
+        if Serial.take_u8 r = 0 then None else Some (Serial.take_f64 r)
+      in
+      let payment = Serial.take_f64 r in
+      let repr = Serial.take_u8 r in
+      let dim_off = r.Serial.pos in
+      let dim = Serial.take_u32 r in
+      if dim < 1 then fail "byte %d: non-positive dimension" dim_off
+      else
+        let x =
+          if repr = 0 then Ok (Array.init dim (fun _ -> Serial.take_f64 r))
+          else begin
+            let nnz_off = r.Serial.pos in
+            let nnz = Serial.take_u32 r in
+            if nnz > dim then
+              fail "byte %d: sparse count %d exceeds dimension %d" nnz_off nnz
+                dim
+            else begin
+              let idx_off = r.Serial.pos in
+              let idx = Array.init nnz (fun _ -> Serial.take_u32 r) in
+              let bad = ref (-1) in
+              Array.iteri
+                (fun k i ->
+                  if !bad < 0 && (i >= dim || (k > 0 && i <= idx.(k - 1))) then
+                    bad := k)
+                idx;
+              if !bad >= 0 then
+                fail
+                  "byte %d: sparse index %d out of range or not strictly \
+                   increasing (dim %d)"
+                  (idx_off + (4 * !bad))
+                  idx.(!bad) dim
+              else begin
+                let value = Array.init nnz (fun _ -> Serial.take_f64 r) in
+                let x = Vec.zeros dim in
+                Array.iteri (fun k i -> x.(i) <- value.(k)) idx;
+                Ok x
+              end
+            end
+          end
+        in
+        Result.map
+          (fun x ->
+            {
+              Broker.t;
+              x;
+              reserve;
+              kind;
+              price_index;
+              lower;
+              upper;
+              posted;
+              accepted;
+              payment;
+            })
+          x
+
 let decode_event payload =
-  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
   let r = Serial.reader payload in
   try
     let v = Serial.take_u8 r in
     if v <> version then fail "byte 0: unknown event version %d" v
-    else
-      let t = Serial.take_u64 r in
-      let kind_off = r.Serial.pos in
-      match kind_of_code (Serial.take_u8 r) with
-      | None -> fail "byte %d: bad round-kind code" kind_off
-      | Some kind ->
-          let accepted = Serial.take_u8 r <> 0 in
-          let reserve = Serial.take_f64 r in
-          let price_index = Serial.take_f64 r in
-          let lower = Serial.take_f64 r in
-          let upper = Serial.take_f64 r in
-          let posted =
-            if Serial.take_u8 r = 0 then None else Some (Serial.take_f64 r)
-          in
-          let payment = Serial.take_f64 r in
-          let repr = Serial.take_u8 r in
-          let dim_off = r.Serial.pos in
-          let dim = Serial.take_u32 r in
-          if dim < 1 then fail "byte %d: non-positive dimension" dim_off
-          else
-            let x =
-              if repr = 0 then Array.init dim (fun _ -> Serial.take_f64 r)
-              else begin
-                let nnz = Serial.take_u32 r in
-                let idx = Array.init nnz (fun _ -> Serial.take_u32 r) in
-                let value = Array.init nnz (fun _ -> Serial.take_f64 r) in
-                let x = Vec.zeros dim in
-                Array.iteri
-                  (fun k i ->
-                    if i >= dim then raise (Serial.Short dim_off);
-                    x.(i) <- value.(k))
-                  idx;
-                x
-              end
-            in
-            Ok
-              {
-                Broker.t;
-                x;
-                reserve;
-                kind;
-                price_index;
-                lower;
-                upper;
-                posted;
-                accepted;
-                payment;
-              }
+    else decode_body r
+  with Serial.Short off -> fail "truncated event payload at byte %d" off
+
+let decode_event_tagged payload =
+  let r = Serial.reader payload in
+  try
+    let v = Serial.take_u8 r in
+    if v = version then Result.map (fun e -> (0, e)) (decode_body r)
+    else if v = tagged_version then
+      let tenant = Serial.take_u32 r in
+      Result.map (fun e -> (tenant, e)) (decode_body r)
+    else fail "byte 0: unknown event version %d" v
   with Serial.Short off -> fail "truncated event payload at byte %d" off
 
 (* Rotation is the expensive barrier: it fsyncs a whole dirty segment

@@ -19,10 +19,14 @@ val magic : string
 (** The 8-byte segment-file magic (["dm-jrn1\n"]). *)
 
 val segment_name : int -> string
-(** [seg-%012d.dmj] for a first-event round. *)
+(** [seg-%012d.dmj] for a first-event round (wider than 12 digits when
+    the round needs them). *)
 
 val segment_start : string -> int option
-(** Inverse of {!segment_name}; [None] for non-segment file names. *)
+(** Inverse of {!segment_name}; [None] for non-segment file names.
+    Accepts any digit-run width — names above the [%012d] pad (first
+    round ≥ 10¹²) must parse too, or recovery would silently skip the
+    segment — and rejects runs that overflow [int]. *)
 
 val encode_event : Dm_market.Broker.event -> string
 (** Binary payload for one event.  The feature vector is stored
@@ -34,7 +38,40 @@ val encode_event : Dm_market.Broker.event -> string
 
 val decode_event : string -> (Dm_market.Broker.event, string) result
 (** Inverse of {!encode_event}; [Error] messages carry the byte
-    offset of the first problem. *)
+    offset of the first problem.  A structurally valid but
+    inconsistent sparse vector — duplicate, decreasing or
+    out-of-range indices, or a count above the dimension — is
+    refused the same way: a CRC collision must not alias
+    coordinates silently.  Only version-1 (untagged) payloads
+    decode here; tagged ones need {!decode_event_tagged}. *)
+
+val encode_event_tagged :
+  tenant:int -> Dm_market.Broker.event -> string
+(** Version-2 payload: like {!encode_event} with a 4-byte tenant id
+    (in [0, 2³²), else [Invalid_argument]) between the version byte
+    and the event body — the record format of the shared
+    {!Fleet} journal. *)
+
+val decode_event_tagged :
+  string -> (int * Dm_market.Broker.event, string) result
+(** Decode either version: a version-2 payload yields its tenant id,
+    a version-1 payload decodes as tenant [0] (so solo logs read back
+    through the fleet path), and any other version byte is refused
+    with the offset-bearing [Error] of {!decode_event}. *)
+
+val frame_bound : Dm_market.Broker.event -> int
+(** Upper bound on the framed ([length | crc | payload]) size of one
+    event in either codec version — the scratch-buffer headroom
+    {!encode_frame} requires. *)
+
+val encode_frame : ?tenant:int -> Bytes.t -> at:int -> Dm_market.Broker.event -> int
+(** [encode_frame ?tenant scratch ~at e] writes one {e unsealed}
+    frame ([length | blank crc | payload]) into [scratch] at offset
+    [at] and returns its size; the caller must guarantee
+    [Bytes.length scratch - at >= frame_bound e] and later
+    {!Frame.seal} the batch.  With [?tenant] the payload is the
+    version-2 tagged form.  This is the batched-writer hot path
+    shared by the solo writer and the group-commit {!Fleet}. *)
 
 type writer
 

@@ -4,13 +4,16 @@ let magic = "dm-snp3\n"
 
 let file_name round = Printf.sprintf "snap-%012d.dms" round
 
+(* Any digit-run width, like [Journal.segment_start]: a round ≥ 10^12
+   prints wider than the %012d pad and must still be found. *)
 let round_of name =
+  let n = String.length name in
   if
-    String.length name = 21
+    n > 9
     && String.starts_with ~prefix:"snap-" name
     && String.ends_with ~suffix:".dms" name
   then
-    let digits = String.sub name 5 12 in
+    let digits = String.sub name 5 (n - 9) in
     if String.for_all (fun c -> c >= '0' && c <= '9') digits then
       int_of_string_opt digits
     else None

@@ -94,6 +94,33 @@ let replay_event mech (e : Broker.event) =
   | Broker.Baseline ->
       invalid_arg "Store.replay_event: baseline events carry no mechanism decision"
 
+(* Replay every event at or after the snapshot boundary, stopping at
+   the first non-replayable one; the caller prefixes the error with
+   its own context ([Store.recover] here, per-tenant in
+   [Fleet.recover]). *)
+let replay_tail mech ~snapshot_round events =
+  let replayed = ref 0 in
+  let error = ref None in
+  (try
+     Array.iter
+       (fun (e : Broker.event) ->
+         if !error = None && e.Broker.t >= snapshot_round then begin
+           if e.Broker.kind = Broker.Baseline then
+             error :=
+               Some
+                 (Printf.sprintf
+                    "round %d is a baseline event; only mechanism policies \
+                     replay"
+                    e.Broker.t)
+           else begin
+             replay_event mech e;
+             incr replayed
+           end
+         end)
+       events
+   with Invalid_argument msg -> error := Some ("replay failed: " ^ msg));
+  match !error with Some msg -> Error msg | None -> Ok !replayed
+
 type recovery = {
   mechanism : Mechanism.t option;
   next_round : int;
@@ -146,37 +173,15 @@ let recover ?initial ~dir () =
                 (* A journal that ends before the snapshot round has
                    nothing to replay — the snapshot is newer than every
                    durable event, so it wins outright. *)
-                let replayed = ref 0 in
-                let error = ref None in
-                (try
-                   Array.iter
-                     (fun e ->
-                       if !error = None && e.Broker.t >= snapshot_round then begin
-                         if e.Broker.kind = Broker.Baseline then begin
-                           error :=
-                             Some
-                               (Printf.sprintf
-                                  "Store.recover: round %d is a baseline \
-                                   event; only mechanism policies replay"
-                                  e.Broker.t)
-                         end
-                         else begin
-                           replay_event m e;
-                           incr replayed
-                         end
-                       end)
-                     events
-                 with Invalid_argument msg ->
-                   error := Some ("Store.recover: replay failed: " ^ msg));
-                match !error with
-                | Some msg -> Error msg
-                | None ->
+                match replay_tail m ~snapshot_round events with
+                | Error msg -> Error ("Store.recover: " ^ msg)
+                | Ok replayed ->
                     Ok
                       {
                         mechanism = Some m;
                         next_round = max snapshot_round last_next;
                         snapshot_round;
-                        replayed = !replayed;
+                        replayed;
                         torn;
                         events;
                       }

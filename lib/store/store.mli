@@ -74,6 +74,17 @@ val replay_event :
     the recorded acceptance.  Replaying a [Baseline] event raises
     [Invalid_argument] — baselines carry no mechanism decision. *)
 
+val replay_tail :
+  Dm_market.Mechanism.t ->
+  snapshot_round:int ->
+  Dm_market.Broker.event array ->
+  (int, string) result
+(** Apply {!replay_event} to every event at or after
+    [snapshot_round], in order, returning how many replayed.  The
+    first [Baseline] event in range or failed replay yields [Error]
+    with an unprefixed reason — {!recover} and {!Fleet.recover} add
+    their own context. *)
+
 type recovery = {
   mechanism : Dm_market.Mechanism.t option;
       (** the recovered state, positioned at [next_round]; [None]

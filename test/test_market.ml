@@ -1921,6 +1921,30 @@ let test_adversary_blowup () =
     (exposed.Adversary.result.Broker.total_regret
     > 2. *. guarded.Adversary.result.Broker.total_regret)
 
+(* Conservative cuts inflate the off-axis widths by (2/√3) each at
+   dim 2; with enough headroom between the starting width and float
+   max the e₂ width leaves float range mid-run.  The run must detect
+   that and raise, not return inf/nan regret rows.  (At radius 1 the
+   squared e₁ width underflows to zero first — after ~920 cuts — and
+   the widths silently freeze, so the blow-up test above still
+   completes; a large radius moves the overflow in front of the
+   underflow.) *)
+let test_adversary_divergence_detected () =
+  let rounds = 2000 and dim = 2 and radius = 1e100 in
+  (match
+     Adversary.run ~radius ~allow_conservative_cuts:true ~dim ~rounds ()
+   with
+  | _ -> Alcotest.fail "divergent adversary run returned a result"
+  | exception Invalid_argument m ->
+      check_bool "names Adversary.run" true
+        (String.length m >= 14 && String.sub m 0 14 = "Adversary.run:"));
+  let guarded =
+    Adversary.run ~radius ~allow_conservative_cuts:false ~dim ~rounds ()
+  in
+  check_bool "guarded run stays finite at the same radius" true
+    (Float.is_finite guarded.Adversary.width_e2_at_switch
+    && Float.is_finite guarded.Adversary.result.Broker.total_regret)
+
 (* ------------------------------------------------------------------ *)
 
 let () = Test_env.install_pool_from_env ()
@@ -2084,5 +2108,9 @@ let () =
           Alcotest.test_case "ball projection" `Quick test_sgd_projection;
         ] );
       ( "adversary",
-        [ Alcotest.test_case "lemma 8 blow-up" `Slow test_adversary_blowup ] );
+        [
+          Alcotest.test_case "lemma 8 blow-up" `Slow test_adversary_blowup;
+          Alcotest.test_case "divergence detected, not inf/nan" `Slow
+            test_adversary_divergence_detected;
+        ] );
     ]

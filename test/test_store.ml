@@ -11,8 +11,10 @@ module Frame = Dm_store.Frame
 module Journal = Dm_store.Journal
 module Snapshots = Dm_store.Snapshots
 module Store = Dm_store.Store
+module Fleet_store = Dm_store.Fleet
 module Longrun = Dm_experiments.Longrun
 module Recover = Dm_experiments.Recover
+module Fleet = Dm_experiments.Fleet
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -38,6 +40,17 @@ let rm_rf dir =
     Unix.rmdir dir
   end
 
+(* Fleet stores nest per-tenant snapshot directories inside [dir]. *)
+let rec rm_rf_rec dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then rm_rf_rec p else Sys.remove p)
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
 (* Scratch stores live under the build sandbox's cwd, never /tmp. *)
 let dir_counter = ref 0
 
@@ -50,6 +63,17 @@ let with_dir f =
   rm_rf dir;
   Unix.mkdir dir 0o755;
   Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Like [with_dir], but the directory may hold tenant subdirectories
+   and [Fleet.create] makes it itself. *)
+let with_fleet_dir f =
+  incr dir_counter;
+  let dir =
+    Filename.concat (Sys.getcwd ())
+      (Printf.sprintf ".dm_fleet_test-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf_rec dir;
+  Fun.protect ~finally:(fun () -> rm_rf_rec dir) (fun () -> f dir)
 
 let flip_byte path ~offset =
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
@@ -83,8 +107,8 @@ let event_equal (a : Broker.event) (b : Broker.event) =
    (75% zeros) exercise the Vec.Sparse storage path, dense ones the
    float loop.  Non-zero entries stay away from -0., which sparse
    storage normalizes to +0. by design. *)
-let gen_event rng ~t =
-  let dim = 1 + Rng.int rng 40 in
+let gen_event ?dim rng ~t =
+  let dim = match dim with Some d -> d | None -> 1 + Rng.int rng 40 in
   let sparse_ish = Rng.int rng 2 = 0 in
   let x =
     Vec.init dim (fun _ ->
@@ -229,6 +253,142 @@ let prop_event_codec =
       match Journal.decode_event (Journal.encode_event e) with
       | Ok e' -> event_equal e e'
       | Error m -> QCheck.Test.fail_reportf "decode_event: %s" m)
+
+let tagged_dims = [| 1; 2; 8; 128 |]
+
+let prop_tagged_codec =
+  prop "tenant-tagged codec round-trips at n in {1, 2, 8, 128}" 200
+    QCheck.(triple (int_range 0 100_000) (int_range 0 10_000) (int_range 0 3))
+    (fun (seed, t, di) ->
+      let rng = Rng.create seed in
+      let e = gen_event ~dim:tagged_dims.(di) rng ~t in
+      let tenant =
+        match Rng.int rng 4 with
+        | 0 -> 0
+        | 1 -> 0xFFFF_FFFF (* the 2^32 - 1 header-field ceiling *)
+        | _ -> Rng.int rng 1_000_000
+      in
+      match
+        Journal.decode_event_tagged (Journal.encode_event_tagged ~tenant e)
+      with
+      | Ok (tn, e') -> tn = tenant && event_equal e e'
+      | Error m -> QCheck.Test.fail_reportf "decode_event_tagged: %s" m)
+
+let test_tagged_decoder_reads_v1 () =
+  let e = gen_event (Rng.create 3) ~t:12 in
+  match Journal.decode_event_tagged (Journal.encode_event e) with
+  | Ok (0, e') -> check_bool "tenant 0, same bits" true (event_equal e e')
+  | Ok (tn, _) -> Alcotest.failf "v1 payload decoded as tenant %d" tn
+  | Error m -> Alcotest.fail m
+
+let test_unknown_version_refused () =
+  let e = gen_event (Rng.create 4) ~t:0 in
+  let p = Bytes.of_string (Journal.encode_event e) in
+  Bytes.set p 0 '\003';
+  let p = Bytes.to_string p in
+  (match Journal.decode_event p with
+  | Error m ->
+      check_bool "v1 decoder names offset and version" true
+        (contains m "byte 0" && contains m "version 3")
+  | Ok _ -> Alcotest.fail "version 3 accepted by decode_event");
+  (match Journal.decode_event_tagged p with
+  | Error m ->
+      check_bool "tagged decoder names offset and version" true
+        (contains m "byte 0" && contains m "version 3")
+  | Ok _ -> Alcotest.fail "version 3 accepted by decode_event_tagged");
+  (* the v1-only decoder must also refuse tagged payloads, not read
+     the tenant id as the round field *)
+  match Journal.decode_event (Journal.encode_event_tagged ~tenant:1 e) with
+  | Error m -> check_bool "v1 decoder refuses v2" true (contains m "version 2")
+  | Ok _ -> Alcotest.fail "decode_event read a tagged payload"
+
+(* A hand-built version-1 payload with a sparse vector whose index
+   run we control.  Fixed prefix: version (1) + round (8) + kind (1)
+   + accepted (1) + four f64 fields (32) + posted=None flag (1) +
+   payment (8) + sparse-repr flag (1) + dim (4) put the nnz count at
+   byte 57 and the index run at byte 61. *)
+let sparse_payload ~dim ~idx =
+  let b = Buffer.create 128 in
+  let f64 v = Buffer.add_int64_le b (Int64.bits_of_float v) in
+  let u32 v = Buffer.add_int32_le b (Int32.of_int v) in
+  Buffer.add_char b '\001' (* version 1 *);
+  Buffer.add_int64_le b 5L (* round *);
+  Buffer.add_char b '\001' (* Exploratory *);
+  Buffer.add_char b '\000' (* accepted = false *);
+  f64 0.25 (* reserve *);
+  f64 0.5 (* price_index *);
+  f64 (-0.5) (* lower *);
+  f64 1.5 (* upper *);
+  Buffer.add_char b '\000' (* posted = None *);
+  f64 0. (* payment *);
+  Buffer.add_char b '\001' (* sparse repr *);
+  u32 dim;
+  u32 (Array.length idx);
+  Array.iter u32 idx;
+  Array.iter (fun _ -> f64 1.0) idx;
+  Buffer.contents b
+
+let test_sparse_validation () =
+  (* well-formed control: strictly increasing in-range indices *)
+  (match Journal.decode_event (sparse_payload ~dim:8 ~idx:[| 0; 4; 7 |]) with
+  | Ok e ->
+      check_int "dim" 8 (Vec.dim e.Broker.x);
+      List.iter
+        (fun i -> check_bool "coordinate set" true (Vec.get e.Broker.x i = 1.0))
+        [ 0; 4; 7 ]
+  | Error m -> Alcotest.fail m);
+  let refused name payload ~at ~needle =
+    match Journal.decode_event payload with
+    | Ok _ -> Alcotest.failf "%s accepted" name
+    | Error m ->
+        check_bool
+          (name ^ " names byte offset")
+          true
+          (contains m (Printf.sprintf "byte %d" at) && contains m needle)
+  in
+  refused "nnz > dim"
+    (sparse_payload ~dim:2 ~idx:[| 0; 1; 1 |])
+    ~at:57 ~needle:"exceeds dimension";
+  refused "out-of-range index"
+    (sparse_payload ~dim:8 ~idx:[| 2; 9 |])
+    ~at:65 ~needle:"out of range";
+  refused "duplicate index"
+    (sparse_payload ~dim:8 ~idx:[| 3; 3 |])
+    ~at:65 ~needle:"strictly increasing";
+  refused "unsorted indices"
+    (sparse_payload ~dim:8 ~idx:[| 5; 2 |])
+    ~at:65 ~needle:"strictly increasing";
+  (* the tagged decoder shares the body validation *)
+  match Journal.decode_event_tagged (sparse_payload ~dim:8 ~idx:[| 5; 2 |]) with
+  | Ok _ -> Alcotest.fail "tagged decoder accepted unsorted indices"
+  | Error m -> check_bool "tagged decoder refuses too" true (contains m "byte")
+
+let test_segment_start_boundary () =
+  let big = 1_000_000_000_000 (* 10^12 widens past the %012d pad *) in
+  check_bool "10^12 round-trips" true
+    (Journal.segment_start (Journal.segment_name big) = Some big);
+  check_bool "padded names still parse" true
+    (Journal.segment_start "seg-000000000042.dmj" = Some 42);
+  check_bool "int_of_string overflow rejected" true
+    (Journal.segment_start "seg-99999999999999999999.dmj" = None);
+  check_bool "non-digit run rejected" true
+    (Journal.segment_start "seg-0000000000ab.dmj" = None);
+  check_bool "empty digit run rejected" true
+    (Journal.segment_start "seg-.dmj" = None);
+  (* a writer rotated past the boundary must be found by the reader *)
+  with_dir @@ fun dir ->
+  let rng = Rng.create 31 in
+  let events = List.init 5 (fun i -> gen_event rng ~t:(big + i)) in
+  let w = Journal.create_writer ~dir ~start:big () in
+  List.iter (Journal.append w) events;
+  Journal.close w;
+  match Journal.read_dir ~dir with
+  | Ok (es, Journal.Clean) ->
+      check_int "13-digit segment read back" 5 (List.length es);
+      check_bool "rounds preserved" true
+        (List.for_all2 (fun a b -> a.Broker.t = b.Broker.t) events es)
+  | Ok (_, Journal.Torn _) -> Alcotest.fail "unexpected torn tail"
+  | Error m -> Alcotest.fail m
 
 let write_journal ~dir ~seed ~n =
   let rng = Rng.create seed in
@@ -460,6 +620,143 @@ let test_sharded_journal_identity () =
     (String.equal sequential sharded)
 
 (* ------------------------------------------------------------------ *)
+(* Fleet: shared group-commit journal                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_fleet_interleaved_roundtrip () =
+  with_fleet_dir @@ fun dir ->
+  let tenants = 3 in
+  let rng = Rng.create 77 in
+  let fleet = Fleet_store.create ~segment_bytes:4096 ~dir ~tenants () in
+  let rounds = Array.make tenants 0 in
+  let all = ref [] in
+  for _ = 1 to 300 do
+    let tn = Rng.int rng tenants in
+    let e = gen_event rng ~t:rounds.(tn) in
+    Fleet_store.append fleet ~tenant:tn e;
+    rounds.(tn) <- rounds.(tn) + 1;
+    all := (tn, e) :: !all
+  done;
+  let all = List.rev !all in
+  (* round-order and range violations are refused before any write *)
+  (try
+     Fleet_store.append fleet ~tenant:0 (gen_event rng ~t:0);
+     Alcotest.fail "per-tenant round gap accepted"
+   with Invalid_argument _ -> ());
+  (try
+     Fleet_store.append fleet ~tenant:tenants (gen_event rng ~t:0);
+     Alcotest.fail "out-of-range tenant accepted"
+   with Invalid_argument _ -> ());
+  Fleet_store.close fleet;
+  check_bool "rotation produced several shared segments" true
+    (List.length (Journal.segments ~dir) > 1);
+  match Fleet_store.read_dir ~dir with
+  | Ok (got, Fleet_store.Clean) ->
+      check_int "record count" (List.length all) (List.length got);
+      List.iter2
+        (fun (tn, e) (tn', e') ->
+          check_int "tenant tag" tn tn';
+          check_bool "event bits" true (event_equal e e'))
+        all got
+  | Ok (_, Fleet_store.Torn _) -> Alcotest.fail "unexpected torn tail"
+  | Error m -> Alcotest.fail m
+
+let test_fleet_latency_bound () =
+  with_fleet_dir @@ fun dir ->
+  let fleet = Fleet_store.create ~latency_appends:8 ~dir ~tenants:1 () in
+  let rng = Rng.create 5 in
+  for t = 0 to 6 do
+    Fleet_store.append fleet ~tenant:0 (gen_event ~dim:4 rng ~t)
+  done;
+  check_int "no group commit below the latency bound" 0
+    (Fleet_store.fsync_count fleet);
+  check_int "nothing durable yet" 0 (Fleet_store.durable_offset fleet);
+  Fleet_store.append fleet ~tenant:0 (gen_event ~dim:4 rng ~t:7);
+  check_int "one group fsync at the bound" 1 (Fleet_store.fsync_count fleet);
+  check_bool "batch durable after the commit" true
+    (Fleet_store.durable_offset fleet > 0);
+  for t = 8 to 14 do
+    Fleet_store.append fleet ~tenant:0 (gen_event ~dim:4 rng ~t)
+  done;
+  check_int "no further fsync below the next bound" 1
+    (Fleet_store.fsync_count fleet);
+  Fleet_store.sync fleet;
+  check_int "explicit sync is a group barrier" 2 (Fleet_store.fsync_count fleet);
+  check_int "fifteen records appended" 15 (Fleet_store.appended fleet);
+  Fleet_store.close fleet
+
+(* Crash property: whatever [keep]/[junk] does to the torn tail, the
+   surviving records are a prefix of the global append order — the
+   same suffix is lost for every tenant — and everything covered by
+   the last group fsync survives. *)
+let prop_fleet_crash_prefix =
+  prop "fleet crash loses one shared global suffix" 15
+    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+    (fun (seed, crash_seed) ->
+      with_fleet_dir @@ fun dir ->
+      let rng = Rng.create seed in
+      let tenants = 1 + Rng.int rng 3 in
+      let total = 40 + Rng.int rng 80 in
+      let sync_at = Rng.int rng total in
+      let fleet =
+        Fleet_store.create
+          ~latency_appends:(1 + Rng.int rng 16)
+          ~dir ~tenants ()
+      in
+      let rounds = Array.make tenants 0 in
+      let all = ref [] in
+      let synced = ref 0 in
+      for k = 0 to total - 1 do
+        let tn = Rng.int rng tenants in
+        let e = gen_event rng ~t:rounds.(tn) in
+        Fleet_store.append fleet ~tenant:tn e;
+        rounds.(tn) <- rounds.(tn) + 1;
+        all := (tn, e) :: !all;
+        if k = sync_at then begin
+          Fleet_store.sync fleet;
+          synced := Fleet_store.appended fleet
+        end
+      done;
+      let all = List.rev !all in
+      let crng = Rng.create crash_seed in
+      let junk =
+        String.init (1 + Rng.int crng 24) (fun _ -> Char.chr (Rng.int crng 256))
+      in
+      Fleet_store.simulate_crash fleet ~keep:(Rng.float crng) ~junk;
+      match Fleet_store.read_dir ~dir with
+      | Error m -> QCheck.Test.fail_reportf "read_dir after crash: %s" m
+      | Ok (got, _tail) ->
+          let k = List.length got in
+          if k < !synced then
+            QCheck.Test.fail_reportf "lost fsync'd records (%d < %d)" k !synced
+          else
+            List.for_all2
+              (fun (tn, e) (tn', e') -> tn = tn' && event_equal e e')
+              (firstn k all) got)
+
+let test_fleet_driver_smoke () =
+  let out = render (fun ppf -> Fleet.report ~scale:0.01 ~jobs:1 ppf) in
+  check_bool "all tenants bit-identical" true
+    (contains out "10/10 tenants bit-identical");
+  check_bool "group-commit amortization reported" true
+    (contains out "fsyncs per tenant-round")
+
+let test_fleet_driver_jobs_independent () =
+  let out jobs = render (fun ppf -> Fleet.report ~scale:0.01 ~jobs ppf) in
+  check_bool "bytes identical across jobs" true (String.equal (out 1) (out 2))
+
+let test_fleet_amortization_shape () =
+  let entries = Fleet.journal_amortization ~seed:3 ~tenants:8 ~rounds:40 ~reps:1 () in
+  check_bool "expected names" true
+    (List.map fst entries
+    = [ "journal/fleet_group"; "journal/fleet_fsyncs_per_kround" ]);
+  let ns = List.assoc "journal/fleet_group" entries in
+  check_bool "ns positive and finite" true (ns > 0. && Float.is_finite ns);
+  let per_kround = List.assoc "journal/fleet_fsyncs_per_kround" entries in
+  check_bool "group commit beats one fsync per round" true
+    (per_kround > 0. && per_kround < 1000.)
+
+(* ------------------------------------------------------------------ *)
 (* Recover driver                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -503,6 +800,15 @@ let () =
       ( "journal",
         [
           prop_event_codec;
+          prop_tagged_codec;
+          Alcotest.test_case "tagged decoder reads v1 as tenant 0" `Quick
+            test_tagged_decoder_reads_v1;
+          Alcotest.test_case "unknown versions refused" `Quick
+            test_unknown_version_refused;
+          Alcotest.test_case "malformed sparse payloads refused" `Quick
+            test_sparse_validation;
+          Alcotest.test_case "segment names past 12 digits" `Quick
+            test_segment_start_boundary;
           Alcotest.test_case "writer rotation round-trip" `Quick
             test_writer_rotation_roundtrip;
           Alcotest.test_case "torn tail tolerated" `Quick test_torn_tail_tolerated;
@@ -530,6 +836,19 @@ let () =
             test_store_crash_recover_compact;
           Alcotest.test_case "sharded journal bit-identity" `Quick
             test_sharded_journal_identity;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "interleaved round-trip with rotation" `Quick
+            test_fleet_interleaved_roundtrip;
+          Alcotest.test_case "latency-bound group commit" `Quick
+            test_fleet_latency_bound;
+          prop_fleet_crash_prefix;
+          Alcotest.test_case "driver smoke (tiny)" `Slow test_fleet_driver_smoke;
+          Alcotest.test_case "driver jobs-independent bytes" `Slow
+            test_fleet_driver_jobs_independent;
+          Alcotest.test_case "amortization shape" `Slow
+            test_fleet_amortization_shape;
         ] );
       ( "recover driver",
         [
