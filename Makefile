@@ -26,7 +26,9 @@ bench:
 # journaled run, recover, resume; all four variants must come back
 # bit-identical), a fleet smoke (concurrent tenants on one shared
 # group-commit journal; every tenant must match its solo run live and
-# after kill/recover/resume) and a tiny 2-domain bench smoke that
+# after kill/recover/resume), a fig5c_hd smoke (rank-k projected
+# pricing at n up to 16384 must report finite regret and a populated
+# projection-error column) and a tiny 2-domain bench smoke that
 # also writes a BENCH_*.json record exercising the perf-trajectory
 # pipeline.  When a previous BENCH_*.json exists, the smoke record is
 # compared against it and a flagged regression fails the target; the
@@ -46,6 +48,11 @@ ci: build
 	  | tee /dev/stderr \
 	  | grep -q "10/10 tenants bit-identical" \
 	  || { echo "fleet smoke FAILED"; exit 1; }
+	@echo "fig5c_hd smoke:"; \
+	dune exec bin/experiments.exe -- fig5c_hd --scale 0.01 \
+	  | tee /dev/stderr \
+	  | grep -q "all regret finite and projection-error column populated" \
+	  || { echo "fig5c_hd smoke FAILED"; exit 1; }
 	@prev=$$(ls -1 BENCH_*.json 2>/dev/null | tail -1); \
 	BENCH_SCALE=0.01 BENCH_JOBS=2 dune exec bench/main.exe || exit $$?; \
 	new=$$(ls -1 BENCH_*.json 2>/dev/null | tail -1); \

@@ -89,6 +89,7 @@ let stage1_artifacts =
     ("fig5a", fun ppf -> Dm_experiments.App1.fig5a ~scale ppf);
     ("fig5b", fun ppf -> Dm_experiments.App2.fig5b ~scale ppf);
     ("fig5c", fun ppf -> Dm_experiments.App3.fig5c ~scale ppf);
+    ("fig5c_hd", fun ppf -> Dm_experiments.Hd.fig5c_hd ~scale ~jobs ppf);
     ( "coldstart_app1",
       fun ppf -> Dm_experiments.App1.coldstart ~scale ~seeds:3 ~jobs ppf );
     ( "coldstart_app2",
@@ -293,6 +294,51 @@ let make_tests () =
   let m128 =
     Mat.init 128 128 (fun _ _ -> Dist.normal rng_k ~mean:0. ~std:1.)
   in
+  (* fig5c_hd kernels (the "hd/" keys are critical in
+     [Dm_bench.Record.critical_prefixes]): the pooled tall-skinny
+     projection alone at n = 4096, and the k = 64 pricing round on
+     pre-projected features from an n = 16384 market — the per-round
+     cut cost the projected mechanism pays after its projection memo
+     hit (same k-dim ellipsoid ops, same δ = err widening). *)
+  let rng_hd = Rng.create 29 in
+  let gauss_rows rng k n =
+    let rows =
+      Array.init k (fun _ -> Vec.normalize (Dist.normal_vec rng ~dim:n))
+    in
+    Mat.init k n (fun i j -> rows.(i).(j))
+  in
+  let p4096 = gauss_rows rng_hd 64 4_096 in
+  let x4096 = Vec.normalize (Dist.normal_vec rng_hd ~dim:4_096) in
+  let into64 = Vec.zeros 64 in
+  let hd_cut_round =
+    let n = 16_384 and k = 64 in
+    let p = gauss_rows rng_hd k n in
+    let theta =
+      let t = Mat.project_t p (Dist.normal_vec rng_hd ~dim:k) in
+      Vec.scale (1.8 /. Vec.norm2 t) t
+    in
+    let stream =
+      Array.init 64 (fun _ ->
+          Mat.project p (Vec.normalize (Dist.normal_vec rng_hd ~dim:n)))
+    in
+    let err = 2e-3 in
+    pricing_round ~dim:k ~radius:2.
+      ~epsilon:(Float.max 0.1 (2.5 *. float_of_int k *. err))
+      ~variant:(Mechanism.with_uncertainty ~delta:err)
+      ~model:(Model.linear ~theta:(Mat.project p theta))
+      ~stream
+      ~reserves:(Array.make 64 neg_infinity)
+  in
+  let hd_group =
+    Test.make_grouped ~name:"hd"
+      [
+        Test.make ~name:"project n4096 k64"
+          (Staged.stage (fun () ->
+               ignore (Mat.project ~into:into64 p4096 x4096)));
+        Test.make ~name:"cut n16384 k64" (Staged.stage hd_cut_round);
+      ]
+  in
+  let pricing_group =
   Test.make_grouped ~name:"pricing"
     [
       Test.make ~name:"fig4+table1 round n20 reserve"
@@ -321,6 +367,8 @@ let make_tests () =
         (Staged.stage (fun () -> ignore (Eigen.eigenvalues spd20)));
       Test.make ~name:"kernel matvec n1024 dense"
         (Staged.stage (fun () -> ignore (Mat.matvec a1024 x1024)));
+      Test.make ~name:"kernel matvec_t n1024 dense"
+        (Staged.stage (fun () -> ignore (Mat.matvec_t a1024 x1024)));
       Test.make ~name:"kernel matmul n128"
         (Staged.stage (fun () -> ignore (Mat.matmul m128 m128)));
       Test.make ~name:"kernel fused cut rescale n1024"
@@ -362,6 +410,8 @@ let make_tests () =
             fun () ->
               ignore (Dm_market.Arbitrage.is_arbitrage_free_on ~grid tariff)));
     ]
+  in
+  Test.make_grouped ~name:"" ~fmt:"%s%s" [ pricing_group; hd_group ]
 
 let stage2 () =
   let open Bechamel in

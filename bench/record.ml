@@ -205,7 +205,8 @@ let load path =
 (* Metric keys whose disappearance from a newer record is itself a
    regression: the perf-sensitive kernels a refactor is most likely to
    silently drop from the bench matrix. *)
-let critical_prefixes = [ "pricing/sparse_cut"; "journal/"; "journal/fleet" ]
+let critical_prefixes =
+  [ "pricing/sparse_cut"; "journal/"; "journal/fleet"; "hd/" ]
 
 let is_critical name =
   List.exists

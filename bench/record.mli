@@ -31,8 +31,9 @@ val load : string -> (record, string) result
 
 val critical_prefixes : string list
 (** Benchmark-name prefixes whose disappearance from a newer record
-    counts as a regression (currently the [pricing/sparse_cut] kernels
-    and the [journal/] overhead entries) — a refactor that silently
+    counts as a regression (currently the [pricing/sparse_cut] kernels,
+    the [journal/] overhead entries and the [hd/] projected-pricing
+    kernels) — a refactor that silently
     drops a perf-sensitive kernel from the bench matrix should fail
     the compare, not pass it by vacuity. *)
 

@@ -104,6 +104,12 @@ let fig5c_cmd =
     (Cmd.info "fig5c" ~doc:"Fig. 5(c): regret ratios, impression pricing")
     Term.(ret (const run $ scale_arg $ seed_arg $ fig5c_full_arg $ jobs_arg))
 
+let fig5c_hd_cmd =
+  simple "fig5c_hd"
+    "Fig. 5(c) extension: rank-k projected ellipsoid pricing at n up to 16384"
+    (fun ~pool ~scale ~seed ~jobs ->
+      Dm_experiments.Hd.fig5c_hd ?pool ~scale ~seed ~jobs ppf)
+
 let coldstart_cmd =
   simple "coldstart" "Cold-start regret reductions (Sec. V-A and V-B claims)"
     (fun ~pool ~scale ~seed ~jobs ->
@@ -197,6 +203,7 @@ let all_cmd =
             Dm_experiments.App1.fig5a ~scale ~seed ppf;
             Dm_experiments.App2.fig5b ~scale ~seed:7 ppf;
             Dm_experiments.App3.fig5c ~scale ~seed:3 ~full ppf;
+            Dm_experiments.Hd.fig5c_hd ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.App1.coldstart ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.App2.coldstart ?pool ~scale ~seed:7 ~jobs ppf;
             Dm_experiments.Analysis.lemma8 ppf;
@@ -235,6 +242,7 @@ let () =
        (Cmd.group info
           [
             fig1_cmd; fig4_cmd; table1_cmd; fig5a_cmd; fig5b_cmd; fig5c_cmd;
+            fig5c_hd_cmd;
             coldstart_cmd; lemma8_cmd; theorem3_cmd; theorem2_cmd; lemma2_cmd;
             lemma45_cmd; overhead_cmd; ablation_cmd; baselines_cmd;
             robustness_cmd; longrun_cmd; recover_cmd; fleet_cmd; rank_cmd;

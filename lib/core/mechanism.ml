@@ -42,6 +42,9 @@ let config ?(allow_conservative_cuts = false) ?(sparse_cuts = true) ~variant
 
 type t = {
   cfg : config;
+  proj : (Dm_linalg.Mat.t * float) option;
+      (* rank-k mode: the k×n orthonormal-row projection P and the
+         index-space misspecification bound err ≥ sup_x |x_⊥ᵀθ*| *)
   mutable ell : Ellipsoid.t;
   mutable exploratory : int;
   mutable conservative : int;
@@ -51,18 +54,62 @@ type t = {
   mutable exposed : bool;
       (* the current ellipsoid escaped through [ellipsoid]: its shape
          may be retained by the caller, so it must not be recycled *)
+  mutable memo : (Dm_linalg.Vec.t * Dm_linalg.Vec.t) option;
+      (* projected mode only: the (x, P·x) pair from the last [decide],
+         keyed by physical equality so [observe] reuses the k-vector
+         instead of paying the O(k·n) projection twice per round *)
 }
 
 let create cfg ell =
   {
     cfg;
+    proj = None;
     ell;
     exploratory = 0;
     conservative = 0;
     skipped = 0;
     spare = None;
     exposed = false;
+    memo = None;
   }
+
+let check_err err =
+  if not (err >= 0.) || err = infinity then
+    invalid_arg "Mechanism: projection error bound must be finite and non-negative"
+
+let create_projected cfg ~projection ~err ell =
+  check_err err;
+  let k = Dm_linalg.Mat.rows projection in
+  if k < 1 then invalid_arg "Mechanism.create_projected: empty projection";
+  if Ellipsoid.dim ell <> k then
+    invalid_arg
+      (Printf.sprintf
+         "Mechanism.create_projected: ellipsoid dim %d does not match \
+          projection rank %d"
+         (Ellipsoid.dim ell) k);
+  { (create cfg ell) with proj = Some (projection, err) }
+
+let projection t = t.proj
+
+(* In projected mode every price guard widens by the misspecification
+   bound: the observable index is uᵀθ_P = xᵀθ* − x_⊥ᵀθ*, so treating
+   the unobserved tail exactly like the paper's valuation noise δ keeps
+   every cut sound (Algorithm 2's argument verbatim with δ := δ+err). *)
+let effective_delta t =
+  match t.proj with
+  | None -> t.cfg.variant.delta
+  | Some (_, err) -> t.cfg.variant.delta +. err
+
+let project_feature t x =
+  match t.proj with
+  | None -> x
+  | Some (p, _) -> (
+      match t.memo with
+      | Some (x0, u) when x0 == x -> u
+      | _ ->
+          let u = Dm_linalg.Mat.project p x in
+          t.memo <- Some (x, u);
+          u)
 
 let ellipsoid t =
   t.exposed <- true;
@@ -82,13 +129,15 @@ let check_finite_vec name x =
 
 let decide t ~x ~reserve =
   check_finite_vec "Mechanism.decide" x;
-  let { variant = { use_reserve; delta }; epsilon; _ } = t.cfg in
+  let { variant = { use_reserve; delta = _ }; epsilon; _ } = t.cfg in
+  let delta = effective_delta t in
   (* A NaN reserve would silently disable both the skip test and the
      price floor; −∞ (no reserve) and +∞ (unsellable) are fine. *)
   if use_reserve && Float.is_nan reserve then
     invalid_arg "Mechanism.decide: NaN reserve";
   let q = if use_reserve then reserve else neg_infinity in
-  let { Ellipsoid.lower; upper; mid; half_width } = Ellipsoid.bounds t.ell ~x in
+  let u = project_feature t x in
+  let { Ellipsoid.lower; upper; mid; half_width } = Ellipsoid.bounds t.ell ~x:u in
   if use_reserve && q >= upper +. delta then Skip
   else if 2. *. half_width > epsilon then
     Post { price = Float.max q mid; kind = Exploratory; lower; upper }
@@ -96,7 +145,8 @@ let decide t ~x ~reserve =
     Post { price = Float.max q (lower -. delta); kind = Conservative; lower; upper }
 
 let observe t ~x decision ~accepted =
-  let { variant = { delta; _ }; allow_conservative_cuts; _ } = t.cfg in
+  let { allow_conservative_cuts; _ } = t.cfg in
+  let delta = effective_delta t in
   match decision with
   | Skip -> t.skipped <- t.skipped + 1
   | Post { price; kind; _ } ->
@@ -119,13 +169,14 @@ let observe t ~x decision ~accepted =
            caller can observe the mutation. *)
         let into = if t.exposed then None else t.spare in
         let mutate = t.cfg.sparse_cuts && not t.exposed in
+        let u = project_feature t x in
         let result =
           if accepted then
             (* p ≤ v = φ(x)ᵀθ* + δ_t  ⇒  φ(x)ᵀθ* ≥ p − δ *)
-            Ellipsoid.cut_above ?into ~mutate t.ell ~x ~price:(price -. delta)
+            Ellipsoid.cut_above ?into ~mutate t.ell ~x:u ~price:(price -. delta)
           else
             (* p > v  ⇒  φ(x)ᵀθ* ≤ p + δ *)
-            Ellipsoid.cut_below ?into ~mutate t.ell ~x ~price:(price +. delta)
+            Ellipsoid.cut_below ?into ~mutate t.ell ~x:u ~price:(price +. delta)
         in
         match result with
         | Ellipsoid.Cut ell' ->
@@ -158,17 +209,48 @@ let conservative_rounds t = t.conservative
 
 let skipped_rounds t = t.skipped
 
+let state_line t =
+  Printf.sprintf "%b %h %b %h %d %d %d" t.cfg.variant.use_reserve
+    t.cfg.variant.delta t.cfg.allow_conservative_cuts t.cfg.epsilon
+    t.exploratory t.conservative t.skipped
+
 let snapshot t =
-  Printf.sprintf "mechanism/1\n%b %h %b %h %d %d %d\n%s"
-    t.cfg.variant.use_reserve t.cfg.variant.delta
-    t.cfg.allow_conservative_cuts t.cfg.epsilon t.exploratory t.conservative
-    t.skipped (Ellipsoid.serialize t.ell)
+  match t.proj with
+  | None ->
+      Printf.sprintf "mechanism/1\n%s\n%s" (state_line t)
+        (Ellipsoid.serialize t.ell)
+  | Some (p, err) ->
+      (* v2 inserts the projection block between the state line and the
+         ellipsoid: one "proj k n err" line, then the row-major entries
+         as hex float literals on one line (exact round-trip). *)
+      let rows = Dm_linalg.Mat.rows p and cols = Dm_linalg.Mat.cols p in
+      let buf = Buffer.create (64 + (24 * rows * cols)) in
+      Buffer.add_string buf "mechanism/2\n";
+      Buffer.add_string buf (state_line t);
+      Printf.bprintf buf "\nproj %d %d %h\n" rows cols err;
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ' ';
+          Printf.bprintf buf "%h" v)
+        p.Dm_linalg.Mat.data;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Ellipsoid.serialize t.ell);
+      Buffer.contents buf
 
 let binary_magic = "dm-mech3"
 
+let binary_magic_v4 = "dm-mech4"
+
+(* Same ceiling as the binary ellipsoid codec: a forged dimension must
+   not trigger a huge allocation before the length check. *)
+let max_proj_dim = 1 lsl 20
+
 let snapshot_binary t =
-  let buf = Buffer.create (64 + (8 * Ellipsoid.dim t.ell * (Ellipsoid.dim t.ell + 1))) in
-  Buffer.add_string buf binary_magic;
+  let buf =
+    Buffer.create (64 + (8 * Ellipsoid.dim t.ell * (Ellipsoid.dim t.ell + 1)))
+  in
+  Buffer.add_string buf
+    (match t.proj with None -> binary_magic | Some _ -> binary_magic_v4);
   Serial.add_u8 buf (Bool.to_int t.cfg.variant.use_reserve);
   Serial.add_f64 buf t.cfg.variant.delta;
   Serial.add_u8 buf (Bool.to_int t.cfg.allow_conservative_cuts);
@@ -177,6 +259,13 @@ let snapshot_binary t =
   Serial.add_u64 buf t.exploratory;
   Serial.add_u64 buf t.conservative;
   Serial.add_u64 buf t.skipped;
+  (match t.proj with
+  | None -> ()
+  | Some (p, err) ->
+      Serial.add_u32 buf (Dm_linalg.Mat.rows p);
+      Serial.add_u32 buf (Dm_linalg.Mat.cols p);
+      Serial.add_f64 buf err;
+      Array.iter (Serial.add_f64 buf) p.Dm_linalg.Mat.data);
   Buffer.add_string buf (Ellipsoid.serialize_binary t.ell);
   Buffer.contents buf
 
@@ -188,7 +277,35 @@ let fail fmt = Printf.ksprintf (fun m -> Error ("Mechanism.restore: " ^ m)) fmt
 
 exception Restore_failure of string
 
-let restore_binary text =
+(* Shared final assembly: validate the config, match the projection
+   rank against the ellipsoid dimension, build the mechanism. *)
+let assemble ~use_reserve ~delta ~allow ~sparse_cuts ~epsilon ~proj ~ell
+    ~exploratory ~conservative ~skipped =
+  match proj with
+  | Some (p, _) when Ellipsoid.dim ell <> Dm_linalg.Mat.rows p ->
+      fail "ellipsoid dim %d does not match projection rank %d"
+        (Ellipsoid.dim ell) (Dm_linalg.Mat.rows p)
+  | _ -> (
+      match
+        config ~allow_conservative_cuts:allow ?sparse_cuts
+          ~variant:{ use_reserve; delta } ~epsilon ()
+      with
+      | exception Invalid_argument msg -> fail "%s" msg
+      | cfg ->
+          Ok
+            {
+              cfg;
+              proj;
+              ell;
+              exploratory;
+              conservative;
+              skipped;
+              spare = None;
+              exposed = false;
+              memo = None;
+            })
+
+let restore_binary ~projected text =
   let failf fmt = Printf.ksprintf (fun m -> raise (Restore_failure m)) fmt in
   let r = Serial.reader ~pos:(String.length binary_magic) text in
   let flag what =
@@ -207,81 +324,149 @@ let restore_binary text =
     let exploratory = Serial.take_u64 r in
     let conservative = Serial.take_u64 r in
     let skipped = Serial.take_u64 r in
+    let proj =
+      if not projected then None
+      else begin
+        let off = r.Serial.pos in
+        let rows = Serial.take_u32 r in
+        let cols = Serial.take_u32 r in
+        if rows < 1 || rows > max_proj_dim then
+          failf "byte %d: bad projection rank (%d)" off rows;
+        if cols < 1 || cols > max_proj_dim then
+          failf "byte %d: bad projection dim (%d)" off cols;
+        let erroff = r.Serial.pos in
+        let err = Serial.take_f64 r in
+        if not (err >= 0.) || err = infinity then
+          failf "byte %d: projection error bound must be finite and \
+                 non-negative"
+            erroff;
+        if Serial.remaining r < 8 * rows * cols then
+          raise (Serial.Short r.Serial.pos);
+        let dataoff = r.Serial.pos in
+        (* [Mat.init] fills row-major ascending, matching the writer. *)
+        let p = Dm_linalg.Mat.init rows cols (fun _ _ -> Serial.take_f64 r) in
+        if not (Array.for_all Float.is_finite p.Dm_linalg.Mat.data) then
+          failf "byte %d: non-finite projection entry" dataoff;
+        Some (p, err)
+      end
+    in
     match Ellipsoid.deserialize_binary ~pos:r.Serial.pos text with
     | Error msg -> fail "ellipsoid: %s" msg
-    | Ok ell -> (
-        match
-          config ~allow_conservative_cuts:allow ~sparse_cuts
-            ~variant:{ use_reserve; delta } ~epsilon ()
-        with
-        | exception Invalid_argument msg -> fail "%s" msg
-        | cfg ->
-            Ok
-              {
-                cfg;
-                ell;
-                exploratory;
-                conservative;
-                skipped;
-                spare = None;
-                exposed = false;
-              })
+    | Ok ell ->
+        assemble ~use_reserve ~delta ~allow ~sparse_cuts:(Some sparse_cuts)
+          ~epsilon ~proj ~ell ~exploratory ~conservative ~skipped
   with
   | Restore_failure m -> Error ("Mechanism.restore: " ^ m)
   | Serial.Short off -> fail "truncated at byte %d" off
 
+let cut_line s =
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+(* "proj k n err" plus one line of k·n hex float literals. *)
+let parse_text_projection rest =
+  match cut_line rest with
+  | None -> fail "line 3: truncated projection header"
+  | Some (header, rest) -> (
+      match
+        Scanf.sscanf header "proj %d %d %h" (fun k n err -> (k, n, err))
+      with
+      | exception Scanf.Scan_failure msg ->
+          fail "line 3: bad projection header: %s" msg
+      | exception Failure msg -> fail "line 3: bad projection header: %s" msg
+      | exception End_of_file -> fail "line 3: bad projection header"
+      | k, n, err -> (
+          if k < 1 || k > max_proj_dim then
+            fail "line 3: bad projection rank (%d)" k
+          else if n < 1 || n > max_proj_dim then
+            fail "line 3: bad projection dim (%d)" n
+          else if not (err >= 0.) || err = infinity then
+            fail
+              "line 3: projection error bound must be finite and non-negative"
+          else
+            match cut_line rest with
+            | None -> fail "line 4: truncated projection entries"
+            | Some (entries, rest) -> (
+                let fields =
+                  String.split_on_char ' ' entries
+                  |> List.filter (fun s -> s <> "")
+                in
+                if List.length fields <> k * n then
+                  fail "line 4: want %d projection entries, got %d" (k * n)
+                    (List.length fields)
+                else
+                  match
+                    List.map
+                      (fun s ->
+                        match float_of_string_opt s with
+                        | Some v when Float.is_finite v -> v
+                        | _ -> raise (Restore_failure "line 4: bad entry"))
+                      fields
+                  with
+                  | exception Restore_failure m -> fail "%s" m
+                  | values ->
+                      let a = Array.of_list values in
+                      let p =
+                        Dm_linalg.Mat.init k n (fun i j -> a.((i * n) + j))
+                      in
+                      Ok ((p, err), rest))))
+
 let restore_text text =
-  match String.index_opt text '\n' with
+  match cut_line text with
   | None -> fail "line 1: truncated snapshot"
-  | Some i -> (
-      if String.sub text 0 i <> "mechanism/1" then
-        fail "line 1: unknown header (want mechanism/1)"
-      else
-        let rest = String.sub text (i + 1) (String.length text - i - 1) in
-        match String.index_opt rest '\n' with
-        | None -> fail "line 2: truncated snapshot"
-        | Some j -> (
-            let state_line = String.sub rest 0 j in
-            let ell_text = String.sub rest (j + 1) (String.length rest - j - 1) in
-            match
-              Scanf.sscanf state_line "%B %h %B %h %d %d %d"
-                (fun use_reserve delta allow epsilon e c s ->
-                  (use_reserve, delta, allow, epsilon, e, c, s))
-            with
-            | exception Scanf.Scan_failure msg ->
-                fail "line 2: bad state line: %s" msg
-            | exception Failure msg -> fail "line 2: bad state line: %s" msg
-            | _, _, _, _, e, _, _ when e < 0 ->
-                fail "line 2: negative exploratory counter (field 5)"
-            | _, _, _, _, _, c, _ when c < 0 ->
-                fail "line 2: negative conservative counter (field 6)"
-            | _, _, _, _, _, _, s when s < 0 ->
-                fail "line 2: negative skipped counter (field 7)"
-            | use_reserve, delta, allow, epsilon, e, c, s -> (
-                match Ellipsoid.deserialize ell_text with
-                | Error msg -> fail "ellipsoid section at line 3: %s" msg
-                | Ok ell -> (
-                    match
-                      config ~allow_conservative_cuts:allow
-                        ~variant:{ use_reserve; delta } ~epsilon ()
-                    with
-                    | exception Invalid_argument msg -> fail "line 2: %s" msg
-                    | cfg ->
-                        Ok
-                          {
-                            cfg;
-                            ell;
-                            exploratory = e;
-                            conservative = c;
-                            skipped = s;
-                            spare = None;
-                            exposed = false;
-                          }))))
+  | Some (header, rest) -> (
+      let version =
+        match header with
+        | "mechanism/1" -> Some 1
+        | "mechanism/2" -> Some 2
+        | _ -> None
+      in
+      match version with
+      | None -> fail "line 1: unknown header (want mechanism/1 or mechanism/2)"
+      | Some version -> (
+          match cut_line rest with
+          | None -> fail "line 2: truncated snapshot"
+          | Some (state_line, rest) -> (
+              match
+                Scanf.sscanf state_line "%B %h %B %h %d %d %d"
+                  (fun use_reserve delta allow epsilon e c s ->
+                    (use_reserve, delta, allow, epsilon, e, c, s))
+              with
+              | exception Scanf.Scan_failure msg ->
+                  fail "line 2: bad state line: %s" msg
+              | exception Failure msg -> fail "line 2: bad state line: %s" msg
+              | _, _, _, _, e, _, _ when e < 0 ->
+                  fail "line 2: negative exploratory counter (field 5)"
+              | _, _, _, _, _, c, _ when c < 0 ->
+                  fail "line 2: negative conservative counter (field 6)"
+              | _, _, _, _, _, _, s when s < 0 ->
+                  fail "line 2: negative skipped counter (field 7)"
+              | use_reserve, delta, allow, epsilon, e, c, s -> (
+                  let proj_result =
+                    if version = 1 then Ok (None, rest)
+                    else
+                      match parse_text_projection rest with
+                      | Error _ as err -> err
+                      | Ok (pe, rest) -> Ok (Some pe, rest)
+                  in
+                  match proj_result with
+                  | Error msg -> Error msg
+                  | Ok (proj, ell_text) -> (
+                      match Ellipsoid.deserialize ell_text with
+                      | Error msg -> fail "ellipsoid section: %s" msg
+                      | Ok ell ->
+                          assemble ~use_reserve ~delta ~allow ~sparse_cuts:None
+                            ~epsilon ~proj ~ell ~exploratory:e ~conservative:c
+                            ~skipped:s)))))
 
 let restore text =
-  let m = String.length binary_magic in
-  if String.length text >= m && String.sub text 0 m = binary_magic then
-    restore_binary text
+  let starts_with magic =
+    let m = String.length magic in
+    String.length text >= m && String.sub text 0 m = magic
+  in
+  if starts_with binary_magic then restore_binary ~projected:false text
+  else if starts_with binary_magic_v4 then restore_binary ~projected:true text
   else restore_text text
 
 let te_upper_bound ~radius ~feature_bound ~dim ~epsilon =

@@ -75,6 +75,33 @@ type t
 
 val create : config -> Ellipsoid.t -> t
 
+val create_projected :
+  config -> projection:Dm_linalg.Mat.t -> err:float -> Ellipsoid.t -> t
+(** [create_projected cfg ~projection:p ~err ell] runs the mechanism in
+    rank-k projected coordinates: [p] is a [k×n] matrix with
+    orthonormal rows (a {!Dm_ml.Subspace}/PCA component basis — not
+    validated here), [ell] the {e k-dimensional} knowledge ellipsoid
+    over [θ_P = P·θ*], and [err] a finite non-negative bound on the
+    unobserved tail [sup_x |x_⊥ᵀθ*|] ([x_⊥ = x − Pᵀ·P·x]).
+
+    Per round the feature vector is projected once ([u = P·x], O(k·n)
+    through the pooled {!Dm_linalg.Mat.project} kernel, memoized
+    between {!decide} and {!observe} on the same physical [x]) and
+    every bound, price and cut runs in the k-dim space — O(k²) per cut
+    instead of O(n²).  The tail bound widens every guard exactly like
+    the paper's valuation uncertainty: the effective buffer is
+    [δ + err], so cuts never discard θ_P and the regret pays at most
+    [err] extra per round ({!Regret.projection_term}).  With [p] the
+    identity and [err = 0] the trajectory is bit-identical to the
+    dense mechanism.
+
+    Raises [Invalid_argument] when the ellipsoid dimension differs
+    from the projection rank, or on a NaN/infinite/negative [err]. *)
+
+val projection : t -> (Dm_linalg.Mat.t * float) option
+(** The projection matrix and error bound of a {!create_projected}
+    mechanism; [None] for a dense one. *)
+
 val ellipsoid : t -> Ellipsoid.t
 (** The current knowledge set.  Reading it marks its shape matrix as
     escaped, so the next cut allocates a fresh buffer instead of
@@ -105,7 +132,10 @@ val decide : t -> x:Dm_linalg.Vec.t -> reserve:float -> decision
 val observe : t -> x:Dm_linalg.Vec.t -> decision -> accepted:bool -> unit
 (** Incorporate the buyer's response to a {!decide} outcome.  [Skip]
     decisions and conservative posts leave the ellipsoid unchanged
-    (unless [allow_conservative_cuts]). *)
+    (unless [allow_conservative_cuts]).  In projected mode, passing
+    the same physical [x] as the preceding {!decide} (what {!step}
+    does) reuses its cached projection; the array must not be mutated
+    between the two calls. *)
 
 val step : t -> x:Dm_linalg.Vec.t -> reserve:float -> market_index:float -> decision * bool
 (** Convenience: decide, resolve acceptance ([price ≤ market_index]),
@@ -127,26 +157,40 @@ val snapshot : t -> string
 (** Text snapshot of the full mechanism state — configuration,
     counters and knowledge set — exact across a round-trip, so a
     broker process can restart mid-stream without losing what it
-    learned. *)
+    learned.  A dense mechanism emits the original ["mechanism/1"]
+    layout byte-for-byte; a projected one upgrades to ["mechanism/2"],
+    which inserts a ["proj k n err"] line and one line of row-major
+    hex-float projection entries between the state line and the
+    ellipsoid. *)
 
 val binary_magic : string
-(** The 8-byte magic (["dm-mech3"]) opening a binary snapshot. *)
+(** The 8-byte magic (["dm-mech3"]) opening a dense binary snapshot. *)
+
+val binary_magic_v4 : string
+(** The 8-byte magic (["dm-mech4"]) opening a projected binary
+    snapshot: the v3 layout with [k], [n] (u32 each), the error bound
+    and the row-major projection entries inserted between the counters
+    and the ellipsoid. *)
 
 val snapshot_binary : t -> string
-(** Compact binary (v3) snapshot: {!binary_magic}, the configuration
-    and counters as little-endian fields, then the ellipsoid's
-    {!Ellipsoid.serialize_binary} image.  Unlike the text format it
-    records [sparse_cuts] and the ellipsoid's scalar/volume-cache
-    state, so a round-trip reproduces the mechanism field-for-field
-    — this is what the [Dm_store] snapshot files hold. *)
+(** Compact binary snapshot: {!binary_magic} (dense) or
+    {!binary_magic_v4} (projected), the configuration and counters as
+    little-endian fields, the projection block when projected, then
+    the ellipsoid's {!Ellipsoid.serialize_binary} image.  Unlike the
+    text format it records [sparse_cuts] and the ellipsoid's
+    scalar/volume-cache state, so a round-trip reproduces the
+    mechanism field-for-field — this is what the [Dm_store] snapshot
+    files hold.  Dense mechanisms emit the v3 bytes unchanged. *)
 
 val restore : string -> (t, string) result
 (** Inverse of {!snapshot} and {!snapshot_binary} — the format is
     sniffed from the leading magic.  [Error] on any malformed input,
-    including non-finite floats (NaN ε/δ or ellipsoid entries) and
-    negative round counters — a corrupted snapshot never yields a
-    mechanism that misprices silently.  Messages are prefixed
-    ["Mechanism.restore: "] and name the offending line and field
-    (text) or byte offset (binary).  The text format predates
+    including non-finite floats (NaN ε/δ, projection entries or
+    ellipsoid entries), a NaN/infinite/negative projection error
+    bound, a projection rank that disagrees with the ellipsoid
+    dimension, and negative round counters — a corrupted snapshot
+    never yields a mechanism that misprices silently.  Messages are
+    prefixed ["Mechanism.restore: "] and name the offending line and
+    field (text) or byte offset (binary).  The text format predates
     [sparse_cuts], which it does not record; text-restored mechanisms
     get the default ([true]). *)

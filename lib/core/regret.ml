@@ -9,6 +9,12 @@ let skipped ~reserve ~market_value =
 
 let revenue ~market_value ~price = if price <= market_value then price else 0.
 
+let projection_term ~err ~rounds =
+  if not (err >= 0.) || err = infinity then
+    invalid_arg "Regret.projection_term: error bound must be finite and non-negative";
+  if rounds < 0 then invalid_arg "Regret.projection_term: negative rounds";
+  err *. float_of_int rounds
+
 let single_round_curve ~reserve ~market_value ~prices =
   Dm_linalg.Vec.map
     (fun p -> posted ~reserve ~market_value ~price:p ())

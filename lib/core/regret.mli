@@ -26,6 +26,16 @@ val skipped : reserve:float -> market_value:float -> float
 val revenue : market_value:float -> price:float -> float
 (** The broker's revenue: [price] if the sale happens, else 0. *)
 
+val projection_term : err:float -> rounds:int -> float
+(** [projection_term ~err ~rounds] is [err·rounds] — the additive
+    misspecification budget of the rank-k projected mechanism
+    ({!Mechanism.create_projected}).  Each round the observable index
+    [uᵀθ_P] sits within [err] of the true [xᵀθ*], so pricing through
+    the projection can lose at most [err] per round on top of the
+    dense regret bound; the total projected-mode guarantee is
+    [dense regret + projection_term].  Raises [Invalid_argument] on a
+    NaN/infinite/negative [err] or negative [rounds]. *)
+
 val single_round_curve :
   reserve:float ->
   market_value:float ->

@@ -1,0 +1,36 @@
+(** Fig. 5(c) extension: pricing at n up to 16,384 through the rank-k
+    projected ellipsoid (Sec. III-C1 discusses why the dense O(n²)
+    round stops scaling; {!Dm_market.Mechanism.create_projected} is
+    the low-rank answer).
+
+    The market is synthetic: features concentrate near a planted
+    32-dimensional subspace of R^n with a ~1e-3 isotropic tail, and
+    θ* lies in that subspace with ‖θ*‖ = 0.9·R.  Each projected cell
+    fits a rank-k basis with {!Dm_ml.Subspace.fit} on a training
+    batch, budgets the tail as
+    [err = 1.25 · max batch residual · R] (the true parameter vector
+    is never consulted),
+    floors ε at the 2.5·k·err stall bound (EXPERIMENTS.md), and prices
+    the same stream the dense baseline sees.  Reported per cell: fit
+    time, err, explained variance, decide/cut wall clock per round,
+    exploratory rounds, cumulative regret, the
+    {!Dm_market.Regret.projection_term} budget err·T, and — at
+    n = 1024, where the dense baseline is feasible — the regret ratio
+    against it.  The closing summary line ("all regret finite and
+    projection-error column populated") is what `make ci` greps. *)
+
+val fig5c_hd :
+  ?pool:Dm_linalg.Pool.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?jobs:int ->
+  Format.formatter ->
+  unit
+(** [fig5c_hd ppf] sweeps n ∈ {1024, 4096, 16384} × k ∈ {16, 64, 256}
+    plus the dense n = 1024 baseline; below [scale] 0.25 the k = 256
+    column and the second subspace-iteration step are dropped so the
+    bench harness stays fast.  [scale] multiplies the 2,000-round
+    horizon (floored at 160); cells fan out over [jobs] domains (or an
+    explicit [pool]) via {!Runner}.  The timing columns vary run to
+    run (and contend when [jobs > 1]); every market column is
+    byte-identical whatever the worker count. *)

@@ -115,11 +115,26 @@ let parallel_threshold = 512
 
 let row_chunk = 64
 
-let over_rows n body =
+(* Column-range chunk for the transposed kernels ([matvec_t],
+   [project_t]): each task owns a disjoint slice of the output vector,
+   wide enough that the per-row inner loops amortize the task-claim
+   cost and the streamed row segments stay contiguous. *)
+let col_chunk = 512
+
+let over_range ~gate ~chunk n body =
   match Pool.get_default () with
-  | Some p when n >= parallel_threshold && Pool.size p > 1 ->
-      Pool.parallel_for p ~chunk:row_chunk n body
+  | Some p when gate && Pool.size p > 1 -> Pool.parallel_for p ~chunk n body
   | _ -> body 0 n
+
+let over_rows n body =
+  over_range ~gate:(n >= parallel_threshold) ~chunk:row_chunk n body
+
+(* Row-fan-out chunk for the tall-skinny kernels: with only k ≪ 512
+   rows the standard [row_chunk] would put the whole matrix in one
+   task, so shrink the chunk until roughly 16 tasks exist.  The chunk
+   size never affects output bits — only which worker computes which
+   rows. *)
+let fan_chunk rows = max 1 (min row_chunk ((rows + 15) / 16))
 
 (* Indices of the nonzero entries of [x], or [None] when [x] is dense
    enough that gathering would not pay.  Skipping an exactly-zero term
@@ -145,16 +160,17 @@ let sparse_support x =
     Some (Array.sub idx 0 !nnz)
   end
 
-let matvec m x =
-  if Array.length x <> m.cols then
-    invalid_arg "Mat.matvec: dimension mismatch";
+(* Shared P·x body: each output row reduces in ascending column order
+   (over the sparse support or all columns — exact either way, see
+   [sparse_support]), so any [gate]/[chunk] yields the same bits.  [y]
+   is fully overwritten; no pre-zeroing needed. *)
+let matvec_into ~gate ~chunk y m x =
   let data = m.data in
   let cols = m.cols in
-  let y = Array.make m.rows 0. in
-  (match sparse_support x with
+  match sparse_support x with
   | Some idx ->
       let nnz = Array.length idx in
-      over_rows m.rows (fun lo hi ->
+      over_range ~gate ~chunk m.rows (fun lo hi ->
           for i = lo to hi - 1 do
             let base = i * cols in
             let acc = ref 0. in
@@ -167,7 +183,7 @@ let matvec m x =
             Array.unsafe_set y i !acc
           done)
   | None ->
-      over_rows m.rows (fun lo hi ->
+      over_range ~gate ~chunk m.rows (fun lo hi ->
           for i = lo to hi - 1 do
             let base = i * cols in
             let acc = ref 0. in
@@ -177,7 +193,33 @@ let matvec m x =
                 +. (Array.unsafe_get data (base + j) *. Array.unsafe_get x j)
             done;
             Array.unsafe_set y i !acc
-          done));
+          done)
+
+let matvec m x =
+  if Array.length x <> m.cols then
+    invalid_arg "Mat.matvec: dimension mismatch";
+  let y = Array.make m.rows 0. in
+  matvec_into ~gate:(m.rows >= parallel_threshold) ~chunk:row_chunk y m x;
+  y
+
+let project ?into p x =
+  if Array.length x <> p.cols then
+    invalid_arg "Mat.project: dimension mismatch";
+  let y =
+    match into with
+    | None -> Array.make p.rows 0.
+    | Some y ->
+        if Array.length y <> p.rows then
+          invalid_arg "Mat.project: into dimension mismatch";
+        if y == x then invalid_arg "Mat.project: into aliases the input";
+        y
+  in
+  (* Unlike [matvec], the fan-out gate also fires on the column count:
+     a tall-skinny k×n projection with k ≪ 512 still carries k·n ≥
+     512·k flops worth of work once n ≥ 512. *)
+  matvec_into
+    ~gate:(p.rows >= parallel_threshold || p.cols >= parallel_threshold)
+    ~chunk:(fan_chunk p.rows) y p x;
   y
 
 (* Sparse-aware kernels over a prebuilt {!Vec.Sparse} view.  They are
@@ -264,19 +306,81 @@ let rank_one_rescale_sparse m ~beta ~b ~factor ~scale =
   done;
   factor *. scale
 
+(* Shared Pᵀ·x body: each task owns the column range [lo, hi) of the
+   output and walks the rows in ascending order, streaming the
+   contiguous row segment [base+lo, base+hi) — row-major accumulation,
+   never a column-stride walk.  Every output element y[j] therefore
+   reduces over i ascending with the exact xᵢ = 0 skip, independent of
+   scheduling, matching the historical serial [matvec_t] bit-for-bit. *)
+let tmatvec_into ~gate y m x =
+  let data = m.data in
+  let cols = m.cols and rows = m.rows in
+  over_range ~gate ~chunk:col_chunk cols (fun lo hi ->
+      Array.fill y lo (hi - lo) 0.;
+      for i = 0 to rows - 1 do
+        let xi = Array.unsafe_get x i in
+        if xi <> 0. then begin
+          let base = i * cols in
+          for j = lo to hi - 1 do
+            Array.unsafe_set y j
+              (Array.unsafe_get y j +. (Array.unsafe_get data (base + j) *. xi))
+          done
+        end
+      done)
+
 let matvec_t m x =
   if Array.length x <> m.rows then
     invalid_arg "Mat.matvec_t: dimension mismatch";
   let y = Array.make m.cols 0. in
-  for i = 0 to m.rows - 1 do
-    let base = i * m.cols in
-    let xi = x.(i) in
-    if xi <> 0. then
-      for j = 0 to m.cols - 1 do
-        y.(j) <- y.(j) +. (m.data.(base + j) *. xi)
-      done
-  done;
+  tmatvec_into ~gate:(m.cols >= parallel_threshold) y m x;
   y
+
+let project_t ?into p y =
+  if Array.length y <> p.rows then
+    invalid_arg "Mat.project_t: dimension mismatch";
+  let out =
+    match into with
+    | None -> Array.make p.cols 0.
+    | Some o ->
+        if Array.length o <> p.cols then
+          invalid_arg "Mat.project_t: into dimension mismatch";
+        if o == y then invalid_arg "Mat.project_t: into aliases the input";
+        o
+  in
+  tmatvec_into ~gate:(p.cols >= parallel_threshold) out p y;
+  out
+
+let matmul_tt a b =
+  if a.cols <> b.cols then invalid_arg "Mat.matmul_tt: dimension mismatch";
+  let n = a.cols and q = b.rows in
+  let c = zeros a.rows q in
+  let adata = a.data and bdata = b.data and cdata = c.data in
+  (* c[i,j] = ⟨row i of a, row j of b⟩: both operands stream
+     contiguously, and each output element is one ascending-index dot
+     product — the fan-out over rows of [a] never changes the bits.
+     The gate fires on either dimension of [a]: tall-skinny batches
+     (few rows, n ≥ 512 shared dimension) and tall sample matrices
+     (rows ≥ 512) both carry enough flops. *)
+  over_range
+    ~gate:(a.rows >= parallel_threshold || a.cols >= parallel_threshold)
+    ~chunk:(fan_chunk a.rows) a.rows
+    (fun ilo ihi ->
+      for i = ilo to ihi - 1 do
+        let abase = i * n in
+        let cbase = i * q in
+        for j = 0 to q - 1 do
+          let bbase = j * n in
+          let acc = ref 0. in
+          for l = 0 to n - 1 do
+            acc :=
+              !acc
+              +. (Array.unsafe_get adata (abase + l)
+                 *. Array.unsafe_get bdata (bbase + l))
+          done;
+          Array.unsafe_set cdata (cbase + j) !acc
+        done
+      done);
+  c
 
 let matmul a b =
   if a.cols <> b.rows then invalid_arg "Mat.matmul: dimension mismatch";

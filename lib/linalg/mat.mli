@@ -74,7 +74,38 @@ val matvec : t -> Vec.t -> Vec.t
 (** [matvec a x] is [A·x]. *)
 
 val matvec_t : t -> Vec.t -> Vec.t
-(** [matvec_t a x] is [Aᵀ·x], without materializing the transpose. *)
+(** [matvec_t a x] is [Aᵀ·x], without materializing the transpose.
+    Row-major accumulation: each task owns a column range of the
+    output and streams contiguous row segments, so the walk is
+    cache-friendly at any [n].  Fans column tiles over the default
+    {!Pool} at [cols ≥ 512]; every output element reduces over rows in
+    ascending order with the exact [xᵢ = 0] skip, so the result is
+    bit-identical at any worker count. *)
+
+val project : ?into:Vec.t -> t -> Vec.t -> Vec.t
+(** [project p x] is [P·x] for a tall-skinny [k×n] projection matrix —
+    the same per-row ascending-column reduction as {!matvec} (so the
+    two agree bit-for-bit on the same input), but with the pool gate
+    firing on {e either} dimension: a [k ≪ 512] row batch still fans
+    out once [n ≥ 512], which is where the rank-k projected pricing
+    path spends its per-round flops.  [into], when given, receives the
+    result (length [k], must not alias [x]). *)
+
+val project_t : ?into:Vec.t -> t -> Vec.t -> Vec.t
+(** [project_t p y] is [Pᵀ·y] for [p : k×n] and [y] of length [k] —
+    the back-projection into index space.  Same blocked column-range
+    body as {!matvec_t} (bit-identical to it on the same input),
+    pooled at [n ≥ 512].  [into], when given, receives the result
+    (length [n], must not alias [y]). *)
+
+val matmul_tt : t -> t -> t
+(** [matmul_tt a b] is [A·Bᵀ] for [a : p×n] and [b : q×n] — the
+    tall-skinny batch product where both operands share the long
+    dimension [n] and stream contiguously row-major (no transpose is
+    materialized).  Each output element is one ascending-index dot
+    product, fanned over rows of [a] through the default {!Pool} when
+    either dimension of [a] reaches 512, so results are bit-identical
+    at any worker count. *)
 
 val matvec_sparse : t -> Vec.Sparse.t -> Vec.t
 (** [matvec_sparse a sx] is [A·x] for a prebuilt sparse view of [x],

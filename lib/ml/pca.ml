@@ -29,19 +29,21 @@ let fit ?components x =
     total_variance = Mat.trace cov;
   }
 
-let transform t sample = Mat.matvec t.components (Vec.sub sample t.mean)
+let transform ?into t sample =
+  Mat.project ?into t.components (Vec.sub sample t.mean)
 
 let transform_all t x =
-  let rows = Mat.rows x in
-  let k = Mat.rows t.components in
-  let out = Mat.zeros rows k in
-  for i = 0 to rows - 1 do
-    let p = transform t (Mat.row x i) in
-    for j = 0 to k - 1 do
-      Mat.set out i j p.(j)
-    done
-  done;
-  out
+  let rows, cols = Mat.dims x in
+  if cols <> Vec.dim t.mean then
+    invalid_arg "Pca.transform_all: dimension mismatch";
+  (* One pooled tall-skinny product Xc·Cᵀ instead of a matvec per row;
+     each output element keeps the ascending-feature reduction order of
+     [transform], so the batch and per-sample paths agree
+     bit-for-bit. *)
+  let centered =
+    Mat.init rows cols (fun i j -> Mat.get x i j -. Vec.get t.mean j)
+  in
+  Mat.matmul_tt centered t.components
 
 let reconstruct t projection =
   Vec.add (Mat.matvec_t t.components projection) t.mean

@@ -18,10 +18,17 @@ val fit : ?components:int -> Dm_linalg.Mat.t -> t
     [x] (default: all).  Requires at least 2 rows; [k] is clamped to
     the feature dimension. *)
 
-val transform : t -> Dm_linalg.Vec.t -> Dm_linalg.Vec.t
-(** Project a (centered internally) sample onto the components. *)
+val transform : ?into:Dm_linalg.Vec.t -> t -> Dm_linalg.Vec.t -> Dm_linalg.Vec.t
+(** Project a (centered internally) sample onto the components —
+    {!Dm_linalg.Mat.project} under the hood.  [into], when given,
+    receives the k-vector result, so hot paths that transform per
+    round stop allocating. *)
 
 val transform_all : t -> Dm_linalg.Mat.t -> Dm_linalg.Mat.t
+(** Transform every row of a sample matrix in one pooled tall-skinny
+    product ({!Dm_linalg.Mat.matmul_tt} on the centered rows) —
+    bit-identical to calling {!transform} row by row, at any worker
+    count. *)
 
 val reconstruct : t -> Dm_linalg.Vec.t -> Dm_linalg.Vec.t
 (** Map a projection back to the original space (lossy if k < d). *)

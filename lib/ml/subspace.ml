@@ -1,0 +1,136 @@
+module Vec = Dm_linalg.Vec
+module Mat = Dm_linalg.Mat
+module Eigen = Dm_linalg.Eigen
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+
+type t = {
+  mean : Vec.t;
+  components : Mat.t;
+  explained_variance : Vec.t;
+  total_variance : float;
+}
+
+(* The iterate matrices are k×d with d up to 16,384; the O(k²·d)
+   Gram–Schmidt pass below works on the flat row-major [Mat.data]
+   array directly (the type is private, fields readable) so the inner
+   loops stay allocation free. *)
+
+let row_dot data d a b =
+  let abase = a * d and bbase = b * d in
+  let acc = ref 0. in
+  for j = 0 to d - 1 do
+    acc := !acc +. (data.(abase + j) *. data.(bbase + j))
+  done;
+  !acc
+
+(* Modified Gram–Schmidt over the rows of [q], in place, ascending,
+   with the "twice is enough" re-orthogonalization rule: a sweep that
+   cancels most of a row's mass leaves a residual whose direction is
+   dominated by rounding noise, so it gets a second sweep before we
+   trust it.  A row that still degenerates (numerically in the span of
+   its predecessors) is replaced by a fresh Gaussian draw and
+   re-orthogonalized, so the result always has exactly [k] orthonormal
+   rows. *)
+let orthonormalize_rows ~rng q =
+  let k = Mat.rows q and d = Mat.cols q in
+  let data = (q : Mat.t).Mat.data in
+  for i = 0 to k - 1 do
+    let base = i * d in
+    let sweep () =
+      for r = 0 to i - 1 do
+        let c = row_dot data d i r in
+        if c <> 0. then begin
+          let rbase = r * d in
+          for j = 0 to d - 1 do
+            data.(base + j) <- data.(base + j) -. (c *. data.(rbase + j))
+          done
+        end
+      done;
+      sqrt (row_dot data d i i)
+    in
+    let attempts = ref 0 in
+    let rec fix () =
+      let before = sqrt (row_dot data d i i) in
+      let after = sweep () in
+      let after = if after < 0.5 *. before then sweep () else after in
+      if after > 1e-150 && after > 1e-10 *. before then
+        for j = 0 to d - 1 do
+          data.(base + j) <- data.(base + j) /. after
+        done
+      else begin
+        incr attempts;
+        if !attempts > 8 then
+          invalid_arg "Subspace.fit: cannot orthonormalize iterate";
+        for j = 0 to d - 1 do
+          data.(base + j) <- Dist.normal rng ~mean:0. ~std:1.
+        done;
+        fix ()
+      end
+    in
+    fix ()
+  done
+
+let fit ?(iters = 2) ~rng ~components:k x =
+  let rows, cols = Mat.dims x in
+  if rows < 2 then invalid_arg "Subspace.fit: need at least 2 rows";
+  if iters < 0 then invalid_arg "Subspace.fit: negative iteration count";
+  let k = min (max k 1) cols in
+  let mean = Vec.init cols (fun j -> Vec.mean (Mat.col x j)) in
+  let xc = Mat.init rows cols (fun i j -> Mat.get x i j -. Vec.get mean j) in
+  let denom = 1. /. float_of_int (rows - 1) in
+  let total_variance =
+    let acc = ref 0. in
+    Array.iter (fun v -> acc := !acc +. (v *. v)) (xc : Mat.t).Mat.data;
+    !acc *. denom
+  in
+  (* Randomized subspace iteration (Halko–Martinsson–Tropp): iterate
+     Q ← orth(rows of Qᵀ-image under XcᵀXc) without ever forming the
+     d×d covariance — only the tall-skinny products W = Xc·Qᵀ (m×k)
+     and Z = Wᵀ·Xc (k×d), both through the pooled kernels. *)
+  let q = Mat.init k cols (fun _ _ -> Dist.normal rng ~mean:0. ~std:1.) in
+  orthonormalize_rows ~rng q;
+  let qdata = (q : Mat.t).Mat.data in
+  for _ = 1 to iters do
+    let w = Mat.matmul_tt xc q in
+    for r = 0 to k - 1 do
+      let zr = Mat.project_t xc (Mat.col w r) in
+      Array.blit zr 0 qdata (r * cols) cols
+    done;
+    orthonormalize_rows ~rng q
+  done;
+  (* Rayleigh–Ritz on the captured subspace: the restriction of the
+     sample covariance to span(Q) is B = WᵀW/(m−1), a k×k symmetric
+     matrix the Jacobi solver handles in O(k³). *)
+  let w = Mat.matmul_tt xc q in
+  let wt = Mat.transpose w in
+  let b = Mat.scale denom (Mat.matmul_tt wt wt) in
+  Mat.symmetrize_inplace b;
+  let { Eigen.eigenvalues; eigenvectors } = Eigen.decompose b in
+  let components = Mat.zeros k cols in
+  let cdata = (components : Mat.t).Mat.data in
+  for i = 0 to k - 1 do
+    let row = Mat.project_t q (Mat.col eigenvectors i) in
+    Array.blit row 0 cdata (i * cols) cols
+  done;
+  {
+    mean;
+    components;
+    explained_variance = Vec.init k (fun i -> Vec.get eigenvalues i);
+    total_variance;
+  }
+
+let transform ?into t sample =
+  Mat.project ?into t.components (Vec.sub sample t.mean)
+
+let residual_norm t sample =
+  let c = Vec.sub sample t.mean in
+  let u = Mat.project t.components c in
+  let back = Mat.project_t t.components u in
+  Vec.dist2 c back
+
+let explained_ratio t =
+  if t.total_variance <= 0. then 1.
+  else
+    Float.min 1.
+      (Float.max 0. (Vec.sum t.explained_variance /. t.total_variance))

@@ -1,0 +1,51 @@
+(** Randomized subspace iteration for the top-k principal directions.
+
+    {!Pca.fit} diagonalizes the full d×d sample covariance with the
+    O(d³) Jacobi solver, which is unusable at the d = 16,384 the
+    high-dimensional pricing path targets.  This module never forms
+    the covariance: it iterates a k×d orthonormal row basis Q under
+    the data — W = Xc·Qᵀ and Z = Wᵀ·Xc, both tall-skinny products
+    running through the pooled {!Dm_linalg.Mat.matmul_tt} /
+    {!Dm_linalg.Mat.project_t} kernels — and finishes with a k×k
+    Rayleigh–Ritz eigenproblem (Halko–Martinsson–Tropp).  Total cost
+    O(iters·(m·k·d + k²·d) + k³) for m samples, against Jacobi's
+    O(d³) per sweep.
+
+    All randomness (the Gaussian start basis, degenerate-row rescue
+    draws) flows through the caller's {!Dm_prob.Rng} stream, so fits
+    replay bit-for-bit from a seed. *)
+
+type t = {
+  mean : Dm_linalg.Vec.t;  (** column means of the fitted sample *)
+  components : Dm_linalg.Mat.t;
+      (** [k × d]; orthonormal rows, row [i] is the i-th estimated
+          principal direction *)
+  explained_variance : Dm_linalg.Vec.t;
+      (** descending Rayleigh–Ritz eigenvalues, length k — estimates
+          of the top-k sample-covariance eigenvalues *)
+  total_variance : float;  (** trace of the sample covariance *)
+}
+
+val fit : ?iters:int -> rng:Dm_prob.Rng.t -> components:int -> Dm_linalg.Mat.t -> t
+(** [fit ~rng ~components:k x] estimates the top-[k] principal
+    directions of the rows of [x] ([k] clamped to the feature
+    dimension, at least 1).  [iters] (default 2) is the number of
+    subspace-iteration power steps; accuracy improves geometrically in
+    the spectral-gap ratio per step, and 2 suffices when the kept
+    spectrum dominates the tail.  Requires at least 2 rows; raises
+    [Invalid_argument] otherwise. *)
+
+val transform : ?into:Dm_linalg.Vec.t -> t -> Dm_linalg.Vec.t -> Dm_linalg.Vec.t
+(** Project a sample (centered internally) onto the components —
+    {!Dm_linalg.Mat.project} under the hood.  [into], when given,
+    receives the k-vector result without allocating. *)
+
+val residual_norm : t -> Dm_linalg.Vec.t -> float
+(** [residual_norm t x] is [‖c − Pᵀ·P·c‖₂] for [c = x − mean] — the
+    reconstruction error of one sample, i.e. the mass outside the
+    fitted subspace.  This is the per-sample quantity the projected
+    pricing path turns into its misspecification budget. *)
+
+val explained_ratio : t -> float
+(** Fraction of total variance captured by the kept components, in
+    [0, 1] (same convention as {!Pca.explained_ratio}). *)

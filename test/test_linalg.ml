@@ -618,6 +618,149 @@ let pool_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Projection kernel family (matvec_t / project / project_t /          *)
+(* matmul_tt)                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The kernels contract to a fixed ascending reduction order per
+   output element, so one no-skip naive reference covers every path:
+   skipping exactly-zero terms cannot change a finite IEEE sum's bits
+   (the running sum is never −0). *)
+let fill_rect k n seed =
+  Mat.init k n (fun i j ->
+      if (i + (3 * j) + seed) mod 4 = 0 then 0.
+      else sin (float_of_int (((i * 31) + (j * 17) + seed) mod 101)))
+
+let naive_project p x =
+  Array.init (Mat.rows p) (fun i ->
+      let acc = ref 0. in
+      for j = 0 to Mat.cols p - 1 do
+        acc := !acc +. (Mat.get p i j *. x.(j))
+      done;
+      !acc)
+
+let naive_project_t p y =
+  Array.init (Mat.cols p) (fun j ->
+      let acc = ref 0. in
+      for i = 0 to Mat.rows p - 1 do
+        acc := !acc +. (Mat.get p i j *. y.(i))
+      done;
+      !acc)
+
+let naive_matmul_tt a b =
+  Mat.init (Mat.rows a) (Mat.rows b) (fun i j ->
+      let acc = ref 0. in
+      for l = 0 to Mat.cols a - 1 do
+        acc := !acc +. (Mat.get a i l *. Mat.get b j l)
+      done;
+      !acc)
+
+let check_projection_at (k, n) =
+  let p = fill_rect k n 1 in
+  let b = fill_rect (max 1 ((k / 2) + 1)) n 2 in
+  let xs = [ fill_vec ~sparse:false n 3; fill_vec ~sparse:true n 4 ] in
+  let y = fill_vec ~sparse:false k 5 in
+  let sq = fill_rect n n 6 in
+  let proj_ref = List.map (naive_project p) xs in
+  let projt_ref = naive_project_t p y in
+  let mvt_ref = List.map (naive_project_t sq) xs in
+  let tt_ref = naive_matmul_tt p b in
+  let check jobs () =
+    let tag s = Printf.sprintf "%s k=%d n=%d jobs=%d" s k n jobs in
+    List.iter2
+      (fun x r ->
+        check_bool (tag "project") true (bits_equal_vec (Mat.project p x) r);
+        let into = Vec.zeros k in
+        check_bool (tag "project ~into") true
+          (bits_equal_vec (Mat.project ~into p x) r))
+      xs proj_ref;
+    check_bool (tag "project_t") true
+      (bits_equal_vec (Mat.project_t p y) projt_ref);
+    let into = Vec.zeros n in
+    check_bool (tag "project_t ~into") true
+      (bits_equal_vec (Mat.project_t ~into p y) projt_ref);
+    List.iter2
+      (fun x r ->
+        check_bool (tag "matvec_t") true (bits_equal_vec (Mat.matvec_t sq x) r))
+      xs mvt_ref;
+    check_bool (tag "matvec_t = project_t (square)") true
+      (bits_equal_vec
+         (Mat.matvec_t sq (List.hd xs))
+         (Mat.project_t sq (List.hd xs)));
+    check_bool (tag "matmul_tt") true (bits_equal_mat (Mat.matmul_tt p b) tt_ref)
+  in
+  check 0 ();
+  List.iter (fun jobs -> with_default_pool jobs (check jobs)) [ 1; 2; 4 ]
+
+let test_projection_small () =
+  List.iter check_projection_at [ (1, 1); (2, 5); (3, 7); (8, 8); (5, 40) ]
+
+(* Straddle the pooling gates: cols 511/512 (matvec_t, project_t and
+   the either-dimension project gate) and rows 512 (project and the
+   matmul_tt row fan-out). *)
+let test_projection_threshold () =
+  List.iter check_projection_at [ (3, 511); (3, 512); (512, 3); (96, 520) ]
+
+let test_projection_validation () =
+  let p = fill_rect 2 3 1 in
+  Alcotest.check_raises "project dimension mismatch"
+    (Invalid_argument "Mat.project: dimension mismatch") (fun () ->
+      ignore (Mat.project p [| 1.; 2. |]));
+  Alcotest.check_raises "project into mismatch"
+    (Invalid_argument "Mat.project: into dimension mismatch") (fun () ->
+      ignore (Mat.project ~into:(Vec.zeros 3) p [| 1.; 2.; 3. |]));
+  Alcotest.check_raises "project_t dimension mismatch"
+    (Invalid_argument "Mat.project_t: dimension mismatch") (fun () ->
+      ignore (Mat.project_t p [| 1.; 2.; 3. |]));
+  Alcotest.check_raises "project_t into mismatch"
+    (Invalid_argument "Mat.project_t: into dimension mismatch") (fun () ->
+      ignore (Mat.project_t ~into:(Vec.zeros 2) p [| 1.; 2. |]));
+  Alcotest.check_raises "matmul_tt dimension mismatch"
+    (Invalid_argument "Mat.matmul_tt: dimension mismatch") (fun () ->
+      ignore (Mat.matmul_tt p (fill_rect 2 4 2)));
+  (* Aliasing is only expressible on square shapes; it must be caught,
+     not silently overwritten mid-reduction. *)
+  let s = fill_rect 3 3 4 in
+  let x = [| 1.; 2.; 3. |] in
+  Alcotest.check_raises "project into aliases input"
+    (Invalid_argument "Mat.project: into aliases the input") (fun () ->
+      ignore (Mat.project ~into:x s x));
+  Alcotest.check_raises "project_t into aliases input"
+    (Invalid_argument "Mat.project_t: into aliases the input") (fun () ->
+      ignore (Mat.project_t ~into:x s x))
+
+let projection_props =
+  [
+    prop "projection kernels bit-match naive reference under a pool" 60
+      QCheck.(triple (int_range 1 12) (int_range 1 48) (int_range 0 1000))
+      (fun (k, n, seed) ->
+        let p = fill_rect k n seed in
+        let b = fill_rect (max 1 (k - 1)) n (seed + 1) in
+        let x = fill_vec ~sparse:(seed mod 2 = 0) n (seed + 2) in
+        let y = fill_vec ~sparse:(seed mod 3 = 0) k (seed + 3) in
+        let pr = naive_project p x in
+        let ptr = naive_project_t p y in
+        let ttr = naive_matmul_tt p b in
+        with_default_pool 2 (fun () ->
+            bits_equal_vec (Mat.project p x) pr
+            && bits_equal_vec (Mat.project_t p y) ptr
+            && bits_equal_mat (Mat.matmul_tt p b) ttr));
+    prop "matmul_tt agrees with matmul against the transpose" 60
+      QCheck.(triple (int_range 1 10) (int_range 1 24) (int_range 0 1000))
+      (fun (k, n, seed) ->
+        let a = fill_rect k n seed in
+        let b = fill_rect (max 1 (k / 2)) n (seed + 5) in
+        Mat.approx_equal ~tol:1e-9 (Mat.matmul_tt a b)
+          (Mat.matmul a (Mat.transpose b)));
+    prop "matvec_t bit-matches matvec of the transpose's reduction" 60
+      QCheck.(pair (int_range 1 32) (int_range 0 1000))
+      (fun (n, seed) ->
+        let a = fill_rect n n seed in
+        let x = fill_vec ~sparse:(seed mod 2 = 0) n (seed + 1) in
+        bits_equal_vec (Mat.matvec_t a x) (naive_project_t a x));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Vec.Sparse views + sparse-aware kernels                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -819,6 +962,15 @@ let () =
             test_rescale_validation;
         ]
         @ pool_props );
+      ( "projection",
+        [
+          Alcotest.test_case "kernels vs naive (small dims)" `Quick
+            test_projection_small;
+          Alcotest.test_case "kernels vs naive (511/512 threshold)" `Slow
+            test_projection_threshold;
+          Alcotest.test_case "validation" `Quick test_projection_validation;
+        ]
+        @ projection_props );
       ( "sparse",
         [
           Alcotest.test_case "sparse view basics" `Quick test_sparse_view;

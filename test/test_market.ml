@@ -1508,6 +1508,212 @@ let serialization_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Projected mode                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* With P = I and err = 0 the projected mechanism must replay the
+   dense one bit-for-bit: each row of I·x reduces to a sum of exact
+   zeros around the single 1·x_i term, and a running IEEE sum that is
+   +0 passes the next addend through unchanged, so u carries x's exact
+   bits and every bound, price, and cut coincides. *)
+
+let decisions_bit_equal a b =
+  match (a, b) with
+  | Mechanism.Skip, Mechanism.Skip -> true
+  | ( Mechanism.Post { price = p; kind = k; lower = l; upper = u },
+      Mechanism.Post { price = p'; kind = k'; lower = l'; upper = u' } ) ->
+      k = k'
+      && Int64.equal (Int64.bits_of_float p) (Int64.bits_of_float p')
+      && Int64.equal (Int64.bits_of_float l) (Int64.bits_of_float l')
+      && Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float u')
+  | _ -> false
+
+let run_identity_projection_vs_dense ~dim ~rounds ~seed =
+  let cfg =
+    Mechanism.config
+      ~variant:(Mechanism.with_reserve_and_uncertainty ~delta:0.03)
+      ~epsilon:0.2 ()
+  in
+  let dense = Mechanism.create cfg (Ellipsoid.ball ~dim ~radius:1.5) in
+  let projected =
+    Mechanism.create_projected cfg ~projection:(Mat.identity dim) ~err:0.
+      (Ellipsoid.ball ~dim ~radius:1.5)
+  in
+  let rng = Rng.create seed in
+  let ok = ref true in
+  for _ = 1 to rounds do
+    let x = Vec.normalize (Dist.normal_vec rng ~dim) in
+    let reserve = Rng.uniform rng 0. 0.5 in
+    let market_index = Rng.uniform rng (-1.) 1. in
+    let d, acc = Mechanism.step dense ~x ~reserve ~market_index in
+    let d', acc' = Mechanism.step projected ~x ~reserve ~market_index in
+    if not (decisions_bit_equal d d' && acc = acc') then ok := false
+  done;
+  !ok
+  && Mechanism.exploratory_rounds dense
+     = Mechanism.exploratory_rounds projected
+  && Mechanism.conservative_rounds dense
+     = Mechanism.conservative_rounds projected
+  && Mechanism.skipped_rounds dense = Mechanism.skipped_rounds projected
+
+let test_projected_identity_matches_dense () =
+  List.iter
+    (fun dim ->
+      check_bool
+        (Printf.sprintf "identity projection bit-identical at dim %d" dim)
+        true
+        (run_identity_projection_vs_dense ~dim ~rounds:60 ~seed:(70 + dim)))
+    [ 1; 2; 8; 128 ]
+
+(* A k = 2 basis inside R^4 with orthonormal rows, exact in floats. *)
+let p24 =
+  let s = 1. /. sqrt 2. in
+  Mat.init 2 4 (fun i j ->
+      match (i, j) with
+      | 0, 0 -> 1.
+      | 1, 2 | 1, 3 -> s
+      | _ -> 0.)
+
+let projected_mech_after ~steps ~seed =
+  let mech =
+    Mechanism.create_projected
+      (Mechanism.config
+         ~variant:(Mechanism.with_reserve_and_uncertainty ~delta:0.01)
+         ~epsilon:0.2 ())
+      ~projection:p24 ~err:0.05
+      (Ellipsoid.ball ~dim:2 ~radius:1.5)
+  in
+  let rng = Rng.create seed in
+  for _ = 1 to steps do
+    let x = Vec.normalize (Dist.normal_vec rng ~dim:4) in
+    ignore
+      (Mechanism.step mech ~x ~reserve:(Rng.uniform rng 0. 0.5)
+         ~market_index:(Rng.uniform rng (-1.) 1.))
+  done;
+  mech
+
+let test_projected_snapshot_roundtrip () =
+  let mech = projected_mech_after ~steps:25 ~seed:77 in
+  let text = Mechanism.snapshot mech in
+  check_bool "v2 text header" true
+    (String.length text > 12 && String.sub text 0 12 = "mechanism/2\n");
+  let bin = Mechanism.snapshot_binary mech in
+  check_bool "v4 binary magic" true
+    (String.length bin > 8 && String.sub bin 0 8 = Mechanism.binary_magic_v4);
+  let from_text =
+    match Mechanism.restore text with
+    | Error msg -> Alcotest.fail msg
+    | Ok m -> m
+  in
+  let from_bin =
+    match Mechanism.restore bin with
+    | Error msg -> Alcotest.fail msg
+    | Ok m -> m
+  in
+  check_bool "text snapshot stable" true (Mechanism.snapshot from_text = text);
+  check_bool "binary snapshot stable" true
+    (Mechanism.snapshot_binary from_bin = bin);
+  check_bool "binary and text restore agree" true
+    (Mechanism.snapshot from_bin = text);
+  (match Mechanism.projection from_text with
+  | None -> Alcotest.fail "restored mechanism lost its projection"
+  | Some (p, err) ->
+      check_bool "projection entries exact" true
+        (Mat.approx_equal ~tol:0. p p24);
+      check_float "err bound exact" 0.05 err);
+  (* Restored mechanisms continue the trajectory bit-for-bit. *)
+  let rng = Rng.create 78 and rng' = Rng.create 78 in
+  let continue mech rng =
+    let x = Vec.normalize (Dist.normal_vec rng ~dim:4) in
+    Mechanism.step mech ~x ~reserve:(Rng.uniform rng 0. 0.5)
+      ~market_index:(Rng.uniform rng (-1.) 1.)
+  in
+  for _ = 1 to 10 do
+    let d, acc = continue mech rng in
+    let d', acc' = continue from_bin rng' in
+    check_bool "continuation identical" true
+      (decisions_bit_equal d d' && acc = acc')
+  done
+
+let test_projected_restore_errors () =
+  let state = "false 0x0p+0 false 0x1p-3 0 0 0" in
+  let ell dim = Ellipsoid.serialize (Ellipsoid.ball ~dim ~radius:1.) in
+  let entries8 =
+    "0x1p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x1p+0 0x0p+0 0x0p+0"
+  in
+  let reject name text =
+    match Mechanism.restore text with
+    | Error msg ->
+        check_bool (name ^ " message prefixed") true
+          (String.length msg >= 19
+          && String.sub msg 0 19 = "Mechanism.restore: ")
+    | Ok _ -> Alcotest.failf "%s: corrupt snapshot accepted" name
+  in
+  let snap ?(proj = "proj 2 4 0x0p+0") ?(entries = entries8) ?(edim = 2) () =
+    Printf.sprintf "mechanism/2\n%s\n%s\n%s\n%s" state proj entries (ell edim)
+  in
+  (match Mechanism.restore (snap ()) with
+  | Error msg -> Alcotest.fail msg
+  | Ok _ -> ());
+  reject "rank/ellipsoid mismatch" (snap ~edim:3 ());
+  reject "zero rank" (snap ~proj:"proj 0 4 0x0p+0" ());
+  reject "negative err" (snap ~proj:"proj 2 4 -0x1p-3" ());
+  reject "infinite err" (snap ~proj:"proj 2 4 inf" ());
+  reject "nan err" (snap ~proj:"proj 2 4 nan" ());
+  reject "non-finite entry"
+    (snap ~entries:(entries8 ^ " nan") ~proj:"proj 3 3 0x0p+0" ~edim:3 ());
+  reject "entry count mismatch"
+    (snap ~entries:"0x1p+0 0x0p+0 0x0p+0 0x0p+0 0x0p+0 0x1p+0 0x0p+0" ());
+  reject "truncated header" "mechanism/2\nfalse 0x0p+0 false 0x1p-3 0 0 0";
+  (* Binary: cut a valid v4 snapshot mid-projection-block. *)
+  let bin = Mechanism.snapshot_binary (projected_mech_after ~steps:5 ~seed:79) in
+  reject "truncated binary" (String.sub bin 0 (String.length bin / 2));
+  reject "binary bad rank"
+    (let b = Bytes.of_string bin in
+     (* The rank u32 sits after magic(8), three u8 flags, two f64s and
+        three u64 counters = byte 51. *)
+     Bytes.set_int32_le b 51 0l;
+     Bytes.to_string b)
+
+let projected_props =
+  [
+    prop "projected snapshot/restore is bit-for-bit" 40
+      QCheck.(triple (0 -- 1000) (1 -- 3) (0 -- 30))
+      (fun (seed, k, steps) ->
+        let n = k + 2 in
+        let rng = Rng.create seed in
+        (* Restore validates finiteness, not orthonormality, so any
+           finite projection must round-trip exactly. *)
+        let p = Mat.init k n (fun _ _ -> Dist.normal rng ~mean:0. ~std:1.) in
+        let mech =
+          Mechanism.create_projected
+            (Mechanism.config ~variant:Mechanism.with_reserve ~epsilon:0.2 ())
+            ~projection:p
+            ~err:(Rng.uniform rng 0. 0.1)
+            (Ellipsoid.ball ~dim:k ~radius:1.5)
+        in
+        for _ = 1 to steps do
+          let x = Vec.normalize (Dist.normal_vec rng ~dim:n) in
+          ignore
+            (Mechanism.step mech ~x
+               ~reserve:(Rng.uniform rng 0. 0.5)
+               ~market_index:(Rng.uniform rng (-1.) 1.))
+        done;
+        let text = Mechanism.snapshot mech in
+        let bin = Mechanism.snapshot_binary mech in
+        match (Mechanism.restore text, Mechanism.restore bin) with
+        | Ok a, Ok b ->
+            Mechanism.snapshot a = text && Mechanism.snapshot_binary b = bin
+        | _ -> false);
+    prop "identity projection is bit-identical to dense" 20
+      QCheck.(pair (0 -- 1000) (1 -- 8))
+      (fun (seed, dim) ->
+        (* Clamped: the int shrinker can step below the range. *)
+        let dim = max dim 1 and seed = abs seed in
+        run_identity_projection_vs_dense ~dim ~rounds:30 ~seed);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Scalar-scaled sparse cut path vs the dense reference                *)
 (* ------------------------------------------------------------------ *)
 
@@ -2080,6 +2286,16 @@ let () =
             test_non_finite_rejected;
         ]
         @ serialization_props );
+      ( "projected",
+        [
+          Alcotest.test_case "identity projection matches dense" `Quick
+            test_projected_identity_matches_dense;
+          Alcotest.test_case "snapshot roundtrip (text + binary)" `Quick
+            test_projected_snapshot_roundtrip;
+          Alcotest.test_case "restore rejects corrupt projections" `Quick
+            test_projected_restore_errors;
+        ]
+        @ projected_props );
       ( "sparse cuts",
         [
           Alcotest.test_case "equivalence across dims {1,2,8,128}" `Quick

@@ -343,6 +343,187 @@ let test_pca_explained_sorted () =
     check_bool "descending" true (ev.(i) >= ev.(i + 1) -. 1e-9)
   done
 
+let test_pca_transform_into_and_all () =
+  (* [transform ?into], [transform] and [transform_all] promise the
+     same bits: one ascending-feature reduction per output element
+     (multiplication commutes bitwise, so the batch matmul_tt path is
+     exact too). *)
+  let rng = Rng.create 24 in
+  let x = Mat.init 60 7 (fun _ _ -> Dist.normal rng ~mean:0.5 ~std:2.) in
+  let p = Pca.fit ~components:3 x in
+  let all = Pca.transform_all p x in
+  let into = Vec.zeros 3 in
+  let bits_equal a b =
+    Array.for_all2
+      (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
+      a b
+  in
+  for i = 0 to 59 do
+    let row = Mat.row x i in
+    let t = Pca.transform p row in
+    check_bool "transform_all bit-matches per-sample" true
+      (bits_equal (Mat.row all i) t);
+    check_bool "into bit-matches allocating" true
+      (bits_equal (Pca.transform ~into p row) t);
+    check_bool "into receives the result" true (bits_equal into t)
+  done;
+  check_bool "transform_all shape mismatch" true
+    (match Pca.transform_all p (Mat.identity 3) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Subspace                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Subspace = Dm_ml.Subspace
+module Pool = Dm_linalg.Pool
+
+let bits_equal_vec a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let with_default_pool jobs f =
+  Pool.with_pool ~jobs (fun p ->
+      Pool.set_default (Some p);
+      Fun.protect ~finally:(fun () -> Pool.set_default None) f)
+
+(* Planted spectrum: descending per-feature stds give a clean gap, so
+   both solvers must find the same leading directions. *)
+let spectrum_sample seed ~rows ~cols =
+  let rng = Rng.create seed in
+  Mat.init rows cols (fun _ j ->
+      Dist.normal rng ~mean:0. ~std:(2. ** float_of_int (-j)))
+
+let test_subspace_matches_pca () =
+  let x = spectrum_sample 40 ~rows:300 ~cols:10 in
+  let k = 4 in
+  let sub = Subspace.fit ~rng:(Rng.create 41) ~components:k x in
+  let pca = Pca.fit ~components:k x in
+  check_bool "mean agrees" true
+    (Vec.approx_equal ~tol:1e-12 sub.Subspace.mean pca.Pca.mean);
+  for i = 0 to k - 1 do
+    let ev_s = sub.Subspace.explained_variance.(i) in
+    let ev_p = pca.Pca.explained_variance.(i) in
+    check_bool
+      (Printf.sprintf "eigenvalue %d within 1e-3 relative" i)
+      true
+      (abs_float (ev_s -. ev_p) <= 1e-3 *. ev_p);
+    let cos =
+      Vec.dot (Mat.row sub.Subspace.components i) (Mat.row pca.Pca.components i)
+    in
+    check_bool (Printf.sprintf "direction %d aligned" i) true
+      (abs_float cos > 0.999)
+  done;
+  check_bool "total variance agrees" true
+    (abs_float (sub.Subspace.total_variance -. pca.Pca.total_variance)
+    <= 1e-9 *. pca.Pca.total_variance);
+  check_bool "explained ratio agrees" true
+    (abs_float (Subspace.explained_ratio sub -. Pca.explained_ratio pca) < 1e-3)
+
+let test_subspace_orthonormal_rows () =
+  let x = spectrum_sample 42 ~rows:80 ~cols:12 in
+  let sub = Subspace.fit ~rng:(Rng.create 43) ~components:5 x in
+  let c = sub.Subspace.components in
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      let g = Vec.dot (Mat.row c i) (Mat.row c j) in
+      let expect = if i = j then 1. else 0. in
+      check_bool (Printf.sprintf "gram %d %d" i j) true
+        (abs_float (g -. expect) < 1e-9)
+    done
+  done
+
+let test_subspace_full_rank_residual () =
+  (* k = d: the basis spans everything, so reconstruction is exact up
+     to roundoff and the transform matches Pca's bitwise contract
+     shape (project on orthonormal rows). *)
+  let x = spectrum_sample 44 ~rows:50 ~cols:6 in
+  let sub = Subspace.fit ~rng:(Rng.create 45) ~components:6 x in
+  for i = 0 to 9 do
+    check_bool "residual ~ 0 at full rank" true
+      (Subspace.residual_norm sub (Mat.row x i) < 1e-9)
+  done;
+  let into = Vec.zeros 6 in
+  let row = Mat.row x 3 in
+  check_bool "into bit-matches allocating" true
+    (bits_equal_vec (Subspace.transform ~into sub row) (Subspace.transform sub row))
+
+let test_subspace_pool_determinism () =
+  (* The fit runs entirely on the bit-identical-at-any-jobs kernels,
+     so the learned basis must not depend on the worker count. *)
+  let x = spectrum_sample 46 ~rows:120 ~cols:40 in
+  let fit () = Subspace.fit ~rng:(Rng.create 47) ~components:8 x in
+  let serial = fit () in
+  List.iter
+    (fun jobs ->
+      with_default_pool jobs (fun () ->
+          let pooled = fit () in
+          check_bool
+            (Printf.sprintf "components bit-identical at jobs=%d" jobs)
+            true
+            (bits_equal_vec serial.Subspace.components.Mat.data
+               pooled.Subspace.components.Mat.data);
+          check_bool
+            (Printf.sprintf "eigenvalues bit-identical at jobs=%d" jobs)
+            true
+            (bits_equal_vec serial.Subspace.explained_variance
+               pooled.Subspace.explained_variance)))
+    [ 1; 2; 4 ]
+
+let test_subspace_validation () =
+  check_bool "needs two rows" true
+    (match
+       Subspace.fit ~rng:(Rng.create 1) ~components:1 (Mat.identity 1)
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let subspace_props =
+  [
+    prop "fit invariants on random data" 25
+      QCheck.(triple (int_range 2 20) (int_range 1 10) (int_range 0 1000))
+      (fun (rows, k, seed) ->
+        (* Clamp: qcheck's int shrinker steps outside the generator's
+           range, and an [Invalid_argument] mid-shrink would mask the
+           real counterexample. *)
+        let rows = max rows 2 and k = max k 1 and seed = abs seed in
+        let cols = 1 + (seed mod 9) in
+        let x = spectrum_sample seed ~rows ~cols in
+        let sub = Subspace.fit ~rng:(Rng.create (seed + 1)) ~components:k x in
+        let kept = Mat.rows sub.Subspace.components in
+        let orthonormal =
+          let ok = ref true in
+          for i = 0 to kept - 1 do
+            for j = 0 to kept - 1 do
+              let g =
+                Vec.dot
+                  (Mat.row sub.Subspace.components i)
+                  (Mat.row sub.Subspace.components j)
+              in
+              let expect = if i = j then 1. else 0. in
+              if abs_float (g -. expect) > 1e-8 then ok := false
+            done
+          done;
+          !ok
+        in
+        let descending =
+          let ok = ref true in
+          for i = 0 to kept - 2 do
+            if
+              sub.Subspace.explained_variance.(i)
+              < sub.Subspace.explained_variance.(i + 1) -. 1e-9
+            then ok := false
+          done;
+          !ok
+        in
+        kept = min k cols && orthonormal && descending
+        && Subspace.explained_ratio sub >= 0.
+        && Subspace.explained_ratio sub <= 1.);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Kernel                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -515,7 +696,21 @@ let () =
           Alcotest.test_case "axis aligned" `Quick test_pca_axis_aligned;
           Alcotest.test_case "reconstruction" `Quick test_pca_reconstruction;
           Alcotest.test_case "explained variance sorted" `Quick test_pca_explained_sorted;
+          Alcotest.test_case "transform into + batch bit-compat" `Quick
+            test_pca_transform_into_and_all;
         ] );
+      ( "subspace",
+        [
+          Alcotest.test_case "matches pca" `Quick test_subspace_matches_pca;
+          Alcotest.test_case "orthonormal rows" `Quick
+            test_subspace_orthonormal_rows;
+          Alcotest.test_case "full-rank residual" `Quick
+            test_subspace_full_rank_residual;
+          Alcotest.test_case "pool determinism" `Quick
+            test_subspace_pool_determinism;
+          Alcotest.test_case "validation" `Quick test_subspace_validation;
+        ]
+        @ subspace_props );
       ( "kernel",
         [
           Alcotest.test_case "values" `Quick test_kernel_values;
