@@ -26,7 +26,10 @@ bench:
 # journaled run, recover, resume; all four variants must come back
 # bit-identical), a fleet smoke (concurrent tenants on one shared
 # group-commit journal; every tenant must match its solo run live and
-# after kill/recover/resume), a fig5c_hd smoke (rank-k projected
+# after kill/recover/resume), an adversarial stress smoke (the
+# misspecification-robust mechanism must beat vanilla on every
+# misspecified family and hold the stated paper-stream margin — the
+# "stress summary: ... OK" line), a fig5c_hd smoke (rank-k projected
 # pricing at n up to 16384 must report finite regret and a populated
 # projection-error column) and a tiny 2-domain bench smoke that
 # also writes a BENCH_*.json record exercising the perf-trajectory
@@ -48,6 +51,11 @@ ci: build
 	  | tee /dev/stderr \
 	  | grep -q "10/10 tenants bit-identical" \
 	  || { echo "fleet smoke FAILED"; exit 1; }
+	@echo "stress smoke:"; \
+	dune exec bin/experiments.exe -- stress --scale 0.05 \
+	  | tee /dev/stderr \
+	  | grep -q "stress summary: .* OK" \
+	  || { echo "stress smoke FAILED"; exit 1; }
 	@echo "fig5c_hd smoke:"; \
 	dune exec bin/experiments.exe -- fig5c_hd --scale 0.01 \
 	  | tee /dev/stderr \

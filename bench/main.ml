@@ -112,6 +112,7 @@ let stage1_artifacts =
       fun ppf ->
         Dm_experiments.Ablation.param_dist_sweep ~rounds:5_000 ~jobs ppf );
     ("baselines", fun ppf -> Dm_experiments.Baselines.compare ~scale ~jobs ppf);
+    ("stress", fun ppf -> Dm_experiments.Stress.degradation ~scale ~jobs ppf);
     ("longrun", fun ppf -> Dm_experiments.Longrun.report ~scale ~jobs ppf);
     ("recover", fun ppf -> Dm_experiments.Recover.report ~scale ~jobs ppf);
     ("fleet", fun ppf -> Dm_experiments.Fleet.report ~scale ~jobs ppf);
@@ -411,7 +412,57 @@ let make_tests () =
               ignore (Dm_market.Arbitrage.is_arbitrage_free_on ~grid tariff)));
     ]
   in
-  Test.make_grouped ~name:"" ~fmt:"%s%s" [ pricing_group; hd_group ]
+  (* The misspecification-robust hot path: a full decide/observe round
+     carrying the drift detector, shading update and probe logic on
+     top of the vanilla ellipsoid work ("stress/" keys are critical in
+     [Dm_bench.Record.critical_prefixes]). *)
+  let stress_group =
+    Test.make_grouped ~name:"stress"
+      [
+        Test.make ~name:"robust round n20"
+          (Staged.stage
+             (let cfg =
+                Mechanism.config
+                  ~variant:(Mechanism.with_reserve_and_uncertainty ~delta:0.01)
+                  ~epsilon:0.1 ()
+              in
+              let mech =
+                Mechanism.create_robust
+                  (Mechanism.robust_config ~explore_every:32
+                     ~reinflate_radius:4. ())
+                  cfg
+                  (Ellipsoid.ball ~dim:20 ~radius:2.)
+              in
+              let rng = Rng.create 91 in
+              let xs =
+                Array.init 64 (fun _ ->
+                    Vec.normalize
+                      (Vec.map abs_float (Dist.normal_vec rng ~dim:20)))
+              in
+              let t = ref 0 in
+              fun () ->
+                let x = xs.(!t mod 64) in
+                incr t;
+                ignore (Mechanism.step mech ~x ~reserve:0.3 ~market_index:1.)));
+        Test.make ~name:"robust snapshot n20"
+          (Staged.stage
+             (let cfg =
+                Mechanism.config
+                  ~variant:(Mechanism.with_reserve_and_uncertainty ~delta:0.01)
+                  ~epsilon:0.1 ()
+              in
+              let mech =
+                Mechanism.create_robust
+                  (Mechanism.robust_config ~explore_every:32
+                     ~reinflate_radius:4. ())
+                  cfg
+                  (Ellipsoid.ball ~dim:20 ~radius:2.)
+              in
+              fun () -> ignore (Mechanism.snapshot_binary mech)));
+      ]
+  in
+  Test.make_grouped ~name:"" ~fmt:"%s%s"
+    [ pricing_group; hd_group; stress_group ]
 
 let stage2 () =
   let open Bechamel in

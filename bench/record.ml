@@ -206,7 +206,7 @@ let load path =
    regression: the perf-sensitive kernels a refactor is most likely to
    silently drop from the bench matrix. *)
 let critical_prefixes =
-  [ "pricing/sparse_cut"; "journal/"; "journal/fleet"; "hd/" ]
+  [ "pricing/sparse_cut"; "journal/"; "journal/fleet"; "hd/"; "stress/" ]
 
 let is_critical name =
   List.exists

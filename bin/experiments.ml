@@ -182,6 +182,14 @@ let fleet_cmd =
     (fun ~pool ~scale ~seed ~jobs ->
       Dm_experiments.Fleet.report ?pool ~scale ~seed ~jobs ppf)
 
+let stress_cmd =
+  simple "stress"
+    "Adversarial valuation streams: regret degradation of Algorithm 2 vs \
+     the misspecification-robust variant under drift, regime switches, \
+     heavy tails and strategic responses"
+    (fun ~pool ~scale ~seed ~jobs ->
+      Dm_experiments.Stress.degradation ?pool ~scale ~seed ~jobs ppf)
+
 let baselines_cmd =
   simple "baselines" "Ellipsoid vs SGD (Amin et al.) vs risk-averse"
     (fun ~pool ~scale ~seed ~jobs -> Dm_experiments.Baselines.compare ?pool ~scale ~seed ~jobs ppf)
@@ -219,6 +227,7 @@ let all_cmd =
             Dm_experiments.Ablation.ctr_trainer ppf;
             Dm_experiments.Baselines.compare ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Baselines.seed_robustness ?pool ~scale ~seed ~jobs ppf;
+            Dm_experiments.Stress.degradation ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Longrun.report ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Recover.report ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Fleet.report ?pool ~scale ~seed ~jobs ppf;
@@ -245,6 +254,7 @@ let () =
             fig5c_hd_cmd;
             coldstart_cmd; lemma8_cmd; theorem3_cmd; theorem2_cmd; lemma2_cmd;
             lemma45_cmd; overhead_cmd; ablation_cmd; baselines_cmd;
-            robustness_cmd; longrun_cmd; recover_cmd; fleet_cmd; rank_cmd;
+            robustness_cmd; stress_cmd; longrun_cmd; recover_cmd; fleet_cmd;
+            rank_cmd;
             all_cmd;
           ]))

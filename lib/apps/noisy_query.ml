@@ -94,19 +94,22 @@ let noise t =
   let table = Lazy.force t.noise_table in
   fun i -> table.(i)
 
+(* Buffered cuts stall once the width falls below 2nδ (the cut
+   position α drops under −1/n and every update is a no-op), so with
+   the evaluation section's ε = n²/T < 2nδ the uncertainty variants
+   would explore forever at a stuck width.  Lemmas 4–7 assume
+   ε ≥ 4nδ; flooring at 2.5nδ — safely above the stall bound, below
+   the analysis's conservative 4nδ — reproduces the paper's reported
+   mild uncertainty penalty (see EXPERIMENTS.md).  A no-op for the
+   δ = 0 variants. *)
+let effective_epsilon t variant =
+  Float.max t.epsilon
+    (2.5 *. float_of_int t.dim *. variant.Mechanism.delta)
+
+let epsilon_floored t variant = effective_epsilon t variant > t.epsilon
+
 let mechanism t variant =
-  (* Buffered cuts stall once the width falls below 2nδ (the cut
-     position α drops under −1/n and every update is a no-op), so with
-     the evaluation section's ε = n²/T < 2nδ the uncertainty variants
-     would explore forever at a stuck width.  Lemmas 4–7 assume
-     ε ≥ 4nδ; flooring at 2.5nδ — safely above the stall bound, below
-     the analysis's conservative 4nδ — reproduces the paper's reported
-     mild uncertainty penalty (see EXPERIMENTS.md).  A no-op for the
-     δ = 0 variants. *)
-  let epsilon =
-    Float.max t.epsilon
-      (2.5 *. float_of_int t.dim *. variant.Mechanism.delta)
-  in
+  let epsilon = effective_epsilon t variant in
   (* In one dimension the paper starts from the interval [0, 2] (its
      Sec. V-A walkthrough: the first exploratory price is 1, exactly
      the reserve, so the reserve constraint has no effect at n = 1 —

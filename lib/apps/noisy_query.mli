@@ -52,8 +52,23 @@ val workload : t -> (int -> Dm_linalg.Vec.t * float)
 val noise : t -> (int -> float)
 (** The per-round uncertainty δ_t ~ N(0, σ). *)
 
+val effective_epsilon : t -> Dm_market.Mechanism.variant -> float
+(** The exploration threshold {!mechanism} actually runs with:
+    [max ε 2.5nδ].  The floor exists because δ-buffered cuts stall
+    once the ellipsoid width falls below 2nδ (EXPERIMENTS.md) — with
+    the evaluation section's ε = n²/T the uncertainty variants would
+    otherwise explore forever at a stuck width.  Equal to the setup's
+    ε whenever the floor does not bind (in particular for the δ = 0
+    variants). *)
+
+val epsilon_floored : t -> Dm_market.Mechanism.variant -> bool
+(** Whether the 2.5nδ stall floor overrides the setup's ε for this
+    variant — drivers report it so the substitution is never
+    silent. *)
+
 val mechanism : t -> Dm_market.Mechanism.variant -> Dm_market.Mechanism.t
-(** A fresh mechanism over the ball R = 2√n with the setup's ε. *)
+(** A fresh mechanism over the ball R = 2√n with
+    [{!effective_epsilon} t variant] as the exploration threshold. *)
 
 val run :
   ?record_rounds:bool ->

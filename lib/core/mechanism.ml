@@ -40,8 +40,58 @@ let config ?(allow_conservative_cuts = false) ?(sparse_cuts = true) ~variant
   check_delta variant.delta;
   { variant; epsilon; allow_conservative_cuts; sparse_cuts }
 
+type robust_config = {
+  explore_every : int;
+  drift_window : int;
+  drift_trigger : int;
+  reinflate_radius : float;
+}
+
+(* The drift window is a bitmask over the last [drift_window] posted
+   rounds (LSB = most recent), so it must fit a native int. *)
+let max_drift_window = 62
+
+let robust_config ?(drift_window = 32) ?(drift_trigger = 4) ~explore_every
+    ~reinflate_radius () =
+  if explore_every < 1 then
+    invalid_arg "Mechanism.robust_config: explore_every must be >= 1";
+  if drift_window < 1 || drift_window > max_drift_window then
+    invalid_arg
+      (Printf.sprintf "Mechanism.robust_config: drift_window outside [1,%d]"
+         max_drift_window);
+  if drift_trigger < 1 || drift_trigger > drift_window then
+    invalid_arg
+      "Mechanism.robust_config: drift_trigger outside [1,drift_window]";
+  if not (reinflate_radius > 0.) || reinflate_radius = infinity then
+    invalid_arg
+      "Mechanism.robust_config: reinflate_radius must be finite and positive";
+  { explore_every; drift_window; drift_trigger; reinflate_radius }
+
+(* Two consecutive accepted probes force a restart regardless of the
+   window count: a probe acceptance is far stronger evidence than a
+   floor rejection (v landed ε past the whole knowledge set, not just
+   δ below it), and probes are too sparse for the window to ever
+   accumulate [drift_trigger] of them. *)
+let probe_streak_trigger = 2
+
+type robust_state = {
+  rcfg : robust_config;
+  mutable since_explore : int;
+      (* conservative rounds since the last exploratory post *)
+  mutable recent : int;
+      (* contradiction bits over the last [drift_window] posted rounds *)
+  mutable filled : int;
+  mutable probe_streak : int;  (* consecutive accepted probes *)
+  mutable shade : float;
+      (* price shading below the conservative floor, adapted online
+         from floor rejections — the distribution-free answer to
+         valuation noise whose lower tail outruns the sub-Gaussian δ *)
+  mutable restarts : int;
+}
+
 type t = {
   cfg : config;
+  robust : robust_state option;
   proj : (Dm_linalg.Mat.t * float) option;
       (* rank-k mode: the k×n orthonormal-row projection P and the
          index-space misspecification bound err ≥ sup_x |x_⊥ᵀθ*| *)
@@ -63,6 +113,7 @@ type t = {
 let create cfg ell =
   {
     cfg;
+    robust = None;
     proj = None;
     ell;
     exploratory = 0;
@@ -89,7 +140,36 @@ let create_projected cfg ~projection ~err ell =
          (Ellipsoid.dim ell) k);
   { (create cfg ell) with proj = Some (projection, err) }
 
+let fresh_robust_state rcfg =
+  {
+    rcfg;
+    since_explore = 0;
+    recent = 0;
+    filled = 0;
+    probe_streak = 0;
+    shade = 0.;
+    restarts = 0;
+  }
+
+let create_robust rcfg cfg ell =
+  { (create cfg ell) with robust = Some (fresh_robust_state rcfg) }
+
 let projection t = t.proj
+
+let robust_config_of t = Option.map (fun rs -> rs.rcfg) t.robust
+
+let robust_restarts t =
+  match t.robust with None -> 0 | Some rs -> rs.restarts
+
+let popcount =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0
+
+let robust_drift_level t =
+  match t.robust with None -> 0 | Some rs -> popcount rs.recent
+
+let robust_shade t =
+  match t.robust with None -> 0. | Some rs -> rs.shade
 
 (* In projected mode every price guard widens by the misspecification
    bound: the observable index is uᵀθ_P = xᵀθ* − x_⊥ᵀθ*, so treating
@@ -142,14 +222,120 @@ let decide t ~x ~reserve =
   else if 2. *. half_width > epsilon then
     Post { price = Float.max q mid; kind = Exploratory; lower; upper }
   else
-    Post { price = Float.max q (lower -. delta); kind = Conservative; lower; upper }
+    let probe_due =
+      match t.robust with
+      | Some rs -> rs.since_explore >= rs.rcfg.explore_every
+      | None -> false
+    in
+    if probe_due then
+      (* Periodic explore round: price just above the knowledge set's
+         upper bound.  Under the paper's model the buyer rejects and
+         both cut positions fall outside the ellipsoid (no-op), so the
+         probe only costs the round's sale; an acceptance proves the
+         market value sits above the set — upward drift, or a set that
+         heavy-tailed exploration noise carved too low — and feeds the
+         drift statistic in [observe].  The ε/4 gap keeps the probe
+         sensitive to biases well below the exploration threshold
+         while staying clear of the p̄ + δ model boundary. *)
+      Post
+        { price = Float.max q (upper +. delta +. (0.25 *. epsilon));
+          kind = Exploratory; lower; upper }
+    else
+      (* The robust variant shades the conservative floor by the
+         current adaptive discount: under valuation noise whose lower
+         tail outruns the sub-Gaussian δ, the floor itself draws
+         rejections that each forfeit a whole sale, and trading a
+         slightly lower price for a much higher sell-through is the
+         distribution-free play.  [shade] stays 0 on a stream matching
+         the model (see [robust_observe]). *)
+      let shade =
+        match t.robust with Some rs -> rs.shade | None -> 0.
+      in
+      Post
+        { price = Float.max q (lower -. delta -. shade); kind = Conservative;
+          lower; upper }
+
+(* Re-inflate the knowledge set: a fresh ball of radius [radius] at
+   the current center, clipped to ‖c‖ ≤ reinflate_radius/2 so a
+   full-radius restart is guaranteed to recapture any θ* with
+   ‖θ*‖ ≤ reinflate_radius/2 wherever the stale set wandered —
+   callers tracking ‖θ*‖ ≤ R pass [reinflate_radius = 2R]. *)
+let robust_restart t rs ~radius =
+  let r = rs.rcfg.reinflate_radius in
+  let c = t.ell.Ellipsoid.center in
+  let nrm = Dm_linalg.Vec.norm2 c in
+  let center =
+    if nrm <= r /. 2. then Array.copy c
+    else Dm_linalg.Vec.scale (r /. 2. /. nrm) c
+  in
+  let shape =
+    Dm_linalg.Mat.scaled_identity (Ellipsoid.dim t.ell) (radius *. radius)
+  in
+  t.ell <- Ellipsoid.make ~center ~shape;
+  t.spare <- None;
+  t.exposed <- false;
+  t.memo <- None;
+  rs.since_explore <- 0;
+  rs.recent <- 0;
+  rs.filled <- 0;
+  rs.probe_streak <- 0;
+  rs.shade <- 0.;
+  rs.restarts <- rs.restarts + 1
+
+(* The drift statistic: a posted round contradicts the knowledge set
+   when the response lands outside what any θ in the set could produce
+   under |noise| ≤ δ — an acceptance at or above p̄+δ (the probe), or a
+   rejection at or below p̲−δ (the conservative floor).  Enough
+   contradictions inside the sliding window trigger a restart. *)
+let robust_observe t rs ~kind ~accepted ~price ~lower ~upper =
+  (match kind with
+  | Exploratory -> rs.since_explore <- 0
+  | Conservative -> rs.since_explore <- rs.since_explore + 1);
+  let delta = effective_delta t in
+  let is_probe = price >= upper +. delta in
+  let at_floor = price <= lower -. delta in
+  let contradiction = (accepted && is_probe) || ((not accepted) && at_floor) in
+  if is_probe then
+    rs.probe_streak <- (if accepted then rs.probe_streak + 1 else 0);
+  (* Adapt the floor shading from floor-round outcomes only (a price
+     dominated by the reserve says nothing about the floor).  The
+     asymmetric steps put the equilibrium rejection rate near
+     down/(up+down) ≈ 6%: on a model-matching stream floor rejections
+     are (T-horizon-)rare and the shade decays to 0, while a heavy
+     lower tail walks it up until rejections are rare again. *)
+  (match kind with
+  | Conservative when at_floor ->
+      let epsilon = t.cfg.epsilon in
+      rs.shade <-
+        (if accepted then Float.max 0. (rs.shade -. (epsilon /. 256.))
+         else Float.min epsilon (rs.shade +. (epsilon /. 16.)))
+  | Conservative | Exploratory -> ());
+  let mask = (1 lsl rs.rcfg.drift_window) - 1 in
+  rs.recent <- ((rs.recent lsl 1) lor Bool.to_int contradiction) land mask;
+  rs.filled <- min rs.rcfg.drift_window (rs.filled + 1);
+  (* Two restart tiers, picked by what the evidence proves.  A window
+     full of floor rejections means the set is globally stale (a
+     regime switch can move θ* anywhere) — re-inflate to the full
+     configured radius.  A probe streak only proves the market value
+     sits a fraction of ε {e above} the set: the truth is nearby, so a
+     small ball around the current center relearns it in a handful of
+     cheap near-truth cuts instead of a full exploration phase.  If
+     the small ball still misses, the probes fire again and the next
+     soft restart recenters closer — and a badly stale set falls back
+     to the rejection window anyway. *)
+  let r = rs.rcfg.reinflate_radius in
+  if popcount rs.recent >= rs.rcfg.drift_trigger then
+    robust_restart t rs ~radius:r
+  else if rs.probe_streak >= probe_streak_trigger then
+    robust_restart t rs
+      ~radius:(Float.min r (Float.max (8. *. t.cfg.epsilon) (r /. 4.)))
 
 let observe t ~x decision ~accepted =
   let { allow_conservative_cuts; _ } = t.cfg in
   let delta = effective_delta t in
   match decision with
   | Skip -> t.skipped <- t.skipped + 1
-  | Post { price; kind; _ } ->
+  | Post { price; kind; lower; upper } ->
       let cuts =
         match kind with
         | Exploratory ->
@@ -191,7 +377,10 @@ let observe t ~x decision ~accepted =
               t.ell <- ell'
             end
         | Ellipsoid.Too_shallow | Ellipsoid.Empty -> ()
-      end
+      end;
+      (match t.robust with
+      | Some rs -> robust_observe t rs ~kind ~accepted ~price ~lower ~upper
+      | None -> ())
 
 let step t ~x ~reserve ~market_index =
   let decision = decide t ~x ~reserve in
@@ -215,11 +404,20 @@ let state_line t =
     t.exploratory t.conservative t.skipped
 
 let snapshot t =
-  match t.proj with
-  | None ->
+  match (t.robust, t.proj) with
+  | Some rs, _ ->
+      (* v3 inserts the robust block between the state line and the
+         ellipsoid: configuration, then the live drift-detector state
+         (the contradiction bitmask prints as a decimal int). *)
+      Printf.sprintf "mechanism/3\n%s\nrobust %d %d %d %h %d %d %d %d %h %d\n%s"
+        (state_line t) rs.rcfg.explore_every rs.rcfg.drift_window
+        rs.rcfg.drift_trigger rs.rcfg.reinflate_radius rs.since_explore
+        rs.recent rs.filled rs.probe_streak rs.shade rs.restarts
+        (Ellipsoid.serialize t.ell)
+  | None, None ->
       Printf.sprintf "mechanism/1\n%s\n%s" (state_line t)
         (Ellipsoid.serialize t.ell)
-  | Some (p, err) ->
+  | None, Some (p, err) ->
       (* v2 inserts the projection block between the state line and the
          ellipsoid: one "proj k n err" line, then the row-major entries
          as hex float literals on one line (exact round-trip). *)
@@ -241,6 +439,8 @@ let binary_magic = "dm-mech3"
 
 let binary_magic_v4 = "dm-mech4"
 
+let binary_magic_v5 = "dm-mech5"
+
 (* Same ceiling as the binary ellipsoid codec: a forged dimension must
    not trigger a huge allocation before the length check. *)
 let max_proj_dim = 1 lsl 20
@@ -250,7 +450,10 @@ let snapshot_binary t =
     Buffer.create (64 + (8 * Ellipsoid.dim t.ell * (Ellipsoid.dim t.ell + 1)))
   in
   Buffer.add_string buf
-    (match t.proj with None -> binary_magic | Some _ -> binary_magic_v4);
+    (match (t.robust, t.proj) with
+    | Some _, _ -> binary_magic_v5
+    | None, None -> binary_magic
+    | None, Some _ -> binary_magic_v4);
   Serial.add_u8 buf (Bool.to_int t.cfg.variant.use_reserve);
   Serial.add_f64 buf t.cfg.variant.delta;
   Serial.add_u8 buf (Bool.to_int t.cfg.allow_conservative_cuts);
@@ -259,6 +462,19 @@ let snapshot_binary t =
   Serial.add_u64 buf t.exploratory;
   Serial.add_u64 buf t.conservative;
   Serial.add_u64 buf t.skipped;
+  (match t.robust with
+  | None -> ()
+  | Some rs ->
+      Serial.add_u32 buf rs.rcfg.explore_every;
+      Serial.add_u32 buf rs.rcfg.drift_window;
+      Serial.add_u32 buf rs.rcfg.drift_trigger;
+      Serial.add_f64 buf rs.rcfg.reinflate_radius;
+      Serial.add_u64 buf rs.since_explore;
+      Serial.add_u64 buf rs.recent;
+      Serial.add_u32 buf rs.filled;
+      Serial.add_u32 buf rs.probe_streak;
+      Serial.add_f64 buf rs.shade;
+      Serial.add_u64 buf rs.restarts);
   (match t.proj with
   | None -> ()
   | Some (p, err) ->
@@ -277,9 +493,33 @@ let fail fmt = Printf.ksprintf (fun m -> Error ("Mechanism.restore: " ^ m)) fmt
 
 exception Restore_failure of string
 
+(* Shared robust-block validation for both snapshot formats; the error
+   message is unprefixed so each caller can name the location. *)
+let robust_state_of_fields ~explore_every ~drift_window ~drift_trigger
+    ~reinflate_radius ~since_explore ~recent ~filled ~probe_streak ~shade
+    ~restarts =
+  match
+    robust_config ~drift_window ~drift_trigger ~explore_every
+      ~reinflate_radius ()
+  with
+  | exception Invalid_argument msg -> Error msg
+  | rcfg ->
+      if since_explore < 0 then Error "negative since_explore"
+      else if recent < 0 || recent land lnot ((1 lsl drift_window) - 1) <> 0
+      then Error "contradiction bits outside the drift window"
+      else if filled < 0 || filled > drift_window then
+        Error "window fill outside [0, drift_window]"
+      else if probe_streak < 0 || probe_streak >= probe_streak_trigger then
+        Error "probe streak outside [0, probe_streak_trigger)"
+      else if not (Float.is_finite shade) || shade < 0. then
+        Error "shade must be finite and non-negative"
+      else if restarts < 0 then Error "negative restart counter"
+      else
+        Ok { rcfg; since_explore; recent; filled; probe_streak; shade; restarts }
+
 (* Shared final assembly: validate the config, match the projection
    rank against the ellipsoid dimension, build the mechanism. *)
-let assemble ~use_reserve ~delta ~allow ~sparse_cuts ~epsilon ~proj ~ell
+let assemble ~use_reserve ~delta ~allow ~sparse_cuts ~epsilon ~proj ~robust ~ell
     ~exploratory ~conservative ~skipped =
   match proj with
   | Some (p, _) when Ellipsoid.dim ell <> Dm_linalg.Mat.rows p ->
@@ -295,6 +535,7 @@ let assemble ~use_reserve ~delta ~allow ~sparse_cuts ~epsilon ~proj ~ell
           Ok
             {
               cfg;
+              robust;
               proj;
               ell;
               exploratory;
@@ -305,7 +546,7 @@ let assemble ~use_reserve ~delta ~allow ~sparse_cuts ~epsilon ~proj ~ell
               memo = None;
             })
 
-let restore_binary ~projected text =
+let restore_binary ~projected ~robust text =
   let failf fmt = Printf.ksprintf (fun m -> raise (Restore_failure m)) fmt in
   let r = Serial.reader ~pos:(String.length binary_magic) text in
   let flag what =
@@ -324,6 +565,29 @@ let restore_binary ~projected text =
     let exploratory = Serial.take_u64 r in
     let conservative = Serial.take_u64 r in
     let skipped = Serial.take_u64 r in
+    let robust =
+      if not robust then None
+      else begin
+        let off = r.Serial.pos in
+        let explore_every = Serial.take_u32 r in
+        let drift_window = Serial.take_u32 r in
+        let drift_trigger = Serial.take_u32 r in
+        let reinflate_radius = Serial.take_f64 r in
+        let since_explore = Serial.take_u64 r in
+        let recent = Serial.take_u64 r in
+        let filled = Serial.take_u32 r in
+        let probe_streak = Serial.take_u32 r in
+        let shade = Serial.take_f64 r in
+        let restarts = Serial.take_u64 r in
+        match
+          robust_state_of_fields ~explore_every ~drift_window ~drift_trigger
+            ~reinflate_radius ~since_explore ~recent ~filled ~probe_streak
+            ~shade ~restarts
+        with
+        | Ok rs -> Some rs
+        | Error msg -> failf "byte %d: %s" off msg
+      end
+    in
     let proj =
       if not projected then None
       else begin
@@ -354,7 +618,7 @@ let restore_binary ~projected text =
     | Error msg -> fail "ellipsoid: %s" msg
     | Ok ell ->
         assemble ~use_reserve ~delta ~allow ~sparse_cuts:(Some sparse_cuts)
-          ~epsilon ~proj ~ell ~exploratory ~conservative ~skipped
+          ~epsilon ~proj ~robust ~ell ~exploratory ~conservative ~skipped
   with
   | Restore_failure m -> Error ("Mechanism.restore: " ^ m)
   | Serial.Short off -> fail "truncated at byte %d" off
@@ -412,6 +676,29 @@ let parse_text_projection rest =
                       in
                       Ok ((p, err), rest))))
 
+(* "robust ee dw dt rr se recent filled probes shade restarts" —
+   configuration plus live drift-detector state on one line. *)
+let parse_text_robust rest =
+  match cut_line rest with
+  | None -> fail "line 3: truncated robust line"
+  | Some (line, rest) -> (
+      match
+        Scanf.sscanf line "robust %d %d %d %h %d %d %d %d %h %d"
+          (fun ee dw dt rr se rc fl ps sh rst ->
+            (ee, dw, dt, rr, se, rc, fl, ps, sh, rst))
+      with
+      | exception Scanf.Scan_failure msg -> fail "line 3: bad robust line: %s" msg
+      | exception Failure msg -> fail "line 3: bad robust line: %s" msg
+      | exception End_of_file -> fail "line 3: bad robust line"
+      | ee, dw, dt, rr, se, rc, fl, ps, sh, rst -> (
+          match
+            robust_state_of_fields ~explore_every:ee ~drift_window:dw
+              ~drift_trigger:dt ~reinflate_radius:rr ~since_explore:se
+              ~recent:rc ~filled:fl ~probe_streak:ps ~shade:sh ~restarts:rst
+          with
+          | Error msg -> fail "line 3: %s" msg
+          | Ok rs -> Ok (rs, rest)))
+
 let restore_text text =
   match cut_line text with
   | None -> fail "line 1: truncated snapshot"
@@ -420,10 +707,13 @@ let restore_text text =
         match header with
         | "mechanism/1" -> Some 1
         | "mechanism/2" -> Some 2
+        | "mechanism/3" -> Some 3
         | _ -> None
       in
       match version with
-      | None -> fail "line 1: unknown header (want mechanism/1 or mechanism/2)"
+      | None ->
+          fail "line 1: unknown header (want mechanism/1, mechanism/2 or \
+                mechanism/3)"
       | Some version -> (
           match cut_line rest with
           | None -> fail "line 2: truncated snapshot"
@@ -443,30 +733,39 @@ let restore_text text =
               | _, _, _, _, _, _, s when s < 0 ->
                   fail "line 2: negative skipped counter (field 7)"
               | use_reserve, delta, allow, epsilon, e, c, s -> (
-                  let proj_result =
-                    if version = 1 then Ok (None, rest)
-                    else
-                      match parse_text_projection rest with
-                      | Error _ as err -> err
-                      | Ok (pe, rest) -> Ok (Some pe, rest)
+                  let sections =
+                    match version with
+                    | 1 -> Ok (None, None, rest)
+                    | 2 -> (
+                        match parse_text_projection rest with
+                        | Error msg -> Error msg
+                        | Ok (pe, rest) -> Ok (Some pe, None, rest))
+                    | _ -> (
+                        match parse_text_robust rest with
+                        | Error msg -> Error msg
+                        | Ok (rs, rest) -> Ok (None, Some rs, rest))
                   in
-                  match proj_result with
+                  match sections with
                   | Error msg -> Error msg
-                  | Ok (proj, ell_text) -> (
+                  | Ok (proj, robust, ell_text) -> (
                       match Ellipsoid.deserialize ell_text with
                       | Error msg -> fail "ellipsoid section: %s" msg
                       | Ok ell ->
                           assemble ~use_reserve ~delta ~allow ~sparse_cuts:None
-                            ~epsilon ~proj ~ell ~exploratory:e ~conservative:c
-                            ~skipped:s)))))
+                            ~epsilon ~proj ~robust ~ell ~exploratory:e
+                            ~conservative:c ~skipped:s)))))
 
 let restore text =
   let starts_with magic =
     let m = String.length magic in
     String.length text >= m && String.sub text 0 m = magic
   in
-  if starts_with binary_magic then restore_binary ~projected:false text
-  else if starts_with binary_magic_v4 then restore_binary ~projected:true text
+  if starts_with binary_magic then
+    restore_binary ~projected:false ~robust:false text
+  else if starts_with binary_magic_v4 then
+    restore_binary ~projected:true ~robust:false text
+  else if starts_with binary_magic_v5 then
+    restore_binary ~projected:false ~robust:true text
   else restore_text text
 
 let te_upper_bound ~radius ~feature_bound ~dim ~epsilon =

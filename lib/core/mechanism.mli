@@ -98,9 +98,101 @@ val create_projected :
     Raises [Invalid_argument] when the ellipsoid dimension differs
     from the projection rank, or on a NaN/infinite/negative [err]. *)
 
+type robust_config = {
+  explore_every : int;
+      (** post a probe after this many consecutive conservative
+          rounds *)
+  drift_window : int;  (** sliding window length, in posted rounds *)
+  drift_trigger : int;
+      (** contradictions within the window that trigger a restart *)
+  reinflate_radius : float;
+      (** radius of the restarted knowledge ball; pass [2R] to
+          guarantee any ‖θ‖ ≤ R is recaptured *)
+}
+
+val robust_config :
+  ?drift_window:int ->
+  ?drift_trigger:int ->
+  explore_every:int ->
+  reinflate_radius:float ->
+  unit ->
+  robust_config
+(** Validated constructor (defaults: window 32, trigger 4).  Requires
+    [explore_every ≥ 1], [1 ≤ drift_window ≤ 62],
+    [1 ≤ drift_trigger ≤ drift_window] and a finite
+    [reinflate_radius > 0]. *)
+
+val create_robust : robust_config -> config -> Ellipsoid.t -> t
+(** A misspecification-robust (dense) variant for streams that break
+    the paper's model — shifting hidden vector, heavy tails, strategic
+    responses ([Dm_synth.Adversarial]-style).  Two additions over
+    {!create}:
+
+    + {e periodic explore rounds}: after [explore_every] consecutive
+      conservative rounds the next post is a probe at
+      [p̄ + δ + ε/4] instead of the conservative floor.  Under the
+      paper's model the buyer rejects it and both cut positions fall
+      outside the knowledge set, so the probe never corrupts the
+      ellipsoid — it only forfeits that round's sale.  The ε/4 gap
+      makes the probe sensitive to market values sitting only a
+      fraction of the exploration threshold above the set — upward
+      drift, or a set that heavy-tailed exploration noise carved low;
+    + {e drift-triggered restarts}: every posted round contributes a
+      bit to a sliding window — set when the response contradicts the
+      knowledge set under |noise| ≤ δ (an acceptance at or above
+      [p̄ + δ], i.e. the probe sold, or a rejection at or below
+      [p̲ − δ], the conservative floor refused).  When
+      [drift_trigger] bits are set within [drift_window] posted
+      rounds, {e or two consecutive probes sell} (a probe acceptance
+      is far stronger evidence than a floor rejection, and probes are
+      too sparse for the window to accumulate them), the ellipsoid is
+      re-inflated to a ball of radius [reinflate_radius] at the
+      current center (clipped to half the radius, so any θ with
+      ‖θ‖ ≤ [reinflate_radius]/2 is recaptured) and the detector
+      state clears.  The two triggers re-inflate differently: the
+      rejection window proves global staleness and uses the full
+      radius, while a probe streak only proves the market value sits a
+      fraction of ε above the set, so it re-inflates a small ball
+      (max(8ε, radius/4)) around the current center — a cheap local
+      re-learn that recenters closer on every repeat;
+    + {e adaptive floor shading}: rejections of the conservative floor
+      price itself walk an online discount up (ε/16 per rejection,
+      −ε/256 per floor sale, clamped to [0, ε]) and the floor posts at
+      [p̲ − δ − shade].  Valuation noise whose lower tail outruns the
+      sub-Gaussian δ makes floor rejections — each forfeiting a whole
+      sale — far too frequent; trading a slightly lower price for
+      sell-through is the distribution-free play, and the equilibrium
+      keeps floor rejections near a 6% rate.  On a model-matching
+      stream floor rejections stay (T-horizon-)rare, so the shade
+      decays to and stays at 0 and prices are unchanged.
+
+    On a stationary stream matching the paper's model the trajectory
+    between probes is identical to {!create}'s, contradictions have
+    vanishing probability, and the extra regret is one forfeited sale
+    per [explore_every] converged rounds.  The Lemma 6/7 exploratory
+    bound no longer applies: probes count as exploratory rounds and
+    each restart re-opens the exploration phase. *)
+
 val projection : t -> (Dm_linalg.Mat.t * float) option
 (** The projection matrix and error bound of a {!create_projected}
     mechanism; [None] for a dense one. *)
+
+val robust_config_of : t -> robust_config option
+(** The robust configuration of a {!create_robust} mechanism; [None]
+    for a vanilla one. *)
+
+val robust_restarts : t -> int
+(** How many drift-triggered restarts have fired (0 for a vanilla
+    mechanism). *)
+
+val robust_drift_level : t -> int
+(** Contradictions currently set in the sliding window (0 for a
+    vanilla mechanism); reaches [drift_trigger] only transiently —
+    the triggering round restarts and clears the window. *)
+
+val robust_shade : t -> float
+(** The current adaptive discount below the conservative floor (0 for
+    a vanilla mechanism, and 0 on streams matching the model). *)
 
 val ellipsoid : t -> Ellipsoid.t
 (** The current knowledge set.  Reading it marks its shape matrix as
@@ -161,7 +253,9 @@ val snapshot : t -> string
     layout byte-for-byte; a projected one upgrades to ["mechanism/2"],
     which inserts a ["proj k n err"] line and one line of row-major
     hex-float projection entries between the state line and the
-    ellipsoid. *)
+    ellipsoid; a robust one upgrades to ["mechanism/3"], which instead
+    inserts one ["robust ..."] line carrying the {!robust_config} and
+    the live drift-detector state. *)
 
 val binary_magic : string
 (** The 8-byte magic (["dm-mech3"]) opening a dense binary snapshot. *)
@@ -171,6 +265,12 @@ val binary_magic_v4 : string
     snapshot: the v3 layout with [k], [n] (u32 each), the error bound
     and the row-major projection entries inserted between the counters
     and the ellipsoid. *)
+
+val binary_magic_v5 : string
+(** The 8-byte magic (["dm-mech5"]) opening a robust binary snapshot:
+    the v3 layout with the {!robust_config} fields and the live
+    drift-detector state inserted between the counters and the
+    ellipsoid. *)
 
 val snapshot_binary : t -> string
 (** Compact binary snapshot: {!binary_magic} (dense) or

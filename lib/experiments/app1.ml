@@ -27,6 +27,18 @@ let variants setup =
     ("reserve+unc", Mechanism.with_reserve_and_uncertainty ~delta);
   ]
 
+(* The 2.5nδ stall floor (Noisy_query.effective_epsilon) must never be
+   a silent substitution: name the variants it lifted. *)
+let report_epsilon_floor ppf setup vs =
+  match List.filter (fun (_, v) -> Noisy_query.epsilon_floored setup v) vs with
+  | [] -> ()
+  | (_, v0) :: _ as floored ->
+      Format.fprintf ppf
+        "epsilon floor: setup ε = %.3g lifted to 2.5nδ = %.3g for %s@."
+        setup.Noisy_query.epsilon
+        (Noisy_query.effective_epsilon setup v0)
+        (String.concat ", " (List.map fst floored))
+
 let fig4 ?pool ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
   let panel (dim, rounds) ppf =
     let rounds = scaled_rounds scale rounds in
@@ -55,7 +67,8 @@ let fig4 ?pool ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
         (Printf.sprintf
            "Fig. 4 (n = %d, T = %d): cumulative regret, noisy linear query"
            dim rounds)
-      ~header rows
+      ~header rows;
+    report_epsilon_floor ppf setup (variants setup)
   in
   Runner.render ?pool ~jobs ppf
     (Array.of_list (List.map panel paper_settings))
@@ -129,7 +142,8 @@ let fig5a ?(scale = 1.) ?(seed = 42) ppf =
     "Final ratios — pure %s, uncertainty %s, reserve %s, reserve+unc %s, \
      risk-averse %s@.(paper: 8.48%%, 11.19%%, 7.77%%, 9.87%%, 18.16%%)@.@."
     (final "pure") (final "uncertainty") (final "reserve")
-    (final "reserve+unc") (final "risk-averse")
+    (final "reserve+unc") (final "risk-averse");
+  report_epsilon_floor ppf setup (variants setup)
 
 let coldstart ?pool ?(scale = 1.) ?(seed = 42) ?(seeds = 5) ?(jobs = 1) ppf =
   let dim = 20 in

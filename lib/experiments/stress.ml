@@ -1,0 +1,249 @@
+module Adversarial = Dm_synth.Adversarial
+module Subgaussian = Dm_prob.Subgaussian
+module Dist = Dm_prob.Dist
+module Ellipsoid = Dm_market.Ellipsoid
+module Mechanism = Dm_market.Mechanism
+module Adversary = Dm_market.Adversary
+module Broker = Dm_market.Broker
+
+(* Dimension 2 so both mechanisms actually reach the conservative
+   phase within the bench-scale horizon (the Lemma 6/7 exploratory
+   budget is ~20n²·log(..) rounds) — the families differ in *stream*
+   misbehavior, not in dimensionality (fig5c_hd covers that axis). *)
+let dim = 2
+let delta = 0.01 (* the evaluation's fixed uncertainty buffer *)
+let strategic_margin = 0.25
+let strategic_flip = 0.5
+(* Tail index 1.8: infinite variance, finite mean — squarely outside
+   Eq. 4's sub-Gaussian class, yet decaying fast enough that paying a
+   few δ more slack buys several times fewer tail dips (at α ≤ 1.5
+   the tail decays so slowly that no finite shading helps and the
+   penalty is unavoidable for every mechanism). *)
+let heavy_tail_index = 1.8
+
+(* Heavy-tail scale: typical draws span several δ, so the floor
+   calibrated to sub-Gaussian noise keeps drawing value dips that
+   each forfeit a whole sale — the component the robust variant's
+   adaptive shading trades away for a slightly lower price. *)
+let heavy_tail_scale = 5. *. delta
+
+let cell_seed seed salt = (seed * 1_000_003) + (salt * 7_919)
+
+(* All six families share the broker-side calibration: σ is what the
+   paper's Eq. 5 buffer δ = 0.01 implies over this horizon, and the
+   heavy-tailed laws reuse it as their scale — so the broker's δ is
+   "right" under its sub-Gaussian assumption and wrong only because
+   the tails (or the hidden vector, or the buyer) are. *)
+let families ~rounds ~sigma =
+  let b1 = rounds / 3 and b2 = 2 * rounds / 3 in
+  let open Adversarial in
+  [|
+    ("paper", Static, Subgaussian (Dist.Gaussian sigma), Truthful);
+    ("drift", Drift { speed = 1. }, Subgaussian (Dist.Gaussian sigma), Truthful);
+    ( "switch",
+      Switches { boundaries = [| b1; b2 |] },
+      Subgaussian (Dist.Gaussian sigma),
+      Truthful );
+    ( "student-t",
+      Static,
+      Student_t { dof = heavy_tail_index; scale = heavy_tail_scale },
+      Truthful );
+    ( "pareto",
+      Static,
+      Pareto { alpha = heavy_tail_index; scale = heavy_tail_scale },
+      Truthful );
+    ( "strategic",
+      Static,
+      Subgaussian (Dist.Gaussian sigma),
+      Strategic { margin = strategic_margin; flip_prob = strategic_flip } );
+  |]
+
+type spec = { fam : int; robust : bool }
+
+type stats = {
+  spec : spec;
+  sold : int;
+  expl : int;
+  cons : int;
+  skip : int;
+  restarts : int;
+  regret : float;
+  probe_forfeit : float;
+      (* market value forfeited by rejected robust probes — the stated
+         paper-stream overhead budget *)
+}
+
+let run_cell ~seed ~rounds ~epsilon ~radius fams spec =
+  let name, path, noise, buyer = fams.(spec.fam) in
+  ignore name;
+  let stream =
+    Adversarial.make ~seed:(cell_seed seed spec.fam) ~dim ~rounds ~path ~noise
+      ~buyer ()
+  in
+  let cfg =
+    Mechanism.config
+      ~variant:(Mechanism.with_reserve_and_uncertainty ~delta)
+      ~epsilon ()
+  in
+  let ell = Ellipsoid.ball ~dim ~radius in
+  let mech =
+    if spec.robust then
+      (* Trigger 16-in-62: systematic floor rejections (a stale or
+         corrupted set) trip it within ~16 posted rounds, while the
+         isolated dips a heavy tail throws at a *correct* set stay
+         below it — and the shading loop thins them out further.
+         Upward escapes ride the two-probe rule; probing every 96
+         converged rounds keeps the paper-stream forfeit overhead
+         under 2% of the horizon. *)
+      Mechanism.create_robust
+        (Mechanism.robust_config ~drift_window:62 ~drift_trigger:16
+           ~explore_every:96 ~reinflate_radius:(2. *. radius) ())
+        cfg ell
+    else Mechanism.create cfg ell
+  in
+  let sold = ref 0 and regret = ref 0. and probe_forfeit = ref 0. in
+  for t = 0 to rounds - 1 do
+    let x = Adversarial.feature stream t in
+    let q = Adversarial.reserve stream t in
+    let v = Adversarial.market_value stream t in
+    let d = Mechanism.decide mech ~x ~reserve:q in
+    let reported =
+      match d with
+      | Mechanism.Skip -> false
+      | Mechanism.Post { price; _ } ->
+          Adversarial.respond stream ~round:t ~price
+    in
+    Mechanism.observe mech ~x d ~accepted:reported;
+    if reported then incr sold;
+    (* Eq. 1 with the *reported* decision executing the deal: a lie
+       that kills a sale forfeits v, a lie that buys above value pays
+       the broker more than v. *)
+    (if q > v then ()
+     else
+       match d with
+       | Mechanism.Skip -> regret := !regret +. v
+       | Mechanism.Post { price; _ } ->
+           regret := !regret +. (v -. if reported then price else 0.));
+    match d with
+    | Mechanism.Post { price; upper; _ }
+      when price >= upper +. delta && not reported && q <= v ->
+        probe_forfeit := !probe_forfeit +. v
+    | _ -> ()
+  done;
+  {
+    spec;
+    sold = !sold;
+    expl = Mechanism.exploratory_rounds mech;
+    cons = Mechanism.conservative_rounds mech;
+    skip = Mechanism.skipped_rounds mech;
+    restarts = Mechanism.robust_restarts mech;
+    regret = !regret;
+    probe_forfeit = !probe_forfeit;
+  }
+
+let lower_bound_panel ppf ~rounds =
+  let rounds = min rounds 2000 in
+  let run allow =
+    Adversary.run ~allow_conservative_cuts:allow ~dim:2 ~rounds ()
+  in
+  let guarded = run false and exposed = run true in
+  let row name (o : Adversary.outcome) =
+    [
+      name;
+      Printf.sprintf "%.3g" o.Adversary.width_e2_at_switch;
+      string_of_int o.Adversary.exploratory_second_half;
+      Printf.sprintf "%.2f" o.Adversary.result.Broker.total_regret;
+    ]
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "stress lower bound: the Lemma-8 adversary (dim 2, %d rounds) — the \
+          Ω(T) floor no robustness guard can beat when conservative prices \
+          cut"
+         rounds)
+    ~header:
+      [ "variant"; "width along e2 at switch"; "2nd-half exploratory"; "regret" ]
+    [ row "guarded (paper)" guarded; row "conservative cuts allowed" exposed ]
+
+let degradation ?pool ?(scale = 1.) ?(seed = 42) ?(jobs = 1) ppf =
+  let rounds = max 400 (int_of_float (20_000. *. scale)) in
+  let sigma = Subgaussian.sigma_for_buffer ~delta ~horizon:rounds () in
+  (* Well above the 2nδ stall floor (EXPERIMENTS.md: δ-buffered cuts
+     go shallow and the width freezes just above ε otherwise), so the
+     mechanisms reach the conservative phase the drift detector needs. *)
+  let epsilon = Float.max 0.1 (2.5 *. float_of_int dim *. delta) in
+  let radius = sqrt (2. *. float_of_int dim) in
+  let fams = families ~rounds ~sigma in
+  let specs =
+    Array.init
+      (2 * Array.length fams)
+      (fun i -> { fam = i / 2; robust = i land 1 = 1 })
+  in
+  let stats =
+    Runner.map ?pool ~jobs (run_cell ~seed ~rounds ~epsilon ~radius fams) specs
+  in
+  let vanilla i = stats.(2 * i) and robust i = stats.((2 * i) + 1) in
+  let row s =
+    let fam_name, _, _, _ = fams.(s.spec.fam) in
+    [
+      fam_name;
+      (if s.spec.robust then "robust" else "vanilla");
+      string_of_int s.sold;
+      string_of_int s.expl;
+      string_of_int s.cons;
+      string_of_int s.skip;
+      (if s.spec.robust then string_of_int s.restarts else "-");
+      Printf.sprintf "%.1f" s.regret;
+      (if s.spec.robust then
+         Printf.sprintf "%.2fx" (s.regret /. (vanilla s.spec.fam).regret)
+       else "1.00x");
+    ]
+  in
+  Table.print ppf
+    ~title:
+      (Printf.sprintf
+         "stress: regret degradation under adversarial streams, %d rounds, \
+          dim %d (delta %g, epsilon %.3g, sigma %.2e)"
+         rounds dim delta epsilon sigma)
+    ~header:
+      [
+        "family"; "mechanism"; "sold"; "expl"; "cons"; "skip"; "restarts";
+        "regret"; "vs vanilla";
+      ]
+    (Array.to_list (Array.map row stats));
+  (* The checks behind the summary line. *)
+  let misspecified = [ 1; 2; 3; 4 ] in
+  let wins =
+    List.filter (fun i -> (robust i).regret < (vanilla i).regret) misspecified
+  in
+  let vp = vanilla 0 and rp = robust 0 in
+  let margin = rp.probe_forfeit +. (0.05 *. vp.regret) in
+  let paper_ok = rp.regret <= vp.regret +. margin in
+  Format.fprintf ppf
+    "paper-stream overhead: robust %.1f vs vanilla %.1f — stated margin \
+     %.1f (measured probe forfeits %.1f + 5%% of vanilla)@."
+    rp.regret vp.regret margin rp.probe_forfeit;
+  List.iter
+    (fun i ->
+      let fam_name, _, _, _ = fams.(i) in
+      Format.fprintf ppf "  %-10s vanilla %10.1f  robust %10.1f  (%.2fx)@."
+        fam_name (vanilla i).regret (robust i).regret
+        ((robust i).regret /. (vanilla i).regret))
+    misspecified;
+  Format.fprintf ppf
+    "strategic buyer (reported, unchecked): vanilla %.1f, robust %.1f, %d \
+     restart(s)@."
+    (vanilla 5).regret (robust 5).regret (robust 5).restarts;
+  lower_bound_panel ppf ~rounds;
+  if List.length wins = List.length misspecified && paper_ok then
+    Format.fprintf ppf
+      "stress summary: robust beat vanilla on %d/%d misspecified families \
+       and stayed within the stated paper-stream margin — OK@.@."
+      (List.length wins) (List.length misspecified)
+  else
+    Format.fprintf ppf
+      "stress summary: robust won %d/%d misspecified families, paper-stream \
+       margin %s — CHECK FAILED@.@."
+      (List.length wins) (List.length misspecified)
+      (if paper_ok then "held" else "exceeded")

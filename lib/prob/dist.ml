@@ -51,6 +51,38 @@ let zipf rng ~n ~s =
   in
   categorical rng ~weights
 
+let student_t rng ~dof ~scale =
+  if dof <= 0. || not (Float.is_finite dof) then
+    invalid_arg "Dist.student_t: dof must be finite and positive";
+  if scale < 0. then invalid_arg "Dist.student_t: negative scale";
+  (* Bailey's polar method: with u, v uniform on (0,1],
+     √(ν·(u^{−2/ν} − 1))·cos(2πv) is Student-t with ν degrees of
+     freedom.  Two uniforms per call, like Box–Muller above, so
+     consumption per draw is deterministic. *)
+  let u = 1. -. Rng.float rng in
+  let v = Rng.float rng in
+  scale
+  *. sqrt (dof *. ((u ** (-2. /. dof)) -. 1.))
+  *. cos (2. *. Float.pi *. v)
+
+let pareto rng ~alpha ~scale =
+  if alpha <= 0. || not (Float.is_finite alpha) then
+    invalid_arg "Dist.pareto: alpha must be finite and positive";
+  if scale < 0. then invalid_arg "Dist.pareto: negative scale";
+  (* Inverse CDF: x_m·u^{−1/α} on [x_m, ∞); u is kept away from 0 so
+     the draw is finite. *)
+  let u = 1. -. Rng.float rng in
+  scale *. (u ** (-1. /. alpha))
+
+let symmetric_pareto rng ~alpha ~scale =
+  (* Excess over the mode with a fair sign: s·(x − x_m) is zero-median
+     with both tails Pareto-heavy — infinite variance at α ≤ 2,
+     infinite mean of |·| at α ≤ 1.  The sign is drawn first so the
+     two-draws-per-call consumption is deterministic. *)
+  let s = if Rng.bool rng then 1. else -1. in
+  let x = pareto rng ~alpha ~scale in
+  s *. (x -. scale)
+
 type subgaussian =
   | Gaussian of float
   | Uniform_pm of float

@@ -38,6 +38,27 @@ val zipf : Rng.t -> n:int -> s:float -> int
     give the synthetic Avazu categorical fields the heavy-tailed
     popularity profile of real ad logs. *)
 
+val student_t : Rng.t -> dof:float -> scale:float -> float
+(** Student-t sample with [dof] degrees of freedom, multiplied by
+    [scale] (Bailey's polar method; two uniforms per call, so
+    consumption is deterministic).  Heavy-tailed: the variance is
+    infinite at [dof ≤ 2], the mean at [dof ≤ 1] — the adversarial
+    valuation streams use it to break the Eq. 4 sub-Gaussian
+    assumption.  Scale-covariant by construction:
+    [student_t ~scale:s] equals [s ·] the same-seed
+    [student_t ~scale:1.] draw.  Requires [dof > 0] and [scale ≥ 0]. *)
+
+val pareto : Rng.t -> alpha:float -> scale:float -> float
+(** Pareto sample [x_m·u^{−1/α}] on [[scale, ∞)] with tail index
+    [alpha] (inverse CDF, one uniform per call).  Requires
+    [alpha > 0] and [scale ≥ 0]. *)
+
+val symmetric_pareto : Rng.t -> alpha:float -> scale:float -> float
+(** Zero-median two-sided Pareto excess [±(x − x_m)]: a fair sign
+    times the overshoot of {!pareto} above its mode.  Two draws per
+    call (sign first), deterministic consumption; same parameter
+    requirements as {!pareto}. *)
+
 type subgaussian =
   | Gaussian of float  (** [Gaussian σ] *)
   | Uniform_pm of float  (** uniform on [−a, a] *)

@@ -1,0 +1,204 @@
+module Vec = Dm_linalg.Vec
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+
+type theta_path =
+  | Static
+  | Drift of { speed : float }
+  | Switches of { boundaries : int array }
+
+type noise =
+  | Subgaussian of Dist.subgaussian
+  | Student_t of { dof : float; scale : float }
+  | Pareto of { alpha : float; scale : float }
+
+type buyer = Truthful | Strategic of { margin : float; flip_prob : float }
+
+type t = {
+  dim : int;
+  rounds : int;
+  path : theta_path;
+  buyer : buyer;
+  nominal_sigma : float;
+  thetas : Vec.t array;
+  features : Vec.t array;
+  noises : float array;
+  haggles : float array;
+  reserves : float array;
+  values : float array;
+}
+
+let validate ~theta_norm ~reserve_ratio ~dim ~rounds ~path ~buyer =
+  if dim < 1 then invalid_arg "Adversarial.make: dim must be >= 1";
+  if rounds < 2 then invalid_arg "Adversarial.make: rounds must be >= 2";
+  if not (Float.is_finite theta_norm) || theta_norm <= 0. then
+    invalid_arg "Adversarial.make: theta_norm must be finite and positive";
+  if not (Float.is_finite reserve_ratio) || reserve_ratio < 0. then
+    invalid_arg "Adversarial.make: reserve_ratio must be finite and >= 0";
+  (match path with
+  | Static -> ()
+  | Drift { speed } ->
+      if not (Float.is_finite speed) || speed < 0. then
+        invalid_arg "Adversarial.make: drift speed must be finite and >= 0"
+  | Switches { boundaries } ->
+      Array.iteri
+        (fun i b ->
+          if b <= 0 || b >= rounds then
+            invalid_arg "Adversarial.make: switch boundary outside (0, rounds)";
+          if i > 0 && boundaries.(i - 1) >= b then
+            invalid_arg
+              "Adversarial.make: switch boundaries must be strictly increasing")
+        boundaries);
+  match buyer with
+  | Truthful -> ()
+  | Strategic { margin; flip_prob } ->
+      if not (Float.is_finite margin) || margin < 0. then
+        invalid_arg "Adversarial.make: margin must be finite and >= 0";
+      if
+        not (Float.is_finite flip_prob) || flip_prob < 0. || flip_prob > 1.
+      then invalid_arg "Adversarial.make: flip_prob outside [0,1]"
+
+(* A random non-negative direction of norm [theta_norm] — the App 1
+   tilt that keeps ⟨x, θ⟩ positive against non-negative features. *)
+let anchor rng ~dim ~theta_norm =
+  let rec draw () =
+    let v = Vec.map Float.abs (Dist.normal_vec rng ~dim) in
+    if Vec.norm2 v > 1e-12 then v else draw ()
+  in
+  Vec.scale theta_norm (Vec.normalize (draw ()))
+
+let theta_table rng ~dim ~rounds ~theta_norm = function
+  | Static ->
+      let a = anchor rng ~dim ~theta_norm in
+      Array.make rounds a
+  | Drift { speed } ->
+      let a = anchor rng ~dim ~theta_norm in
+      let b = anchor rng ~dim ~theta_norm in
+      let horizon = float_of_int (rounds - 1) in
+      Array.init rounds (fun t ->
+          let u = Float.min 1. (speed *. float_of_int t /. horizon) in
+          let v = Vec.init dim (fun j -> ((1. -. u) *. a.(j)) +. (u *. b.(j))) in
+          Vec.scale (theta_norm /. Vec.norm2 v) v)
+  | Switches { boundaries } ->
+      let anchors =
+        Array.init
+          (Array.length boundaries + 1)
+          (fun _ -> anchor rng ~dim ~theta_norm)
+      in
+      let regime = ref 0 in
+      Array.init rounds (fun t ->
+          if
+            !regime < Array.length boundaries && t >= boundaries.(!regime)
+          then incr regime;
+          anchors.(!regime))
+
+let noise_table rng ~rounds spec =
+  Array.init rounds (fun _ ->
+      match spec with
+      | Subgaussian sg -> Dist.subgaussian_sample rng sg
+      | Student_t { dof; scale } -> Dist.student_t rng ~dof ~scale
+      | Pareto { alpha; scale } -> -.Dist.pareto rng ~alpha ~scale)
+
+let make ?theta_norm ?(reserve_ratio = 0.3) ~seed ~dim ~rounds ~path ~noise
+    ~buyer () =
+  let theta_norm =
+    match theta_norm with
+    | Some r -> r
+    | None -> sqrt (2. *. float_of_int dim)
+  in
+  validate ~theta_norm ~reserve_ratio ~dim ~rounds ~path ~buyer;
+  let root = Rng.create seed in
+  (* Child streams split in a fixed order so changing one table's law
+     (e.g. the noise family) never perturbs the others. *)
+  let theta_rng = Rng.split root in
+  let feat_rng = Rng.split root in
+  let noise_rng = Rng.split root in
+  let haggle_rng = Rng.split root in
+  let thetas = theta_table theta_rng ~dim ~rounds ~theta_norm path in
+  let features =
+    Array.init rounds (fun _ ->
+        let rec draw () =
+          let v = Vec.map Float.abs (Dist.normal_vec feat_rng ~dim) in
+          if Vec.norm2 v > 1e-12 then v else draw ()
+        in
+        Vec.normalize (draw ()))
+  in
+  let noises = noise_table noise_rng ~rounds noise in
+  (* Haggle draws are materialized even for a truthful buyer, so the
+     strategic and truthful variants of one seed share every other
+     table bit-for-bit. *)
+  let haggles = Array.init rounds (fun _ -> Rng.float haggle_rng) in
+  let theta0 = thetas.(0) in
+  let reserves =
+    Array.init rounds (fun t -> reserve_ratio *. Vec.dot features.(t) theta0)
+  in
+  let values =
+    Array.init rounds (fun t -> Vec.dot features.(t) thetas.(t) +. noises.(t))
+  in
+  let nominal_sigma =
+    match noise with
+    | Subgaussian sg -> Dist.subgaussian_sigma sg
+    | Student_t { scale; _ } | Pareto { scale; _ } -> scale
+  in
+  {
+    dim;
+    rounds;
+    path;
+    buyer;
+    nominal_sigma;
+    thetas;
+    features;
+    noises;
+    haggles;
+    reserves;
+    values;
+  }
+
+let dim t = t.dim
+let rounds t = t.rounds
+
+let check t i who =
+  if i < 0 || i >= t.rounds then
+    invalid_arg (Printf.sprintf "Adversarial.%s: round index out of range" who)
+
+let theta t i =
+  check t i "theta";
+  t.thetas.(i)
+
+let feature t i =
+  check t i "feature";
+  t.features.(i)
+
+let reserve t i =
+  check t i "reserve";
+  t.reserves.(i)
+
+let noise_term t i =
+  check t i "noise_term";
+  t.noises.(i)
+
+let market_value t i =
+  check t i "market_value";
+  t.values.(i)
+
+let truthful_accept t ~round ~price =
+  check t round "truthful_accept";
+  price <= t.values.(round)
+
+let respond t ~round ~price =
+  check t round "respond";
+  let v = t.values.(round) in
+  let honest = price <= v in
+  match t.buyer with
+  | Truthful -> honest
+  | Strategic { margin; flip_prob } ->
+      if Float.abs (v -. price) <= margin && t.haggles.(round) < flip_prob
+      then not honest
+      else honest
+
+let nominal_sigma t = t.nominal_sigma
+
+let switch_boundaries t =
+  match t.path with
+  | Switches { boundaries } -> Array.copy boundaries
+  | Static | Drift _ -> [||]

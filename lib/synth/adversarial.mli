@@ -1,0 +1,117 @@
+(** Adversarial valuation streams that break the paper's model.
+
+    Every workload so far draws market values from the Eq. 4
+    sub-Gaussian model around a fixed weight vector.  Following Luo,
+    Sun & Liu ("Distribution-free Contextual Dynamic Pricing",
+    PAPERS.md), this generator produces streams that violate each
+    assumption separately: a shifting hidden vector (smooth drift or
+    abrupt regime switches), heavy-tailed valuation noise (Student-t /
+    Pareto in place of the sub-Gaussian draw), and a strategic buyer
+    that misreports accept/reject when the posted price lands within a
+    haggling margin of the true value.
+
+    All tables are materialized in {!make} from child streams of a
+    single seed ([Dm_prob.Rng.split] in a fixed order), so a stream
+    replays bit-for-bit and every accessor is pure — two mechanisms
+    can price the same stream without perturbing each other's draws. *)
+
+type theta_path =
+  | Static  (** one hidden vector for the whole horizon *)
+  | Drift of { speed : float }
+      (** the hidden vector rotates from one random non-negative
+          anchor towards another: at round t it is the renormalized
+          interpolation at position [min 1 (speed·t/(rounds−1))], so
+          [speed = 1.] sweeps the full arc over the horizon and
+          [speed = 0.] degenerates to [Static].  Requires a finite
+          [speed ≥ 0]. *)
+  | Switches of { boundaries : int array }
+      (** piecewise-constant regimes: a fresh anchor is drawn for each
+          regime and round t uses the anchor of the regime containing
+          it, so the hidden vector changes exactly at each boundary
+          round and nowhere else (rounds inside one regime share the
+          anchor physically).  Boundaries must be strictly increasing
+          and lie in (0, rounds). *)
+
+type noise =
+  | Subgaussian of Dm_prob.Dist.subgaussian
+      (** the paper's own model — the control arm *)
+  | Student_t of { dof : float; scale : float }
+      (** symmetric heavy tails: infinite variance at [dof ≤ 2] *)
+  | Pareto of { alpha : float; scale : float }
+      (** skewed heavy tails: a one-sided Pareto {e shortfall}
+          (minus {!Dm_prob.Dist.pareto}, so every draw pulls the
+          value at least [scale] {e below} the model line — buyers
+          discounting with heavy-tailed severity).  The mean is
+          misspecified along with the tail, in the direction a
+          posted-price floor is most exposed to; infinite variance
+          at [alpha ≤ 2] *)
+
+type buyer =
+  | Truthful  (** accepts iff price ≤ market value *)
+  | Strategic of { margin : float; flip_prob : float }
+      (** when the posted price lands within [margin] of the true
+          value, the buyer lies about the accept/reject decision with
+          probability [flip_prob] (per-round haggle draws are
+          materialized up front, so the lie is a deterministic
+          function of (stream, round, price)); outside the margin the
+          response is always truthful.  Requires a finite
+          [margin ≥ 0] and [flip_prob ∈ \[0, 1\]]. *)
+
+type t
+
+val make :
+  ?theta_norm:float ->
+  ?reserve_ratio:float ->
+  seed:int ->
+  dim:int ->
+  rounds:int ->
+  path:theta_path ->
+  noise:noise ->
+  buyer:buyer ->
+  unit ->
+  t
+(** Materialize a stream.  [theta_norm] (default √(2·dim), the
+    paper's ‖θ‖) scales every hidden anchor; anchors and features are
+    non-negative directions (the App 1 tilt) so values stay positive
+    under zero noise.  [reserve_ratio] (default 0.3) sets the data
+    owner's reserve to [ratio·⟨x_t, θ₀⟩] against the {e initial}
+    anchor, so the reserve stream does not leak the drift.  Requires
+    [dim ≥ 1], [rounds ≥ 2], a finite [theta_norm > 0] and a finite
+    [reserve_ratio ≥ 0]. *)
+
+val dim : t -> int
+val rounds : t -> int
+
+val theta : t -> int -> Dm_linalg.Vec.t
+(** The hidden vector at a round (do not mutate; rounds in one regime
+    share the array physically). *)
+
+val feature : t -> int -> Dm_linalg.Vec.t
+(** The buyer's unit feature vector at a round (do not mutate). *)
+
+val reserve : t -> int -> float
+(** The data owner's reserve price at a round. *)
+
+val noise_term : t -> int -> float
+(** The valuation-noise draw δ_t at a round. *)
+
+val market_value : t -> int -> float
+(** [⟨feature t i, theta t i⟩ + noise_term t i]. *)
+
+val truthful_accept : t -> round:int -> price:float -> bool
+(** Ground truth: would a truthful buyer accept this price?  (Always
+    [price ≤ market_value], whatever the configured buyer.) *)
+
+val respond : t -> round:int -> price:float -> bool
+(** The buyer's {e reported} decision — equal to {!truthful_accept}
+    except for a [Strategic] buyer's in-margin lies. *)
+
+val nominal_sigma : t -> float
+(** The σ a broker calibrated to the paper's model would assume: the
+    sub-Gaussian σ for [Subgaussian], and the [scale] parameter for
+    the heavy-tailed laws — which is exactly the misspecification the
+    robust mechanism must survive. *)
+
+val switch_boundaries : t -> int array
+(** The configured regime boundaries ([[||]] for [Static]/[Drift]);
+    a fresh copy. *)

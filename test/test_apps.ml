@@ -100,6 +100,32 @@ let test_nq_uncertainty_epsilon_floor () =
     (cfg.Mechanism.epsilon
     >= 2.5 *. float_of_int s.Noisy_query.dim *. s.Noisy_query.delta -. 1e-12)
 
+let test_nq_effective_epsilon_boundary () =
+  (* ε = 2nδ exactly (dim 10, δ = 0.01, T = 500 so n²/T = 2nδ): the
+     stall bound itself, where buffered cuts first freeze.  The 2.5nδ
+     floor must still lift it, visibly via effective_epsilon. *)
+  let s = Noisy_query.make ~owners:120 ~seed:11 ~dim:10 ~rounds:500 () in
+  let delta = s.Noisy_query.delta in
+  let unc = Mechanism.with_uncertainty ~delta in
+  check_bool "setup epsilon is exactly 2ndelta" true
+    (abs_float (s.Noisy_query.epsilon -. (2. *. 10. *. delta)) < 1e-12);
+  check_bool "floored at the boundary" true (Noisy_query.epsilon_floored s unc);
+  check_bool "effective = 2.5ndelta" true
+    (abs_float (Noisy_query.effective_epsilon s unc -. (2.5 *. 10. *. delta))
+    < 1e-12);
+  (* δ = 0 variants never hit the floor. *)
+  check_bool "pure not floored" false
+    (Noisy_query.epsilon_floored s Mechanism.pure);
+  check_bool "pure effective = setup epsilon" true
+    (Noisy_query.effective_epsilon s Mechanism.pure = s.Noisy_query.epsilon);
+  (* A configured ε that already clears the floor passes through. *)
+  let s' = Noisy_query.make ~owners:120 ~seed:11 ~dim:10 ~rounds:200 () in
+  let unc' = Mechanism.with_uncertainty ~delta:s'.Noisy_query.delta in
+  check_bool "large epsilon not floored" false
+    (Noisy_query.epsilon_floored s' unc');
+  check_bool "large epsilon passes through" true
+    (Noisy_query.effective_epsilon s' unc' = s'.Noisy_query.epsilon)
+
 let test_nq_one_dimensional () =
   (* The paper's Fig. 4(a) observation: at n = 1 the knowledge set
      starts as the interval [0, 2], the first exploratory price is 1 —
@@ -248,6 +274,8 @@ let () =
           Alcotest.test_case "ratio declines" `Slow test_nq_regret_ratio_declines;
           Alcotest.test_case "uncertainty epsilon floor" `Quick
             test_nq_uncertainty_epsilon_floor;
+          Alcotest.test_case "effective epsilon boundary" `Quick
+            test_nq_effective_epsilon_boundary;
           Alcotest.test_case "one-dimensional interval" `Quick
             test_nq_one_dimensional;
           Alcotest.test_case "validation" `Quick test_nq_validation;

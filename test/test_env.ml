@@ -5,6 +5,14 @@
    with and without a default domain pool installed.  Each test
    executable calls [install_pool_from_env] before [Alcotest.run]. *)
 
+let qcheck_count base =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | None -> base
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some m when m >= 1 -> base * m
+      | _ -> base)
+
 let install_pool_from_env () =
   match Sys.getenv_opt "BENCH_JOBS" with
   | None -> ()

@@ -48,7 +48,8 @@ let spd_gen =
       gen)
 
 let prop name count arb f =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:(Test_env.qcheck_count count) arb f)
 
 (* ------------------------------------------------------------------ *)
 (* Vec                                                                 *)

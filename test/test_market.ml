@@ -16,9 +16,11 @@ let check_float = Alcotest.(check (float 1e-9))
 let check_float_loose = Alcotest.(check (float 1e-6))
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
 
 let prop name count arb f =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:(Test_env.qcheck_count count) arb f)
 
 (* ------------------------------------------------------------------ *)
 (* Ellipsoid: construction and bounds                                  *)
@@ -2152,6 +2154,131 @@ let test_adversary_divergence_detected () =
     && Float.is_finite guarded.Adversary.result.Broker.total_regret)
 
 (* ------------------------------------------------------------------ *)
+(* Robust mechanism: snapshots across a regime switch                  *)
+(* ------------------------------------------------------------------ *)
+
+module Adversarial = Dm_synth.Adversarial
+
+(* A stream whose hidden vector jumps at round 60 under heavy-tailed
+   noise: by round 70 the robust detector state (window bits, shade,
+   possibly a restart) is live, which is exactly what a snapshot must
+   carry across a broker restart. *)
+let robust_stream seed =
+  Adversarial.make ~seed ~dim:3 ~rounds:160
+    ~path:(Adversarial.Switches { boundaries = [| 60 |] })
+    ~noise:(Adversarial.Student_t { dof = 2.5; scale = 0.05 })
+    ~buyer:Adversarial.Truthful ()
+
+let robust_mech () =
+  (* ε is deliberately coarse so the conservative phase — where the
+     probe cadence, window bits and floor shading all live — arrives
+     within a few dozen rounds of the 160-round horizon. *)
+  Mechanism.create_robust
+    (Mechanism.robust_config ~drift_window:32 ~drift_trigger:8
+       ~explore_every:12 ~reinflate_radius:7. ())
+    (Mechanism.config
+       ~variant:(Mechanism.with_reserve_and_uncertainty ~delta:0.01)
+       ~epsilon:0.8 ())
+    (Ellipsoid.ball ~dim:3 ~radius:3.5)
+
+(* Price rounds [from, until) against the buyer's reported decisions,
+   returning the decision transcript. *)
+let drive mech stream ~from ~until =
+  let buf = Buffer.create 256 in
+  for i = from to until - 1 do
+    let x = Adversarial.feature stream i in
+    let d = Mechanism.decide mech ~x ~reserve:(Adversarial.reserve stream i) in
+    (match d with
+    | Mechanism.Skip -> Buffer.add_string buf "skip\n"
+    | Mechanism.Post { price; _ } ->
+        Buffer.add_string buf (Printf.sprintf "%h\n" price);
+        Mechanism.observe mech ~x d
+          ~accepted:(Adversarial.respond stream ~round:i ~price))
+  done;
+  Buffer.contents buf
+
+let test_robust_snapshot_resume_midswitch () =
+  let s = robust_stream 17 in
+  let mech = robust_mech () in
+  ignore (drive mech s ~from:0 ~until:70);
+  check_bool "detector state is live at the checkpoint" true
+    (Mechanism.robust_drift_level mech > 0
+    || Mechanism.robust_shade mech > 0.
+    || Mechanism.robust_restarts mech > 0);
+  let text = Mechanism.snapshot mech in
+  let bin = Mechanism.snapshot_binary mech in
+  let from_text =
+    match Mechanism.restore text with Ok m -> m | Error e -> Alcotest.fail e
+  in
+  let from_bin =
+    match Mechanism.restore bin with Ok m -> m | Error e -> Alcotest.fail e
+  in
+  check_bool "binary restore reproduces the text snapshot" true
+    (Mechanism.snapshot from_bin = text);
+  (* Resuming through the rest of the horizon must replay the original
+     run bit-for-bit: same prices, same final state. *)
+  let tail = drive mech s ~from:70 ~until:160 in
+  check_string "text-restored resume" tail (drive from_text s ~from:70 ~until:160);
+  check_string "binary-restored resume" tail (drive from_bin s ~from:70 ~until:160);
+  check_bool "final text state identical" true
+    (Mechanism.snapshot from_text = Mechanism.snapshot mech);
+  check_bool "final binary state identical" true
+    (Mechanism.snapshot_binary from_bin = Mechanism.snapshot_binary mech)
+
+(* Field positions in the text "robust ..." line:
+   robust ee dw dt radius since_explore recent filled probe_streak
+   shade restarts. *)
+let tamper_robust_field text ~index ~value =
+  String.concat "\n"
+    (List.map
+       (fun line ->
+         if String.length line >= 7 && String.sub line 0 7 = "robust " then begin
+           let fields = String.split_on_char ' ' line in
+           String.concat " "
+             (List.mapi (fun i f -> if i = index then value else f) fields)
+         end
+         else line)
+       (String.split_on_char '\n' text))
+
+let test_robust_restore_errors () =
+  let text = Mechanism.snapshot (robust_mech ()) in
+  let rejects name corrupted =
+    match Mechanism.restore corrupted with
+    | Error msg ->
+        check_bool (name ^ " message prefixed") true
+          (String.length msg >= 19
+          && String.sub msg 0 19 = "Mechanism.restore: ")
+    | Ok _ -> Alcotest.failf "%s: corrupt robust snapshot accepted" name
+  in
+  rejects "negative shade" (tamper_robust_field text ~index:9 ~value:"-0x1p-4");
+  rejects "nan shade" (tamper_robust_field text ~index:9 ~value:"nan");
+  rejects "negative restart counter"
+    (tamper_robust_field text ~index:10 ~value:"-1");
+  rejects "zero probe cadence" (tamper_robust_field text ~index:1 ~value:"0");
+  rejects "trigger above window"
+    (tamper_robust_field text ~index:3 ~value:"63");
+  let bin = Mechanism.snapshot_binary (robust_mech ()) in
+  rejects "truncated binary" (String.sub bin 0 (String.length bin - 5))
+
+let robust_props =
+  [
+    prop "robust snapshot/restore is bit-for-bit" 30
+      QCheck.(pair (0 -- 1000) (0 -- 80))
+      (fun (seed, steps) ->
+        let s = robust_stream seed in
+        let mech = robust_mech () in
+        ignore (drive mech s ~from:0 ~until:steps);
+        match
+          ( Mechanism.restore (Mechanism.snapshot mech),
+            Mechanism.restore (Mechanism.snapshot_binary mech) )
+        with
+        | Ok a, Ok b ->
+            Mechanism.snapshot a = Mechanism.snapshot mech
+            && Mechanism.snapshot_binary b = Mechanism.snapshot_binary mech
+        | _ -> false);
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let () = Test_env.install_pool_from_env ()
 
@@ -2308,6 +2435,14 @@ let () =
             test_mechanism_sparse_escape_safety;
         ]
         @ sparse_equivalence_props );
+      ( "robust",
+        [
+          Alcotest.test_case "snapshot resume across a switch" `Quick
+            test_robust_snapshot_resume_midswitch;
+          Alcotest.test_case "restore validation" `Quick
+            test_robust_restore_errors;
+        ]
+        @ robust_props );
       ( "arbitrage",
         [
           Alcotest.test_case "canonical tariffs" `Quick test_arbitrage_canonical;

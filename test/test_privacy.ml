@@ -10,7 +10,8 @@ let check_float = Alcotest.(check (float 1e-9))
 let check_bool = Alcotest.(check bool)
 
 let prop name count arb f =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:(Test_env.qcheck_count count) arb f)
 
 (* ------------------------------------------------------------------ *)
 (* Dp                                                                  *)

@@ -18,7 +18,8 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let prop name count arb f =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:(Test_env.qcheck_count count) arb f)
 
 (* ------------------------------------------------------------------ *)
 (* Movielens                                                           *)
@@ -222,6 +223,103 @@ let test_avazu_ftrl_sparsity () =
   check_bool "beats constant predictor" true (loss < 0.505);
   check_bool "not below Bayes" true (loss > 0.484)
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial valuation streams                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Adversarial = Dm_synth.Adversarial
+
+let adv_rounds = 40
+
+let adv_make ?(path = Adversarial.Static)
+    ?(noise = Adversarial.Subgaussian (Dm_prob.Dist.Gaussian 0.02))
+    ?(buyer = Adversarial.Truthful) seed =
+  Adversarial.make ~seed ~dim:3 ~rounds:adv_rounds ~path ~noise ~buyer ()
+
+let adversarial_props =
+  [
+    prop "streams replay bit-for-bit from the seed" 10
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let mk () =
+          adv_make seed
+            ~path:(Adversarial.Drift { speed = 0.7 })
+            ~noise:(Adversarial.Student_t { dof = 2.5; scale = 0.05 })
+            ~buyer:(Adversarial.Strategic { margin = 0.1; flip_prob = 0.5 })
+        in
+        let a = mk () and b = mk () in
+        let rounds_equal i =
+          Adversarial.theta a i = Adversarial.theta b i
+          && Adversarial.feature a i = Adversarial.feature b i
+          && Adversarial.reserve a i = Adversarial.reserve b i
+          && Adversarial.noise_term a i = Adversarial.noise_term b i
+          &&
+          let p = Adversarial.market_value a i in
+          List.for_all
+            (fun price ->
+              Adversarial.respond a ~round:i ~price
+              = Adversarial.respond b ~round:i ~price)
+            [ p -. 0.05; p; p +. 0.05 ]
+        in
+        List.for_all rounds_equal (List.init adv_rounds Fun.id));
+    prop "regime switches land exactly on the boundaries" 10
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let boundaries = [| 11; 19; 30 |] in
+        let s = adv_make seed ~path:(Adversarial.Switches { boundaries }) in
+        List.for_all
+          (fun t ->
+            let same = Adversarial.theta s t == Adversarial.theta s (t - 1) in
+            if Array.mem t boundaries then not same else same)
+          (List.init (adv_rounds - 1) (fun i -> i + 1)));
+    prop "heavy-tailed draws are finite, the Pareto arm one-sided" 10
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let t_arm =
+          adv_make seed ~noise:(Adversarial.Student_t { dof = 1.8; scale = 0.05 })
+        in
+        let p_arm =
+          adv_make seed ~noise:(Adversarial.Pareto { alpha = 1.8; scale = 0.05 })
+        in
+        List.for_all
+          (fun i ->
+            Float.is_finite (Adversarial.noise_term t_arm i)
+            && Adversarial.noise_term p_arm i <= -0.05)
+          (List.init adv_rounds Fun.id));
+    prop "heavy-tailed draws are scale-covariant" 10
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        (* Both samplers multiply a scale-free draw by [scale], and
+           doubling a float is exact, so covariance holds bit-for-bit. *)
+        let covariant mk =
+          let s1 = adv_make seed ~noise:(mk 0.05) in
+          let s2 = adv_make seed ~noise:(mk 0.1) in
+          List.for_all
+            (fun i ->
+              Adversarial.noise_term s2 i = 2. *. Adversarial.noise_term s1 i)
+            (List.init adv_rounds Fun.id)
+        in
+        covariant (fun scale -> Adversarial.Student_t { dof = 2.5; scale })
+        && covariant (fun scale -> Adversarial.Pareto { alpha = 2.5; scale }));
+    prop "strategic lies stay inside the haggling margin" 10
+      QCheck.(pair (int_range 1 10_000) (float_range 0.001 2.))
+      (fun (seed, eta) ->
+        let margin = 0.1 in
+        let s =
+          adv_make seed
+            ~buyer:(Adversarial.Strategic { margin; flip_prob = 1. })
+        in
+        List.for_all
+          (fun i ->
+            let v = Adversarial.market_value s i in
+            List.for_all
+              (fun price ->
+                Adversarial.respond s ~round:i ~price
+                = Adversarial.truthful_accept s ~round:i ~price)
+              [ v -. margin -. eta; v +. margin +. eta ])
+          (List.init adv_rounds Fun.id));
+  ]
+
 let synth_props =
   [
     prop "airbnb determinism" 5 QCheck.(int_range 1 100) (fun seed ->
@@ -288,5 +386,6 @@ let () =
           Alcotest.test_case "encoding" `Quick test_avazu_encoding;
           Alcotest.test_case "ftrl sparsity" `Slow test_avazu_ftrl_sparsity;
         ] );
+      ("adversarial", adversarial_props);
       ("properties", synth_props);
     ]
