@@ -31,7 +31,10 @@ bench:
 # misspecified family and hold the stated paper-stream margin — the
 # "stress summary: ... OK" line), a fig5c_hd smoke (rank-k projected
 # pricing at n up to 16384 must report finite regret and a populated
-# projection-error column) and a tiny 2-domain bench smoke that
+# projection-error column), a batched-serving smoke (every batched
+# config bit-identical to its B = 1 reference and every
+# recover+replay round-trip state-preserving — the "serve summary:
+# ... OK" line) and a tiny 2-domain bench smoke that
 # also writes a BENCH_*.json record exercising the perf-trajectory
 # pipeline.  When a previous BENCH_*.json exists, the smoke record is
 # compared against it and a flagged regression fails the target; the
@@ -61,6 +64,11 @@ ci: build
 	  | tee /dev/stderr \
 	  | grep -q "all regret finite and projection-error column populated" \
 	  || { echo "fig5c_hd smoke FAILED"; exit 1; }
+	@echo "batched-serving smoke:"; \
+	dune exec bin/experiments.exe -- serve --scale 0.01 \
+	  | tee /dev/stderr \
+	  | grep -q "serve summary: .* OK" \
+	  || { echo "serve smoke FAILED"; exit 1; }
 	@prev=$$(ls -1 BENCH_*.json 2>/dev/null | tail -1); \
 	BENCH_SCALE=0.01 BENCH_JOBS=2 dune exec bench/main.exe || exit $$?; \
 	new=$$(ls -1 BENCH_*.json 2>/dev/null | tail -1); \

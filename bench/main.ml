@@ -116,6 +116,7 @@ let stage1_artifacts =
     ("longrun", fun ppf -> Dm_experiments.Longrun.report ~scale ~jobs ppf);
     ("recover", fun ppf -> Dm_experiments.Recover.report ~scale ~jobs ppf);
     ("fleet", fun ppf -> Dm_experiments.Fleet.report ~scale ~jobs ppf);
+    ("serve", fun ppf -> Dm_experiments.Serve.report ~scale ~jobs ppf);
     ("rank", fun ppf -> Dm_experiments.Diagnostics.report ~sample:1_000 ppf);
     ("overhead", fun ppf -> Dm_experiments.Overhead.report ppf);
   ]
@@ -570,6 +571,28 @@ let journal_stage () =
   entries @ fleet_entries
 
 (* ------------------------------------------------------------------ *)
+(* Batched-serving stage                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One B = 64 batched serving run: decide ns/round plus the two
+   steady-state minor-words-per-round counters.  The keys land under
+   the "serve/" and "gc/" prefixes of
+   [Dm_bench.Record.critical_prefixes], so a regression in the fused
+   decide kernel or an allocation leak in the round loop flags
+   `bench/compare.exe`. *)
+let serve_stage () =
+  Format.fprintf ppf
+    "==================================================================@.";
+  Format.fprintf ppf "Batched serving: fused decide kernel, round-loop GC@.";
+  Format.fprintf ppf
+    "==================================================================@.@.";
+  let entries = Dm_experiments.Serve.microbench ~scale () in
+  Dm_experiments.Table.print ppf ~title:"batched serving (B = 64, 64 tenants)"
+    ~header:[ "benchmark"; "value" ]
+    (List.map (fun (name, v) -> [ name; Printf.sprintf "%.1f" v ]) entries);
+  entries
+
+(* ------------------------------------------------------------------ *)
 (* JSON trajectory file                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -604,6 +627,7 @@ let write_json ~stamp ~stage1_timings ~stage2_estimates =
   out "  \"scale\": %s,\n" (json_float scale);
   out "  \"jobs\": %d,\n" jobs;
   out "  \"jobs_requested\": %d,\n" jobs_requested;
+  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"stage1_wall_clock_s\": [\n";
   List.iteri
     (fun i (name, seconds) ->
@@ -636,9 +660,12 @@ let () =
   let journal_estimates =
     List.map (fun (name, ns) -> (name, Some ns)) (journal_stage ())
   in
+  let serve_estimates =
+    List.map (fun (name, v) -> (name, Some v)) (serve_stage ())
+  in
   let path =
     write_json ~stamp ~stage1_timings
-      ~stage2_estimates:(stage2_estimates @ journal_estimates)
+      ~stage2_estimates:(stage2_estimates @ journal_estimates @ serve_estimates)
   in
   (match pool with
   | Some p ->

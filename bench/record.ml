@@ -206,7 +206,10 @@ let load path =
    regression: the perf-sensitive kernels a refactor is most likely to
    silently drop from the bench matrix. *)
 let critical_prefixes =
-  [ "pricing/sparse_cut"; "journal/"; "journal/fleet"; "hd/"; "stress/" ]
+  [
+    "pricing/sparse_cut"; "journal/"; "journal/fleet"; "hd/"; "stress/";
+    "serve/"; "gc/";
+  ]
 
 let is_critical name =
   List.exists
@@ -218,9 +221,12 @@ let is_critical name =
 let compare_section ppf ~title ~unit ~threshold ?(critical = fun _ -> false)
     old_entries new_entries =
   let regressions = ref 0 in
+  (* One-sided keys (absent on one record, or measured as null) render a
+     stable "n/a" in every affected column, so diffs of diffs stay
+     greppable and a null measurement is never mistaken for a zero. *)
   let fmt_value = function
     | Some v -> Printf.sprintf "%.4g %s" v unit
-    | None -> "-"
+    | None -> "n/a"
   in
   let rows =
     List.map
@@ -239,8 +245,8 @@ let compare_section ppf ~title ~unit ~threshold ?(critical = fun _ -> false)
                 else "ok"
               in
               (Printf.sprintf "%+.1f%%" (100. *. d), verdict)
-          | None, _ -> ("-", "new")
-          | Some _, _ -> ("-", "ok")
+          | None, _ -> ("n/a", "new")
+          | Some _, _ -> ("n/a", "n/a")
         in
         [ name; fmt_value (Option.join ov); fmt_value nv; delta; verdict ])
       new_entries
@@ -261,7 +267,7 @@ let compare_section ppf ~title ~unit ~threshold ?(critical = fun _ -> false)
             [
               name;
               fmt_value (List.assoc_opt name old_entries |> Option.join);
-              "-"; "-"; verdict;
+              "n/a"; "n/a"; verdict;
             ]
         end)
       old_entries

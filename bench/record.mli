@@ -32,8 +32,9 @@ val load : string -> (record, string) result
 val critical_prefixes : string list
 (** Benchmark-name prefixes whose disappearance from a newer record
     counts as a regression (currently the [pricing/sparse_cut] kernels,
-    the [journal/] overhead entries and the [hd/] projected-pricing
-    kernels) — a refactor that silently
+    the [journal/] overhead entries, the [hd/] projected-pricing
+    kernels, the [stress/] degradation entries and the batched-serving
+    [serve/] / [gc/] counters) — a refactor that silently
     drops a perf-sensitive kernel from the bench matrix should fail
     the compare, not pass it by vacuity. *)
 
@@ -54,7 +55,9 @@ val compare_section :
     by more than the [threshold] fraction.  Entries present in only
     one record are listed as new/removed; removed entries are flagged
     as regressions iff [critical] (default: never) accepts their
-    name. *)
+    name.  Every column that has no measurement to show — a one-sided
+    key, or a null estimate on either record — renders a stable
+    ["n/a"], never a number. *)
 
 val compare_records :
   Format.formatter -> threshold:float -> record -> record -> int

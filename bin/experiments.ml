@@ -182,6 +182,14 @@ let fleet_cmd =
     (fun ~pool ~scale ~seed ~jobs ->
       Dm_experiments.Fleet.report ?pool ~scale ~seed ~jobs ppf)
 
+let serve_cmd =
+  simple "serve"
+    "Batched fleet serving: fused cross-tenant decide kernels and \
+     group-commit-aligned batching vs unbatched rounds, bit-identity \
+     checked against B=1"
+    (fun ~pool ~scale ~seed ~jobs ->
+      Dm_experiments.Serve.report ?pool ~scale ~seed ~jobs ppf)
+
 let stress_cmd =
   simple "stress"
     "Adversarial valuation streams: regret degradation of Algorithm 2 vs \
@@ -231,6 +239,7 @@ let all_cmd =
             Dm_experiments.Longrun.report ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Recover.report ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Fleet.report ?pool ~scale ~seed ~jobs ppf;
+            Dm_experiments.Serve.report ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Diagnostics.report ~seed ppf;
             Dm_experiments.Overhead.report ppf);
         `Ok ()
@@ -255,6 +264,6 @@ let () =
             coldstart_cmd; lemma8_cmd; theorem3_cmd; theorem2_cmd; lemma2_cmd;
             lemma45_cmd; overhead_cmd; ablation_cmd; baselines_cmd;
             robustness_cmd; stress_cmd; longrun_cmd; recover_cmd; fleet_cmd;
-            rank_cmd;
+            serve_cmd; rank_cmd;
             all_cmd;
           ]))

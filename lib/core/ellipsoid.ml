@@ -135,7 +135,7 @@ type cut_result = Cut of t | Too_shallow | Empty
    only the support × support block of b̃ — the sparse fast path below,
    taken when the caller permits in-place mutation ([mutate]) and the
    cut direction is sparse enough to pay. *)
-let cut_below_dense ?into t ~x ~price =
+let cut_below_dense ?into ?b_into ?center_into t ~x ~price =
   let { mid; half_width; _ } = bounds t ~x in
   if half_width <= 0. then Too_shallow
   else begin
@@ -144,9 +144,37 @@ let cut_below_dense ?into t ~x ~price =
     if alpha >= 1. then Empty
     else if alpha <= -1. /. n then Too_shallow
     else begin
-      (* b = A·x / √(xᵀAx) = scale·(M·x) / √(xᵀAx) *)
-      let b = Vec.scale (t.scale /. half_width) (Mat.matvec t.shape x) in
-      let center = Vec.copy t.center in
+      (* b = A·x / √(xᵀAx) = scale·(M·x) / √(xᵀAx).  The scratch
+         buffer, when given, holds a transient the caller may recycle
+         every cut: [b] is consumed by the rank-one update below and
+         never retained by the returned ellipsoid. *)
+      let b =
+        match b_into with
+        | None -> Vec.scale (t.scale /. half_width) (Mat.matvec t.shape x)
+        | Some b ->
+            if b == x then
+              invalid_arg "Ellipsoid.cut_below: b_into aliases the direction";
+            ignore (Mat.matvec ~into:b t.shape x);
+            Vec.scale_inplace (t.scale /. half_width) b;
+            b
+      in
+      (* The new center, by contrast, {e is} retained: [center_into]
+         transfers ownership of the buffer to the returned ellipsoid,
+         so the caller must ping-pong two buffers (and stop recycling
+         any that escaped). *)
+      let center =
+        match center_into with
+        | None -> Vec.copy t.center
+        | Some c ->
+            if Array.length c <> t.dim then
+              invalid_arg "Ellipsoid.cut_below: center_into dimension mismatch";
+            if c == t.center then
+              invalid_arg "Ellipsoid.cut_below: center_into aliases the center";
+            if c == b then
+              invalid_arg "Ellipsoid.cut_below: center_into aliases b_into";
+            Array.blit t.center 0 c 0 t.dim;
+            c
+      in
       Vec.axpy (-.(1. +. (n *. alpha)) /. (n +. 1.)) b center;
       let shape, dlog =
         if t.dim = 1 then begin
@@ -230,15 +258,30 @@ let cut_below_sparse t ~sx ~price =
     end
   end
 
-let cut_below ?into ?(mutate = false) t ~x ~price =
+let cut_below ?into ?b_into ?center_into ?(mutate = false) t ~x ~price =
   if Vec.dim x <> t.dim then
     invalid_arg "Ellipsoid.cut_below: dimension mismatch";
   match if mutate && t.dim > 1 then Vec.Sparse.of_dense x else None with
   | Some sx -> cut_below_sparse t ~sx ~price
-  | None -> cut_below_dense ?into t ~x ~price
+  | None -> cut_below_dense ?into ?b_into ?center_into t ~x ~price
 
-let cut_above ?into ?mutate t ~x ~price =
-  cut_below ?into ?mutate t ~x:(Vec.neg x) ~price:(-.price)
+let cut_above ?into ?b_into ?center_into ?neg_into ?mutate t ~x ~price =
+  (* [-1. *. xᵢ] is exactly [Vec.neg], so the scratch path posts the
+     same direction bits as the allocating one. *)
+  let nx =
+    match neg_into with
+    | None -> Vec.neg x
+    | Some nx ->
+        if Array.length nx <> Array.length x then
+          invalid_arg "Ellipsoid.cut_above: neg_into dimension mismatch";
+        if nx == x then
+          invalid_arg "Ellipsoid.cut_above: neg_into aliases the direction";
+        for i = 0 to Array.length x - 1 do
+          Array.unsafe_set nx i (-1. *. Array.unsafe_get x i)
+        done;
+        nx
+  in
+  cut_below ?into ?b_into ?center_into ?mutate t ~x:nx ~price:(-.price)
 
 let apply t = function Cut t' -> t' | Too_shallow | Empty -> t
 

@@ -89,6 +89,8 @@ type cut_result =
 
 val cut_below :
   ?into:Dm_linalg.Mat.t ->
+  ?b_into:Dm_linalg.Vec.t ->
+  ?center_into:Dm_linalg.Vec.t ->
   ?mutate:bool ->
   t ->
   x:Dm_linalg.Vec.t ->
@@ -103,6 +105,20 @@ val cut_below :
     streaming pass and its exact (i, j)-symmetric term association
     keeps the shape bit-exactly symmetric, so no symmetrization pass
     is needed.
+
+    The dense path's two per-cut vector allocations take scratch
+    buffers with different ownership rules (both length [dim],
+    bit-identical results either way).  [b_into] holds the cut
+    direction [b = A·x/√(xᵀAx)], a transient consumed by the rank-one
+    update — the caller may recycle it on every cut (it must not alias
+    [x]).  [center_into] receives the {e new center}, which the
+    returned [Cut] retains: ownership transfers, so a caller must
+    ping-pong two center buffers (passing the one the current
+    ellipsoid does {e not} hold) and abandon both the moment an
+    ellipsoid escapes to other code — exactly the shape-buffer
+    discipline of [Mechanism.ellipsoid].  It must not alias the
+    current center or [b_into].  The sparse in-place path ignores
+    both buffers.
 
     [mutate] (default [false]) permits the sparse fast path: when the
     cut direction [x] passes {!Dm_linalg.Vec.Sparse.of_dense}'s
@@ -122,6 +138,9 @@ val cut_below :
 
 val cut_above :
   ?into:Dm_linalg.Mat.t ->
+  ?b_into:Dm_linalg.Vec.t ->
+  ?center_into:Dm_linalg.Vec.t ->
+  ?neg_into:Dm_linalg.Vec.t ->
   ?mutate:bool ->
   t ->
   x:Dm_linalg.Vec.t ->
@@ -129,7 +148,10 @@ val cut_above :
   cut_result
 (** Keep [{θ | xᵀθ ≥ price}] — the acceptance update.  Implemented by
     reflecting [x ↦ −x, price ↦ −price] into {!cut_below} ([mutate]
-    passes through). *)
+    and the scratch buffers pass through).  [neg_into], when given,
+    receives the negated direction instead of a fresh allocation
+    (length [dim x], must not alias [x]; transient, recyclable every
+    cut like [b_into]). *)
 
 val apply : t -> cut_result -> t
 (** The new knowledge set: the cut ellipsoid if one was produced, the

@@ -101,16 +101,35 @@ type t = {
   mutable skipped : int;
   mutable spare : Dm_linalg.Mat.t option;
       (* retired shape buffer, reused as the next cut's destination *)
+  mutable spare_center : Dm_linalg.Vec.t option;
+      (* retired center buffer, ping-ponged with the live one by the
+         dense cut path under the same escape rule as [spare] *)
   mutable exposed : bool;
       (* the current ellipsoid escaped through [ellipsoid]: its shape
-         may be retained by the caller, so it must not be recycled *)
-  mutable memo : (Dm_linalg.Vec.t * Dm_linalg.Vec.t) option;
+         and center may be retained by the caller, so neither must be
+         recycled *)
+  u_buf : Dm_linalg.Vec.t;
+      (* projected mode: the k-buffer P·x lands in; [[||]] when dense *)
+  b_buf : Dm_linalg.Vec.t;
+  neg_buf : Dm_linalg.Vec.t;
+      (* transient cut scratch (direction b, negated direction): a cut
+         consumes them without retaining either, so they are safe to
+         recycle even while [exposed] *)
+  mutable memo_x : Dm_linalg.Vec.t;
+  mutable memo_u : Dm_linalg.Vec.t;
       (* projected mode only: the (x, P·x) pair from the last [decide],
-         keyed by physical equality so [observe] reuses the k-vector
-         instead of paying the O(k·n) projection twice per round *)
+         keyed by physical equality ([memo_x == x]; empty = no memo,
+         which the length guard distinguishes from a genuine [[||]]
+         input since empty arrays share one representation) so
+         [observe] reuses the k-vector instead of paying the O(k·n)
+         projection twice per round.  Two flat fields rather than an
+         option pair, so storing a memo allocates nothing. *)
 }
 
+let no_memo : Dm_linalg.Vec.t = [||]
+
 let create cfg ell =
+  let d = Ellipsoid.dim ell in
   {
     cfg;
     robust = None;
@@ -120,8 +139,13 @@ let create cfg ell =
     conservative = 0;
     skipped = 0;
     spare = None;
+    spare_center = None;
     exposed = false;
-    memo = None;
+    u_buf = no_memo;
+    b_buf = Dm_linalg.Vec.zeros d;
+    neg_buf = Dm_linalg.Vec.zeros d;
+    memo_x = no_memo;
+    memo_u = no_memo;
   }
 
 let check_err err =
@@ -138,7 +162,10 @@ let create_projected cfg ~projection ~err ell =
          "Mechanism.create_projected: ellipsoid dim %d does not match \
           projection rank %d"
          (Ellipsoid.dim ell) k);
-  { (create cfg ell) with proj = Some (projection, err) }
+  { (create cfg ell) with
+    proj = Some (projection, err);
+    u_buf = Dm_linalg.Vec.zeros k;
+  }
 
 let fresh_robust_state rcfg =
   {
@@ -183,17 +210,25 @@ let effective_delta t =
 let project_feature t x =
   match t.proj with
   | None -> x
-  | Some (p, _) -> (
-      match t.memo with
-      | Some (x0, u) when x0 == x -> u
-      | _ ->
-          let u = Dm_linalg.Mat.project p x in
-          t.memo <- Some (x, u);
-          u)
+  | Some (p, _) ->
+      if t.memo_x == x && Array.length x > 0 then t.memo_u
+      else begin
+        let u = Dm_linalg.Mat.project ~into:t.u_buf p x in
+        t.memo_x <- x;
+        t.memo_u <- u;
+        u
+      end
 
 let ellipsoid t =
   t.exposed <- true;
   t.ell
+
+let projected_feature t ~x =
+  match t.proj with
+  | None -> None
+  | Some _ ->
+      if t.memo_x == x && Array.length x > 0 then Some (Array.copy t.memo_u)
+      else None
 
 let config_of t = t.cfg
 
@@ -203,9 +238,21 @@ type decision =
   | Skip
   | Post of { price : float; kind : kind; lower : float; upper : float }
 
-let check_finite_vec name x =
-  if not (Array.for_all Float.is_finite x) then
-    invalid_arg (name ^ ": non-finite feature vector")
+(* Direct float-array loop: [Array.for_all Float.is_finite] would box
+   every element, putting O(n) minor words on the steady-state decide
+   path the arena is meant to keep allocation-free. *)
+let check_finite_vec name (x : Dm_linalg.Vec.t) =
+  let n = Array.length x in
+  let i = ref 0 in
+  while
+    !i < n
+    &&
+    let v = Array.unsafe_get x !i in
+    v -. v = 0.
+  do
+    incr i
+  done;
+  if !i < n then invalid_arg (name ^ ": non-finite feature vector")
 
 let decide t ~x ~reserve =
   check_finite_vec "Mechanism.decide" x;
@@ -255,6 +302,95 @@ let decide t ~x ~reserve =
         { price = Float.max q (lower -. delta -. shade); kind = Conservative;
           lower; upper }
 
+(* Cross-tenant batch serving.  The context hoists everything that is
+   per-fleet rather than per-round: the transposed projection the
+   blocked batch kernel streams, and the gather/scatter panels (sized
+   to the batch on first use, re-sized only when the batch size
+   changes, so a steady-state flush allocates nothing). *)
+type batch = {
+  bpt : (Dm_linalg.Mat.t * Dm_linalg.Mat.t) option;
+      (* projected fleet: the shared P (compared physically against
+         each served mechanism) and its transpose; None = dense fleet *)
+  mutable xs_panel : Dm_linalg.Mat.t;  (* B×n gather panel *)
+  mutable u_panel : Dm_linalg.Mat.t;  (* B×k projected panel *)
+}
+
+let batch t =
+  match t.proj with
+  | None ->
+      {
+        bpt = None;
+        xs_panel = Dm_linalg.Mat.zeros 0 0;
+        u_panel = Dm_linalg.Mat.zeros 0 0;
+      }
+  | Some (p, _) ->
+      {
+        bpt = Some (p, Dm_linalg.Mat.transpose p);
+        xs_panel = Dm_linalg.Mat.zeros 0 (Dm_linalg.Mat.cols p);
+        u_panel = Dm_linalg.Mat.zeros 0 (Dm_linalg.Mat.rows p);
+      }
+
+let decide_batch ctx mechs ~xs ~reserves =
+  let b = Array.length mechs in
+  if b = 0 then invalid_arg "Mechanism.decide_batch: empty batch";
+  if Array.length xs <> b || Array.length reserves <> b then
+    invalid_arg "Mechanism.decide_batch: batch length mismatch";
+  (* Each mechanism may appear at most once per batch: projections are
+     state-independent, but a repeated mechanism would have its second
+     decision computed against pre-observe state — not what a B=1
+     interleaving of decide/observe rounds produces. *)
+  for i = 0 to b - 1 do
+    for j = i + 1 to b - 1 do
+      if mechs.(i) == mechs.(j) then
+        invalid_arg "Mechanism.decide_batch: duplicate mechanism in batch"
+    done
+  done;
+  match ctx.bpt with
+  | None ->
+      Array.iter
+        (fun m ->
+          match m.proj with
+          | Some _ ->
+              invalid_arg
+                "Mechanism.decide_batch: dense context serving a projected \
+                 mechanism"
+          | None -> ())
+        mechs;
+      Array.init b (fun i -> decide mechs.(i) ~x:xs.(i) ~reserve:reserves.(i))
+  | Some (p, pt) ->
+      Array.iter
+        (fun m ->
+          match m.proj with
+          | Some (p', _) when p' == p -> ()
+          | _ ->
+              invalid_arg
+                "Mechanism.decide_batch: mechanism does not share the batch \
+                 projection")
+        mechs;
+      if Dm_linalg.Mat.rows ctx.xs_panel <> b then begin
+        ctx.xs_panel <-
+          Dm_linalg.Mat.zeros b (Dm_linalg.Mat.cols ctx.xs_panel);
+        ctx.u_panel <- Dm_linalg.Mat.zeros b (Dm_linalg.Mat.cols ctx.u_panel)
+      end;
+      ignore (Dm_linalg.Mat.pack_rows ~into:ctx.xs_panel xs);
+      ignore (Dm_linalg.Mat.project_batch ~into:ctx.u_panel ~pt ctx.xs_panel);
+      Array.init b (fun i ->
+          let m = mechs.(i) in
+          (* Seed the projection memo from the panel row, then run the
+             ordinary per-request decide: [project_feature] hits the
+             memo, so the decision takes the rank-k path with the
+             batch-computed (bit-identical) projection. *)
+          Dm_linalg.Mat.unpack_row ctx.u_panel i ~into:m.u_buf;
+          m.memo_x <- xs.(i);
+          m.memo_u <- m.u_buf;
+          match decide m ~x:xs.(i) ~reserve:reserves.(i) with
+          | d -> d
+          | exception e ->
+              (* never leave a memo seeded from an input [decide]
+                 rejected *)
+              m.memo_x <- no_memo;
+              raise e)
+
 (* Re-inflate the knowledge set: a fresh ball of radius [radius] at
    the current center, clipped to ‖c‖ ≤ reinflate_radius/2 so a
    full-radius restart is guaranteed to recapture any θ* with
@@ -273,8 +409,10 @@ let robust_restart t rs ~radius =
   in
   t.ell <- Ellipsoid.make ~center ~shape;
   t.spare <- None;
+  t.spare_center <- None;
   t.exposed <- false;
-  t.memo <- None;
+  t.memo_x <- no_memo;
+  t.memo_u <- no_memo;
   rs.since_explore <- 0;
   rs.recent <- 0;
   rs.filled <- 0;
@@ -346,33 +484,45 @@ let observe t ~x decision ~accepted =
             allow_conservative_cuts
       in
       if cuts then begin
-        (* Ping-pong the two shape buffers: the outgoing ellipsoid's
-           matrix becomes the next cut's destination — unless a caller
-           holds a reference to it (see [ellipsoid]), in which case the
-           cut allocates fresh and the exposed buffer is dropped.  The
-           in-place sparse path ([mutate]) may instead consume the
-           current shape buffer outright; it is only permitted while no
-           caller can observe the mutation. *)
+        (* Ping-pong the shape and center buffer pairs: the outgoing
+           ellipsoid's matrix and center become the next cut's
+           destinations — unless a caller holds a reference to them
+           (see [ellipsoid]), in which case the cut allocates fresh and
+           the exposed buffers are dropped.  The transient scratch
+           ([b_buf], [neg_buf]) is never retained by a cut, so it is
+           recycled unconditionally.  The in-place sparse path
+           ([mutate]) may instead consume the current shape buffer
+           outright; it is only permitted while no caller can observe
+           the mutation. *)
         let into = if t.exposed then None else t.spare in
+        let center_into = if t.exposed then None else t.spare_center in
         let mutate = t.cfg.sparse_cuts && not t.exposed in
         let u = project_feature t x in
         let result =
           if accepted then
             (* p ≤ v = φ(x)ᵀθ* + δ_t  ⇒  φ(x)ᵀθ* ≥ p − δ *)
-            Ellipsoid.cut_above ?into ~mutate t.ell ~x:u ~price:(price -. delta)
+            Ellipsoid.cut_above ?into ~b_into:t.b_buf ?center_into
+              ~neg_into:t.neg_buf ~mutate t.ell ~x:u ~price:(price -. delta)
           else
             (* p > v  ⇒  φ(x)ᵀθ* ≤ p + δ *)
-            Ellipsoid.cut_below ?into ~mutate t.ell ~x:u ~price:(price +. delta)
+            Ellipsoid.cut_below ?into ~b_into:t.b_buf ?center_into ~mutate t.ell
+              ~x:u ~price:(price +. delta)
         in
         match result with
         | Ellipsoid.Cut ell' ->
-            if ell'.Ellipsoid.shape == t.ell.Ellipsoid.shape then
+            if ell'.Ellipsoid.shape == t.ell.Ellipsoid.shape then begin
               (* Sparse in-place cut: the shape buffer carried over, so
-                 the spare/exposed bookkeeping is untouched. *)
+                 the spare/exposed bookkeeping is untouched — but the
+                 center is a fresh copy, so the old one retires.  The
+                 sparse path never runs while [exposed]. *)
+              t.spare_center <- Some t.ell.Ellipsoid.center;
               t.ell <- ell'
+            end
             else begin
               t.spare <-
                 (if t.exposed then None else Some t.ell.Ellipsoid.shape);
+              t.spare_center <-
+                (if t.exposed then None else Some t.ell.Ellipsoid.center);
               t.exposed <- false;
               t.ell <- ell'
             end
@@ -532,6 +682,7 @@ let assemble ~use_reserve ~delta ~allow ~sparse_cuts ~epsilon ~proj ~robust ~ell
       with
       | exception Invalid_argument msg -> fail "%s" msg
       | cfg ->
+          let d = Ellipsoid.dim ell in
           Ok
             {
               cfg;
@@ -542,8 +693,16 @@ let assemble ~use_reserve ~delta ~allow ~sparse_cuts ~epsilon ~proj ~robust ~ell
               conservative;
               skipped;
               spare = None;
+              spare_center = None;
               exposed = false;
-              memo = None;
+              u_buf =
+                (match proj with
+                | Some _ -> Dm_linalg.Vec.zeros d
+                | None -> no_memo);
+              b_buf = Dm_linalg.Vec.zeros d;
+              neg_buf = Dm_linalg.Vec.zeros d;
+              memo_x = no_memo;
+              memo_u = no_memo;
             })
 
 let restore_binary ~projected ~robust text =

@@ -195,11 +195,26 @@ val robust_shade : t -> float
     a vanilla mechanism, and 0 on streams matching the model). *)
 
 val ellipsoid : t -> Ellipsoid.t
-(** The current knowledge set.  Reading it marks its shape matrix as
-    escaped, so the next cut allocates a fresh buffer instead of
-    recycling it — callers may therefore retain the returned ellipsoid
-    across future [observe] calls.  (Between reads, [observe]
-    ping-pongs the two most recent shape buffers and never allocates.) *)
+(** The current knowledge set.  Reading it marks its shape matrix and
+    center as escaped, so the next cut allocates fresh buffers instead
+    of recycling them — callers may therefore retain the returned
+    ellipsoid across future [observe] calls.  (Between reads, [observe]
+    ping-pongs the two most recent shape and center buffers and never
+    allocates.) *)
+
+val projected_feature : t -> x:Dm_linalg.Vec.t -> Dm_linalg.Vec.t option
+(** [projected_feature t ~x] is a fresh copy of the memoized rank-k
+    projection [u = P·x] of {e physically} this feature vector, as
+    last computed by {!decide} or {!decide_batch}; [None] for a dense
+    mechanism or when the memo holds a different vector.  [u] is the
+    mechanism's sufficient statistic: with [err = 0] every bound, cut
+    and price is computed from [u] alone and the effective δ is
+    exactly the variant's δ, so the state evolution on [x] is
+    bit-identical to a dense [k]-dimensional mechanism's on [u] — a
+    serving layer may therefore journal [u] in place of the raw
+    feature and replay against dense [k]-dim state (the serve
+    artifact's journal does exactly this, decoupling journal bandwidth
+    from the ambient dimension). *)
 
 val config_of : t -> config
 
@@ -220,6 +235,44 @@ val decide : t -> x:Dm_linalg.Vec.t -> reserve:float -> decision
     [neg_infinity] or anything else).  Does not mutate state.  Raises
     [Invalid_argument] on non-finite features or a NaN reserve —
     either would silently poison the knowledge set. *)
+
+type batch
+(** A cross-tenant batch-serving context: hoists the per-fleet
+    constants of {!decide_batch} — the transposed shared projection the
+    blocked batch kernel streams, and the gather/scatter panels (sized
+    on first use and re-sized only when the batch size changes, so a
+    steady-state flush allocates nothing). *)
+
+val batch : t -> batch
+(** [batch t] is a serving context for the fleet [t] belongs to, built
+    from any representative member: projected mechanisms must share
+    [t]'s projection {e physically} (the same [Dm_linalg.Mat.t]); a
+    dense representative yields a context for dense fleets. *)
+
+val decide_batch :
+  batch ->
+  t array ->
+  xs:Dm_linalg.Vec.t array ->
+  reserves:float array ->
+  decision array
+(** [decide_batch ctx mechs ~xs ~reserves] prices [B] pending requests,
+    request [i] against [mechs.(i)]: the projected path gathers the
+    feature vectors into a [B×n] panel, batch-projects them against the
+    shared [P] in one blocked {!Dm_linalg.Mat.project_batch} pass, then
+    runs the per-request rank-k {!decide} sequentially in arrival
+    order with each mechanism's projection memo seeded from its panel
+    row — so decisions (and the cuts and snapshots of the {!observe}s
+    that follow) are bit-identical to serving the same requests one at
+    a time.  The dense path is a plain {!decide} loop.  Like {!decide}
+    it never mutates knowledge state; the caller resolves acceptances
+    and calls {!observe} per request afterwards, in the same order.
+
+    Raises [Invalid_argument] on an empty batch, mismatched array
+    lengths, a mechanism whose projection is not physically the
+    context's (or a projected mechanism under a dense context), a
+    duplicate mechanism in the batch (its second decision would not
+    see the first round's observe), and the per-request {!decide}
+    errors. *)
 
 val observe : t -> x:Dm_linalg.Vec.t -> decision -> accepted:bool -> unit
 (** Incorporate the buyer's response to a {!decide} outcome.  [Skip]

@@ -1,0 +1,69 @@
+(** Batched fleet serving: throughput and allocation of the fused
+    cross-tenant decide path against unbatched round-at-a-time serving.
+
+    The market is the fig5c_hd operating point made multi-tenant: all
+    tenants of one fleet share a single orthonormal rank-k projection
+    (rows orthonormalized Gaussian), every feature lies exactly in its
+    rowspace (so [err = 0] and projected pricing is exact), and each
+    tenant prices its own in-subspace θ* with the pure variant.
+    Requests arrive round-robin across tenants; a
+    {!Dm_store.Fleet.Batcher} with [capacity = latency_rounds = B]
+    groups them, each flush prices the whole batch through one
+    {!Dm_market.Mechanism.decide_batch} pass (one gather, one blocked
+    batch projection, sequential rank-k decides), observes and appends
+    every round in arrival order, and the shared group-commit journal
+    ({!Dm_store.Fleet}) arms its latency bound at the same [B] — so
+    the decide batch and the fsync batch coincide.
+
+    Journaled events carry the rank-k projected statistic
+    [u = P·x] ({!Dm_market.Mechanism.projected_feature}) rather than
+    the raw n-dim feature: with [err = 0] the mechanism's evolution on
+    [x] is bit-identical to a dense k-dim mechanism's on [u], so the
+    compact record replays exactly while journal bandwidth stays
+    independent of the ambient dimension — the byte throughput that
+    would otherwise drown the fsync amortization at n = 4096.
+
+    [B = 1] runs the pre-batching reference path (sequential
+    {!Dm_market.Mechanism.decide}, group commit armed every append).
+    Every batched config is then checked {e bit-identical} to it: the
+    re-encoded tenant-tagged journal byte-for-byte and every tenant's
+    final knowledge-set state (scale/center/shape digest).  Each
+    config also runs a {!Dm_store.Fleet.recover} round-trip: a stride
+    of tenants restores from on-disk snapshots to the served
+    mechanisms' exact binary snapshots, and the rest rebuild from
+    scratch — the recovery path replaying the k-dim log into dense
+    k-dim mechanisms, which must land on the served fleet's exact
+    ellipsoid bits.  Timing and minor-words-per-round columns are
+    measured; identity columns are deterministic. *)
+
+val report :
+  ?pool:Dm_linalg.Pool.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?jobs:int ->
+  Format.formatter ->
+  unit
+(** [report ppf] sweeps batch size B ∈ {1, 8, 64, 256} × fleet size
+    (B ≤ fleet size, so every batch holds distinct tenants) and prints
+    per config: ns/round and rounds/s over the whole serving loop,
+    decide-only ns/round, steady-state minor words per round for the
+    decide+observe path (arena'd — expected a small dimension-
+    independent constant) and for the whole loop, fsyncs per 10³
+    rounds, the speedup over that fleet's B = 1 reference, and the
+    identity/recovery verdicts.  Scale ≥ 0.5 prices at n = 4096,
+    k = 32 (the fig5c_hd ambient dimension at exactly its planted
+    rank — the acceptance operating point); smaller scales shrink
+    the dimensions and fleet list for smoke runs.  Input generation
+    fans out over [jobs]/[pool] via {!Runner.map}; the timed configs
+    run sequentially.  The closing line
+    ["serve summary: … OK"] is what `make ci` greps. *)
+
+val microbench : ?scale:float -> ?seed:int -> unit -> (string * float) list
+(** Benchmark helper for the bench harness's serve stage: one B = 64,
+    64-tenant serving run at the scale-tier dimensions, returning
+    [("serve/batch_decide B64 n<n> k<k>", decide ns per round)],
+    [("serve/round_alloc minor_words", steady-state minor words per
+    round of the decide+observe path)] and
+    [("gc/serve_loop minor_words", minor words per round of the whole
+    serving loop)] — the keys {!Dm_bench.Record.critical_prefixes}
+    protects.  Fails if the recovery round-trip drifts. *)

@@ -195,10 +195,18 @@ let matvec_into ~gate ~chunk y m x =
             Array.unsafe_set y i !acc
           done)
 
-let matvec m x =
+let matvec ?into m x =
   if Array.length x <> m.cols then
     invalid_arg "Mat.matvec: dimension mismatch";
-  let y = Array.make m.rows 0. in
+  let y =
+    match into with
+    | None -> Array.make m.rows 0.
+    | Some y ->
+        if Array.length y <> m.rows then
+          invalid_arg "Mat.matvec: into dimension mismatch";
+        if y == x then invalid_arg "Mat.matvec: into aliases the input";
+        y
+  in
   matvec_into ~gate:(m.rows >= parallel_threshold) ~chunk:row_chunk y m x;
   y
 
@@ -221,6 +229,137 @@ let project ?into p x =
     ~gate:(p.rows >= parallel_threshold || p.cols >= parallel_threshold)
     ~chunk:(fan_chunk p.rows) y p x;
   y
+
+let pack_rows ?into vs =
+  let b = Array.length vs in
+  if b = 0 then invalid_arg "Mat.pack_rows: no rows";
+  let n = Array.length vs.(0) in
+  Array.iter
+    (fun v ->
+      if Array.length v <> n then invalid_arg "Mat.pack_rows: ragged rows")
+    vs;
+  let panel =
+    match into with
+    | None -> zeros b n
+    | Some p ->
+        if p.rows <> b || p.cols <> n then
+          invalid_arg "Mat.pack_rows: into dimension mismatch";
+        p
+  in
+  for i = 0 to b - 1 do
+    Array.blit vs.(i) 0 panel.data (i * n) n
+  done;
+  panel
+
+let unpack_row m i ~into =
+  if i < 0 || i >= m.rows then invalid_arg "Mat.unpack_row: row out of range";
+  if Array.length into <> m.cols then
+    invalid_arg "Mat.unpack_row: into dimension mismatch";
+  Array.blit m.data (i * m.cols) into 0 m.cols
+
+let project_batch ?into ~pt xs =
+  if xs.cols <> pt.rows then invalid_arg "Mat.project_batch: dimension mismatch";
+  let b = xs.rows and n = xs.cols and k = pt.cols in
+  let u =
+    match into with
+    | None -> zeros b k
+    | Some u ->
+        if u.rows <> b || u.cols <> k then
+          invalid_arg "Mat.project_batch: into dimension mismatch";
+        if u.data == xs.data || u.data == pt.data then
+          invalid_arg "Mat.project_batch: into aliases an input";
+        u
+  in
+  let xdata = xs.data and tdata = pt.data and udata = u.data in
+  (* U = X·Pᵀ as an i-l-j pass, blocked at three levels: an outer
+     [row_chunk]-row block of the panel keeps its u rows cache-resident
+     across the whole shared dimension (a large batch would otherwise
+     re-stream the u panel once per Pᵀ tile), a [row_chunk]-row tile of
+     Pᵀ is reused across every panel row of the block (the [matmul]
+     body shape), and the shared dimension is register-blocked eight
+     wide, so each u[i,j] load/store round-trip covers eight
+     independent FMAs — throughput-bound, where the dot-per-element
+     form ([matmul_tt], {!project}) is bound by the latency of one
+     serial accumulator.  Each u[i,j] still reduces over l ascending
+     (tiles ascend, the eight-wide sums are left-associated, l ascends
+     within and across blocks), i.e. the same term sequence as
+     {!project}'s row reduction with the factors commuted — float
+     multiplication is exactly commutative.  A block all of whose x[l]
+     are ±0 is skipped, and a partially-zero block keeps its ±0 terms:
+     both are exact, by the [sparse_support] argument (the accumulator
+     starts at +0 and can never round to −0, so adding a ±0 term never
+     changes its bits) — so row i is bit-identical to [project p vs.(i)]
+     at any worker count and any batch size. *)
+  over_range
+    ~gate:(b >= parallel_threshold || n >= parallel_threshold)
+    ~chunk:(fan_chunk b) b
+    (fun blo bhi ->
+      Array.fill udata (blo * k) ((bhi - blo) * k) 0.;
+      let ilo = ref blo in
+      while !ilo < bhi do
+        let ihi = min bhi (!ilo + row_chunk) in
+        let llo = ref 0 in
+        while !llo < n do
+          let lhi = min n (!llo + row_chunk) in
+          for i = !ilo to ihi - 1 do
+            let xbase = i * n in
+            let ubase = i * k in
+            let l = ref !llo in
+            while !l + 7 < lhi do
+              let xb = xbase + !l in
+              let xl0 = Array.unsafe_get xdata xb
+              and xl1 = Array.unsafe_get xdata (xb + 1)
+              and xl2 = Array.unsafe_get xdata (xb + 2)
+              and xl3 = Array.unsafe_get xdata (xb + 3)
+              and xl4 = Array.unsafe_get xdata (xb + 4)
+              and xl5 = Array.unsafe_get xdata (xb + 5)
+              and xl6 = Array.unsafe_get xdata (xb + 6)
+              and xl7 = Array.unsafe_get xdata (xb + 7) in
+              if
+                xl0 <> 0. || xl1 <> 0. || xl2 <> 0. || xl3 <> 0. || xl4 <> 0.
+                || xl5 <> 0. || xl6 <> 0. || xl7 <> 0.
+              then begin
+                let t0 = !l * k in
+                let t1 = t0 + k in
+                let t2 = t1 + k in
+                let t3 = t2 + k in
+                let t4 = t3 + k in
+                let t5 = t4 + k in
+                let t6 = t5 + k in
+                let t7 = t6 + k in
+                for j = 0 to k - 1 do
+                  Array.unsafe_set udata (ubase + j)
+                    (Array.unsafe_get udata (ubase + j)
+                    +. (xl0 *. Array.unsafe_get tdata (t0 + j))
+                    +. (xl1 *. Array.unsafe_get tdata (t1 + j))
+                    +. (xl2 *. Array.unsafe_get tdata (t2 + j))
+                    +. (xl3 *. Array.unsafe_get tdata (t3 + j))
+                    +. (xl4 *. Array.unsafe_get tdata (t4 + j))
+                    +. (xl5 *. Array.unsafe_get tdata (t5 + j))
+                    +. (xl6 *. Array.unsafe_get tdata (t6 + j))
+                    +. (xl7 *. Array.unsafe_get tdata (t7 + j)))
+                done
+              end;
+              l := !l + 8
+            done;
+            while !l < lhi do
+              let xl = Array.unsafe_get xdata (xbase + !l) in
+              if xl <> 0. then begin
+                let tbase = !l * k in
+                for j = 0 to k - 1 do
+                  Array.unsafe_set udata (ubase + j)
+                    (Array.unsafe_get udata (ubase + j)
+                    +. (xl *. Array.unsafe_get tdata (tbase + j)))
+                done
+              end;
+              incr l
+            done
+          done;
+          llo := lhi
+        done;
+        ilo := ihi
+      done);
+  u
 
 (* Sparse-aware kernels over a prebuilt {!Vec.Sparse} view.  They are
    deliberately serial: their work is O(nnz·n) or O(nnz²), below the

@@ -70,8 +70,9 @@ val scale : float -> t -> t
 
 val scale_inplace : float -> t -> unit
 
-val matvec : t -> Vec.t -> Vec.t
-(** [matvec a x] is [A·x]. *)
+val matvec : ?into:Vec.t -> t -> Vec.t -> Vec.t
+(** [matvec a x] is [A·x].  [into], when given, receives the result
+    (length [rows a], must not alias [x]). *)
 
 val matvec_t : t -> Vec.t -> Vec.t
 (** [matvec_t a x] is [Aᵀ·x], without materializing the transpose.
@@ -90,6 +91,32 @@ val project : ?into:Vec.t -> t -> Vec.t -> Vec.t
     out once [n ≥ 512], which is where the rank-k projected pricing
     path spends its per-round flops.  [into], when given, receives the
     result (length [k], must not alias [x]). *)
+
+val pack_rows : ?into:t -> Vec.t array -> t
+(** [pack_rows vs] gathers [B ≥ 1] same-length vectors into the [B×n]
+    row-major panel whose row [i] is [vs.(i)] — the batch-serving
+    gather step.  [into], when given, receives the panel ([B×n]).
+    Raises [Invalid_argument] on an empty or ragged batch. *)
+
+val unpack_row : t -> int -> into:Vec.t -> unit
+(** [unpack_row m i ~into] copies row [i] of [m] into the caller's
+    buffer (length [cols m]) — the batch-serving scatter step, used to
+    hand each mechanism its panel row without a fresh allocation. *)
+
+val project_batch : ?into:t -> pt:t -> t -> t
+(** [project_batch ~pt xs] is the [B×k] panel [X·Pᵀ] for a [B×n] batch
+    panel [xs] and the projection {e transposed}, [pt = transpose p]
+    ([n×k]) — hoisted by the caller so repeated batches pay the O(k·n)
+    transpose once.  One blocked pass replaces [B] independent
+    {!project} calls: the shared dimension is cache-blocked so a tile
+    of [pt] is reused across every panel row, and the inner updates
+    are independent rather than one serial accumulator chain.  Row [i]
+    reduces over the shared dimension in ascending order with the
+    exact zero-skip, so it is bit-identical to [project p (row xs i)]
+    at any worker count and any batch size.  Fans panel rows over the
+    default {!Pool} once either dimension of [xs] reaches 512.
+    [into], when given, receives the result ([B×k], must alias neither
+    operand). *)
 
 val project_t : ?into:Vec.t -> t -> Vec.t -> Vec.t
 (** [project_t p y] is [Pᵀ·y] for [p : k×n] and [y] of length [k] —

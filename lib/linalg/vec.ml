@@ -57,6 +57,11 @@ let sub u v = map2 ( -. ) u v
 
 let scale a v = Array.map (fun x -> a *. x) v
 
+let scale_inplace a (v : t) =
+  for i = 0 to Array.length v - 1 do
+    Array.unsafe_set v i (a *. Array.unsafe_get v i)
+  done
+
 let axpy a x y =
   check_dims "axpy" x y;
   for i = 0 to Array.length x - 1 do

@@ -57,6 +57,10 @@ val sub : t -> t -> t
 val scale : float -> t -> t
 (** [scale a v] is [a · v]. *)
 
+val scale_inplace : float -> t -> unit
+(** [scale_inplace a v] performs [v := a·v] in place — the same
+    per-component product as {!scale}, so the two agree bit-for-bit. *)
+
 val axpy : float -> t -> t -> unit
 (** [axpy a x y] performs [y := a·x + y] in place. *)
 

@@ -13,6 +13,15 @@ let default_segment_bytes = 64 * 1024 * 1024
 
 let min_segment_bytes = 4 * 1024
 
+(* One group commit per write-buffer fill.  The default suits the
+   paper-scale event sizes; serving layers batching large-dimension
+   events size it so a whole decide batch fits in one commit (a single
+   frame larger than the buffer otherwise forces a commit per append,
+   defeating the latency bound). *)
+let default_commit_bytes = 64 * 1024
+
+let min_commit_bytes = 4 * 1024
+
 type t = {
   dir : string;
   tenants : int;
@@ -57,7 +66,8 @@ let mkdir_p dir =
   | () -> ()
   | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
-let create ?(segment_bytes = default_segment_bytes) ?(latency_appends = 4096)
+let create ?(segment_bytes = default_segment_bytes)
+    ?(commit_bytes = default_commit_bytes) ?(latency_appends = 4096)
     ?(snapshot_every = 0) ~dir ~tenants () =
   if tenants < 1 then invalid_arg "Fleet.create: need at least one tenant";
   if latency_appends < 1 then
@@ -66,6 +76,7 @@ let create ?(segment_bytes = default_segment_bytes) ?(latency_appends = 4096)
     invalid_arg "Fleet.create: negative snapshot interval";
   mkdir_p dir;
   let segment_bytes = max min_segment_bytes segment_bytes in
+  let commit_bytes = max min_commit_bytes commit_bytes in
   let path, fd = open_segment dir 0 in
   {
     dir;
@@ -79,7 +90,7 @@ let create ?(segment_bytes = default_segment_bytes) ?(latency_appends = 4096)
     durable = 0;
     seq = 0;
     seg_records = 0;
-    batch = Bytes.create (64 * 1024);
+    batch = Bytes.create commit_bytes;
     batch_pos = 0;
     waiting = 0;
     fsyncs = 0;
@@ -426,3 +437,65 @@ let compact ~dir ~tenants =
         | _ -> Ok deleted
       in
       go 0 segs
+
+module Batcher = struct
+  type 'req t = {
+    capacity : int;
+    latency_rounds : int;
+    pending : 'req Queue.t;
+    mutable clock : int;
+    mutable oldest : int;  (* clock value when the oldest pending request
+                              was enqueued; meaningless while empty *)
+  }
+
+  let create ~capacity ~latency_rounds =
+    if capacity < 1 then invalid_arg "Fleet.Batcher.create: capacity must be >= 1";
+    if latency_rounds < 1 then
+      invalid_arg "Fleet.Batcher.create: latency_rounds must be >= 1";
+    {
+      capacity;
+      latency_rounds;
+      pending = Queue.create ();
+      clock = 0;
+      oldest = 0;
+    }
+
+  let pending t = Queue.length t.pending
+
+  let drain t =
+    let b = Array.make (Queue.length t.pending) (Queue.peek t.pending) in
+    let i = ref 0 in
+    Queue.iter
+      (fun r ->
+        b.(!i) <- r;
+        incr i)
+      t.pending;
+    Queue.clear t.pending;
+    Some b
+
+  (* The flush test mirrors [append]'s group-commit arming, counted in
+     scheduler rounds instead of appends: fire on batch-full, or once
+     the oldest pending request is [latency_rounds] rounds old.  Both
+     inputs are deterministic functions of the round stream, so the
+     flush schedule — and therefore the decide/journal batch boundaries
+     — replays identically from a seed. *)
+  let check t =
+    if
+      not (Queue.is_empty t.pending)
+      && (Queue.length t.pending >= t.capacity
+         || t.clock - t.oldest >= t.latency_rounds)
+    then drain t
+    else None
+
+  let add t req =
+    if Queue.is_empty t.pending then t.oldest <- t.clock;
+    Queue.add req t.pending;
+    t.clock <- t.clock + 1;
+    check t
+
+  let tick t =
+    t.clock <- t.clock + 1;
+    check t
+
+  let flush t = if Queue.is_empty t.pending then None else drain t
+end

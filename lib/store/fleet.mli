@@ -15,8 +15,9 @@
     - every {!append} lands in one shared write batch; the batch is
       sealed, written and covered by {e one} fsync for {e all}
       tenants with records in it — there is no per-tenant barrier;
-    - the batch commits when it reaches the 64 KiB write buffer, when
-      the oldest unflushed append is [latency_appends] appends old,
+    - the batch commits when it reaches the [commit_bytes] write
+      buffer (default 64 KiB), when the oldest unflushed append is
+      [latency_appends] appends old,
       and at every {!sync}, snapshot, rotation and {!close} (the
       latency bound is counted in appends, not wall-clock time, so
       runs replay byte-identically);
@@ -40,6 +41,7 @@ type t
 
 val create :
   ?segment_bytes:int ->
+  ?commit_bytes:int ->
   ?latency_appends:int ->
   ?snapshot_every:int ->
   dir:string ->
@@ -51,6 +53,11 @@ val create :
     segments are named {!Journal.segment_name} of the {e global
     record sequence} of their first record and rotate past
     [segment_bytes] (default 64 MiB, minimum 4 KiB).
+    [commit_bytes] (default 64 KiB, minimum 4 KiB) sizes the shared
+    write buffer whose filling is the first commit trigger; a serving
+    layer batching B large-dimension events should size it to hold the
+    whole batch ([B ×] {!Journal.frame_bound}), otherwise buffer-full
+    commits fire inside the batch and the latency bound never governs.
     [latency_appends] (default 4096, minimum 1) is the bounded-latency
     flush rule: a group commit runs once the oldest unflushed record
     is that many appends old.  [snapshot_every = k > 0] makes {!sink}
@@ -159,3 +166,40 @@ val compact :
     Per-tenant rounds are consecutive in global order, so the deleted
     records are a round-prefix of each tenant and {!recover} after
     compaction yields the same states. *)
+
+(** Fleet-level request batcher: accumulates pending tenant rounds so
+    the serving layer can price a whole cross-tenant batch through one
+    fused decide pass ([Dm_market.Mechanism.decide_batch]) and land its
+    events in one journal group commit.  The flush rule mirrors the
+    group-commit arming above, {e counted in scheduler rounds rather
+    than appends}: a batch flushes when it reaches [capacity]
+    (batch-full), or once the oldest pending request is
+    [latency_rounds] rounds old (bounded latency).  Both triggers are
+    deterministic functions of the round stream — no wall-clock — so
+    batch boundaries, and everything downstream of them, replay
+    byte-identically from a seed.  Requests come back in arrival
+    order, preserving the per-tenant round order {!append} requires. *)
+module Batcher : sig
+  type 'req t
+
+  val create : capacity:int -> latency_rounds:int -> 'req t
+  (** Requires [capacity ≥ 1] and [latency_rounds ≥ 1].
+      [capacity = 1] degenerates to unbatched serving: every [add]
+      flushes its own request. *)
+
+  val add : 'req t -> 'req -> 'req array option
+  (** Enqueue one request and advance the round clock; [Some batch]
+      (in arrival order) when this round armed either flush trigger. *)
+
+  val tick : 'req t -> 'req array option
+  (** Advance the round clock without a request — a scheduler round in
+      which the tenant had nothing to serve — flushing when the
+      bounded-latency trigger fires.  Keeps stragglers from waiting on
+      an idle stream. *)
+
+  val flush : 'req t -> 'req array option
+  (** Drain whatever is pending (end of stream); [None] when empty. *)
+
+  val pending : 'req t -> int
+  (** Requests currently waiting. *)
+end

@@ -121,6 +121,10 @@ let test_critical_removal_flagged () =
     (List.mem "pricing/sparse_cut" Record.critical_prefixes);
   check_bool "is_critical matches" true
     (Record.is_critical "pricing/sparse_cut n1024 nnz23");
+  check_bool "is_critical covers serve" true
+    (Record.is_critical "serve/batch_decide B64 n4096 k32");
+  check_bool "is_critical covers gc" true
+    (Record.is_critical "gc/serve_loop minor_words");
   check_bool "is_critical rejects others" true
     (not (Record.is_critical "pricing/fig1 regret curve"));
   let old_rec =
@@ -172,10 +176,43 @@ let test_null_kernel_never_flagged () =
           "stage1_wall_clock_s": [],
           "stage2_ns_per_call": [ { "benchmark": "k", "ns": 1e9 } ] }|}
   in
-  let total, _ =
+  let total, out =
     render (fun ppf -> Record.compare_records ppf ~threshold:0.25 old_rec new_rec)
   in
-  check_int "no regressions" 0 total
+  check_int "no regressions" 0 total;
+  (* Its columns render a stable "n/a" — a skipped estimate must never
+     read as a number or a bare dash. *)
+  check_bool "null side renders n/a" true (contains out "n/a")
+
+let test_one_sided_renders_na () =
+  (* A key present only in the new record: old value and delta are both
+     "n/a", and the row is "new", not a regression. *)
+  let old_rec =
+    parse_exn
+      {|{ "schema": "dm-bench/1", "stamp": "old",
+          "stage1_wall_clock_s": [],
+          "stage2_ns_per_call": [] }|}
+  in
+  let new_rec =
+    parse_exn
+      {|{ "schema": "dm-bench/1", "stamp": "new",
+          "stage1_wall_clock_s": [],
+          "stage2_ns_per_call": [
+            { "benchmark": "serve/batch_decide B64 n4096 k32", "ns": 7e4 } ] }|}
+  in
+  let total, out =
+    render (fun ppf -> Record.compare_records ppf ~threshold:0.25 old_rec new_rec)
+  in
+  check_int "new key is not a regression" 0 total;
+  check_bool "new verdict" true (contains out "new");
+  check_bool "missing old renders n/a" true (contains out "n/a");
+  (* And the symmetric removal direction: the serve/ key is critical,
+     so dropping it flags, with n/a in the vacated columns. *)
+  let total, out =
+    render (fun ppf -> Record.compare_records ppf ~threshold:0.25 new_rec old_rec)
+  in
+  check_int "critical serve removal flags" 1 total;
+  check_bool "removal renders n/a" true (contains out "n/a")
 
 let () = Test_env.install_pool_from_env ()
 
@@ -199,5 +236,7 @@ let () =
             test_critical_removal_flagged;
           Alcotest.test_case "null kernel never flagged" `Quick
             test_null_kernel_never_flagged;
+          Alcotest.test_case "one-sided keys render n/a" `Quick
+            test_one_sided_renders_na;
         ] );
     ]

@@ -897,6 +897,128 @@ let sparse_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Batch gather/scatter + blocked batch projection                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pack_unpack () =
+  let vs = Array.init 3 (fun i -> fill_vec ~sparse:(i = 1) 7 (i + 1)) in
+  let panel = Mat.pack_rows vs in
+  check_int "rows" 3 (Mat.rows panel);
+  check_int "cols" 7 (Mat.cols panel);
+  Array.iteri
+    (fun i v ->
+      check_bool "packed row bits" true (bits_equal_vec (Mat.row panel i) v))
+    vs;
+  (* [~into] reuse hands back the same panel with the same contents. *)
+  let panel' = Mat.pack_rows ~into:panel vs in
+  check_bool "into returns the panel" true (panel' == panel);
+  let buf = Vec.zeros 7 in
+  Array.iteri
+    (fun i v ->
+      Mat.unpack_row panel i ~into:buf;
+      check_bool "unpacked row bits" true (bits_equal_vec buf v))
+    vs;
+  Alcotest.check_raises "empty batch"
+    (Invalid_argument "Mat.pack_rows: no rows") (fun () ->
+      ignore (Mat.pack_rows [||]));
+  Alcotest.check_raises "ragged batch"
+    (Invalid_argument "Mat.pack_rows: ragged rows") (fun () ->
+      ignore (Mat.pack_rows [| Vec.zeros 3; Vec.zeros 4 |]));
+  Alcotest.check_raises "pack into mismatch"
+    (Invalid_argument "Mat.pack_rows: into dimension mismatch") (fun () ->
+      ignore (Mat.pack_rows ~into:(Mat.zeros 2 7) vs));
+  Alcotest.check_raises "unpack row out of range"
+    (Invalid_argument "Mat.unpack_row: row out of range") (fun () ->
+      Mat.unpack_row panel 3 ~into:buf);
+  Alcotest.check_raises "unpack into mismatch"
+    (Invalid_argument "Mat.unpack_row: into dimension mismatch") (fun () ->
+      Mat.unpack_row panel 0 ~into:(Vec.zeros 6))
+
+(* Every row of the blocked batch projection must carry the exact bits
+   of the corresponding single-vector [project] — the contract the
+   batched decide path's bit-identity rests on. *)
+let check_batch_at (k, n, b) =
+  let p = fill_rect k n 1 in
+  let pt = Mat.transpose p in
+  let vs = Array.init b (fun i -> fill_vec ~sparse:(i mod 2 = 0) n (i + 3)) in
+  let xs = Mat.pack_rows vs in
+  let reference = Array.map (naive_project p) vs in
+  let check jobs () =
+    let tag s = Printf.sprintf "%s k=%d n=%d b=%d jobs=%d" s k n b jobs in
+    let u = Mat.project_batch ~pt xs in
+    check_int (tag "rows") b (Mat.rows u);
+    check_int (tag "cols") k (Mat.cols u);
+    Array.iteri
+      (fun i r ->
+        check_bool (tag "row = naive") true (bits_equal_vec (Mat.row u i) r);
+        check_bool (tag "row = project") true
+          (bits_equal_vec (Mat.row u i) (Mat.project p vs.(i))))
+      reference;
+    let into = Mat.zeros b k in
+    let u' = Mat.project_batch ~into ~pt xs in
+    check_bool (tag "into returned") true (u' == into);
+    check_bool (tag "into bits") true (bits_equal_mat u' u)
+  in
+  check 0 ();
+  List.iter (fun jobs -> with_default_pool jobs (check jobs)) [ 1; 2; 4 ]
+
+let test_batch_small () =
+  List.iter check_batch_at [ (1, 1, 1); (2, 5, 3); (8, 8, 8); (5, 40, 17) ]
+
+(* Straddle the pool gate (either dimension of the panel at 512) and
+   leave shared-dimension remainders on both sides of the 8-wide
+   register blocking. *)
+let test_batch_threshold () =
+  List.iter check_batch_at
+    [ (3, 511, 4); (3, 512, 4); (16, 520, 2); (2, 40, 512) ]
+
+let test_batch_validation () =
+  let p = fill_rect 2 3 1 in
+  let pt = Mat.transpose p in
+  let xs = Mat.pack_rows [| fill_vec ~sparse:false 3 1 |] in
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Mat.project_batch: dimension mismatch") (fun () ->
+      ignore (Mat.project_batch ~pt:(Mat.transpose (fill_rect 2 4 1)) xs));
+  Alcotest.check_raises "into mismatch"
+    (Invalid_argument "Mat.project_batch: into dimension mismatch") (fun () ->
+      ignore (Mat.project_batch ~into:(Mat.zeros 1 3) ~pt xs));
+  (* Aliasing is only expressible on square shapes; both operands must
+     be caught before the blocked pass scribbles over them. *)
+  let sq = fill_rect 3 3 4 in
+  let spt = Mat.transpose sq in
+  let sxs = Mat.pack_rows (Array.init 3 (fun i -> fill_vec ~sparse:false 3 i)) in
+  Alcotest.check_raises "into aliases the panel"
+    (Invalid_argument "Mat.project_batch: into aliases an input") (fun () ->
+      ignore (Mat.project_batch ~into:sxs ~pt:spt sxs));
+  Alcotest.check_raises "into aliases the projection"
+    (Invalid_argument "Mat.project_batch: into aliases an input") (fun () ->
+      ignore (Mat.project_batch ~into:spt ~pt:spt sxs))
+
+let batch_props =
+  [
+    prop "project_batch rows bit-match project under a pool" 60
+      QCheck.(
+        quad (int_range 1 8) (int_range 1 40) (int_range 1 24)
+          (int_range 0 1000))
+      (fun (k, n, b, seed) ->
+        let p = fill_rect k n seed in
+        let pt = Mat.transpose p in
+        let vs =
+          Array.init b (fun i ->
+              fill_vec ~sparse:((i + seed) mod 2 = 0) n (seed + i))
+        in
+        let reference = Array.map (naive_project p) vs in
+        with_default_pool 2 (fun () ->
+            let u = Mat.project_batch ~pt (Mat.pack_rows vs) in
+            let ok = ref true in
+            Array.iteri
+              (fun i r ->
+                if not (bits_equal_vec (Mat.row u i) r) then ok := false)
+              reference;
+            !ok));
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let () = Test_env.install_pool_from_env ()
 
@@ -972,6 +1094,16 @@ let () =
           Alcotest.test_case "validation" `Quick test_projection_validation;
         ]
         @ projection_props );
+      ( "batch",
+        [
+          Alcotest.test_case "pack/unpack round-trip" `Quick test_pack_unpack;
+          Alcotest.test_case "project_batch vs project (small dims)" `Quick
+            test_batch_small;
+          Alcotest.test_case "project_batch vs project (511/512 threshold)"
+            `Slow test_batch_threshold;
+          Alcotest.test_case "validation" `Quick test_batch_validation;
+        ]
+        @ batch_props );
       ( "sparse",
         [
           Alcotest.test_case "sparse view basics" `Quick test_sparse_view;

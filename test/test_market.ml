@@ -1716,6 +1716,247 @@ let projected_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Cross-tenant batched decide                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A fleet of B tenants served round-batched against a clone fleet
+   served one request at a time: every decision must carry identical
+   bits round by round, and the final states identical snapshot
+   bytes — the contract the batched serving path rests on.  The
+   axis-subset projection (the first k rows of I_n) has exactly
+   orthonormal rows at every dimension. *)
+let axis_projection ~k ~n = Mat.init k n (fun i j -> if i = j then 1. else 0.)
+
+let vec_bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let run_batch_vs_sequential ~projected ~dim ~b ~rounds ~seed =
+  let cfg =
+    Mechanism.config
+      ~variant:(Mechanism.with_reserve_and_uncertainty ~delta:0.02)
+      ~epsilon:0.2 ()
+  in
+  let k = if projected then max 1 ((dim + 1) / 2) else dim in
+  let p = axis_projection ~k ~n:dim in
+  let make () =
+    if projected then
+      Mechanism.create_projected cfg ~projection:p ~err:0.
+        (Ellipsoid.ball ~dim:k ~radius:1.5)
+    else Mechanism.create cfg (Ellipsoid.ball ~dim ~radius:1.5)
+  in
+  let batched = Array.init b (fun _ -> make ()) in
+  let sequential = Array.init b (fun _ -> make ()) in
+  let ctx = Mechanism.batch batched.(0) in
+  let rng = Rng.create seed in
+  let ok = ref true in
+  for _ = 1 to rounds do
+    let xs = Array.init b (fun _ -> Vec.normalize (Dist.normal_vec rng ~dim)) in
+    let reserves = Array.init b (fun _ -> Rng.uniform rng 0. 0.3) in
+    let markets = Array.init b (fun _ -> Rng.uniform rng (-1.) 1.) in
+    let ds = Mechanism.decide_batch ctx batched ~xs ~reserves in
+    for i = 0 to b - 1 do
+      let d' =
+        Mechanism.decide sequential.(i) ~x:xs.(i) ~reserve:reserves.(i)
+      in
+      if not (decisions_bit_equal ds.(i) d') then ok := false;
+      let accepted =
+        match ds.(i) with
+        | Mechanism.Skip -> false
+        | Mechanism.Post { price; _ } -> price <= markets.(i)
+      in
+      Mechanism.observe batched.(i) ~x:xs.(i) ds.(i) ~accepted;
+      Mechanism.observe sequential.(i) ~x:xs.(i) d' ~accepted
+    done
+  done;
+  !ok
+  && Array.for_all2
+       (fun a s -> Mechanism.snapshot_binary a = Mechanism.snapshot_binary s)
+       batched sequential
+
+let test_batch_matches_sequential () =
+  List.iter
+    (fun projected ->
+      List.iter
+        (fun dim ->
+          List.iter
+            (fun b ->
+              let rounds = if dim >= 128 then 3 else 8 in
+              check_bool
+                (Printf.sprintf "%s dim=%d b=%d"
+                   (if projected then "projected" else "dense")
+                   dim b)
+                true
+                (run_batch_vs_sequential ~projected ~dim ~b ~rounds
+                   ~seed:(dim + (7 * b) + if projected then 1000 else 0)))
+            [ 1; 3; 64 ])
+        [ 1; 2; 8; 128 ])
+    [ true; false ]
+
+let test_batch_decide_validation () =
+  let cfg = Mechanism.config ~variant:Mechanism.pure ~epsilon:0.1 () in
+  let p = axis_projection ~k:2 ~n:4 in
+  let mk () =
+    Mechanism.create_projected cfg ~projection:p ~err:0.
+      (Ellipsoid.ball ~dim:2 ~radius:1.)
+  in
+  let m1 = mk () and m2 = mk () in
+  let ctx = Mechanism.batch m1 in
+  let rng = Rng.create 5 in
+  let xs = Array.init 2 (fun _ -> Vec.normalize (Dist.normal_vec rng ~dim:4)) in
+  Alcotest.check_raises "empty batch"
+    (Invalid_argument "Mechanism.decide_batch: empty batch") (fun () ->
+      ignore (Mechanism.decide_batch ctx [||] ~xs:[||] ~reserves:[||]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Mechanism.decide_batch: batch length mismatch")
+    (fun () ->
+      ignore (Mechanism.decide_batch ctx [| m1; m2 |] ~xs ~reserves:[| 0. |]));
+  Alcotest.check_raises "duplicate mechanism"
+    (Invalid_argument "Mechanism.decide_batch: duplicate mechanism in batch")
+    (fun () ->
+      ignore
+        (Mechanism.decide_batch ctx [| m1; m1 |] ~xs ~reserves:[| 0.; 0. |]));
+  (* A same-shape but physically distinct projection is foreign. *)
+  let foreign =
+    Mechanism.create_projected cfg
+      ~projection:(axis_projection ~k:2 ~n:4)
+      ~err:0.
+      (Ellipsoid.ball ~dim:2 ~radius:1.)
+  in
+  Alcotest.check_raises "foreign projection"
+    (Invalid_argument
+       "Mechanism.decide_batch: mechanism does not share the batch projection")
+    (fun () ->
+      ignore
+        (Mechanism.decide_batch ctx [| m1; foreign |] ~xs
+           ~reserves:[| 0.; 0. |]));
+  let dense = Mechanism.create cfg (Ellipsoid.ball ~dim:4 ~radius:1.) in
+  let dctx = Mechanism.batch dense in
+  Alcotest.check_raises "projected under dense context"
+    (Invalid_argument
+       "Mechanism.decide_batch: dense context serving a projected mechanism")
+    (fun () ->
+      ignore
+        (Mechanism.decide_batch dctx [| m1 |] ~xs:[| xs.(0) |]
+           ~reserves:[| 0. |]));
+  (* A rejected per-request decide must clear the memo it seeded. *)
+  let bad = [| Float.nan; 0.; 0.; 0. |] in
+  (try ignore (Mechanism.decide_batch ctx [| m1 |] ~xs:[| bad |] ~reserves:[| 0. |])
+   with Invalid_argument _ -> ());
+  check_bool "memo cleared after rejected decide" true
+    (Mechanism.projected_feature m1 ~x:bad = None)
+
+(* [projected_feature] only answers for physically the vector the memo
+   was seeded from, and each call hands out an independent copy. *)
+let test_projected_feature_memo () =
+  let cfg = Mechanism.config ~variant:Mechanism.pure ~epsilon:0.1 () in
+  let p = axis_projection ~k:2 ~n:4 in
+  let m =
+    Mechanism.create_projected cfg ~projection:p ~err:0.
+      (Ellipsoid.ball ~dim:2 ~radius:1.)
+  in
+  let rng = Rng.create 11 in
+  let x = Vec.normalize (Dist.normal_vec rng ~dim:4) in
+  check_bool "no memo before decide" true
+    (Mechanism.projected_feature m ~x = None);
+  ignore (Mechanism.decide m ~x ~reserve:0.);
+  (match Mechanism.projected_feature m ~x with
+  | None -> Alcotest.fail "memo missing after decide"
+  | Some u ->
+      check_bool "u = P·x bits" true (vec_bits_equal u (Mat.project p x));
+      (* Mutating the handed-out copy must not poison the memo. *)
+      u.(0) <- 42.;
+      (match Mechanism.projected_feature m ~x with
+      | None -> Alcotest.fail "memo lost"
+      | Some u' ->
+          check_bool "fresh copy each call" true
+            (vec_bits_equal u' (Mat.project p x))));
+  (* An equal-valued but physically different vector misses. *)
+  check_bool "physical equality required" true
+    (Mechanism.projected_feature m ~x:(Array.copy x) = None);
+  let dense = Mechanism.create cfg (Ellipsoid.ball ~dim:4 ~radius:1.) in
+  ignore (Mechanism.decide dense ~x ~reserve:0.);
+  check_bool "dense mechanism has no projected feature" true
+    (Mechanism.projected_feature dense ~x = None)
+
+(* The arena'd decide/observe path recycles cut buffers, but an
+   ellipsoid escaped through [Mechanism.ellipsoid] must keep its exact
+   bits across any number of later batched rounds and observes. *)
+let test_batch_escape_safety () =
+  let dim = 6 and b = 3 in
+  let cfg =
+    Mechanism.config ~variant:(Mechanism.with_reserve_and_uncertainty ~delta:0.02)
+      ~epsilon:0.2 ()
+  in
+  let p = axis_projection ~k:3 ~n:dim in
+  let fleet =
+    Array.init b (fun _ ->
+        Mechanism.create_projected cfg ~projection:p ~err:0.
+          (Ellipsoid.ball ~dim:3 ~radius:1.5))
+  in
+  let ctx = Mechanism.batch fleet.(0) in
+  let rng = Rng.create 23 in
+  let serve_round () =
+    let xs = Array.init b (fun _ -> Vec.normalize (Dist.normal_vec rng ~dim)) in
+    let reserves = Array.init b (fun _ -> Rng.uniform rng 0. 0.3) in
+    let markets = Array.init b (fun _ -> Rng.uniform rng (-1.) 1.) in
+    let ds = Mechanism.decide_batch ctx fleet ~xs ~reserves in
+    Array.iteri
+      (fun i d ->
+        let accepted =
+          match d with
+          | Mechanism.Skip -> false
+          | Mechanism.Post { price; _ } -> price <= markets.(i)
+        in
+        Mechanism.observe fleet.(i) ~x:xs.(i) d ~accepted)
+      ds
+  in
+  for _ = 1 to 4 do
+    serve_round ()
+  done;
+  let escaped = Array.map Mechanism.ellipsoid fleet in
+  let frozen =
+    Array.map
+      (fun e ->
+        ( Array.copy e.Ellipsoid.center,
+          Mat.copy e.Ellipsoid.shape,
+          e.Ellipsoid.scale ))
+      escaped
+  in
+  for _ = 1 to 12 do
+    serve_round ()
+  done;
+  Array.iteri
+    (fun i e ->
+      let c, s, sc = frozen.(i) in
+      check_bool "escaped center bits stable" true
+        (vec_bits_equal e.Ellipsoid.center c);
+      check_bool "escaped scale stable" true
+        (Int64.equal
+           (Int64.bits_of_float e.Ellipsoid.scale)
+           (Int64.bits_of_float sc));
+      let rows = Mat.rows e.Ellipsoid.shape in
+      let stable = ref true in
+      for r = 0 to rows - 1 do
+        if not (vec_bits_equal (Mat.row e.Ellipsoid.shape r) (Mat.row s r))
+        then stable := false
+      done;
+      check_bool "escaped shape bits stable" true !stable)
+    escaped
+
+let batch_decide_props =
+  [
+    prop "batched decisions and states bit-match sequential" 25
+      QCheck.(
+        quad (0 -- 1000) (1 -- 10) (1 -- 8) bool)
+      (fun (seed, dim, b, projected) ->
+        let dim = max 1 dim and b = max 1 b and seed = abs seed in
+        run_batch_vs_sequential ~projected ~dim ~b ~rounds:6 ~seed);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Scalar-scaled sparse cut path vs the dense reference                *)
 (* ------------------------------------------------------------------ *)
 
@@ -2423,6 +2664,17 @@ let () =
             test_projected_restore_errors;
         ]
         @ projected_props );
+      ( "batched decide",
+        [
+          Alcotest.test_case "bit-matches sequential across dims/batches"
+            `Quick test_batch_matches_sequential;
+          Alcotest.test_case "validation" `Quick test_batch_decide_validation;
+          Alcotest.test_case "projected_feature memo" `Quick
+            test_projected_feature_memo;
+          Alcotest.test_case "escaped ellipsoid safe under batched serving"
+            `Quick test_batch_escape_safety;
+        ]
+        @ batch_decide_props );
       ( "sparse cuts",
         [
           Alcotest.test_case "equivalence across dims {1,2,8,128}" `Quick

@@ -758,6 +758,113 @@ let test_fleet_amortization_shape () =
     (per_kround > 0. && per_kround < 1000.)
 
 (* ------------------------------------------------------------------ *)
+(* Request batcher                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Batcher = Fleet_store.Batcher
+
+let test_batcher_flush_rules () =
+  (* Batch-full: exactly the [capacity]-th add flushes, in arrival
+     order, with the latency trigger far away. *)
+  let b = Batcher.create ~capacity:3 ~latency_rounds:100 in
+  check_bool "first add pends" true (Batcher.add b 1 = None);
+  check_bool "second add pends" true (Batcher.add b 2 = None);
+  check_int "two pending" 2 (Batcher.pending b);
+  (match Batcher.add b 3 with
+  | Some batch -> check_bool "capacity flush in order" true (batch = [| 1; 2; 3 |])
+  | None -> Alcotest.fail "capacity trigger did not fire");
+  check_int "drained" 0 (Batcher.pending b);
+  (* Bounded latency: a lone request flushes once it is exactly
+     [latency_rounds] rounds old — its own add counts as a round, so
+     with L = 4 the third tick fires, not the second. *)
+  let b = Batcher.create ~capacity:100 ~latency_rounds:4 in
+  check_bool "add pends" true (Batcher.add b 7 = None);
+  check_bool "tick 2 pends" true (Batcher.tick b = None);
+  check_bool "tick 3 pends" true (Batcher.tick b = None);
+  (match Batcher.tick b with
+  | Some batch -> check_bool "latency flush" true (batch = [| 7 |])
+  | None -> Alcotest.fail "latency trigger did not fire");
+  (* An empty batcher never flushes on ticks, however many pass. *)
+  for _ = 1 to 10 do
+    check_bool "idle tick" true (Batcher.tick b = None)
+  done;
+  (* Adds advance the same round clock as ticks: two adds then two
+     ticks age the oldest request to L = 4. *)
+  let b = Batcher.create ~capacity:100 ~latency_rounds:4 in
+  check_bool "add a" true (Batcher.add b 10 = None);
+  check_bool "add b" true (Batcher.add b 11 = None);
+  check_bool "tick 3" true (Batcher.tick b = None);
+  (match Batcher.tick b with
+  | Some batch -> check_bool "mixed-clock flush" true (batch = [| 10; 11 |])
+  | None -> Alcotest.fail "mixed add/tick latency trigger did not fire");
+  (* flush drains whatever pends and reports an empty queue as None. *)
+  let b = Batcher.create ~capacity:3 ~latency_rounds:100 in
+  check_bool "nothing to flush" true (Batcher.flush b = None);
+  ignore (Batcher.add b 1);
+  check_bool "flush drains" true (Batcher.flush b = Some [| 1 |]);
+  check_bool "flush idempotent" true (Batcher.flush b = None)
+
+let test_batcher_degenerate_and_validation () =
+  (* capacity = 1 is unbatched serving: every add flushes itself. *)
+  let b = Batcher.create ~capacity:1 ~latency_rounds:100 in
+  for i = 1 to 5 do
+    check_bool "capacity-1 add flushes" true (Batcher.add b i = Some [| i |])
+  done;
+  (* latency_rounds = 1 degenerates the same way. *)
+  let b = Batcher.create ~capacity:100 ~latency_rounds:1 in
+  check_bool "latency-1 add flushes" true (Batcher.add b 9 = Some [| 9 |]);
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Fleet.Batcher.create: capacity must be >= 1") (fun () ->
+      ignore (Batcher.create ~capacity:0 ~latency_rounds:1));
+  Alcotest.check_raises "zero latency"
+    (Invalid_argument "Fleet.Batcher.create: latency_rounds must be >= 1")
+    (fun () -> ignore (Batcher.create ~capacity:1 ~latency_rounds:0))
+
+(* Any add/tick stream: batches concatenate to exactly the adds in
+   arrival order, never exceed capacity, and no request waits more
+   than latency_rounds rounds from its add to its flush. *)
+let prop_batcher_stream =
+  prop "batcher preserves order, capacity and latency bounds" 100
+    QCheck.(
+      triple (int_range 1 8) (int_range 1 10) (small_list (option unit)))
+    (fun (capacity, latency_rounds, ops) ->
+      let b = Batcher.create ~capacity ~latency_rounds in
+      let next = ref 0 in
+      let added = ref [] in
+      let flushed = ref [] in
+      let age = Hashtbl.create 16 in
+      let round = ref 0 in
+      let ok = ref true in
+      let take = function
+        | None -> ()
+        | Some batch ->
+            if Array.length batch > capacity then ok := false;
+            Array.iter
+              (fun r ->
+                flushed := r :: !flushed;
+                (match Hashtbl.find_opt age r with
+                | Some born when !round - born > latency_rounds -> ok := false
+                | Some _ -> ()
+                | None -> ok := false);
+                Hashtbl.remove age r)
+              batch
+      in
+      List.iter
+        (fun op ->
+          incr round;
+          match op with
+          | Some () ->
+              let r = !next in
+              incr next;
+              added := r :: !added;
+              Hashtbl.replace age r (!round - 1);
+              take (Batcher.add b r)
+          | None -> take (Batcher.tick b))
+        ops;
+      take (Batcher.flush b);
+      !ok && List.rev !flushed = List.rev !added && Batcher.pending b = 0)
+
+(* ------------------------------------------------------------------ *)
 (* Recover driver                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -850,6 +957,13 @@ let () =
             test_fleet_driver_jobs_independent;
           Alcotest.test_case "amortization shape" `Slow
             test_fleet_amortization_shape;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "flush rules" `Quick test_batcher_flush_rules;
+          Alcotest.test_case "degenerate capacities and validation" `Quick
+            test_batcher_degenerate_and_validation;
+          prop_batcher_stream;
         ] );
       ( "recover driver",
         [
