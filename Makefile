@@ -10,7 +10,7 @@ build:
 test:
 	dune runtest
 
-# Pre-commit loop: full build, all ten test suites, then a 2-domain
+# Pre-commit loop: full build, all eleven test suites, then a 2-domain
 # smoke run of two fast artifacts to catch runner regressions.
 dev: build test
 	dune exec bin/experiments.exe -- fig1 --jobs 2
@@ -29,7 +29,10 @@ bench:
 # after kill/recover/resume), an adversarial stress smoke (the
 # misspecification-robust mechanism must beat vanilla on every
 # misspecified family and hold the stated paper-stream margin — the
-# "stress summary: ... OK" line), a fig5c_hd smoke (rank-k projected
+# "stress summary: ... OK" line), an auction smoke (the
+# full-information reserve learners must end within 5% of the
+# hindsight OPT vector on every bidder panel — the "auction summary:
+# ... OK" line), a fig5c_hd smoke (rank-k projected
 # pricing at n up to 16384 must report finite regret and a populated
 # projection-error column), a batched-serving smoke (every batched
 # config bit-identical to its B = 1 reference and every
@@ -59,6 +62,11 @@ ci: build
 	  | tee /dev/stderr \
 	  | grep -q "stress summary: .* OK" \
 	  || { echo "stress smoke FAILED"; exit 1; }
+	@echo "auction smoke:"; \
+	dune exec bin/experiments.exe -- auction --scale 0.25 \
+	  | tee /dev/stderr \
+	  | grep -q "auction summary: .* OK" \
+	  || { echo "auction smoke FAILED"; exit 1; }
 	@echo "fig5c_hd smoke:"; \
 	dune exec bin/experiments.exe -- fig5c_hd --scale 0.01 \
 	  | tee /dev/stderr \

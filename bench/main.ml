@@ -113,6 +113,8 @@ let stage1_artifacts =
         Dm_experiments.Ablation.param_dist_sweep ~rounds:5_000 ~jobs ppf );
     ("baselines", fun ppf -> Dm_experiments.Baselines.compare ~scale ~jobs ppf);
     ("stress", fun ppf -> Dm_experiments.Stress.degradation ~scale ~jobs ppf);
+    ( "auction",
+      fun ppf -> Dm_experiments.Auction.revenue_vs_opt ~scale ~jobs ppf );
     ("longrun", fun ppf -> Dm_experiments.Longrun.report ~scale ~jobs ppf);
     ("recover", fun ppf -> Dm_experiments.Recover.report ~scale ~jobs ppf);
     ("fleet", fun ppf -> Dm_experiments.Fleet.report ~scale ~jobs ppf);
@@ -462,8 +464,39 @@ let make_tests () =
               fun () -> ignore (Mechanism.snapshot_binary mech)));
       ]
   in
+  (* The auction front-end's hot kernel: one eager second-price
+     clearing scan over the round's bid vector ("auction/" keys are
+     critical in [Dm_bench.Record.critical_prefixes]).  Counterfactual
+     full-information feedback calls this bidders x arms times per
+     round, so its per-call cost is what bounds the learner drivers. *)
+  let auction_group =
+    let clear_round m =
+      let stream =
+        Dm_synth.Bids.make ~seed:61 ~dim:4 ~bidders:m ~rounds:64
+          ~noise:(Dm_synth.Bids.Gaussian 0.3) ()
+      in
+      let reserves =
+        Array.init 64 (fun t ->
+            let f = Dm_synth.Bids.floor stream t in
+            Array.make m (2. *. f))
+      in
+      let t = ref 0 in
+      fun () ->
+        let i = !t mod 64 in
+        incr t;
+        ignore
+          (Dm_auction.Auction.clear
+             ~bids:(Dm_synth.Bids.bids stream i)
+             ~reserves:reserves.(i))
+    in
+    Test.make_grouped ~name:"auction"
+      [
+        Test.make ~name:"clear m8" (Staged.stage (clear_round 8));
+        Test.make ~name:"clear m64" (Staged.stage (clear_round 64));
+      ]
+  in
   Test.make_grouped ~name:"" ~fmt:"%s%s"
-    [ pricing_group; hd_group; stress_group ]
+    [ pricing_group; hd_group; stress_group; auction_group ]
 
 let stage2 () =
   let open Bechamel in

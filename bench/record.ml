@@ -208,7 +208,7 @@ let load path =
 let critical_prefixes =
   [
     "pricing/sparse_cut"; "journal/"; "journal/fleet"; "hd/"; "stress/";
-    "serve/"; "gc/";
+    "serve/"; "gc/"; "auction/";
   ]
 
 let is_critical name =

@@ -198,6 +198,14 @@ let stress_cmd =
     (fun ~pool ~scale ~seed ~jobs ->
       Dm_experiments.Stress.degradation ?pool ~scale ~seed ~jobs ppf)
 
+let auction_cmd =
+  simple "auction"
+    "Auction front-end: eager second-price clearing with learned \
+     personalized reserves (EW, FTPL, full-info and bandit) vs the wrapped \
+     ellipsoid mechanism and the hindsight OPT reserve vector"
+    (fun ~pool ~scale ~seed ~jobs ->
+      Dm_experiments.Auction.revenue_vs_opt ?pool ~scale ~seed ~jobs ppf)
+
 let baselines_cmd =
   simple "baselines" "Ellipsoid vs SGD (Amin et al.) vs risk-averse"
     (fun ~pool ~scale ~seed ~jobs -> Dm_experiments.Baselines.compare ?pool ~scale ~seed ~jobs ppf)
@@ -236,6 +244,7 @@ let all_cmd =
             Dm_experiments.Baselines.compare ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Baselines.seed_robustness ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Stress.degradation ?pool ~scale ~seed ~jobs ppf;
+            Dm_experiments.Auction.revenue_vs_opt ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Longrun.report ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Recover.report ?pool ~scale ~seed ~jobs ppf;
             Dm_experiments.Fleet.report ?pool ~scale ~seed ~jobs ppf;
@@ -263,7 +272,8 @@ let () =
             fig5c_hd_cmd;
             coldstart_cmd; lemma8_cmd; theorem3_cmd; theorem2_cmd; lemma2_cmd;
             lemma45_cmd; overhead_cmd; ablation_cmd; baselines_cmd;
-            robustness_cmd; stress_cmd; longrun_cmd; recover_cmd; fleet_cmd;
+            robustness_cmd; stress_cmd; auction_cmd; longrun_cmd; recover_cmd;
+            fleet_cmd;
             serve_cmd; rank_cmd;
             all_cmd;
           ]))

@@ -1,0 +1,190 @@
+type outcome =
+  | No_sale
+  | Sale of { winner : int; price : float; runner_up : float option }
+
+let clear ~bids ~reserves =
+  let m = Array.length bids in
+  if m = 0 then invalid_arg "Auction.clear: empty bid vector";
+  if Array.length reserves <> m then
+    invalid_arg "Auction.clear: bids/reserves length mismatch";
+  let best = ref (-1) in
+  let best_bid = ref neg_infinity in
+  let second = ref neg_infinity in
+  for i = 0 to m - 1 do
+    let b = Array.unsafe_get bids i in
+    if not (Float.is_finite b) || b < 0. then
+      invalid_arg "Auction.clear: bid must be finite and non-negative";
+    let r = Array.unsafe_get reserves i in
+    if Float.is_nan r || r < 0. then
+      invalid_arg "Auction.clear: reserve must be non-negative";
+    if b >= r then
+      if b > !best_bid then begin
+        second := !best_bid;
+        best := i;
+        best_bid := b
+      end
+      else if b > !second then second := b
+  done;
+  if !best < 0 then No_sale
+  else
+    let runner_up =
+      if Float.is_finite !second then Some !second else None
+    in
+    let floor_price = reserves.(!best) in
+    let price =
+      match runner_up with
+      | Some r -> Float.max floor_price r
+      | None -> floor_price
+    in
+    Sale { winner = !best; price; runner_up }
+
+let revenue = function No_sale -> 0. | Sale { price; _ } -> price
+
+let welfare ~bids = function
+  | No_sale -> 0.
+  | Sale { winner; _ } -> bids.(winner)
+
+let grid ~lo ~hi ~arms =
+  if arms < 1 then invalid_arg "Auction.grid: arms must be >= 1";
+  if not (Float.is_finite lo && Float.is_finite hi) || lo > hi then
+    invalid_arg "Auction.grid: need finite lo <= hi";
+  if arms = 1 then [| lo |]
+  else
+    let step = (hi -. lo) /. float_of_int (arms - 1) in
+    Array.init arms (fun j -> lo +. (step *. float_of_int j))
+
+type policy = {
+  name : string;
+  decide : round:int -> x:Dm_linalg.Vec.t -> floor:float -> float array;
+  observe :
+    round:int ->
+    x:Dm_linalg.Vec.t ->
+    floor:float ->
+    bids:float array ->
+    reserves:float array ->
+    outcome ->
+    unit;
+}
+
+let fixed ~name ~reserves =
+  let reserves = Array.copy reserves in
+  {
+    name;
+    decide = (fun ~round:_ ~x:_ ~floor:_ -> reserves);
+    observe =
+      (fun ~round:_ ~x:_ ~floor:_ ~bids:_ ~reserves:_ _ -> ());
+  }
+
+type totals = { revenue : float; welfare : float; sales : int }
+
+let check_checkpoints ~rounds cps =
+  Array.iteri
+    (fun i c ->
+      if c < 1 || c > rounds then
+        invalid_arg "Auction.run: checkpoint outside [1, rounds]";
+      if i > 0 && cps.(i - 1) >= c then
+        invalid_arg "Auction.run: checkpoints must be strictly increasing")
+    cps
+
+let run ?(checkpoints = [||]) policy ~rounds ~feature ~floor ~bids () =
+  if rounds < 1 then invalid_arg "Auction.run: rounds must be >= 1";
+  check_checkpoints ~rounds checkpoints;
+  let marks = Array.make (Array.length checkpoints) 0. in
+  let next_mark = ref 0 in
+  let rev = ref 0. in
+  let wel = ref 0. in
+  let sales = ref 0 in
+  for t = 0 to rounds - 1 do
+    let x = feature t in
+    let f = floor t in
+    let b = bids t in
+    let m = Array.length b in
+    let raw = policy.decide ~round:t ~x ~floor:f in
+    if Array.length raw <> m then
+      invalid_arg "Auction.run: policy reserve vector length mismatch";
+    let effective = Array.map (fun r -> Float.max f r) raw in
+    let outcome = clear ~bids:b ~reserves:effective in
+    rev := !rev +. revenue outcome;
+    wel := !wel +. welfare ~bids:b outcome;
+    (match outcome with Sale _ -> incr sales | No_sale -> ());
+    policy.observe ~round:t ~x ~floor:f ~bids:b ~reserves:effective outcome;
+    if
+      !next_mark < Array.length checkpoints
+      && t + 1 = checkpoints.(!next_mark)
+    then begin
+      marks.(!next_mark) <- !rev;
+      incr next_mark
+    end
+  done;
+  ({ revenue = !rev; welfare = !wel; sales = !sales }, marks)
+
+(* One hindsight pass charging bidder [i] the reserve [reserve i]
+   clamped to the round floor; the scratch buffer is reused across
+   rounds (bidder counts are constant in every stream we evaluate). *)
+let scan_revenue ~rounds ~floor ~bids ~reserve =
+  let buf = ref [||] in
+  let total = ref 0. in
+  for t = 0 to rounds - 1 do
+    let b = bids t in
+    let m = Array.length b in
+    if Array.length !buf <> m then buf := Array.make m 0.;
+    let r = !buf in
+    let f = floor t in
+    for i = 0 to m - 1 do
+      r.(i) <- Float.max f (reserve i)
+    done;
+    total := !total +. revenue (clear ~bids:b ~reserves:r)
+  done;
+  !total
+
+let best_fixed_uniform ~grid ~rounds ~floor ~bids =
+  if Array.length grid = 0 then
+    invalid_arg "Auction.best_fixed_uniform: empty grid";
+  if rounds < 1 then
+    invalid_arg "Auction.best_fixed_uniform: rounds must be >= 1";
+  let best_r = ref grid.(0) in
+  let best_rev = ref neg_infinity in
+  Array.iter
+    (fun r ->
+      let total = scan_revenue ~rounds ~floor ~bids ~reserve:(fun _ -> r) in
+      if total > !best_rev then begin
+        best_rev := total;
+        best_r := r
+      end)
+    grid;
+  (!best_r, !best_rev)
+
+let best_fixed_vector ?(sweeps = 2) ~grid ~bidders ~rounds ~floor ~bids () =
+  if sweeps < 0 then
+    invalid_arg "Auction.best_fixed_vector: sweeps must be >= 0";
+  if bidders < 1 then
+    invalid_arg "Auction.best_fixed_vector: bidders must be >= 1";
+  let uniform, uniform_rev = best_fixed_uniform ~grid ~rounds ~floor ~bids in
+  let vector = Array.make bidders uniform in
+  let best_rev = ref uniform_rev in
+  let improved = ref true in
+  let sweep = ref 0 in
+  while !improved && !sweep < sweeps do
+    improved := false;
+    incr sweep;
+    for i = 0 to bidders - 1 do
+      let original = vector.(i) in
+      let best_g = ref original in
+      Array.iter
+        (fun g ->
+          if g <> original then begin
+            vector.(i) <- g;
+            let total =
+              scan_revenue ~rounds ~floor ~bids ~reserve:(fun j -> vector.(j))
+            in
+            if total > !best_rev then begin
+              best_rev := total;
+              best_g := g;
+              improved := true
+            end
+          end)
+        grid;
+      vector.(i) <- !best_g
+    done
+  done;
+  (vector, !best_rev)

@@ -1,0 +1,140 @@
+(** Eager second-price auctions with per-bidder personalized reserves.
+
+    The multi-bidder front-end the ROADMAP calls for: instead of one
+    posted price to one buyer, each round clears the bids of [m]
+    competing buyers under a personalized reserve vector (Derakhshan,
+    Golrezaei & Paes Leme, "Data-Driven Optimization of Personalized
+    Reserve Prices", PAPERS.md).  The {e eager} rule filters first and
+    auctions second:
+
+    + every bidder whose bid falls below their own reserve is removed;
+    + the highest surviving bid wins (ties break to the lowest bidder
+      index);
+    + the winner pays [max(own reserve, highest surviving competing
+      bid)] — the second-price payment with the reserve as a floor.
+
+    Eagerness matters: a high bidder filtered by a too-aggressive
+    personal reserve hands the item to the {e next} survivor rather
+    than cancelling the round, which is what makes per-bidder reserve
+    vectors learnable coordinate-by-coordinate.
+
+    The owners' compensation floor of the paper's data market enters
+    as a common lower bound: {!run} clamps every policy's reserve
+    vector to [max(floor_t, ·)] before clearing, so no policy — ever —
+    sells below the privacy compensation owed to the data owners.
+
+    Everything here is pure and deterministic; policies carry their
+    own state and randomness.  [dm_auction] sits above [core]
+    ([dm_market]) and below [experiments]; [core] never depends on
+    it. *)
+
+type outcome =
+  | No_sale  (** every bidder fell below their personal reserve *)
+  | Sale of {
+      winner : int;  (** bidder index *)
+      price : float;
+          (** [max(winner's reserve, runner_up)] — what the winner
+              pays *)
+      runner_up : float option;
+          (** highest surviving competing bid, if any survived *)
+    }
+
+val clear : bids:float array -> reserves:float array -> outcome
+(** Clear one round.  O(m) single scan, no allocation beyond the
+    result.  Bids must be finite and non-negative; reserves
+    non-negative, with [+∞] allowed (bidder excluded outright) — so a
+    sale price is always finite, non-negative, and at most the winning
+    bid.  Raises [Invalid_argument] on empty or mismatched arrays or
+    an out-of-domain entry. *)
+
+val revenue : outcome -> float
+(** The seller's revenue: the sale price, or 0 on [No_sale]. *)
+
+val welfare : bids:float array -> outcome -> float
+(** The winner's valuation (their bid, under truthful bidding), or 0
+    on [No_sale]. *)
+
+val grid : lo:float -> hi:float -> arms:int -> float array
+(** [arms] evenly spaced reserve candidates from [lo] to [hi]
+    inclusive (one point [lo] when [arms = 1]).  Raises
+    [Invalid_argument] unless [arms ≥ 1] and [lo ≤ hi] are finite. *)
+
+(** {1 Reserve policies} *)
+
+type policy = {
+  name : string;
+  decide : round:int -> x:Dm_linalg.Vec.t -> floor:float -> float array;
+      (** the per-bidder reserve vector for this round, chosen before
+          the bids are revealed; entries below the floor are clamped
+          up by {!run} *)
+  observe :
+    round:int ->
+    x:Dm_linalg.Vec.t ->
+    floor:float ->
+    bids:float array ->
+    reserves:float array ->
+    outcome ->
+    unit;
+      (** feedback after clearing: the revealed bids, the effective
+          (floor-clamped) reserves, and the outcome *)
+}
+
+val fixed : name:string -> reserves:float array -> policy
+(** The constant-vector policy (feedback ignored) — evaluates a fixed
+    personalized-reserve vector, e.g. the hindsight OPT; with an
+    all-zero vector it degenerates to the floor-only baseline. *)
+
+type totals = {
+  revenue : float;  (** cumulative seller revenue *)
+  welfare : float;  (** cumulative winner valuation *)
+  sales : int;  (** rounds that cleared *)
+}
+
+val run :
+  ?checkpoints:int array ->
+  policy ->
+  rounds:int ->
+  feature:(int -> Dm_linalg.Vec.t) ->
+  floor:(int -> float) ->
+  bids:(int -> float array) ->
+  unit ->
+  totals * float array
+(** Drive [policy] over a bid stream for [rounds] rounds: decide,
+    clamp to the floor, clear, account, observe.  [checkpoints]
+    (strictly increasing, in [1, rounds]) selects round counts at
+    which the cumulative revenue is recorded; the returned array holds
+    one entry per checkpoint.  Raises [Invalid_argument] on
+    [rounds < 1], invalid checkpoints, or a [decide] whose vector
+    length differs from the round's bid count. *)
+
+(** {1 Hindsight benchmarks} *)
+
+val best_fixed_uniform :
+  grid:float array ->
+  rounds:int ->
+  floor:(int -> float) ->
+  bids:(int -> float array) ->
+  float * float
+(** The best {e uniform} reserve in hindsight: scan every grid value
+    [r], charging every bidder [max(floor_t, r)], and return
+    [(r*, total revenue)] — the benchmark of SNIPPETS.md 1 & 3.
+    Ties break to the lowest grid index. *)
+
+val best_fixed_vector :
+  ?sweeps:int ->
+  grid:float array ->
+  bidders:int ->
+  rounds:int ->
+  floor:(int -> float) ->
+  bids:(int -> float array) ->
+  unit ->
+  float array * float
+(** The best fixed {e personalized} reserve vector in hindsight,
+    approximated by coordinate ascent over the grid: start from the
+    {!best_fixed_uniform} vector, then repeatedly re-scan each
+    bidder's coordinate holding the others fixed, up to [sweeps]
+    (default 2) full passes or until a pass improves nothing.
+    Returns [(vector, total revenue)] with revenue ≥ the uniform
+    scan's.  (Exact maximization is NP-hard — Derakhshan et al. — so
+    this is a lower bound on the true OPT; on streams whose bidders
+    are exchangeable up to affinity it is tight in practice.) *)

@@ -1,0 +1,148 @@
+module Rng = Dm_prob.Rng
+module Exp_weights = Dm_ml.Exp_weights
+module Ftpl = Dm_ml.Ftpl
+module Mechanism = Dm_market.Mechanism
+
+let check_grid who grid bidders =
+  if Array.length grid = 0 then
+    invalid_arg (Printf.sprintf "Policies.%s: empty grid" who);
+  Array.iter
+    (fun g ->
+      if not (Float.is_finite g) || g < 0. then
+        invalid_arg
+          (Printf.sprintf
+             "Policies.%s: grid entries must be finite and non-negative" who))
+    grid;
+  if bidders < 1 then
+    invalid_arg (Printf.sprintf "Policies.%s: bidders must be >= 1" who)
+
+(* Counterfactual full-information payoffs for bidder [i]: the round's
+   revenue had only their reserve been [max floor g], every other
+   bidder fixed at the played value. *)
+let counterfactuals ~grid ~floor ~bids ~scratch ~i =
+  let played = scratch.(i) in
+  let payoffs =
+    Array.map
+      (fun g ->
+        scratch.(i) <- Float.max floor g;
+        Auction.revenue (Auction.clear ~bids ~reserves:scratch))
+      grid
+  in
+  scratch.(i) <- played;
+  payoffs
+
+let ew ?(bandit = false) ?rate ~grid ~bidders ~payoff_bound ~horizon ~rng () =
+  check_grid "ew" grid bidders;
+  let arms = Array.length grid in
+  let rate =
+    match rate with
+    | Some r -> r
+    | None -> Exp_weights.default_rate ~arms ~horizon
+  in
+  let mix =
+    if not bandit then 0.
+    else
+      Float.min 0.25
+        (sqrt
+           (float_of_int arms
+           *. log (float_of_int arms +. 1.)
+           /. float_of_int (max 1 horizon)))
+  in
+  let learners =
+    Array.init bidders (fun _ ->
+        Exp_weights.create ~mix ~arms ~payoff_bound ~rate ())
+  in
+  let last_arms = Array.make bidders 0 in
+  let decide ~round:_ ~x:_ ~floor:_ =
+    Array.init bidders (fun i ->
+        let arm = Exp_weights.choose learners.(i) rng in
+        last_arms.(i) <- arm;
+        grid.(arm))
+  in
+  let observe ~round:_ ~x:_ ~floor ~bids ~reserves outcome =
+    if bandit then
+      let payoff = Auction.revenue outcome in
+      Array.iteri
+        (fun i learner ->
+          Exp_weights.update_bandit learner ~arm:last_arms.(i) ~payoff)
+        learners
+    else
+      let scratch = Array.copy reserves in
+      Array.iteri
+        (fun i learner ->
+          let payoffs = counterfactuals ~grid ~floor ~bids ~scratch ~i in
+          Exp_weights.update learner ~payoffs)
+        learners
+  in
+  { Auction.name = (if bandit then "ew-bandit" else "ew"); decide; observe }
+
+let ftpl ?(bandit = false) ?rate ?resamples ~grid ~bidders ~payoff_bound
+    ~horizon ~rng () =
+  check_grid "ftpl" grid bidders;
+  let arms = Array.length grid in
+  let rate =
+    match rate with
+    | Some r -> r
+    | None -> Exp_weights.default_rate ~arms ~horizon
+  in
+  let learners =
+    Array.init bidders (fun _ ->
+        Ftpl.create ?resamples ~arms ~payoff_bound ~rate ~rng ())
+  in
+  let last_arms = Array.make bidders 0 in
+  let decide ~round:_ ~x:_ ~floor:_ =
+    Array.init bidders (fun i ->
+        let arm =
+          if bandit then Ftpl.choose_fresh learners.(i)
+          else Ftpl.choose learners.(i)
+        in
+        last_arms.(i) <- arm;
+        grid.(arm))
+  in
+  let observe ~round:_ ~x:_ ~floor ~bids ~reserves outcome =
+    if bandit then
+      let payoff = Auction.revenue outcome in
+      Array.iteri
+        (fun i learner ->
+          Ftpl.update_bandit learner ~arm:last_arms.(i) ~payoff)
+        learners
+    else
+      let scratch = Array.copy reserves in
+      Array.iteri
+        (fun i learner ->
+          let payoffs = counterfactuals ~grid ~floor ~bids ~scratch ~i in
+          Ftpl.update learner ~payoffs)
+        learners
+  in
+  {
+    Auction.name = (if bandit then "ftpl-bandit" else "ftpl");
+    decide;
+    observe;
+  }
+
+let ellipsoid ?(name = "ellipsoid") ~bidders ~mechanism () =
+  if bidders < 1 then
+    invalid_arg "Policies.ellipsoid: bidders must be >= 1";
+  let pending = ref None in
+  let decide ~round ~x ~floor =
+    let decision = Mechanism.decide mechanism ~x ~reserve:floor in
+    pending := Some (round, decision);
+    match decision with
+    | Mechanism.Skip -> Array.make bidders infinity
+    | Mechanism.Post { price; _ } ->
+        Array.make bidders (Float.max 0. price)
+  in
+  let observe ~round ~x ~floor:_ ~bids ~reserves:_ _outcome =
+    match !pending with
+    | Some (r, decision) when r = round ->
+        pending := None;
+        let accepted =
+          match decision with
+          | Mechanism.Skip -> false
+          | Mechanism.Post { price; _ } ->
+              Array.exists (fun b -> b >= price) bids
+        in
+        Mechanism.observe mechanism ~x decision ~accepted
+    | _ -> invalid_arg "Policies.ellipsoid: observe without matching decide"
+  in
+  { Auction.name; decide; observe }

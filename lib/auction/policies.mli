@@ -1,0 +1,82 @@
+(** Reserve policies for the eager second-price engine.
+
+    Three families compete on identical bid streams:
+
+    - {!ew} / {!ftpl} — online learners over a discretized reserve
+      grid, one {!Dm_ml.Exp_weights} (resp. {!Dm_ml.Ftpl}) table per
+      bidder.  Under {e full information} the broker scores every grid
+      point against the revealed bids each round — the counterfactual
+      revenue of replacing just that bidder's reserve, all others
+      fixed at their played values — and feeds whole payoff vectors to
+      the learners.  Under {e bandit} feedback only the realized
+      revenue is observed and each learner gets the importance-weighted
+      single-arm update.
+    - {!ellipsoid} — the paper's posted-price mechanism as a reserve
+      policy: the index-space price it would post becomes a uniform
+      reserve across bidders, and the auction's sell/no-sell outcome
+      is translated back into the accept/reject bit the ellipsoid cuts
+      on.  This is the bridge that puts Algorithms 1/2 on the same
+      revenue axis as the reserve learners.
+
+    All policies are deterministic given their [rng]: learners draw in
+    bidder order, so a trajectory replays bit-for-bit from a seed. *)
+
+val ew :
+  ?bandit:bool ->
+  ?rate:float ->
+  grid:float array ->
+  bidders:int ->
+  payoff_bound:float ->
+  horizon:int ->
+  rng:Dm_prob.Rng.t ->
+  unit ->
+  Auction.policy
+(** Per-bidder exponential-weights over [grid] (named ["ew"], or
+    ["ew-bandit"] with [~bandit:true]).  [payoff_bound] must dominate
+    every per-round revenue (use {!Dm_synth.Bids.payoff_bound});
+    [horizon] tunes the default learning rate
+    ({!Dm_ml.Exp_weights.default_rate}) and, in bandit mode, the EXP3
+    uniform-mix floor.  [rate] overrides the default: the worst-case
+    rate is far too timid when [payoff_bound] dwarfs the per-round
+    gaps between neighbouring grid reserves, which is the normal
+    regime on stochastic bid streams.  Each round consumes exactly
+    [bidders] draws from [rng].  Raises [Invalid_argument] on an empty
+    grid, a negative grid entry, or [bidders < 1] — learner-parameter
+    errors surface from {!Dm_ml.Exp_weights.create}. *)
+
+val ftpl :
+  ?bandit:bool ->
+  ?rate:float ->
+  ?resamples:int ->
+  grid:float array ->
+  bidders:int ->
+  payoff_bound:float ->
+  horizon:int ->
+  rng:Dm_prob.Rng.t ->
+  unit ->
+  Auction.policy
+(** Per-bidder follow-the-perturbed-leader over [grid] (named
+    ["ftpl"], or ["ftpl-bandit"]).  Full-information mode freezes one
+    exponential hallucination per arm at creation and plays the
+    perturbed leader deterministically; bandit mode redraws the
+    perturbations every round and estimates the played arm's
+    probability by Monte-Carlo over [resamples] (default 32) redraws,
+    as {!Dm_ml.Ftpl.update_bandit} requires.  Validation as {!ew},
+    with learner-parameter errors from {!Dm_ml.Ftpl.create}. *)
+
+val ellipsoid :
+  ?name:string ->
+  bidders:int ->
+  mechanism:Dm_market.Mechanism.t ->
+  unit ->
+  Auction.policy
+(** Wrap a posted-price mechanism (default name ["ellipsoid"]): each
+    round {!Dm_market.Mechanism.decide} prices the feature vector with
+    the round's compensation floor as its reserve; a [Post] becomes
+    the uniform reserve vector (the engine still clamps it to the
+    floor), a [Skip] excludes every bidder ([+∞]).  After clearing,
+    the mechanism observes [accepted = (max bid ≥ posted price)] —
+    the demand signal a posted price would have received from the
+    highest bidder.  Stateful and strictly alternating: raises
+    [Invalid_argument] if [observe] fires without a matching [decide]
+    for the same round, and on [bidders < 1]. *)

@@ -1,0 +1,32 @@
+(** Revenue-vs-OPT for the auction front-end ({!Dm_auction}).
+
+    Clears identical {!Dm_synth.Bids} streams — valuations correlated
+    through the posted-price experiments' hidden vector — with every
+    reserve policy on the same table: the floor-only baseline, the
+    per-bidder exponential-weights and FTPL learners (full-information
+    and bandit feedback), and the paper's ellipsoid mechanism wrapped
+    as a uniform-reserve policy.  The benchmark is OPT, the best fixed
+    personalized-reserve vector in hindsight on the same grid
+    ({!Dm_auction.Auction.best_fixed_vector}); cumulative revenue is
+    reported at T/4, T/2 and T for bidder panels of 2, 8 and 32.
+
+    The closing summary line ("auction summary: ... OK") asserts that
+    the full-information learners end within 5% of OPT's revenue on
+    every panel — `make ci` greps it.  Bandit and ellipsoid rows are
+    reported without a check: the bandit estimators pay an extra
+    √K factor, and the posted-price mechanism only controls the
+    uniform reserve. *)
+
+val revenue_vs_opt :
+  ?pool:Dm_linalg.Pool.t ->
+  ?scale:float ->
+  ?seed:int ->
+  ?jobs:int ->
+  Format.formatter ->
+  unit
+(** [revenue_vs_opt ppf] runs every (bidders × policy) cell plus one
+    OPT scan per panel.  [scale] multiplies the 4,000-round horizon
+    (floored at 400); cells fan out over [jobs] domains (or an
+    explicit [pool]) via {!Runner} — each cell re-derives its stream
+    and policy RNG from its own seed before dispatch, so the output is
+    byte-identical whatever the worker count. *)

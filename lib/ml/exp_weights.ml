@@ -1,0 +1,84 @@
+module Rng = Dm_prob.Rng
+
+type t = {
+  arms : int;
+  bound : float;
+  rate : float;
+  mix : float;
+  cumulative : float array;
+}
+
+let create ?(mix = 0.) ~arms ~payoff_bound ~rate () =
+  if arms < 1 then invalid_arg "Exp_weights.create: arms must be >= 1";
+  if not (Float.is_finite payoff_bound) || payoff_bound <= 0. then
+    invalid_arg "Exp_weights.create: payoff_bound must be finite and positive";
+  if not (Float.is_finite rate) || rate <= 0. then
+    invalid_arg "Exp_weights.create: rate must be finite and positive";
+  if not (Float.is_finite mix) || mix < 0. || mix > 1. then
+    invalid_arg "Exp_weights.create: mix outside [0, 1]";
+  { arms; bound = payoff_bound; rate; mix; cumulative = Array.make arms 0. }
+
+let default_rate ~arms ~horizon =
+  if arms < 1 then invalid_arg "Exp_weights.default_rate: arms must be >= 1";
+  if horizon < 1 then
+    invalid_arg "Exp_weights.default_rate: horizon must be >= 1";
+  Float.max 1e-3
+    (sqrt (log (float_of_int (max 2 arms)) /. float_of_int horizon))
+
+let arms t = t.arms
+
+(* Weights (1 + rate)^(V_j / h) computed in log space with the max
+   shifted out, so the normalization never overflows whatever the
+   cumulative payoffs. *)
+let probabilities t =
+  let k = t.arms in
+  let log_base = log1p t.rate /. t.bound in
+  let m = Array.fold_left Float.max neg_infinity t.cumulative in
+  let w = Array.map (fun v -> exp ((v -. m) *. log_base)) t.cumulative in
+  let z = Array.fold_left ( +. ) 0. w in
+  let u = t.mix /. float_of_int k in
+  Array.map (fun wi -> ((1. -. t.mix) *. wi /. z) +. u) w
+
+let choose t rng =
+  let p = probabilities t in
+  let u = Rng.float rng in
+  let acc = ref 0. and arm = ref (t.arms - 1) in
+  (try
+     for j = 0 to t.arms - 1 do
+       acc := !acc +. p.(j);
+       if u < !acc then begin
+         arm := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !arm
+
+let check_payoff who t v =
+  if not (Float.is_finite v) || v < 0. || v > t.bound then
+    invalid_arg
+      (Printf.sprintf "Exp_weights.%s: payoff outside [0, %g]" who t.bound)
+
+let update t ~payoffs =
+  if Array.length payoffs <> t.arms then
+    invalid_arg "Exp_weights.update: payoff vector length mismatch";
+  Array.iter (check_payoff "update" t) payoffs;
+  for j = 0 to t.arms - 1 do
+    t.cumulative.(j) <- t.cumulative.(j) +. payoffs.(j)
+  done
+
+let update_bandit t ~arm ~payoff =
+  if arm < 0 || arm >= t.arms then
+    invalid_arg "Exp_weights.update_bandit: arm out of range";
+  check_payoff "update_bandit" t payoff;
+  let p = (probabilities t).(arm) in
+  t.cumulative.(arm) <- t.cumulative.(arm) +. (payoff /. p)
+
+let cumulative t = Array.copy t.cumulative
+
+let best_arm t =
+  let best = ref 0 in
+  for j = 1 to t.arms - 1 do
+    if t.cumulative.(j) > t.cumulative.(!best) then best := j
+  done;
+  !best

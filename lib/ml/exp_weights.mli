@@ -1,0 +1,69 @@
+(** Discretized exponential-weights over a finite action grid.
+
+    The multiplicative-weights learner behind the personalized-reserve
+    auction policies (Derakhshan, Golrezaei & Paes Leme, "Data-Driven
+    Optimization of Personalized Reserve Prices", PAPERS.md): each
+    action is one point of a discretized reserve grid, each round
+    reveals a payoff per action in [0, payoff_bound], and the learner
+    samples an action with probability proportional to
+    [(1 + rate)^(V_j / payoff_bound)] where [V_j] is the cumulative
+    payoff of action [j].  Against any stationary stream the expected
+    regret to the best fixed action is O(√(T·log K)·payoff_bound) at
+    the {!default_rate}.
+
+    Two feedback modes share the state: {!update} takes the full
+    payoff vector (the broker can evaluate every reserve against the
+    revealed bids), while {!update_bandit} takes only the chosen
+    action's payoff and applies the EXP3 importance-weighted estimate
+    — construct bandit learners with a positive [mix] so the sampling
+    distribution keeps every action's probability bounded away from 0.
+
+    All randomness flows through the caller's {!Dm_prob.Rng}; one
+    {!choose} consumes exactly one draw, so trajectories replay
+    bit-for-bit from a seed. *)
+
+type t
+
+val create : ?mix:float -> arms:int -> payoff_bound:float -> rate:float -> unit -> t
+(** Fresh learner over [arms] actions with payoffs in
+    [0, payoff_bound].  [mix ∈ \[0, 1\]] (default 0) blends the
+    exponential-weights distribution with the uniform one:
+    [(1 − mix)·p + mix/K] — the EXP3 exploration floor required for
+    unbiased bandit estimates.  Raises [Invalid_argument] unless
+    [arms ≥ 1], [payoff_bound] is finite and positive, [rate] is
+    finite and positive, and [mix] lies in [0, 1]. *)
+
+val default_rate : arms:int -> horizon:int -> float
+(** The theory-suggested learning rate [√(log K / T)] (floored at a
+    small positive constant), balancing the regret bound at
+    O(√(T·log K)).  Requires [arms ≥ 1] and [horizon ≥ 1]. *)
+
+val arms : t -> int
+
+val probabilities : t -> float array
+(** The current sampling distribution (mix included); a fresh array.
+    Computed in log space, so it stays finite at any cumulative
+    payoff. *)
+
+val choose : t -> Dm_prob.Rng.t -> int
+(** Sample an action from {!probabilities} — exactly one [Rng] draw. *)
+
+val update : t -> payoffs:float array -> unit
+(** Full-information step: add the revealed payoff of every action to
+    its cumulative total.  Raises [Invalid_argument] on a length
+    mismatch or a payoff outside [0, payoff_bound]. *)
+
+val update_bandit : t -> arm:int -> payoff:float -> unit
+(** Bandit step: credit [payoff / p(arm)] to the chosen action only,
+    where [p] is the current sampling distribution — the EXP3
+    unbiased estimator of the full payoff vector.  Raises
+    [Invalid_argument] on an out-of-range arm or payoff. *)
+
+val cumulative : t -> float array
+(** Per-action cumulative (full-information) or estimated (bandit)
+    payoffs; a fresh array. *)
+
+val best_arm : t -> int
+(** The action with the highest cumulative payoff — the best fixed
+    action in hindsight under full information (ties break to the
+    lowest index). *)

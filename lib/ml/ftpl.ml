@@ -1,0 +1,91 @@
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+
+type t = {
+  arms : int;
+  bound : float;
+  scale : float;  (* perturbation mean: payoff_bound / rate *)
+  resamples : int;
+  hallucinations : float array;
+  cumulative : float array;
+  rng : Rng.t;  (* fresh perturbations + bandit probability estimates *)
+}
+
+let perturbation rng ~scale = scale *. Dist.exponential rng ~rate:1.
+
+let create ?(resamples = 32) ~arms ~payoff_bound ~rate ~rng () =
+  if arms < 1 then invalid_arg "Ftpl.create: arms must be >= 1";
+  if not (Float.is_finite payoff_bound) || payoff_bound <= 0. then
+    invalid_arg "Ftpl.create: payoff_bound must be finite and positive";
+  if not (Float.is_finite rate) || rate <= 0. then
+    invalid_arg "Ftpl.create: rate must be finite and positive";
+  if resamples < 1 then invalid_arg "Ftpl.create: resamples must be >= 1";
+  let scale = payoff_bound /. rate in
+  let hallucinations =
+    Array.init arms (fun _ -> perturbation rng ~scale)
+  in
+  {
+    arms;
+    bound = payoff_bound;
+    scale;
+    resamples;
+    hallucinations;
+    cumulative = Array.make arms 0.;
+    rng = Rng.split rng;
+  }
+
+let arms t = t.arms
+
+(* Leader of [V + noise] with deterministic lowest-index tie-breaking
+   (strict > keeps the earliest maximizer). *)
+let leader t noise =
+  let best = ref 0 in
+  let score j = t.cumulative.(j) +. noise j in
+  let best_score = ref (score 0) in
+  for j = 1 to t.arms - 1 do
+    let s = score j in
+    if s > !best_score then begin
+      best := j;
+      best_score := s
+    end
+  done;
+  !best
+
+let choose t = leader t (fun j -> t.hallucinations.(j))
+
+let choose_fresh t =
+  let noise = Array.init t.arms (fun _ -> perturbation t.rng ~scale:t.scale) in
+  leader t (fun j -> noise.(j))
+
+let check_payoff who t v =
+  if not (Float.is_finite v) || v < 0. || v > t.bound then
+    invalid_arg (Printf.sprintf "Ftpl.%s: payoff outside [0, %g]" who t.bound)
+
+let update t ~payoffs =
+  if Array.length payoffs <> t.arms then
+    invalid_arg "Ftpl.update: payoff vector length mismatch";
+  Array.iter (check_payoff "update" t) payoffs;
+  for j = 0 to t.arms - 1 do
+    t.cumulative.(j) <- t.cumulative.(j) +. payoffs.(j)
+  done
+
+let update_bandit t ~arm ~payoff =
+  if arm < 0 || arm >= t.arms then
+    invalid_arg "Ftpl.update_bandit: arm out of range";
+  check_payoff "update_bandit" t payoff;
+  let hits = ref 0 in
+  for _ = 1 to t.resamples do
+    if choose_fresh t = arm then incr hits
+  done;
+  let m = float_of_int t.resamples in
+  let p = Float.max (float_of_int !hits /. m) (1. /. (2. *. m)) in
+  t.cumulative.(arm) <- t.cumulative.(arm) +. (payoff /. p)
+
+let cumulative t = Array.copy t.cumulative
+
+let best_arm t =
+  let best = ref 0 in
+  for j = 1 to t.arms - 1 do
+    if t.cumulative.(j) > t.cumulative.(!best) then best := j
+  done;
+  !best

@@ -1,0 +1,75 @@
+(** Follow-the-perturbed-leader over a finite action grid.
+
+    The second discretized-reserve learner of the auction front-end
+    (SNIPPETS.md 3's evaluation protocol): each action's cumulative
+    payoff is hallucinated upward by a one-shot random perturbation
+    drawn at creation, and the learner deterministically plays the
+    perturbed leader.  Perturbations are exponential with mean
+    [payoff_bound / rate], so the {!Exp_weights.default_rate} gives
+    the O(√(T·log K)·payoff_bound) regret trade-off.
+
+    Feedback modes:
+
+    - full information ({!choose} + {!update}): the perturbation is
+      frozen at creation, so the whole trajectory is a pure function
+      of (seed, payoff stream) — the classic "be the perturbed leader"
+      protocol;
+    - bandit ({!choose_fresh} + {!update_bandit}): the perturbation is
+      redrawn on every choice, and the chosen action's payoff is
+      importance-weighted by a Monte-Carlo estimate of its selection
+      probability (resampling fresh perturbations against the current
+      totals — geometric-resampling style).  The estimate is floored
+      at [1/(2·resamples)], which bounds the variance at the price of
+      a small bias on rarely-chosen actions.
+
+    All randomness comes from the [rng] captured at creation
+    ({!Dm_prob.Rng.split} a child for each learner); draw counts per
+    call are fixed, so trajectories replay bit-for-bit. *)
+
+type t
+
+val create :
+  ?resamples:int ->
+  arms:int ->
+  payoff_bound:float ->
+  rate:float ->
+  rng:Dm_prob.Rng.t ->
+  unit ->
+  t
+(** Fresh learner: draws the [arms] one-shot perturbations from [rng]
+    immediately and keeps a split child for {!choose_fresh} and the
+    bandit probability estimates.  [resamples] (default 32) sets the
+    Monte-Carlo sample count of {!update_bandit}.  Raises
+    [Invalid_argument] unless [arms ≥ 1], [payoff_bound] is finite
+    and positive, [rate] is finite and positive, and
+    [resamples ≥ 1]. *)
+
+val arms : t -> int
+
+val choose : t -> int
+(** The perturbed leader under the frozen creation-time perturbation:
+    [argmax_j (hallucination_j + V_j)], ties to the lowest index.
+    Pure — no randomness is consumed. *)
+
+val choose_fresh : t -> int
+(** The perturbed leader under a freshly drawn perturbation ([arms]
+    exponential draws) — the per-round randomization the bandit
+    variant needs. *)
+
+val update : t -> payoffs:float array -> unit
+(** Full-information step; same contract as
+    {!Exp_weights.update}. *)
+
+val update_bandit : t -> arm:int -> payoff:float -> unit
+(** Bandit step: estimate [p(arm)] by replaying [resamples] fresh
+    perturbations against the current totals, then credit
+    [payoff / max(p̂, 1/(2·resamples))] to the chosen action.
+    Consumes [resamples·arms] draws.  Raises
+    [Invalid_argument] on an out-of-range arm or payoff. *)
+
+val cumulative : t -> float array
+(** Per-action cumulative (or bandit-estimated) payoffs; a fresh
+    array. *)
+
+val best_arm : t -> int
+(** Highest cumulative payoff, ties to the lowest index. *)

@@ -187,11 +187,14 @@ let recover ?initial ~dir () =
                       }
               end))
 
+(* Keyed off the newest snapshot that *validates*, not the newest file
+   name: recovery falls back to an older snapshot when the newest is
+   corrupt, and compaction must never delete the segments that
+   fallback still needs to replay from. *)
 let compact ~dir =
-  match Snapshots.rounds ~dir with
-  | [] -> 0
-  | rounds ->
-      let newest = List.fold_left max 0 rounds in
+  match Snapshots.newest ~dir with
+  | None -> 0
+  | Some (newest, _) ->
       let rec go deleted = function
         | (_, path) :: ((next_start, _) :: _ as rest) when next_start <= newest
           ->

@@ -118,7 +118,9 @@ val recover :
 
 val compact : dir:string -> int
 (** Delete journal segments entirely covered by the newest snapshot
-    — those whose successor segment starts at or before its round —
-    and return how many were removed.  The active (last) segment and
-    all snapshots are kept, so {!recover} after compaction yields
-    the same state. *)
+    that validates ({!Snapshots.newest}) — those whose successor
+    segment starts at or before its round — and return how many were
+    removed.  The active (last) segment and all snapshots are kept,
+    and corrupt snapshot files are ignored exactly as {!recover}
+    ignores them, so {!recover} after compaction yields the same
+    state even when the newest snapshot file is damaged. *)

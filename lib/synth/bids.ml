@@ -1,0 +1,141 @@
+module Vec = Dm_linalg.Vec
+module Rng = Dm_prob.Rng
+module Dist = Dm_prob.Dist
+
+type noise = Gaussian of float | Student_t of { dof : float; scale : float }
+
+type t = {
+  dim : int;
+  bidders : int;
+  rounds : int;
+  theta : Vec.t;
+  features : Vec.t array;
+  affinities : float array;
+  values : float array;  (* common value per round *)
+  floors : float array;
+  bid_table : float array array;  (* rounds x bidders *)
+  payoff_bound : float;
+}
+
+let validate ~theta_norm ~floor_ratio ~affinity_spread ~dim ~bidders ~rounds
+    ~noise =
+  if dim < 1 then invalid_arg "Bids.make: dim must be >= 1";
+  if bidders < 1 then invalid_arg "Bids.make: bidders must be >= 1";
+  if rounds < 1 then invalid_arg "Bids.make: rounds must be >= 1";
+  if not (Float.is_finite theta_norm) || theta_norm <= 0. then
+    invalid_arg "Bids.make: theta_norm must be finite and positive";
+  if not (Float.is_finite floor_ratio) || floor_ratio < 0. then
+    invalid_arg "Bids.make: floor_ratio must be finite and >= 0";
+  if
+    not (Float.is_finite affinity_spread)
+    || affinity_spread < 0. || affinity_spread >= 1.
+  then invalid_arg "Bids.make: affinity_spread outside [0, 1)";
+  match noise with
+  | Gaussian sigma ->
+      if not (Float.is_finite sigma) || sigma < 0. then
+        invalid_arg "Bids.make: Gaussian sigma must be finite and >= 0"
+  | Student_t { dof; scale } ->
+      if not (Float.is_finite dof) || dof <= 0. then
+        invalid_arg "Bids.make: Student_t dof must be finite and positive";
+      if not (Float.is_finite scale) || scale < 0. then
+        invalid_arg "Bids.make: Student_t scale must be finite and >= 0"
+
+(* The App 1 tilt shared with [Adversarial]: a random non-negative
+   direction, so values stay positive against non-negative features. *)
+let positive_direction rng ~dim =
+  let rec draw () =
+    let v = Vec.map Float.abs (Dist.normal_vec rng ~dim) in
+    if Vec.norm2 v > 1e-12 then v else draw ()
+  in
+  Vec.normalize (draw ())
+
+let make ?theta_norm ?(floor_ratio = 0.3) ?(affinity_spread = 0.2) ~seed ~dim
+    ~bidders ~rounds ~noise () =
+  let theta_norm =
+    match theta_norm with
+    | Some r -> r
+    | None -> sqrt (2. *. float_of_int dim)
+  in
+  validate ~theta_norm ~floor_ratio ~affinity_spread ~dim ~bidders ~rounds
+    ~noise;
+  let root = Rng.create seed in
+  (* Fixed split order: θ*, features, affinities, then one noise child
+     per bidder — so a different bidder count reuses every earlier
+     table bit-for-bit. *)
+  let theta_rng = Rng.split root in
+  let feat_rng = Rng.split root in
+  let affinity_rng = Rng.split root in
+  let noise_root = Rng.split root in
+  let theta = Vec.scale theta_norm (positive_direction theta_rng ~dim) in
+  let features =
+    Array.init rounds (fun _ -> positive_direction feat_rng ~dim)
+  in
+  let affinities =
+    Array.init bidders (fun _ ->
+        1. +. (affinity_spread *. ((2. *. Rng.float affinity_rng) -. 1.)))
+  in
+  let noise_columns =
+    Array.init bidders (fun _ ->
+        let rng = Rng.split noise_root in
+        Array.init rounds (fun _ ->
+            match noise with
+            | Gaussian sigma -> Dist.normal rng ~mean:0. ~std:sigma
+            | Student_t { dof; scale } -> Dist.student_t rng ~dof ~scale))
+  in
+  let values = Array.map (fun x -> Vec.dot x theta) features in
+  let floors = Array.map (fun v -> floor_ratio *. v) values in
+  let bid_table =
+    Array.init rounds (fun t ->
+        Array.init bidders (fun i ->
+            Float.max 0.
+              ((affinities.(i) *. values.(t)) +. noise_columns.(i).(t))))
+  in
+  let payoff_bound =
+    Array.fold_left
+      (fun acc row -> Array.fold_left Float.max acc row)
+      1e-9 bid_table
+  in
+  {
+    dim;
+    bidders;
+    rounds;
+    theta;
+    features;
+    affinities;
+    values;
+    floors;
+    bid_table;
+    payoff_bound;
+  }
+
+let dim t = t.dim
+let bidders t = t.bidders
+let rounds t = t.rounds
+let theta t = t.theta
+
+let check t i who =
+  if i < 0 || i >= t.rounds then
+    invalid_arg (Printf.sprintf "Bids.%s: round index out of range" who)
+
+let feature t i =
+  check t i "feature";
+  t.features.(i)
+
+let common_value t i =
+  check t i "common_value";
+  t.values.(i)
+
+let floor t i =
+  check t i "floor";
+  t.floors.(i)
+
+let bids t i =
+  check t i "bids";
+  t.bid_table.(i)
+
+let affinity t i =
+  if i < 0 || i >= t.bidders then
+    invalid_arg "Bids.affinity: bidder index out of range";
+  t.affinities.(i)
+
+let payoff_bound t = t.payoff_bound

@@ -1,0 +1,84 @@
+(** Seeded multi-bidder bid streams for the auction front-end.
+
+    The paper's broker faces one buyer per round; the auction workload
+    clears demand from [bidders] competing buyers whose valuations are
+    correlated through the same hidden weight vector θ* that drives
+    the posted-price experiments.  Per round [t] the stream draws a
+    unit non-negative feature vector [x_t] and sets the common value
+    [v_t = ⟨x_t, θ*⟩]; bidder [i]'s valuation is
+
+    [max 0 (a_i·v_t + ξ_{i,t})]
+
+    where [a_i] is a per-bidder static affinity drawn once from
+    [1 ± affinity_spread] (how much bidder [i] structurally values
+    data products) and [ξ_{i,t}] idiosyncratic noise — Gaussian, or
+    the heavy-tailed Student-t law of {!Adversarial}'s stress tables.
+    Bidders bid their valuations (truthful bidding is dominant in a
+    second-price auction with personalized reserves).  The owners'
+    compensation floor is [floor_ratio·v_t], mirroring
+    {!Adversarial}'s reserve stream.
+
+    Every table is materialized in {!make} from child streams of a
+    single seed ([Dm_prob.Rng.split] in a fixed order — θ*, features,
+    affinities, then one child per bidder for the noise), so a stream
+    replays bit-for-bit, accessors are pure, and adding bidders never
+    perturbs the tables of existing ones. *)
+
+type noise =
+  | Gaussian of float  (** i.i.d. N(0, σ²) idiosyncrasies; σ ≥ 0 *)
+  | Student_t of { dof : float; scale : float }
+      (** heavy-tailed idiosyncrasies via {!Dm_prob.Dist.student_t} —
+          infinite variance at [dof ≤ 2] *)
+
+type t
+
+val make :
+  ?theta_norm:float ->
+  ?floor_ratio:float ->
+  ?affinity_spread:float ->
+  seed:int ->
+  dim:int ->
+  bidders:int ->
+  rounds:int ->
+  noise:noise ->
+  unit ->
+  t
+(** Materialize a stream.  [theta_norm] (default √(2·dim)) scales the
+    hidden non-negative anchor; [floor_ratio] (default 0.3) sets the
+    owners' compensation floor to [ratio·v_t]; [affinity_spread]
+    (default 0.2) bounds the per-bidder affinities to
+    [1 ± spread].  Raises [Invalid_argument] unless [dim ≥ 1],
+    [bidders ≥ 1], [rounds ≥ 1], [theta_norm] is finite and positive,
+    [floor_ratio] is finite and ≥ 0, [affinity_spread] lies in
+    [0, 1), and the noise parameters are valid ([σ ≥ 0];
+    [dof > 0], [scale ≥ 0]). *)
+
+val dim : t -> int
+val bidders : t -> int
+val rounds : t -> int
+
+val theta : t -> Dm_linalg.Vec.t
+(** The hidden weight vector (do not mutate). *)
+
+val feature : t -> int -> Dm_linalg.Vec.t
+(** The round's unit non-negative feature vector (do not mutate). *)
+
+val common_value : t -> int -> float
+(** [⟨feature t i, theta t⟩] — the θ*-driven component every bidder
+    shares. *)
+
+val floor : t -> int -> float
+(** The owners' compensation floor at a round — the reserve no
+    auction policy may undercut. *)
+
+val bids : t -> int -> float array
+(** The round's bid vector, one entry per bidder (do not mutate). *)
+
+val affinity : t -> int -> float
+(** Bidder [i]'s static affinity [a_i]. *)
+
+val payoff_bound : t -> float
+(** The largest bid anywhere in the stream — the payoff bound [h] the
+    reserve learners need (auction revenue never exceeds the winning
+    bid).  At least [1e-9], so it is always a valid
+    {!Dm_ml.Exp_weights} bound. *)

@@ -1,0 +1,375 @@
+(* Unit and property tests for the dm_auction front-end: eager
+   second-price clearing, hindsight benchmarks, and the reserve-policy
+   drivers. *)
+
+module Vec = Dm_linalg.Vec
+module Rng = Dm_prob.Rng
+module Engine = Dm_auction.Auction
+module Policies = Dm_auction.Policies
+module Bids = Dm_synth.Bids
+module Mechanism = Dm_market.Mechanism
+module Ellipsoid = Dm_market.Ellipsoid
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let prop name count arb f =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:(Test_env.qcheck_count count) arb f)
+
+let raises f =
+  match f () with _ -> false | exception Invalid_argument _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Clearing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_clear_second_price () =
+  match Engine.clear ~bids:[| 5.; 4.; 1. |] ~reserves:[| 0.; 0.; 0. |] with
+  | Engine.Sale { winner; price; runner_up } ->
+      check_int "winner" 0 winner;
+      check_float "second-price payment" 4. price;
+      check_bool "runner-up recorded" true (runner_up = Some 4.)
+  | Engine.No_sale -> Alcotest.fail "expected a sale"
+
+let test_clear_reserve_binding () =
+  (* Sole survivor: the winner pays their own reserve, not their bid. *)
+  (match Engine.clear ~bids:[| 5. |] ~reserves:[| 3. |] with
+  | Engine.Sale { winner; price; runner_up } ->
+      check_int "winner" 0 winner;
+      check_float "pays own reserve" 3. price;
+      check_bool "no runner-up" true (runner_up = None)
+  | Engine.No_sale -> Alcotest.fail "expected a sale");
+  (* Reserve above the runner-up binds as the price floor. *)
+  match Engine.clear ~bids:[| 5.; 2. |] ~reserves:[| 4.5; 0. |] with
+  | Engine.Sale { price; _ } -> check_float "reserve floors price" 4.5 price
+  | Engine.No_sale -> Alcotest.fail "expected a sale"
+
+let test_clear_filters_all () =
+  check_bool "everyone below reserve" true
+    (Engine.clear ~bids:[| 1.; 2. |] ~reserves:[| 3.; 3. |] = Engine.No_sale)
+
+let test_clear_tie_break () =
+  match Engine.clear ~bids:[| 4.; 4. |] ~reserves:[| 0.; 0. |] with
+  | Engine.Sale { winner; price; runner_up } ->
+      check_int "lowest index wins" 0 winner;
+      check_float "tie bid is the price" 4. price;
+      check_bool "tie bid is the runner-up" true (runner_up = Some 4.)
+  | Engine.No_sale -> Alcotest.fail "expected a sale"
+
+let test_clear_eager_handoff () =
+  (* The eager rule: a top bidder filtered by their own reserve hands
+     the sale to the next survivor instead of cancelling the round. *)
+  match Engine.clear ~bids:[| 5.; 3. |] ~reserves:[| 6.; 1. |] with
+  | Engine.Sale { winner; price; runner_up } ->
+      check_int "next survivor wins" 1 winner;
+      check_float "pays own reserve" 1. price;
+      check_bool "no surviving competitor" true (runner_up = None)
+  | Engine.No_sale -> Alcotest.fail "expected a sale"
+
+let test_clear_infinite_reserve_excludes () =
+  match Engine.clear ~bids:[| 9.; 1. |] ~reserves:[| infinity; 0. |] with
+  | Engine.Sale { winner; _ } -> check_int "excluded outright" 1 winner
+  | Engine.No_sale -> Alcotest.fail "expected a sale"
+
+let test_clear_validation () =
+  check_bool "empty" true (raises (fun () ->
+      Engine.clear ~bids:[||] ~reserves:[||]));
+  check_bool "length mismatch" true (raises (fun () ->
+      Engine.clear ~bids:[| 1. |] ~reserves:[| 0.; 0. |]));
+  check_bool "negative bid" true (raises (fun () ->
+      Engine.clear ~bids:[| -1. |] ~reserves:[| 0. |]));
+  check_bool "infinite bid" true (raises (fun () ->
+      Engine.clear ~bids:[| infinity |] ~reserves:[| 0. |]));
+  check_bool "nan reserve" true (raises (fun () ->
+      Engine.clear ~bids:[| 1. |] ~reserves:[| nan |]));
+  check_bool "negative reserve" true (raises (fun () ->
+      Engine.clear ~bids:[| 1. |] ~reserves:[| -0.5 |]))
+
+let test_accounting () =
+  let sale = Engine.clear ~bids:[| 5.; 4. |] ~reserves:[| 0.; 0. |] in
+  check_float "revenue" 4. (Engine.revenue sale);
+  check_float "welfare is the winner's bid" 5.
+    (Engine.welfare ~bids:[| 5.; 4. |] sale);
+  check_float "no-sale revenue" 0. (Engine.revenue Engine.No_sale);
+  check_float "no-sale welfare" 0. (Engine.welfare ~bids:[| 5. |] Engine.No_sale)
+
+let test_grid () =
+  check_bool "endpoints inclusive" true
+    (Engine.grid ~lo:0. ~hi:2. ~arms:5 = [| 0.; 0.5; 1.; 1.5; 2. |]);
+  check_bool "single arm" true (Engine.grid ~lo:3. ~hi:7. ~arms:1 = [| 3. |]);
+  check_bool "arms >= 1" true (raises (fun () ->
+      Engine.grid ~lo:0. ~hi:1. ~arms:0));
+  check_bool "lo <= hi" true (raises (fun () ->
+      Engine.grid ~lo:2. ~hi:1. ~arms:3))
+
+(* Brute-force reference: filter, argmax, explicit runner-up scan. *)
+let reference ~bids ~reserves =
+  let m = Array.length bids in
+  let surviving =
+    List.filter (fun i -> bids.(i) >= reserves.(i)) (List.init m Fun.id)
+  in
+  match surviving with
+  | [] -> Engine.No_sale
+  | first :: rest ->
+      let winner =
+        List.fold_left
+          (fun w i -> if bids.(i) > bids.(w) then i else w)
+          first rest
+      in
+      let runner_up =
+        match List.filter (fun i -> i <> winner) surviving with
+        | [] -> None
+        | j :: tl ->
+            Some
+              (List.fold_left (fun acc i -> Float.max acc bids.(i)) bids.(j) tl)
+      in
+      let price =
+        match runner_up with
+        | Some r -> Float.max reserves.(winner) r
+        | None -> reserves.(winner)
+      in
+      Engine.Sale { winner; price; runner_up }
+
+(* Quarter-integer bids and reserves force plenty of ties and
+   filtered bidders; reserve code 13 maps to the +inf exclusion. *)
+let round_arb =
+  QCheck.(
+    map
+      (fun entries ->
+        let entries = Array.of_list entries in
+        let bids = Array.map (fun (b, _) -> float_of_int b /. 4.) entries in
+        let reserves =
+          Array.map
+            (fun (_, r) -> if r = 13 then infinity else float_of_int r /. 4.)
+            entries
+        in
+        (bids, reserves))
+      (list_of_size Gen.(int_range 1 6) (pair (int_range 0 12) (int_range 0 13))))
+
+let clear_props =
+  [
+    prop "clear matches the brute-force reference" 500 round_arb
+      (fun (bids, reserves) ->
+        Engine.clear ~bids ~reserves = reference ~bids ~reserves);
+    prop "sale price sits between the winner's reserve and bid" 500 round_arb
+      (fun (bids, reserves) ->
+        match Engine.clear ~bids ~reserves with
+        | Engine.No_sale -> true
+        | Engine.Sale { winner; price; _ } ->
+            reserves.(winner) <= price && price <= bids.(winner));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Run driver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Two hand-computed rounds: floor clamps round 1's zero reserves up
+   to 1.5, filtering bidder 1 (bid 1.) and flooring the price. *)
+let tiny_stream =
+  let bids = [| [| 5.; 4. |]; [| 2.; 1. |] |] in
+  let floors = [| 0.; 1.5 |] in
+  let x = Vec.of_list [ 1. ] in
+  ((fun _ -> x), (fun t -> floors.(t)), fun t -> bids.(t))
+
+let test_run_accounting () =
+  let feature, floor, bids = tiny_stream in
+  let totals, marks =
+    Engine.run
+      ~checkpoints:[| 1; 2 |]
+      (Engine.fixed ~name:"zero" ~reserves:[| 0.; 0. |])
+      ~rounds:2 ~feature ~floor ~bids ()
+  in
+  check_float "round 1 second price, round 2 floored" (4. +. 1.5)
+    totals.Engine.revenue;
+  check_float "welfare sums winning bids" (5. +. 2.) totals.Engine.welfare;
+  check_int "both rounds cleared" 2 totals.Engine.sales;
+  check_float "first checkpoint" 4. marks.(0);
+  check_float "second checkpoint" 5.5 marks.(1)
+
+let test_run_validation () =
+  let feature, floor, bids = tiny_stream in
+  let policy = Engine.fixed ~name:"zero" ~reserves:[| 0.; 0. |] in
+  check_bool "rounds >= 1" true (raises (fun () ->
+      Engine.run policy ~rounds:0 ~feature ~floor ~bids ()));
+  check_bool "checkpoint out of range" true (raises (fun () ->
+      Engine.run ~checkpoints:[| 3 |] policy ~rounds:2 ~feature ~floor ~bids ()));
+  check_bool "checkpoints strictly increasing" true (raises (fun () ->
+      Engine.run ~checkpoints:[| 2; 2 |] policy ~rounds:2 ~feature ~floor
+        ~bids ()));
+  check_bool "reserve vector length" true (raises (fun () ->
+      Engine.run
+        (Engine.fixed ~name:"short" ~reserves:[| 0. |])
+        ~rounds:2 ~feature ~floor ~bids ()))
+
+(* ------------------------------------------------------------------ *)
+(* Hindsight benchmarks                                                *)
+(* ------------------------------------------------------------------ *)
+
+let bench_stream seed ~bidders ~rounds =
+  Bids.make ~affinity_spread:0.5 ~seed ~dim:3 ~bidders ~rounds
+    ~noise:(Bids.Gaussian 0.3) ()
+
+let benchmark_props =
+  [
+    prop "coordinate ascent never loses to the uniform scan" 20
+      QCheck.(pair (int_range 1 10_000) (int_range 2 4))
+      (fun (seed, bidders) ->
+        let rounds = 40 in
+        let s = bench_stream seed ~bidders ~rounds in
+        let grid = Engine.grid ~lo:0. ~hi:(Bids.payoff_bound s) ~arms:9 in
+        let floor = Bids.floor s and bids = Bids.bids s in
+        let _, uniform_rev = Engine.best_fixed_uniform ~grid ~rounds ~floor ~bids in
+        let _, vector_rev =
+          Engine.best_fixed_vector ~grid ~bidders ~rounds ~floor ~bids ()
+        in
+        vector_rev >= uniform_rev -. 1e-9);
+    prop "reported OPT revenue matches replaying the vector" 20
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let bidders = 3 and rounds = 40 in
+        let s = bench_stream seed ~bidders ~rounds in
+        let grid = Engine.grid ~lo:0. ~hi:(Bids.payoff_bound s) ~arms:9 in
+        let floor = Bids.floor s and bids = Bids.bids s in
+        let vector, reported =
+          Engine.best_fixed_vector ~grid ~bidders ~rounds ~floor ~bids ()
+        in
+        let totals, _ =
+          Engine.run
+            (Engine.fixed ~name:"opt" ~reserves:vector)
+            ~rounds ~feature:(Bids.feature s) ~floor ~bids ()
+        in
+        abs_float (totals.Engine.revenue -. reported) < 1e-6);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Policies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let drive_policy policy s =
+  let rounds = Bids.rounds s in
+  Engine.run
+    ~checkpoints:[| rounds / 2; rounds |]
+    policy ~rounds ~feature:(Bids.feature s) ~floor:(Bids.floor s)
+    ~bids:(Bids.bids s) ()
+
+let learner_setup seed =
+  let s = bench_stream seed ~bidders:3 ~rounds:120 in
+  let grid = Engine.grid ~lo:0. ~hi:(Bids.payoff_bound s) ~arms:9 in
+  (s, grid, Bids.payoff_bound s)
+
+let test_learner_determinism () =
+  let run_twice make =
+    let once () =
+      let s, grid, payoff_bound = learner_setup 7 in
+      let policy =
+        make ~grid ~payoff_bound ~horizon:(Bids.rounds s) ~rng:(Rng.create 11)
+      in
+      drive_policy policy s
+    in
+    check_bool "replays bit-for-bit" true (once () = once ())
+  in
+  run_twice (fun ~grid ~payoff_bound ~horizon ~rng ->
+      Policies.ew ~grid ~bidders:3 ~payoff_bound ~horizon ~rng ());
+  run_twice (fun ~grid ~payoff_bound ~horizon ~rng ->
+      Policies.ew ~bandit:true ~grid ~bidders:3 ~payoff_bound ~horizon ~rng ());
+  run_twice (fun ~grid ~payoff_bound ~horizon ~rng ->
+      Policies.ftpl ~grid ~bidders:3 ~payoff_bound ~horizon ~rng ());
+  run_twice (fun ~grid ~payoff_bound ~horizon ~rng ->
+      Policies.ftpl ~bandit:true ~grid ~bidders:3 ~payoff_bound ~horizon ~rng ())
+
+let test_learners_beat_floor_only () =
+  (* On a dispersed stream the full-information learners must extract
+     strictly more than never reserving above the floor. *)
+  let s = bench_stream 5 ~bidders:2 ~rounds:800 in
+  let grid = Engine.grid ~lo:0. ~hi:(Bids.payoff_bound s) ~arms:9 in
+  let payoff_bound = Bids.payoff_bound s in
+  let horizon = Bids.rounds s in
+  let rate = 24. *. Dm_ml.Exp_weights.default_rate ~arms:9 ~horizon in
+  let revenue policy =
+    let totals, _ = drive_policy policy s in
+    totals.Engine.revenue
+  in
+  let floor_only =
+    revenue (Engine.fixed ~name:"floor-only" ~reserves:[| 0.; 0. |])
+  in
+  let ew =
+    revenue
+      (Policies.ew ~rate ~grid ~bidders:2 ~payoff_bound ~horizon
+         ~rng:(Rng.create 2) ())
+  in
+  let ftpl =
+    revenue
+      (Policies.ftpl ~rate ~grid ~bidders:2 ~payoff_bound ~horizon
+         ~rng:(Rng.create 3) ())
+  in
+  check_bool "ew above floor-only" true (ew > floor_only);
+  check_bool "ftpl above floor-only" true (ftpl > floor_only)
+
+let ellipsoid_policy () =
+  let dim = 3 in
+  let cfg =
+    Mechanism.config
+      ~variant:(Mechanism.with_reserve_and_uncertainty ~delta:0.01)
+      ~epsilon:0.5 ()
+  in
+  let mech =
+    Mechanism.create cfg (Ellipsoid.ball ~dim ~radius:(1.5 *. sqrt 6.))
+  in
+  Policies.ellipsoid ~bidders:2 ~mechanism:mech ()
+
+let test_ellipsoid_policy () =
+  let policy = ellipsoid_policy () in
+  let x = Vec.of_list [ 0.5; 0.5; 0.5 ] in
+  let reserves = policy.Engine.decide ~round:0 ~x ~floor:0.2 in
+  check_int "one reserve per bidder" 2 (Array.length reserves);
+  check_bool "posted price is uniform across bidders" true
+    (reserves.(0) = reserves.(1));
+  (* decide/observe strictly alternate: the round must match. *)
+  check_bool "observe without matching decide" true
+    (raises (fun () ->
+         policy.Engine.observe ~round:5 ~x ~floor:0.2 ~bids:[| 1.; 1. |]
+           ~reserves:[| 0.2; 0.2 |] Engine.No_sale));
+  let fresh = ellipsoid_policy () in
+  check_bool "observe before any decide" true
+    (raises (fun () ->
+         fresh.Engine.observe ~round:0 ~x ~floor:0.2 ~bids:[| 1.; 1. |]
+           ~reserves:[| 0.2; 0.2 |] Engine.No_sale))
+
+(* ------------------------------------------------------------------ *)
+
+let () = Test_env.install_pool_from_env ()
+
+let () =
+  Alcotest.run "dm_auction"
+    [
+      ( "clear",
+        [
+          Alcotest.test_case "second price" `Quick test_clear_second_price;
+          Alcotest.test_case "reserve binding" `Quick test_clear_reserve_binding;
+          Alcotest.test_case "filters all" `Quick test_clear_filters_all;
+          Alcotest.test_case "tie-break" `Quick test_clear_tie_break;
+          Alcotest.test_case "eager hand-off" `Quick test_clear_eager_handoff;
+          Alcotest.test_case "infinite reserve" `Quick
+            test_clear_infinite_reserve_excludes;
+          Alcotest.test_case "validation" `Quick test_clear_validation;
+          Alcotest.test_case "accounting" `Quick test_accounting;
+          Alcotest.test_case "grid" `Quick test_grid;
+        ]
+        @ clear_props );
+      ( "run",
+        [
+          Alcotest.test_case "accounting" `Quick test_run_accounting;
+          Alcotest.test_case "validation" `Quick test_run_validation;
+        ] );
+      ("benchmarks", benchmark_props);
+      ( "policies",
+        [
+          Alcotest.test_case "learner determinism" `Slow
+            test_learner_determinism;
+          Alcotest.test_case "learners beat floor-only" `Slow
+            test_learners_beat_floor_only;
+          Alcotest.test_case "ellipsoid bridge" `Quick test_ellipsoid_policy;
+        ] );
+    ]

@@ -307,6 +307,28 @@ let test_stress_jobs_independent () =
       check_string "explicit pool bytes" (at 1)
         (render (fun ppf -> Stress.degradation ~scale:0.02 ~seed:1 ~pool ppf)))
 
+module Auction = Dm_experiments.Auction
+
+let test_auction_smoke () =
+  let out = render (fun ppf -> Auction.revenue_vs_opt ~scale:0.05 ~seed:42 ppf) in
+  check_bool "all policies" true
+    (contains out "floor-only" && contains out "ew-bandit"
+    && contains out "ftpl-bandit" && contains out "ellipsoid"
+    && contains out "opt (fixed vector)");
+  check_bool "all bidder panels" true
+    (contains out " 2 " && contains out " 8 " && contains out " 32 ");
+  check_bool "greppable verdict" true
+    (contains out "auction summary:" && contains out "OK")
+
+let test_auction_jobs_independent () =
+  let at jobs =
+    render (fun ppf -> Auction.revenue_vs_opt ~scale:0.05 ~seed:1 ~jobs ppf)
+  in
+  check_string "jobs-independent bytes" (at 1) (at 4);
+  Pool.with_pool ~jobs:3 (fun pool ->
+      check_string "explicit pool bytes" (at 1)
+        (render (fun ppf -> Auction.revenue_vs_opt ~scale:0.05 ~seed:1 ~pool ppf)))
+
 (* ------------------------------------------------------------------ *)
 
 let () = Test_env.install_pool_from_env ()
@@ -356,5 +378,11 @@ let () =
           Alcotest.test_case "smoke (tiny)" `Quick test_longrun_smoke;
           Alcotest.test_case "jobs-independent bytes" `Slow
             test_longrun_jobs_independent;
+        ] );
+      ( "auction",
+        [
+          Alcotest.test_case "smoke (tiny)" `Slow test_auction_smoke;
+          Alcotest.test_case "jobs-independent bytes" `Slow
+            test_auction_jobs_independent;
         ] );
     ]

@@ -12,6 +12,8 @@ module Pca = Dm_ml.Pca
 module Kernel = Dm_ml.Kernel
 module Split = Dm_ml.Split
 module Metrics = Dm_ml.Metrics
+module Exp_weights = Dm_ml.Exp_weights
+module Ftpl = Dm_ml.Ftpl
 
 let check_float = Alcotest.(check (float 1e-9))
 let check_float_loose = Alcotest.(check (float 1e-5))
@@ -648,6 +650,186 @@ let test_metrics_errors () =
     | exception Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Exponential weights / FTPL                                          *)
+(* ------------------------------------------------------------------ *)
+
+let raises f =
+  match f () with _ -> false | exception Invalid_argument _ -> true
+
+(* A stationary stream with one clearly best arm: arm 0 pays 0.9 every
+   round, the others a seed-dependent value in [0, 0.6].  The best
+   fixed arm collects 0.9·T; blind uniform play collects well under
+   0.6·T, so the regret bound below genuinely discriminates. *)
+let stationary_payoffs ~arms seed =
+  let rng = Rng.create seed in
+  Array.init arms (fun j -> if j = 0 then 0.9 else 0.6 *. Rng.float rng)
+
+(* O(√(T·log K)) regret sanity at the theory rate, as one inequality:
+   total collected ≥ best fixed arm − 3·h·√(T·log K). *)
+let regret_tolerance ~arms ~horizon =
+  3. *. sqrt (float_of_int horizon *. log (float_of_int arms))
+
+let ew_props =
+  [
+    prop "full-information regret is O(sqrt T log K)" 10
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let arms = 5 and horizon = 400 in
+        let payoffs = stationary_payoffs ~arms seed in
+        let rate = Exp_weights.default_rate ~arms ~horizon in
+        let t = Exp_weights.create ~arms ~payoff_bound:1. ~rate () in
+        let rng = Rng.create (seed + 1) in
+        let collected = ref 0. in
+        for _ = 1 to horizon do
+          collected := !collected +. payoffs.(Exp_weights.choose t rng);
+          Exp_weights.update t ~payoffs
+        done;
+        let best = 0.9 *. float_of_int horizon in
+        !collected >= best -. regret_tolerance ~arms ~horizon);
+    prop "choose replays bit-for-bit from a seed" 20
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let arms = 4 and horizon = 50 in
+        let payoffs = stationary_payoffs ~arms seed in
+        let trajectory () =
+          let rate = Exp_weights.default_rate ~arms ~horizon in
+          let t = Exp_weights.create ~arms ~payoff_bound:1. ~rate () in
+          let rng = Rng.create seed in
+          List.init horizon (fun _ ->
+              let a = Exp_weights.choose t rng in
+              Exp_weights.update t ~payoffs;
+              a)
+        in
+        trajectory () = trajectory ());
+  ]
+
+let test_ew_distribution () =
+  let t = Exp_weights.create ~arms:4 ~payoff_bound:1. ~rate:0.5 () in
+  let p = Exp_weights.probabilities t in
+  check_float_loose "uniform at init" 0.25 p.(0);
+  check_float_loose "sums to one" 1. (Array.fold_left ( +. ) 0. p);
+  for _ = 1 to 200 do
+    Exp_weights.update t ~payoffs:[| 1.; 0.; 0.2; 0. |]
+  done;
+  check_int "best arm" 0 (Exp_weights.best_arm t);
+  check_bool "mass concentrates on the leader" true
+    ((Exp_weights.probabilities t).(0) > 0.9);
+  let mixed = Exp_weights.create ~mix:0.2 ~arms:4 ~payoff_bound:1. ~rate:5. () in
+  for _ = 1 to 200 do
+    Exp_weights.update mixed ~payoffs:[| 1.; 0.; 0.; 0. |]
+  done;
+  check_bool "mix floors every arm at mix/K" true
+    (Array.for_all
+       (fun p -> p >= 0.2 /. 4. -. 1e-12)
+       (Exp_weights.probabilities mixed))
+
+let test_ew_bandit_identifies_best () =
+  (* EXP3 on a deterministic gap: after enough importance-weighted
+     rounds, the estimated cumulative payoffs rank the true best arm
+     first.  Seeded, so no flakiness. *)
+  let arms = 4 and horizon = 3_000 in
+  let payoffs = stationary_payoffs ~arms 17 in
+  let rate = Exp_weights.default_rate ~arms ~horizon in
+  let t = Exp_weights.create ~mix:0.1 ~arms ~payoff_bound:1. ~rate () in
+  let rng = Rng.create 23 in
+  for _ = 1 to horizon do
+    let a = Exp_weights.choose t rng in
+    Exp_weights.update_bandit t ~arm:a ~payoff:payoffs.(a)
+  done;
+  check_int "bandit best arm" 0 (Exp_weights.best_arm t)
+
+let test_ew_validation () =
+  check_bool "arms >= 1" true (raises (fun () ->
+      Exp_weights.create ~arms:0 ~payoff_bound:1. ~rate:0.1 ()));
+  check_bool "positive payoff bound" true (raises (fun () ->
+      Exp_weights.create ~arms:2 ~payoff_bound:0. ~rate:0.1 ()));
+  check_bool "positive rate" true (raises (fun () ->
+      Exp_weights.create ~arms:2 ~payoff_bound:1. ~rate:0. ()));
+  check_bool "mix in [0,1]" true (raises (fun () ->
+      Exp_weights.create ~mix:1.5 ~arms:2 ~payoff_bound:1. ~rate:0.1 ()));
+  let t = Exp_weights.create ~arms:2 ~payoff_bound:1. ~rate:0.1 () in
+  check_bool "payoff above bound" true (raises (fun () ->
+      Exp_weights.update t ~payoffs:[| 2.; 0. |]));
+  check_bool "payoff length" true (raises (fun () ->
+      Exp_weights.update t ~payoffs:[| 0.5 |]));
+  check_bool "bandit arm range" true (raises (fun () ->
+      Exp_weights.update_bandit t ~arm:2 ~payoff:0.5))
+
+let ftpl_props =
+  [
+    prop "full-information regret is O(sqrt T log K)" 10
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let arms = 5 and horizon = 400 in
+        let payoffs = stationary_payoffs ~arms seed in
+        let rate = Exp_weights.default_rate ~arms ~horizon in
+        let t =
+          Ftpl.create ~arms ~payoff_bound:1. ~rate ~rng:(Rng.create seed) ()
+        in
+        let collected = ref 0. in
+        for _ = 1 to horizon do
+          collected := !collected +. payoffs.(Ftpl.choose t);
+          Ftpl.update t ~payoffs
+        done;
+        let best = 0.9 *. float_of_int horizon in
+        !collected >= best -. regret_tolerance ~arms ~horizon);
+    prop "frozen perturbation makes choose pure" 20
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let t =
+          Ftpl.create ~arms:6 ~payoff_bound:1. ~rate:0.3
+            ~rng:(Rng.create seed) ()
+        in
+        let a = Ftpl.choose t in
+        a = Ftpl.choose t && a = Ftpl.choose t);
+    prop "bandit trajectory replays bit-for-bit" 10
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let arms = 4 and horizon = 60 in
+        let payoffs = stationary_payoffs ~arms seed in
+        let trajectory () =
+          let t =
+            Ftpl.create ~resamples:8 ~arms ~payoff_bound:1. ~rate:0.3
+              ~rng:(Rng.create seed) ()
+          in
+          List.init horizon (fun _ ->
+              let a = Ftpl.choose_fresh t in
+              Ftpl.update_bandit t ~arm:a ~payoff:payoffs.(a);
+              a)
+        in
+        trajectory () = trajectory ());
+  ]
+
+let test_ftpl_tracks_leader () =
+  let t =
+    Ftpl.create ~arms:3 ~payoff_bound:1. ~rate:0.5 ~rng:(Rng.create 4) ()
+  in
+  (* A large enough lead drowns any perturbation of mean h/rate = 2. *)
+  for _ = 1 to 200 do
+    Ftpl.update t ~payoffs:[| 0.; 1.; 0.3 |]
+  done;
+  check_int "leader" 1 (Ftpl.choose t);
+  check_int "best arm" 1 (Ftpl.best_arm t);
+  let totals = Ftpl.cumulative t in
+  check_float "untouched arm" 0. totals.(0);
+  check_float "leading arm" 200. totals.(1);
+  check_float_loose "trailing arm" 60. totals.(2)
+
+let test_ftpl_validation () =
+  check_bool "arms >= 1" true (raises (fun () ->
+      Ftpl.create ~arms:0 ~payoff_bound:1. ~rate:0.1 ~rng:(Rng.create 1) ()));
+  check_bool "positive rate" true (raises (fun () ->
+      Ftpl.create ~arms:2 ~payoff_bound:1. ~rate:(-1.) ~rng:(Rng.create 1) ()));
+  check_bool "resamples >= 1" true (raises (fun () ->
+      Ftpl.create ~resamples:0 ~arms:2 ~payoff_bound:1. ~rate:0.1
+        ~rng:(Rng.create 1) ()));
+  let t = Ftpl.create ~arms:2 ~payoff_bound:1. ~rate:0.1 ~rng:(Rng.create 1) () in
+  check_bool "payoff above bound" true (raises (fun () ->
+      Ftpl.update t ~payoffs:[| 2.; 0. |]));
+  check_bool "bandit arm range" true (raises (fun () ->
+      Ftpl.update_bandit t ~arm:(-1) ~payoff:0.5))
+
+(* ------------------------------------------------------------------ *)
 
 let () = Test_env.install_pool_from_env ()
 
@@ -727,4 +909,18 @@ let () =
           Alcotest.test_case "metric errors" `Quick test_metrics_errors;
         ]
         @ split_props @ categorical_props );
+      ( "exp_weights",
+        [
+          Alcotest.test_case "distribution" `Quick test_ew_distribution;
+          Alcotest.test_case "bandit identifies best arm" `Slow
+            test_ew_bandit_identifies_best;
+          Alcotest.test_case "validation" `Quick test_ew_validation;
+        ]
+        @ ew_props );
+      ( "ftpl",
+        [
+          Alcotest.test_case "tracks the leader" `Quick test_ftpl_tracks_leader;
+          Alcotest.test_case "validation" `Quick test_ftpl_validation;
+        ]
+        @ ftpl_props );
     ]

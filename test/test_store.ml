@@ -593,6 +593,45 @@ let test_store_crash_recover_compact () =
     (rec2.Store.next_round = rec1.Store.next_round
     && String.equal state1 (Mechanism.snapshot_binary (Option.get rec2.Store.mechanism)))
 
+(* Regression: [Store.compact] used to key its coverage decision off
+   the newest snapshot *file name* rather than the newest snapshot
+   that validates.  With the newest snapshot corrupted, recovery falls
+   back to an older one — but compaction had already deleted the
+   segments that fallback needs to replay from, stranding the store. *)
+let test_store_compact_corrupt_newest_snapshot () =
+  with_dir @@ fun dir ->
+  let rounds = 400 in
+  let setup = Longrun.make_setup ~dim:4 ~seed:19 ~rounds () in
+  let variant = snd (List.hd Longrun.variants) in
+  let store =
+    Store.create ~segment_bytes:4096 ~snapshot_every:64 ~dir ~start:0 ()
+  in
+  let mech = Longrun.mechanism setup variant in
+  ignore
+    (Broker.run
+       ~journal:(Store.sink store ~mech)
+       ~policy:(Broker.Ellipsoid_pricing mech) ~model:setup.Longrun.model
+       ~noise:setup.Longrun.noise ~workload:setup.Longrun.workload ~rounds ());
+  Store.close store;
+  let snaps = Snapshots.rounds ~dir in
+  check_bool "several snapshots on disk" true (List.length snaps >= 2);
+  let newest = List.fold_left max 0 snaps in
+  let snap = Filename.concat dir (Snapshots.file_name newest) in
+  flip_byte snap ~offset:((Unix.stat snap).Unix.st_size / 2);
+  let before = ok_or_fail (Store.recover ~dir ()) in
+  check_bool "recovery fell back below the corrupt newest" true
+    (before.Store.snapshot_round > 0 && before.Store.snapshot_round < newest);
+  let state_before =
+    Mechanism.snapshot_binary (Option.get before.Store.mechanism)
+  in
+  ignore (Store.compact ~dir);
+  let after = ok_or_fail (Store.recover ~dir ()) in
+  check_bool "compaction kept the fallback's replay segments" true
+    (after.Store.next_round = before.Store.next_round
+    && after.Store.snapshot_round = before.Store.snapshot_round
+    && String.equal state_before
+         (Mechanism.snapshot_binary (Option.get after.Store.mechanism)))
+
 let test_sharded_journal_identity () =
   let rounds = 400 in
   let setup = Longrun.make_setup ~dim:8 ~seed:23 ~rounds () in
@@ -942,6 +981,8 @@ let () =
         [
           Alcotest.test_case "crash, recover, compact" `Quick
             test_store_crash_recover_compact;
+          Alcotest.test_case "compact with corrupt newest snapshot" `Quick
+            test_store_compact_corrupt_newest_snapshot;
           Alcotest.test_case "sharded journal bit-identity" `Quick
             test_sharded_journal_identity;
         ] );

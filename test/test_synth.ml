@@ -10,6 +10,7 @@ module Movielens = Dm_synth.Movielens
 module Linear_query = Dm_synth.Linear_query
 module Airbnb = Dm_synth.Airbnb
 module Avazu = Dm_synth.Avazu
+module Bids = Dm_synth.Bids
 module Linreg = Dm_ml.Linreg
 module Ftrl = Dm_ml.Ftrl
 module Split = Dm_ml.Split
@@ -351,6 +352,95 @@ let synth_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Bids                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let bids_make ?(bidders = 4) ?(rounds = 30) seed =
+  Bids.make ~affinity_spread:0.4 ~seed ~dim:3 ~bidders ~rounds
+    ~noise:(Bids.Gaussian 0.25) ()
+
+let test_bids_shapes () =
+  let s = bids_make 11 in
+  check_int "dim" 3 (Bids.dim s);
+  check_int "bidders" 4 (Bids.bidders s);
+  check_int "rounds" 30 (Bids.rounds s);
+  check_int "bid vector width" 4 (Array.length (Bids.bids s 0));
+  let x = Bids.feature s 5 in
+  check_bool "feature is unit" true (abs_float (Vec.norm2 x -. 1.) < 1e-9);
+  check_bool "feature is non-negative" true
+    (List.for_all (fun v -> v >= 0.) (Vec.to_list x));
+  check_bool "common value is the anchor product" true
+    (abs_float (Bids.common_value s 5 -. Vec.dot x (Bids.theta s)) < 1e-12);
+  check_bool "floor is 0.3 of the common value (default ratio)" true
+    (let s = Bids.make ~seed:11 ~dim:3 ~bidders:2 ~rounds:5
+               ~noise:(Bids.Gaussian 0.1) () in
+     abs_float (Bids.floor s 2 -. (0.3 *. Bids.common_value s 2)) < 1e-12)
+
+let test_bids_validation () =
+  let make ?(dim = 3) ?(bidders = 2) ?(rounds = 5) ?(spread = 0.2)
+      ?(noise = Bids.Gaussian 0.1) () =
+    Bids.make ~affinity_spread:spread ~seed:1 ~dim ~bidders ~rounds ~noise ()
+  in
+  let raises f =
+    match f () with _ -> false | exception Invalid_argument _ -> true
+  in
+  check_bool "dim >= 1" true (raises (fun () -> make ~dim:0 ()));
+  check_bool "bidders >= 1" true (raises (fun () -> make ~bidders:0 ()));
+  check_bool "rounds >= 1" true (raises (fun () -> make ~rounds:0 ()));
+  check_bool "spread < 1" true (raises (fun () -> make ~spread:1. ()));
+  check_bool "sigma >= 0" true
+    (raises (fun () -> make ~noise:(Bids.Gaussian (-0.1)) ()));
+  check_bool "student-t dof > 0" true
+    (raises (fun () ->
+         make ~noise:(Bids.Student_t { dof = 0.; scale = 1. }) ()))
+
+let bids_props =
+  [
+    prop "streams replay bit-for-bit from a seed" 20
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let a = bids_make seed and b = bids_make seed in
+        List.for_all
+          (fun t -> Bids.bids a t = Bids.bids b t && Bids.floor a t = Bids.floor b t)
+          (List.init 30 Fun.id)
+        && List.for_all
+             (fun i -> Bids.affinity a i = Bids.affinity b i)
+             (List.init 4 Fun.id));
+    prop "adding bidders never perturbs existing ones" 20
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let small = bids_make ~bidders:3 seed in
+        let large = bids_make ~bidders:6 seed in
+        List.for_all
+          (fun t ->
+            let b3 = Bids.bids small t and b6 = Bids.bids large t in
+            List.for_all (fun i -> b3.(i) = b6.(i)) (List.init 3 Fun.id))
+          (List.init 30 Fun.id)
+        && List.for_all
+             (fun i -> Bids.affinity small i = Bids.affinity large i)
+             (List.init 3 Fun.id));
+    prop "bids are non-negative and below the payoff bound" 20
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let s = bids_make seed in
+        let h = Bids.payoff_bound s in
+        h >= 1e-9
+        && List.for_all
+             (fun t ->
+               Array.for_all (fun b -> b >= 0. && b <= h) (Bids.bids s t))
+             (List.init 30 Fun.id));
+    prop "affinities stay inside 1 +/- spread" 20
+      QCheck.(int_range 1 10_000)
+      (fun seed ->
+        let s = bids_make seed in
+        List.for_all
+          (fun i ->
+            let a = Bids.affinity s i in
+            a >= 0.6 && a <= 1.4)
+          (List.init 4 Fun.id));
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let () = Test_env.install_pool_from_env ()
 
@@ -387,5 +477,11 @@ let () =
           Alcotest.test_case "ftrl sparsity" `Slow test_avazu_ftrl_sparsity;
         ] );
       ("adversarial", adversarial_props);
+      ( "bids",
+        [
+          Alcotest.test_case "shapes" `Quick test_bids_shapes;
+          Alcotest.test_case "validation" `Quick test_bids_validation;
+        ]
+        @ bids_props );
       ("properties", synth_props);
     ]
